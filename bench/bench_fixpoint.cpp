@@ -1,0 +1,94 @@
+//===- bench/bench_fixpoint.cpp - Experiment E9: the Theorem 6 bound -------===//
+///
+/// Theorem 6 bounds the chain height over the product:
+///   H_{L1 >< L2}(E) <= H_{L1}(E1) + H_{L2}(E2) + |AlienTerms(E)|
+/// which in analysis terms bounds loop iterations over the product by the
+/// sum of the component iteration counts plus the alien count.  These
+/// benchmarks run the same workload programs under the components and the
+/// product and report the measured `max_node_updates` for each, plus the
+/// alien-term count of the loop invariant, so the inequality can be read
+/// off the counters (EXPERIMENTS.md records the observed values).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "product/LogicalProduct.h"
+#include "theory/Purify.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cai;
+
+namespace {
+
+WorkloadOptions optionsFor(int Tracks) {
+  WorkloadOptions Opts;
+  Opts.Seed = 17;
+  Opts.AffineTracks = Tracks;
+  Opts.UFTracks = Tracks;
+  Opts.ReducedTracks = Tracks;
+  Opts.MixedTracks = Tracks;
+  Opts.Branches = 1;
+  return Opts;
+}
+
+void BM_FixpointComponentsVsProduct(benchmark::State &State) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, LA, UF);
+  Workload W = generateWorkload(Ctx, optionsFor(static_cast<int>(State.range(0))));
+
+  unsigned H1 = 0, H2 = 0, H = 0;
+  size_t Aliens = 0;
+  for (auto _ : State) {
+    AnalysisResult R1 = Analyzer(LA).run(W.P);
+    AnalysisResult R2 = Analyzer(UF).run(W.P);
+    AnalysisResult R = Analyzer(Logical).run(W.P);
+    H1 = R1.Stats.MaxNodeUpdates;
+    H2 = R2.Stats.MaxNodeUpdates;
+    H = R.Stats.MaxNodeUpdates;
+    // Alien count of the deepest invariant the product computed.
+    Aliens = 0;
+    for (const Conjunction &Inv : R.Invariants)
+      if (!Inv.isBottom())
+        Aliens = std::max(Aliens, alienTerms(Ctx, LA, UF, Inv).size());
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["H_affine"] = H1;
+  State.counters["H_uf"] = H2;
+  State.counters["H_product"] = H;
+  State.counters["aliens"] = static_cast<double>(Aliens);
+  // The Theorem 6 right-hand side, for eyeballing H_product <= bound.
+  State.counters["thm6_bound"] = H1 + H2 + static_cast<double>(Aliens);
+}
+
+void BM_FixpointProductOnly(benchmark::State &State) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, LA, UF);
+  Workload W = generateWorkload(Ctx, optionsFor(static_cast<int>(State.range(0))));
+  unsigned Verified = 0;
+  for (auto _ : State) {
+    AnalysisResult R = Analyzer(Logical).run(W.P);
+    Verified = R.numVerified();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["verified"] = Verified;
+  State.counters["assertions"] = static_cast<double>(W.Kinds.size());
+}
+
+} // namespace
+
+BENCHMARK(BM_FixpointComponentsVsProduct)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FixpointProductOnly)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

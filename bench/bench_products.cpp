@@ -1,0 +1,104 @@
+//===- bench/bench_products.cpp - Experiment E10: cost vs precision --------===//
+///
+/// The Section 7 future-work experiment: cost and precision of direct,
+/// reduced and logical products (plus the single domains) on generated
+/// workload programs.  Each row reports wall time and the fraction of
+/// assertions verified; the paper-predicted shape is
+///   precision: affine/uf < direct < reduced < logical,
+///   cost:      roughly increasing the same way, with logical paying the
+///              alien-naming overhead.
+/// A nested three-theory row exercises (affine >< uf) >< lists (E13).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/lists/ListDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "ir/ProgramParser.h"
+#include "product/DirectProduct.h"
+#include "product/LogicalProduct.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cai;
+
+namespace {
+
+WorkloadOptions optionsFor(benchmark::State &State) {
+  WorkloadOptions Opts;
+  Opts.Seed = 23;
+  unsigned Tracks = static_cast<unsigned>(State.range(0));
+  Opts.AffineTracks = Tracks;
+  Opts.UFTracks = Tracks;
+  Opts.ReducedTracks = Tracks;
+  Opts.MixedTracks = Tracks;
+  Opts.Branches = 1;
+  Opts.NoiseVars = 1;
+  return Opts;
+}
+
+template <unsigned Tier> void BM_ProductSweep(benchmark::State &State) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  UFDomain UF(Ctx);
+  DirectProduct Direct(Ctx, LA, UF);
+  LogicalProduct Reduced(Ctx, LA, UF, LogicalProduct::Mode::Reduced);
+  LogicalProduct Logical(Ctx, LA, UF);
+  const LogicalLattice *Tiers[] = {&LA, &UF, &Direct, &Reduced, &Logical};
+  const LogicalLattice &Domain = *Tiers[Tier];
+
+  Workload W = generateWorkload(Ctx, optionsFor(State));
+  unsigned Verified = 0;
+  for (auto _ : State) {
+    AnalysisResult R = Analyzer(Domain).run(W.P);
+    Verified = R.numVerified();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["verified"] = Verified;
+  State.counters["assertions"] = static_cast<double>(W.Kinds.size());
+}
+
+/// E13: the nested (affine >< uf) >< lists product on a program mixing all
+/// three theories in one invariant.
+void BM_NestedThreeTheories(benchmark::State &State) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  ListDomain Lists(Ctx);
+  UFDomain UF(Ctx, {Lists.carSym(), Lists.cdrSym(), Lists.consSym()});
+  LogicalProduct Inner(Ctx, LA, UF);
+  LogicalProduct Outer(Ctx, Inner, Lists);
+
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, R"(
+    n := 1;
+    cell := cons(F(n + 1), rest);
+    while (*) {
+      h := car(cell);
+      cell := cons(h, cell);
+    }
+    assert(car(cell) = F(n + 1));
+  )", &Error);
+  if (!P)
+    std::abort();
+  unsigned Verified = 0;
+  for (auto _ : State) {
+    AnalysisResult R = Analyzer(Outer).run(*P);
+    Verified = R.numVerified();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["verified"] = Verified;
+  State.counters["assertions"] = 1;
+}
+
+} // namespace
+
+BENCHMARK_TEMPLATE(BM_ProductSweep, 0)->Name("BM_Sweep_Affine")->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ProductSweep, 1)->Name("BM_Sweep_UF")->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ProductSweep, 2)->Name("BM_Sweep_DirectProduct")->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ProductSweep, 3)->Name("BM_Sweep_ReducedProduct")->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ProductSweep, 4)->Name("BM_Sweep_LogicalProduct")->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NestedThreeTheories)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+//===- bench/bench_substrate.cpp - Substrate microbenchmarks ---------------===//
+///
+/// Scaling of the substrates everything rests on: BigInt arithmetic,
+/// exact simplex, Fourier-Motzkin projection, congruence closure, and the
+/// affine hull.  These are the ablation counterpart to DESIGN.md decision
+/// 2 (exact arbitrary-precision arithmetic) -- the BigInt rows quantify
+/// what the exactness costs as coefficients grow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "domains/poly/Polyhedron.h"
+#include "domains/uf/CongruenceClosure.h"
+#include "linalg/AffineSystem.h"
+#include "term/TermContext.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace cai;
+
+namespace {
+
+void BM_BigIntMultiply(benchmark::State &State) {
+  int Limbs = static_cast<int>(State.range(0));
+  std::mt19937_64 Rng(1);
+  BigInt A(1), B(1);
+  for (int I = 0; I < Limbs; ++I) {
+    A = A * BigInt::fromString("4294967296") +
+        BigInt(static_cast<int64_t>(Rng() & 0xFFFFFFFFull));
+    B = B * BigInt::fromString("4294967296") +
+        BigInt(static_cast<int64_t>(Rng() & 0xFFFFFFFFull));
+  }
+  for (auto _ : State) {
+    BigInt C = A * B;
+    benchmark::DoNotOptimize(C);
+  }
+}
+
+void BM_BigIntDivide(benchmark::State &State) {
+  int Limbs = static_cast<int>(State.range(0));
+  std::mt19937_64 Rng(2);
+  BigInt A(1), B(1);
+  for (int I = 0; I < 2 * Limbs; ++I)
+    A = A * BigInt::fromString("4294967296") +
+        BigInt(static_cast<int64_t>(Rng() & 0xFFFFFFFFull));
+  for (int I = 0; I < Limbs; ++I)
+    B = B * BigInt::fromString("4294967296") +
+        BigInt(static_cast<int64_t>(Rng() & 0xFFFFFFFFull));
+  for (auto _ : State) {
+    BigInt Q = A / B;
+    benchmark::DoNotOptimize(Q);
+  }
+}
+
+void BM_RationalReduce(benchmark::State &State) {
+  // Rational normalization (gcd) on growing operands: the hot loop of
+  // every RREF pivot.
+  std::mt19937_64 Rng(3);
+  int Bits = static_cast<int>(State.range(0));
+  BigInt N = BigInt::pow(BigInt(3), Bits);
+  BigInt D = BigInt::pow(BigInt(2), Bits) * BigInt(6);
+  for (auto _ : State) {
+    Rational R = Rational(N, D) + Rational(1, 3);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void BM_AffineHullJoin(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  AffineSystem<Rational> A(N), B(N);
+  std::mt19937 Rng(4);
+  std::uniform_int_distribution<int> Coef(-5, 5);
+  for (size_t R = 0; R < N / 2; ++R) {
+    std::vector<Rational> RowA, RowB;
+    for (size_t C = 0; C <= N; ++C) {
+      RowA.push_back(Rational(Coef(Rng)));
+      RowB.push_back(Rational(Coef(Rng)));
+    }
+    A.addRow(RowA);
+    B.addRow(RowB);
+  }
+  for (auto _ : State) {
+    AffineSystem<Rational> J = AffineSystem<Rational>::join(A, B);
+    benchmark::DoNotOptimize(J);
+  }
+}
+
+void BM_SimplexFeasibility(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  std::mt19937 Rng(5);
+  std::uniform_int_distribution<int> Coef(-5, 5);
+  std::vector<LinearConstraint> Cons;
+  for (size_t R = 0; R < 2 * N; ++R) {
+    LinearConstraint C;
+    for (size_t V = 0; V < N; ++V)
+      C.Coeffs.push_back(Rational(Coef(Rng)));
+    C.Rhs = Rational(10 + Coef(Rng));
+    Cons.push_back(std::move(C));
+  }
+  for (auto _ : State) {
+    bool F = isFeasible(Cons, N);
+    benchmark::DoNotOptimize(F);
+  }
+}
+
+void BM_FourierMotzkin(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  std::mt19937 Rng(6);
+  std::uniform_int_distribution<int> Coef(-3, 3);
+  Polyhedron P(N);
+  for (size_t R = 0; R < 2 * N; ++R) {
+    std::vector<Rational> Coeffs;
+    for (size_t V = 0; V < N; ++V)
+      Coeffs.push_back(Rational(Coef(Rng)));
+    P.addLe(std::move(Coeffs), Rational(5));
+  }
+  std::vector<bool> Mask(N, false);
+  for (size_t V = 0; V < N / 2; ++V)
+    Mask[V] = true;
+  for (auto _ : State) {
+    Polyhedron Q = P.project(Mask);
+    benchmark::DoNotOptimize(Q);
+  }
+}
+
+void BM_CongruenceClosure(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  TermContext Ctx;
+  Symbol F = Ctx.getFunction("F", 1);
+  // Two chains F^i(a), F^i(b) merged at the base: N congruence merges.
+  for (auto _ : State) {
+    CongruenceClosure CC(Ctx);
+    Term A = Ctx.mkVar("a"), B = Ctx.mkVar("b");
+    Term TA = A, TB = B;
+    for (int I = 0; I < N; ++I) {
+      TA = Ctx.mkApp(F, {TA});
+      TB = Ctx.mkApp(F, {TB});
+      CC.addTerm(TA);
+      CC.addTerm(TB);
+    }
+    CC.addEquality(A, B);
+    benchmark::DoNotOptimize(CC.areEqual(TA, TB));
+  }
+}
+
+void BM_ConvexHull(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  // Hull of two shifted boxes in N dimensions.
+  Polyhedron A(N), B(N);
+  for (size_t V = 0; V < N; ++V) {
+    std::vector<Rational> Up(N), Down(N);
+    Up[V] = Rational(1);
+    Down[V] = Rational(-1);
+    A.addLe(Up, Rational(1));
+    A.addLe(Down, Rational(0));
+    std::vector<Rational> Up2(N), Down2(N);
+    Up2[V] = Rational(1);
+    Down2[V] = Rational(-1);
+    B.addLe(Up2, Rational(3));
+    B.addLe(Down2, Rational(-2));
+  }
+  for (auto _ : State) {
+    Polyhedron H = Polyhedron::hull(A, B);
+    benchmark::DoNotOptimize(H);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_BigIntMultiply)->RangeMultiplier(4)->Range(1, 256);
+BENCHMARK(BM_BigIntDivide)->RangeMultiplier(4)->Range(1, 64);
+BENCHMARK(BM_RationalReduce)->RangeMultiplier(4)->Range(4, 1024);
+BENCHMARK(BM_AffineHullJoin)->RangeMultiplier(2)->Range(4, 32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SimplexFeasibility)->RangeMultiplier(2)->Range(2, 16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FourierMotzkin)->RangeMultiplier(2)->Range(2, 8)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CongruenceClosure)->RangeMultiplier(2)->Range(8, 128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ConvexHull)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

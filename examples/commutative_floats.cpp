@@ -1,0 +1,77 @@
+//===- examples/commutative_floats.cpp - Section 5.1 in action -------------===//
+///
+/// Floating-point addition is commutative but NOT associative (overflow
+/// and rounding), so it must not be abstracted as linear arithmetic --
+/// the paper's motivating case for the commutative-function lattice
+/// (Section 5.1).  This example models float ops with a commutative
+/// uninterpreted symbol `fadd`, applies the encoding
+/// M(fadd(t1, t2)) = F(i + M(t1) + M(t2)), and verifies with the stock
+/// affine >< uf product that two differently-ordered accumulations agree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "encodings/Encodings.h"
+#include "ir/ProgramParser.h"
+#include "product/LogicalProduct.h"
+
+#include <cstdio>
+
+using namespace cai;
+
+int main() {
+  TermContext Ctx;
+  AffineDomain Affine(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Domain(Ctx, Affine, UF);
+
+  // Two accumulators fed the same values with swapped operand order each
+  // round.  With fadd uninterpreted the equality is unprovable; with the
+  // commutativity encoding it is a congruence fact.
+  const char *Source = R"(
+    s1 := zero; s2 := zero;
+    while (*) {
+      v := *;
+      s1 := fadd(s1, v);
+      s2 := fadd(v, s2);
+    }
+    assert(s1 = s2);
+  )";
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  AnalysisResult Plain = Analyzer(Domain).run(*P);
+  std::printf("fadd uninterpreted:           s1 = s2 %s\n",
+              Plain.Assertions[0].Verified ? "VERIFIED" : "not verified");
+
+  TermEncoder Encoder(Ctx, TermEncoder::Scheme::Commutative);
+  Program Encoded = Encoder.encode(*P);
+  AnalysisResult R = Analyzer(Domain).run(Encoded);
+  std::printf("fadd via Section 5.1 encoding: s1 = s2 %s\n",
+              R.Assertions[0].Verified ? "VERIFIED" : "not verified");
+
+  // Sanity direction: the encoding must NOT prove associativity.
+  const char *Assoc = R"(
+    t1 := fadd(fadd(a, b), c);
+    t2 := fadd(a, fadd(b, c));
+    assert(t1 = t2);
+  )";
+  std::optional<Program> PA = parseProgram(Ctx, Assoc, &Error);
+  if (!PA)
+    return 1;
+  TermEncoder Encoder2(Ctx, TermEncoder::Scheme::Commutative);
+  AnalysisResult RA = Analyzer(Domain).run(Encoder2.encode(*PA));
+  std::printf("associativity (must fail):     t1 = t2 %s\n",
+              RA.Assertions[0].Verified ? "VERIFIED" : "not verified");
+
+  bool OK = !Plain.Assertions[0].Verified && R.Assertions[0].Verified &&
+            !RA.Assertions[0].Verified;
+  std::printf("\nSection 5.1 behaviour %s\n", OK ? "reproduced" : "WRONG");
+  return OK ? 0 : 1;
+}

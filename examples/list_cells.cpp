@@ -1,0 +1,61 @@
+//===- examples/list_cells.cpp - Three theories, one analysis --------------===//
+///
+/// Nests products: (affine >< uf) >< lists.  The paper's logical product
+/// of two lattices is itself a logical lattice over the union theory, so
+/// the construction composes -- this example tracks a cons cell whose head
+/// is an uninterpreted hash of an arithmetic expression, a fact spanning
+/// all three component theories at once.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/lists/ListDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "ir/ProgramParser.h"
+#include "product/LogicalProduct.h"
+#include "term/Printer.h"
+
+#include <cstdio>
+
+using namespace cai;
+
+int main() {
+  TermContext Ctx;
+  AffineDomain Affine(Ctx);
+  ListDomain Lists(Ctx);
+  // The UF component cedes car/cdr/cons to the list component.
+  UFDomain UF(Ctx, {Lists.carSym(), Lists.cdrSym(), Lists.consSym()});
+  LogicalProduct Inner(Ctx, Affine, UF);
+  LogicalProduct Domain(Ctx, Inner, Lists);
+
+  const char *Source = R"(
+    n := 1;
+    key := hash(n + 1);
+    cell := cons(key, rest);
+    if (*) { n := n + 0; } else { n := 1; }
+    h := car(cell);
+    assert(h = key);
+    assert(h = hash(n + 1));
+    assert(cdr(cell) = rest);
+  )";
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  AnalysisResult R = Analyzer(Domain).run(*P);
+  std::printf("analysis over %s\n\n", Domain.name().c_str());
+  bool AllVerified = true;
+  for (size_t I = 0; I < R.Assertions.size(); ++I) {
+    const Assertion &A = P->assertions()[I];
+    std::printf("%-28s %s\n", toString(Ctx, A.Fact).c_str(),
+                R.Assertions[I].Verified ? "VERIFIED" : "not verified");
+    AllVerified &= R.Assertions[I].Verified;
+  }
+  std::printf("\nnested logical product %s\n",
+              AllVerified ? "verified all facts" : "missed a fact");
+  return AllVerified ? 0 : 1;
+}

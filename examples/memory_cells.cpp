@@ -1,0 +1,72 @@
+//===- examples/memory_cells.cpp - Modeling memory with arrays -------------===//
+///
+/// Section 4 of the paper notes that assignments are fully general
+/// because "Memory, for example, can be modeled using array variables and
+/// select and update expressions, without losing any precision".  This
+/// example does exactly that: a store/load pair through a computed
+/// address, verified over the logical product of linear arithmetic and
+/// the (convex-fragment) array domain -- a theory combination the paper
+/// lists as future work and this library implements as an extension.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/arrays/ArrayDomain.h"
+#include "ir/ProgramParser.h"
+#include "product/LogicalProduct.h"
+#include "term/Printer.h"
+
+#include <cstdio>
+
+using namespace cai;
+
+int main() {
+  TermContext Ctx;
+  AffineDomain Affine(Ctx);
+  ArrayDomain Arrays(Ctx);
+  LogicalProduct Domain(Ctx, Affine, Arrays);
+
+  // *(base + offset) := secret;  x := *(base + offset)  with the address
+  // recomputed from equal arithmetic -- the hit read needs the affine
+  // fact addr1 = addr2 to flow into the array reasoning.
+  const char *Source = R"(
+    offset := 8;
+    addr1 := base + offset;
+    addr2 := base + 8;
+    mem := update(mem0, addr1, secret);
+    x := select(mem, addr2);
+    assert(x = secret);
+
+    // Overwrite the same cell; the last write wins.
+    mem := update(mem, addr1, 0);
+    y := select(mem, addr2);
+    assert(y = 0);
+
+    // A read through an unrelated address must NOT collapse to the write
+    // (the non-convex miss axiom is deliberately not decided).
+    z := select(mem, other);
+    assert(z = 0);
+  )";
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  AnalysisResult R = Analyzer(Domain).run(*P);
+  std::printf("analysis over %s\n\n", Domain.name().c_str());
+  for (size_t I = 0; I < R.Assertions.size(); ++I) {
+    const Assertion &A = P->assertions()[I];
+    std::printf("%-24s %s\n", toString(Ctx, A.Fact).c_str(),
+                R.Assertions[I].Verified ? "VERIFIED" : "not verified");
+  }
+
+  bool OK = R.Assertions[0].Verified && R.Assertions[1].Verified &&
+            !R.Assertions[2].Verified;
+  std::printf("\nmemory modeling behaviour %s (two hits verified, the\n"
+              "unknown-address read soundly unverified)\n",
+              OK ? "as designed" : "WRONG");
+  return OK ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+///
+/// Builds the logical product of the affine-equality domain (Karr) and the
+/// uninterpreted-function domain (GVN), parses a small program in the
+/// mini-language, runs the abstract interpreter and prints the discovered
+/// invariants and assertion verdicts.
+///
+/// Build and run:   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "ir/ProgramParser.h"
+#include "product/LogicalProduct.h"
+#include "term/Printer.h"
+
+#include <cstdio>
+
+using namespace cai;
+
+int main() {
+  // 1. One TermContext per analysis session; every component shares it.
+  TermContext Ctx;
+
+  // 2. Component domains, combined with the paper's logical product.
+  //    The product is itself a LogicalLattice, so it can be nested or
+  //    handed to anything that works over a single domain.
+  AffineDomain Affine(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Domain(Ctx, Affine, UF);
+
+  // 3. A program whose interesting invariant, d2 = F(d1 + 1), mixes both
+  //    theories -- neither component nor their reduced product can even
+  //    represent it.
+  const char *Source = R"(
+    d1 := 3;
+    d2 := F(4);
+    while (*) {
+      d1 := F(1 + d1);
+      d2 := F(d2 + 1);
+    }
+    assert(d2 = F(d1 + 1));
+  )";
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  // 4. Run the abstract interpreter.
+  Analyzer Engine(Domain);
+  AnalysisResult R = Engine.run(*P);
+
+  std::printf("analysis over %s\n", Domain.name().c_str());
+  std::printf("converged: %s\n", R.Converged ? "yes" : "no");
+  std::printf("joins: %lu, widenings: %lu, transfers: %lu\n", R.Stats.Joins,
+              R.Stats.Widenings, R.Stats.Transfers);
+
+  // 5. Inspect the invariant at each assertion point and the verdicts.
+  for (size_t I = 0; I < P->assertions().size(); ++I) {
+    const Assertion &A = P->assertions()[I];
+    std::printf("\nassertion %-14s %s\n", R.Assertions[I].Label.c_str(),
+                R.Assertions[I].Verified ? "VERIFIED" : "not verified");
+    std::printf("  fact:      %s\n", toString(Ctx, A.Fact).c_str());
+    std::printf("  invariant: %s\n",
+                toString(Ctx, R.Invariants[A.Node]).c_str());
+  }
+  return R.Converged && R.numVerified() == R.Assertions.size() ? 0 : 1;
+}

@@ -1,0 +1,200 @@
+//===- analysis/Analyzer.cpp - The abstract interpreter --------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include <deque>
+
+using namespace cai;
+
+bool Analyzer::expressible(Term T) const {
+  switch (T->kind()) {
+  case TermKind::Variable:
+    return true;
+  case TermKind::Number:
+    return Lattice.ownsNumerals();
+  case TermKind::App:
+    break;
+  }
+  const TermContext &Ctx = Lattice.context();
+  bool Owned = Ctx.info(T->symbol()).Arithmetic
+                   ? Lattice.ownsNumerals()
+                   : Lattice.ownsFunction(T->symbol());
+  if (!Owned)
+    return false;
+  for (Term Arg : T->args())
+    if (!expressible(Arg))
+      return false;
+  return true;
+}
+
+Conjunction Analyzer::transfer(const Action &Act, const Conjunction &In,
+                               AnalyzerStats &Stats) const {
+  if (In.isBottom())
+    return In;
+  TermContext &Ctx = Lattice.context();
+
+  switch (Act.Kind) {
+  case ActionKind::Skip:
+    return In;
+
+  case ActionKind::Assume: {
+    if (Act.Cond.isBottom())
+      return Conjunction::bottom();
+    if (Act.Cond.isTop())
+      return In;
+    // Keep only facts the lattice can express; foreign predicates become
+    // "true" exactly as Figure 5(c) prescribes.
+    Conjunction Usable;
+    for (const Atom &A : Act.Cond.atoms()) {
+      bool Known = A.predicate() == Ctx.eqSymbol() ||
+                   Lattice.ownsPredicate(A.predicate());
+      bool AllArgs = true;
+      for (Term Arg : A.args())
+        AllArgs &= expressible(Arg);
+      if (Known && AllArgs)
+        Usable.add(A);
+    }
+    return Lattice.meet(In, Usable);
+  }
+
+  case ActionKind::Assign:
+  case ActionKind::Havoc: {
+    ++Stats.Transfers;
+    // Figure 5(b): rename x to a fresh x0 in E, conjoin x = e[x0/x], then
+    // existentially quantify x0.  The paper degrades out-of-signature
+    // expressions to havoc (E1' := true); our domains instead treat
+    // foreign subterms as opaque indeterminates -- every operation
+    // rebuilds its result from its internal representation, so the
+    // conjoined fact is over-approximated soundly (and, for the
+    // stand-alone baselines, exactly as the published single-domain
+    // analyses would: GVN keeps numerals as constants, Karr keeps F(y) as
+    // an anonymous cell).
+    Term X = Act.Var;
+    Term X0 = Ctx.freshVar("x0");
+    Substitution Rename;
+    Rename.emplace(X, X0);
+    Conjunction E = In.substitute(Ctx, Rename);
+    if (Act.Kind == ActionKind::Assign) {
+      Term Value = Ctx.substitute(Act.Value, Rename);
+      E.add(Atom::mkEq(Ctx, X, Value));
+    }
+    return Lattice.existQuant(E, {X0});
+  }
+  }
+  assert(false && "unknown action kind");
+  return In;
+}
+
+AnalysisResult Analyzer::run(const Program &P) const {
+  AnalysisResult Result;
+  Result.Invariants.assign(P.numNodes(), Conjunction::bottom());
+  if (P.numNodes() == 0)
+    return Result;
+  Result.Invariants[P.entry()] = Conjunction::top();
+
+  std::vector<bool> IsJoinPoint = P.joinPoints();
+  std::vector<unsigned> Updates(P.numNodes(), 0);
+
+  std::deque<NodeId> Worklist;
+  std::vector<bool> Queued(P.numNodes(), false);
+  Worklist.push_back(P.entry());
+  Queued[P.entry()] = true;
+
+  const auto &Succs = P.successors();
+  while (!Worklist.empty()) {
+    NodeId N = Worklist.front();
+    Worklist.pop_front();
+    Queued[N] = false;
+    const Conjunction &State = Result.Invariants[N];
+
+    for (size_t EdgeIdx : Succs[N]) {
+      const Edge &E = P.edges()[EdgeIdx];
+      Conjunction Out = transfer(E.Act, State, Result.Stats);
+      Conjunction &Target = Result.Invariants[E.To];
+
+      Conjunction Next;
+      if (Target.isBottom()) {
+        Next = std::move(Out);
+      } else if (Out.isBottom()) {
+        continue; // Nothing new flows in.
+      } else if (Opts.SemanticConvergence && Lattice.entailsAll(Out, Target)) {
+        // Fast path: the incoming state is already subsumed -- entailment
+        // checks are far cheaper than the join they avoid.
+        ++Result.Stats.EntailmentChecks;
+        continue;
+      } else if (IsJoinPoint[E.To] && Updates[E.To] >= Opts.WideningDelay) {
+        ++Result.Stats.Widenings;
+        Next = Lattice.widen(Target, Out);
+      } else {
+        ++Result.Stats.Joins;
+        Next = Lattice.join(Target, Out);
+      }
+
+      // Convergence check: cheap syntactic equality first, then mutual
+      // entailment if enabled.
+      bool Same = Next == Target;
+      if (!Same && Opts.SemanticConvergence && !Target.isBottom()) {
+        ++Result.Stats.EntailmentChecks;
+        Same = Lattice.entailsAll(Target, Next) &&
+               Lattice.entailsAll(Next, Target);
+      }
+      if (Same)
+        continue;
+
+      ++Updates[E.To];
+      Result.Stats.TotalNodeUpdates += 1;
+      if (Updates[E.To] > Result.Stats.MaxNodeUpdates)
+        Result.Stats.MaxNodeUpdates = Updates[E.To];
+      if (Updates[E.To] > Opts.MaxUpdatesPerNode) {
+        Result.Converged = false;
+        continue; // Stop propagating through this node.
+      }
+      Target = std::move(Next);
+      if (!Queued[E.To]) {
+        Worklist.push_back(E.To);
+        Queued[E.To] = true;
+      }
+    }
+  }
+
+  // Descending (narrowing) passes: starting from the stabilized states,
+  // recompute each node's input and meet it with the current state.  Both
+  // operands over-approximate the concrete states at the node, so the meet
+  // does too; this recovers constraints the widening threw away.
+  for (unsigned Pass = 0; Pass < Opts.NarrowingPasses; ++Pass) {
+    std::vector<Conjunction> Inputs(P.numNodes(), Conjunction::bottom());
+    Inputs[P.entry()] = Conjunction::top();
+    for (const Edge &E : P.edges()) {
+      Conjunction Out = transfer(E.Act, Result.Invariants[E.From],
+                                 Result.Stats);
+      if (Out.isBottom())
+        continue;
+      if (Inputs[E.To].isBottom()) {
+        Inputs[E.To] = std::move(Out);
+      } else {
+        ++Result.Stats.Joins;
+        Inputs[E.To] = Lattice.join(Inputs[E.To], Out);
+      }
+    }
+    bool Changed = false;
+    for (NodeId N = 0; N < P.numNodes(); ++N) {
+      Conjunction Refined = Lattice.meet(Result.Invariants[N], Inputs[N]);
+      if (Refined != Result.Invariants[N]) {
+        Result.Invariants[N] = std::move(Refined);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  for (const Assertion &A : P.assertions()) {
+    AssertionVerdict V;
+    V.Label = A.Label;
+    const Conjunction &Inv = Result.Invariants[A.Node];
+    V.Verified = Inv.isBottom() || Lattice.entails(Inv, A.Fact);
+    ++Result.Stats.EntailmentChecks;
+    Result.Assertions.push_back(std::move(V));
+  }
+  return Result;
+}

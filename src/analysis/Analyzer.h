@@ -1,0 +1,97 @@
+//===- analysis/Analyzer.h - The abstract interpreter -----------*- C++ -*-===//
+///
+/// \file
+/// The forward abstract interpreter of Section 4: a worklist fixpoint over
+/// a flowchart program computing one lattice element per node, with the
+/// transfer functions of Figure 5 (join at confluence, strongest
+/// postcondition via existential quantification at assignments, meet with
+/// the branch fact at conditionals), delayed widening at join points, and
+/// assertion checking against the stabilized invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_ANALYSIS_ANALYZER_H
+#define CAI_ANALYSIS_ANALYZER_H
+
+#include "ir/Program.h"
+#include "theory/LogicalLattice.h"
+
+namespace cai {
+
+/// Tuning knobs for one analysis run.
+struct AnalyzerOptions {
+  /// Joins tolerated at a join point before switching to widening.
+  unsigned WideningDelay = 4;
+  /// Hard cap on state updates per node (a safety net: exceeding it aborts
+  /// with Converged = false rather than looping).
+  unsigned MaxUpdatesPerNode = 64;
+  /// Use semantic (entailment-based) convergence checks in addition to the
+  /// syntactic one; costs entailment queries, detects stabilization that
+  /// mere syntax misses.
+  bool SemanticConvergence = true;
+  /// Maximum descending (narrowing) passes after the widened fixpoint:
+  /// each pass recomputes every node's input from the stabilized states
+  /// and meets it with the current state, recovering bounds that widening
+  /// discarded (e.g. the exit value of a counted loop).  Sound for any
+  /// count; refinements need one pass per node on the chain from the
+  /// refined loop head, and the loop stops early once stable.
+  unsigned NarrowingPasses = 3;
+};
+
+/// Counters the benchmarks report (Theorem 6 measures MaxNodeUpdates).
+struct AnalyzerStats {
+  unsigned long Joins = 0;
+  unsigned long Widenings = 0;
+  unsigned long Transfers = 0;
+  unsigned long EntailmentChecks = 0;
+  unsigned MaxNodeUpdates = 0;
+  unsigned TotalNodeUpdates = 0;
+};
+
+/// Verdict for one assertion.
+struct AssertionVerdict {
+  std::string Label;
+  bool Verified = false;
+};
+
+/// Everything a run produces.
+struct AnalysisResult {
+  std::vector<Conjunction> Invariants; ///< Per node.
+  std::vector<AssertionVerdict> Assertions;
+  AnalyzerStats Stats;
+  bool Converged = true;
+
+  unsigned numVerified() const {
+    unsigned N = 0;
+    for (const AssertionVerdict &V : Assertions)
+      N += V.Verified;
+    return N;
+  }
+};
+
+/// The abstract interpreter; one instance per lattice, reusable across
+/// programs.
+class Analyzer {
+public:
+  explicit Analyzer(const LogicalLattice &Lattice, AnalyzerOptions Opts = {})
+      : Lattice(Lattice), Opts(Opts) {}
+
+  AnalysisResult run(const Program &P) const;
+
+  /// The strongest-postcondition transfer of one action from \p In.
+  Conjunction transfer(const Action &Act, const Conjunction &In,
+                       AnalyzerStats &Stats) const;
+
+private:
+  /// True if every function symbol of \p T is in the lattice's signature,
+  /// i.e. the assignment expression can be modeled precisely; otherwise
+  /// the assignment degrades to a havoc (E1' := true in Figure 5(b)).
+  bool expressible(Term T) const;
+
+  const LogicalLattice &Lattice;
+  AnalyzerOptions Opts;
+};
+
+} // namespace cai
+
+#endif // CAI_ANALYSIS_ANALYZER_H

@@ -1,0 +1,240 @@
+//===- domains/affine/AffineDomain.cpp - Karr's affine equalities ----------===//
+
+#include "domains/affine/AffineDomain.h"
+
+using namespace cai;
+
+void AffineDomain::Env::add(Term T) {
+  if (Index.emplace(T, Columns.size()).second)
+    Columns.push_back(T);
+}
+
+void AffineDomain::Env::addIndeterminates(const TermContext &Ctx,
+                                          const Atom &A) {
+  if (A.predicate() != Ctx.eqSymbol())
+    return;
+  std::optional<LinearExpr> Lhs = LinearExpr::fromTerm(Ctx, A.lhs());
+  std::optional<LinearExpr> Rhs = LinearExpr::fromTerm(Ctx, A.rhs());
+  if (!Lhs || !Rhs)
+    return;
+  for (const auto &[T, C] : Lhs->terms())
+    add(T);
+  for (const auto &[T, C] : Rhs->terms())
+    add(T);
+}
+
+void AffineDomain::Env::addIndeterminates(const TermContext &Ctx,
+                                          const Conjunction &E) {
+  if (E.isBottom())
+    return;
+  for (const Atom &A : E.atoms())
+    addIndeterminates(Ctx, A);
+}
+
+std::optional<std::vector<Rational>> AffineDomain::rowOf(const Atom &A,
+                                                         const Env &Env) const {
+  if (A.predicate() != context().eqSymbol())
+    return std::nullopt;
+  std::optional<LinearExpr> Lhs = LinearExpr::fromTerm(context(), A.lhs());
+  std::optional<LinearExpr> Rhs = LinearExpr::fromTerm(context(), A.rhs());
+  if (!Lhs || !Rhs)
+    return std::nullopt;
+  LinearExpr Diff = *Lhs - *Rhs;
+  std::vector<Rational> Row(Env.Columns.size() + 1);
+  for (const auto &[T, C] : Diff.terms()) {
+    auto It = Env.Index.find(T);
+    if (It == Env.Index.end())
+      return std::nullopt; // Indeterminate unknown to this column space.
+    Row[It->second] = C;
+  }
+  Row[Env.Columns.size()] = -Diff.constant();
+  return Row;
+}
+
+AffineSystem<Rational> AffineDomain::toSystem(const Conjunction &E,
+                                              const Env &Env) const {
+  AffineSystem<Rational> S(Env.Columns.size());
+  if (E.isBottom())
+    return AffineSystem<Rational>::inconsistent(Env.Columns.size());
+  for (const Atom &A : E.atoms())
+    if (std::optional<std::vector<Rational>> Row = rowOf(A, Env))
+      S.addRow(std::move(*Row));
+  return S;
+}
+
+Conjunction AffineDomain::fromSystem(const AffineSystem<Rational> &S,
+                                     const Env &Env) const {
+  if (S.isInconsistent())
+    return Conjunction::bottom();
+  TermContext &Ctx = context();
+  Conjunction Out;
+  for (const std::vector<Rational> &Row : S.rows()) {
+    LinearExpr Lhs;
+    for (size_t C = 0; C < Env.Columns.size(); ++C)
+      if (!Row[C].isZero())
+        Lhs.addTerm(Env.Columns[C], Row[C]);
+    LinearExpr Rhs(Row[Env.Columns.size()]);
+    // Scale to integral coefficients for readable canonical output.
+    LinearExpr Diff = Lhs - Rhs;
+    Rational Scale = Diff.normalizeIntegral(/*NormalizeSign=*/true);
+    Lhs = Lhs.scaled(Scale);
+    Rhs = Rhs.scaled(Scale);
+    Out.add(Atom::mkEq(Ctx, Lhs.toTerm(Ctx), Rhs.toTerm(Ctx)));
+  }
+  return Out;
+}
+
+Conjunction AffineDomain::join(const Conjunction &A,
+                               const Conjunction &B) const {
+  if (A.isBottom() || isUnsat(A))
+    return B;
+  if (B.isBottom() || isUnsat(B))
+    return A;
+  Env Env;
+  Env.addIndeterminates(context(), A);
+  Env.addIndeterminates(context(), B);
+  AffineSystem<Rational> SA = toSystem(A, Env);
+  AffineSystem<Rational> SB = toSystem(B, Env);
+  return fromSystem(AffineSystem<Rational>::join(SA, SB), Env);
+}
+
+Conjunction AffineDomain::existQuant(const Conjunction &E,
+                                     const std::vector<Term> &Vars) const {
+  if (E.isBottom())
+    return E;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  AffineSystem<Rational> S = toSystem(E, Env);
+  // Eliminate each variable column in Vars, and every opaque column whose
+  // term mentions one of them.
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    for (Term V : Vars)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        break;
+      }
+  return fromSystem(S.project(Mask), Env);
+}
+
+bool AffineDomain::entails(const Conjunction &E, const Atom &A) const {
+  if (E.isBottom())
+    return true;
+  if (A.isTrivial(context()))
+    return true;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  Env.addIndeterminates(context(), A);
+  std::optional<std::vector<Rational>> Row = rowOf(A, Env);
+  if (!Row)
+    return false; // Not a linear equality: not expressible here.
+  return toSystem(E, Env).entails(std::move(*Row));
+}
+
+bool AffineDomain::isUnsat(const Conjunction &E) const {
+  if (E.isBottom())
+    return true;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  return toSystem(E, Env).isInconsistent();
+}
+
+std::vector<std::pair<Term, Term>>
+AffineDomain::impliedVarEqualities(const Conjunction &E) const {
+  std::vector<std::pair<Term, Term>> Out;
+  if (E.isBottom())
+    return Out;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  AffineSystem<Rational> S = toSystem(E, Env);
+  if (S.isInconsistent())
+    return Out;
+  std::vector<std::vector<Rational>> Reps = S.varRepresentatives();
+  // Group variable columns with identical representatives.
+  std::map<std::vector<Rational>, Term,
+           std::less<std::vector<Rational>>>
+      Leader;
+  for (size_t C = 0; C < Env.Columns.size(); ++C) {
+    if (!Env.Columns[C]->isVariable())
+      continue;
+    auto [It, Inserted] = Leader.emplace(Reps[C], Env.Columns[C]);
+    if (!Inserted)
+      Out.emplace_back(It->second, Env.Columns[C]);
+  }
+  return Out;
+}
+
+std::optional<Term>
+AffineDomain::alternate(const Conjunction &E, Term Var,
+                        const std::vector<Term> &Avoid) const {
+  if (E.isBottom())
+    return std::nullopt;
+  assert(Var->isVariable() && "alternate target must be a variable");
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  auto VarIt = Env.Index.find(Var);
+  if (VarIt == Env.Index.end())
+    return std::nullopt;
+  AffineSystem<Rational> S = toSystem(E, Env);
+  if (S.isInconsistent())
+    return std::nullopt;
+  // A column is unusable if its term mentions Var or any avoided variable.
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  for (size_t C = 0; C < Env.Columns.size(); ++C) {
+    if (C == VarIt->second)
+      continue;
+    if (occursIn(Var, Env.Columns[C])) {
+      Mask[C] = true;
+      continue;
+    }
+    for (Term V : Avoid)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        break;
+      }
+  }
+  std::optional<std::vector<Rational>> Row = S.solveFor(VarIt->second, Mask);
+  if (!Row)
+    return std::nullopt;
+  LinearExpr Expr((*Row)[Env.Columns.size()]);
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    if (!(*Row)[C].isZero())
+      Expr.addTerm(Env.Columns[C], (*Row)[C]);
+  return Expr.toTerm(context());
+}
+
+std::vector<std::pair<Term, Term>>
+AffineDomain::alternateBatch(const Conjunction &E,
+                             const std::vector<Term> &Targets) const {
+  std::vector<std::pair<Term, Term>> Out;
+  if (E.isBottom())
+    return Out;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  AffineSystem<Rational> S = toSystem(E, Env);
+  if (S.isInconsistent())
+    return Out;
+  // Target columns: the target variables themselves plus every opaque
+  // column whose term mentions one (those may not appear in definitions).
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  bool AnyTarget = false;
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    for (Term V : Targets)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        AnyTarget |= Env.Columns[C]->isVariable();
+        break;
+      }
+  if (!AnyTarget)
+    return Out;
+  for (auto &[Col, Row] : S.solveForMany(Mask)) {
+    if (!Env.Columns[Col]->isVariable())
+      continue; // Opaque columns are not QSaturation targets.
+    LinearExpr Expr(Row[Env.Columns.size()]);
+    for (size_t C = 0; C < Env.Columns.size(); ++C)
+      if (!Row[C].isZero())
+        Expr.addTerm(Env.Columns[C], Row[C]);
+    Out.emplace_back(Env.Columns[Col], Expr.toTerm(context()));
+  }
+  return Out;
+}

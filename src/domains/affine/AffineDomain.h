@@ -1,0 +1,74 @@
+//===- domains/affine/AffineDomain.h - Karr's affine equalities -*- C++ -*-===//
+///
+/// \file
+/// The lattice of affine (linear) equalities between program variables --
+/// Karr's domain [Karr 76], the paper's running "linear arithmetic with
+/// only equality" logical lattice.  Join is the affine hull, existential
+/// quantification is Gaussian elimination, VE_T falls out of canonical
+/// variable representatives, and Alternate_T solves the projected system.
+///
+/// Maximal non-arithmetic subterms are treated as opaque indeterminates,
+/// which keeps the domain sound on impure input (and is exactly the
+/// behaviour purification relies on being unnecessary for pure input).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_DOMAINS_AFFINE_AFFINEDOMAIN_H
+#define CAI_DOMAINS_AFFINE_AFFINEDOMAIN_H
+
+#include "linalg/AffineSystem.h"
+#include "term/LinearExpr.h"
+#include "theory/LogicalLattice.h"
+
+#include <map>
+
+namespace cai {
+
+/// The affine-equality (Karr) domain over the rationals.
+class AffineDomain : public LogicalLattice {
+public:
+  explicit AffineDomain(TermContext &Ctx) : LogicalLattice(Ctx) {}
+
+  std::string name() const override { return "affine"; }
+
+  bool ownsFunction(Symbol) const override { return false; }
+  bool ownsPredicate(Symbol) const override { return false; }
+  bool ownsNumerals() const override { return true; }
+
+  Conjunction join(const Conjunction &A, const Conjunction &B) const override;
+  Conjunction existQuant(const Conjunction &E,
+                         const std::vector<Term> &Vars) const override;
+  bool entails(const Conjunction &E, const Atom &A) const override;
+  bool isUnsat(const Conjunction &E) const override;
+  std::vector<std::pair<Term, Term>>
+  impliedVarEqualities(const Conjunction &E) const override;
+  std::optional<Term> alternate(const Conjunction &E, Term Var,
+                                const std::vector<Term> &Avoid) const override;
+  std::vector<std::pair<Term, Term>>
+  alternateBatch(const Conjunction &E,
+                 const std::vector<Term> &Targets) const override;
+
+private:
+  /// The column space shared by one operation: terms acting as
+  /// indeterminates, with their index.
+  struct Env {
+    std::vector<Term> Columns;
+    std::map<Term, size_t, TermIdLess> Index;
+
+    void addIndeterminates(const TermContext &Ctx, const Conjunction &E);
+    void addIndeterminates(const TermContext &Ctx, const Atom &A);
+    void add(Term T);
+  };
+
+  AffineSystem<Rational> toSystem(const Conjunction &E, const Env &Env) const;
+  Conjunction fromSystem(const AffineSystem<Rational> &S,
+                         const Env &Env) const;
+  /// Converts atom lhs = rhs into a row over \p Env; nullopt when the atom
+  /// is not a linear equality (dropped: sound over-approximation).
+  std::optional<std::vector<Rational>> rowOf(const Atom &A,
+                                             const Env &Env) const;
+};
+
+} // namespace cai
+
+#endif // CAI_DOMAINS_AFFINE_AFFINEDOMAIN_H

@@ -1,0 +1,312 @@
+//===- domains/parity/ParityDomain.cpp - The parity domain -----------------===//
+
+#include "domains/parity/ParityDomain.h"
+
+using namespace cai;
+
+void ParityDomain::Env::add(Term T) {
+  if (Index.emplace(T, Columns.size()).second)
+    Columns.push_back(T);
+}
+
+/// True if every coefficient and the constant are integers.
+static bool isIntegral(const LinearExpr &L) {
+  for (const auto &[Col, C] : L.terms())
+    if (!C.isInteger())
+      return false;
+  return L.constant().isInteger();
+}
+
+void ParityDomain::addAtomIndeterminates(Env &Env, const Atom &A) const {
+  const TermContext &Ctx = context();
+  bool Relevant = A.predicate() == Ctx.eqSymbol() ||
+                  A.predicate() == EvenPred || A.predicate() == OddPred;
+  if (!Relevant)
+    return;
+  for (Term Side : A.args()) {
+    std::optional<LinearExpr> L = LinearExpr::fromTerm(Ctx, Side);
+    if (!L)
+      return;
+    for (const auto &[T, C] : L->terms())
+      Env.add(T);
+  }
+}
+
+ParityDomain::Env
+ParityDomain::buildEnv(std::initializer_list<const Conjunction *> Es,
+                       const Atom *Extra) const {
+  Env Out;
+  for (const Conjunction *E : Es) {
+    if (E->isBottom())
+      continue;
+    for (const Atom &A : E->atoms())
+      addAtomIndeterminates(Out, A);
+  }
+  if (Extra)
+    addAtomIndeterminates(Out, *Extra);
+  return Out;
+}
+
+std::optional<LinearExpr> ParityDomain::linearOf(Term T,
+                                                 const Env &Env) const {
+  std::optional<LinearExpr> L = LinearExpr::fromTerm(context(), T);
+  if (!L)
+    return std::nullopt;
+  for (const auto &[Col, C] : L->terms())
+    if (!Env.Index.count(Col))
+      return std::nullopt;
+  return L;
+}
+
+ParityDomain::State ParityDomain::toState(const Conjunction &E,
+                                          const Env &Env) const {
+  const TermContext &Ctx = context();
+  size_t N = Env.Columns.size();
+  State S(N);
+  if (E.isBottom()) {
+    S.Exact = AffineSystem<Rational>::inconsistent(N);
+    S.Mod2 = AffineSystem<GF2>::inconsistent(N);
+    return S;
+  }
+
+  auto IsOddInt = [](const Rational &R) {
+    assert(R.isInteger() && "parity row must be integral");
+    return !(R.numerator() % BigInt(2)).isZero();
+  };
+  auto Mod2Row = [&](const LinearExpr &L, bool Odd) {
+    // even(L) with L = sum a_i x_i + c becomes
+    // sum (a_i mod 2) x_i = c mod 2 over GF(2); odd flips the constant.
+    std::vector<GF2> Row(N + 1);
+    for (const auto &[Col, C] : L.terms())
+      Row[Env.Index.at(Col)] += GF2(IsOddInt(C));
+    bool CBit = IsOddInt(L.constant());
+    Row[N] = GF2(Odd ? !CBit : CBit);
+    S.Mod2.addRow(std::move(Row));
+  };
+
+  for (const Atom &A : E.atoms()) {
+    if (A.predicate() == Ctx.eqSymbol()) {
+      std::optional<LinearExpr> Lhs = linearOf(A.lhs(), Env);
+      std::optional<LinearExpr> Rhs = linearOf(A.rhs(), Env);
+      if (!Lhs || !Rhs)
+        continue;
+      LinearExpr Diff = *Lhs - *Rhs;
+      std::vector<Rational> Row(N + 1);
+      for (const auto &[Col, C] : Diff.terms())
+        Row[Env.Index.at(Col)] = C;
+      Row[N] = -Diff.constant();
+      S.Exact.addRow(std::move(Row));
+      // Shadow into GF(2): the difference is even (equal integers).
+      LinearExpr Shadow = Diff;
+      Shadow.normalizeIntegral(/*NormalizeSign=*/false);
+      Mod2Row(Shadow, /*Odd=*/false);
+      continue;
+    }
+    if (A.predicate() == EvenPred || A.predicate() == OddPred) {
+      std::optional<LinearExpr> L = linearOf(A.args()[0], Env);
+      if (!L || !isIntegral(*L))
+        continue; // Parity of a non-integral term is not modeled.
+      Mod2Row(*L, A.predicate() == OddPred);
+    }
+  }
+  return S;
+}
+
+Conjunction ParityDomain::fromState(const State &S, const Env &Env) const {
+  if (S.Exact.isInconsistent() || S.Mod2.isInconsistent())
+    return Conjunction::bottom();
+  TermContext &Ctx = context();
+  Conjunction Out;
+  for (const std::vector<Rational> &Row : S.Exact.rows()) {
+    LinearExpr Lhs;
+    for (size_t C = 0; C < Env.Columns.size(); ++C)
+      if (!Row[C].isZero())
+        Lhs.addTerm(Env.Columns[C], Row[C]);
+    LinearExpr Rhs(Row[Env.Columns.size()]);
+    LinearExpr Diff = Lhs - Rhs;
+    Rational Scale = Diff.normalizeIntegral(/*NormalizeSign=*/true);
+    Lhs = Lhs.scaled(Scale);
+    Rhs = Rhs.scaled(Scale);
+    Out.add(Atom::mkEq(Ctx, Lhs.toTerm(Ctx), Rhs.toTerm(Ctx)));
+  }
+  for (const std::vector<GF2> &Row : S.Mod2.rows()) {
+    LinearExpr L;
+    for (size_t C = 0; C < Env.Columns.size(); ++C)
+      if (Row[C].isOne())
+        L.addTerm(Env.Columns[C], Rational(1));
+    if (L.isConstant())
+      continue; // 0 = 0 carries no information (inconsistency was checked).
+    Symbol Pred = Row[Env.Columns.size()].isOne() ? OddPred : EvenPred;
+    Out.add(Atom(Pred, {L.toTerm(Ctx)}));
+  }
+  return Out;
+}
+
+Conjunction ParityDomain::join(const Conjunction &A,
+                               const Conjunction &B) const {
+  if (A.isBottom() || isUnsat(A))
+    return B;
+  if (B.isBottom() || isUnsat(B))
+    return A;
+  Env Env = buildEnv({&A, &B});
+  State SA = toState(A, Env), SB = toState(B, Env);
+  State J(Env.Columns.size());
+  J.Exact = AffineSystem<Rational>::join(SA.Exact, SB.Exact);
+  J.Mod2 = AffineSystem<GF2>::join(SA.Mod2, SB.Mod2);
+  return fromState(J, Env);
+}
+
+Conjunction ParityDomain::existQuant(const Conjunction &E,
+                                     const std::vector<Term> &Vars) const {
+  if (E.isBottom())
+    return E;
+  Env Env = buildEnv({&E});
+  State S = toState(E, Env);
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    for (Term V : Vars)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        break;
+      }
+  State P(Env.Columns.size());
+  P.Exact = S.Exact.project(Mask);
+  P.Mod2 = S.Mod2.project(Mask);
+  return fromState(P, Env);
+}
+
+bool ParityDomain::entails(const Conjunction &E, const Atom &A) const {
+  const TermContext &Ctx = context();
+  if (E.isBottom())
+    return true;
+  if (A.isTrivial(Ctx))
+    return true;
+  Env Env = buildEnv({&E}, &A);
+  State S = toState(E, Env);
+  if (S.Exact.isInconsistent() || S.Mod2.isInconsistent())
+    return true;
+  if (A.predicate() == Ctx.eqSymbol()) {
+    std::optional<LinearExpr> Lhs = linearOf(A.lhs(), Env);
+    std::optional<LinearExpr> Rhs = linearOf(A.rhs(), Env);
+    if (!Lhs || !Rhs)
+      return false;
+    LinearExpr Diff = *Lhs - *Rhs;
+    std::vector<Rational> Row(Env.Columns.size() + 1);
+    for (const auto &[Col, C] : Diff.terms())
+      Row[Env.Index.at(Col)] = C;
+    Row[Env.Columns.size()] = -Diff.constant();
+    return S.Exact.entails(std::move(Row));
+  }
+  if (A.predicate() == EvenPred || A.predicate() == OddPred) {
+    std::optional<LinearExpr> L = linearOf(A.args()[0], Env);
+    if (!L || !isIntegral(*L))
+      return false;
+    std::vector<GF2> Row(Env.Columns.size() + 1);
+    for (const auto &[Col, C] : L->terms())
+      Row[Env.Index.at(Col)] += GF2(!(C.numerator() % BigInt(2)).isZero());
+    bool CBit = !(L->constant().numerator() % BigInt(2)).isZero();
+    bool Odd = A.predicate() == OddPred;
+    Row[Env.Columns.size()] = GF2(Odd ? !CBit : CBit);
+    return S.Mod2.entails(std::move(Row));
+  }
+  return false;
+}
+
+bool ParityDomain::isUnsat(const Conjunction &E) const {
+  if (E.isBottom())
+    return true;
+  Env Env = buildEnv({&E});
+  State S = toState(E, Env);
+  return S.Exact.isInconsistent() || S.Mod2.isInconsistent();
+}
+
+std::vector<std::pair<Term, Term>>
+ParityDomain::impliedVarEqualities(const Conjunction &E) const {
+  std::vector<std::pair<Term, Term>> Out;
+  if (E.isBottom())
+    return Out;
+  Env Env = buildEnv({&E});
+  State S = toState(E, Env);
+  if (S.Exact.isInconsistent())
+    return Out;
+  std::vector<std::vector<Rational>> Reps = S.Exact.varRepresentatives();
+  std::map<std::vector<Rational>, Term> Leader;
+  for (size_t C = 0; C < Env.Columns.size(); ++C) {
+    if (!Env.Columns[C]->isVariable())
+      continue;
+    auto [It, Inserted] = Leader.emplace(Reps[C], Env.Columns[C]);
+    if (!Inserted)
+      Out.emplace_back(It->second, Env.Columns[C]);
+  }
+  return Out;
+}
+
+std::optional<Term>
+ParityDomain::alternate(const Conjunction &E, Term Var,
+                        const std::vector<Term> &Avoid) const {
+  if (E.isBottom())
+    return std::nullopt;
+  Env Env = buildEnv({&E});
+  auto VarIt = Env.Index.find(Var);
+  if (VarIt == Env.Index.end())
+    return std::nullopt;
+  State S = toState(E, Env);
+  if (S.Exact.isInconsistent())
+    return std::nullopt;
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  for (size_t C = 0; C < Env.Columns.size(); ++C) {
+    if (C == VarIt->second)
+      continue;
+    if (occursIn(Var, Env.Columns[C])) {
+      Mask[C] = true;
+      continue;
+    }
+    for (Term V : Avoid)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        break;
+      }
+  }
+  std::optional<std::vector<Rational>> Row =
+      S.Exact.solveFor(VarIt->second, Mask);
+  if (!Row)
+    return std::nullopt;
+  LinearExpr Expr((*Row)[Env.Columns.size()]);
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    if (!(*Row)[C].isZero())
+      Expr.addTerm(Env.Columns[C], (*Row)[C]);
+  return Expr.toTerm(context());
+}
+
+std::vector<std::pair<Term, Term>>
+ParityDomain::alternateBatch(const Conjunction &E,
+                             const std::vector<Term> &Targets) const {
+  std::vector<std::pair<Term, Term>> Out;
+  if (E.isBottom())
+    return Out;
+  Env Env = buildEnv({&E});
+  State S = toState(E, Env);
+  if (S.Exact.isInconsistent())
+    return Out;
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  bool AnyTarget = false;
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    for (Term V : Targets)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        AnyTarget |= Env.Columns[C]->isVariable();
+        break;
+      }
+  if (!AnyTarget)
+    return Out;
+  for (auto &[Col, Row] : S.Exact.solveForMany(Mask)) {
+    if (!Env.Columns[Col]->isVariable())
+      continue;
+    LinearExpr Expr(Row[Env.Columns.size()]);
+    for (size_t C = 0; C < Env.Columns.size(); ++C)
+      if (!Row[C].isZero())
+        Expr.addTerm(Env.Columns[C], Row[C]);
+    Out.emplace_back(Env.Columns[Col], Expr.toTerm(context()));
+  }
+  return Out;
+}

@@ -1,0 +1,320 @@
+//===- domains/poly/PolyDomain.cpp - Linear-inequality domain --------------===//
+
+#include "domains/poly/PolyDomain.h"
+
+#include "linalg/AffineSystem.h"
+
+using namespace cai;
+
+void PolyDomain::Env::add(Term T) {
+  if (Index.emplace(T, Columns.size()).second)
+    Columns.push_back(T);
+}
+
+void PolyDomain::Env::addIndeterminates(const TermContext &Ctx,
+                                        const Atom &A) {
+  if (A.predicate() != Ctx.eqSymbol() && A.predicate() != Ctx.leSymbol())
+    return;
+  for (Term Side : A.args()) {
+    std::optional<LinearExpr> L = LinearExpr::fromTerm(Ctx, Side);
+    if (!L)
+      return;
+    for (const auto &[T, C] : L->terms())
+      add(T);
+  }
+}
+
+void PolyDomain::Env::addIndeterminates(const TermContext &Ctx,
+                                        const Conjunction &E) {
+  if (E.isBottom())
+    return;
+  for (const Atom &A : E.atoms())
+    addIndeterminates(Ctx, A);
+}
+
+std::optional<std::tuple<std::vector<Rational>, Rational, bool>>
+PolyDomain::rowOf(const Atom &A, const Env &Env) const {
+  const TermContext &Ctx = context();
+  bool IsEq = A.predicate() == Ctx.eqSymbol();
+  bool IsLe = A.predicate() == Ctx.leSymbol();
+  if (!IsEq && !IsLe)
+    return std::nullopt;
+  std::optional<LinearExpr> Lhs = LinearExpr::fromTerm(Ctx, A.lhs());
+  std::optional<LinearExpr> Rhs = LinearExpr::fromTerm(Ctx, A.rhs());
+  if (!Lhs || !Rhs)
+    return std::nullopt;
+  LinearExpr Diff = *Lhs - *Rhs; // Diff <= 0 or Diff = 0.
+  std::vector<Rational> Coeffs(Env.Columns.size());
+  for (const auto &[T, C] : Diff.terms()) {
+    auto It = Env.Index.find(T);
+    if (It == Env.Index.end())
+      return std::nullopt;
+    Coeffs[It->second] = C;
+  }
+  return std::make_tuple(std::move(Coeffs), -Diff.constant(), IsEq);
+}
+
+Polyhedron PolyDomain::toPoly(const Conjunction &E, const Env &Env) const {
+  Polyhedron P(Env.Columns.size());
+  if (E.isBottom()) {
+    // 0 <= -1: canonical empty.
+    P.addLe(std::vector<Rational>(Env.Columns.size()), Rational(-1));
+    return P;
+  }
+  for (const Atom &A : E.atoms()) {
+    if (auto Row = rowOf(A, Env)) {
+      auto &[Coeffs, Rhs, IsEq] = *Row;
+      if (IsEq)
+        P.addEq(Coeffs, Rhs);
+      else
+        P.addLe(std::move(Coeffs), std::move(Rhs));
+    }
+  }
+  return P;
+}
+
+Conjunction PolyDomain::fromPoly(const Polyhedron &P, const Env &Env) const {
+  if (P.isEmpty())
+    return Conjunction::bottom();
+  TermContext &Ctx = context();
+  Conjunction Out;
+  // Emit the affine hull as equalities, then the irredundant inequalities
+  // that are not already implied equalities.  Both halves of an equality
+  // pair are tight, so the hull lists each equality twice with opposite
+  // signs; keep one representative per direction.
+  std::vector<LinearConstraint> Eqs;
+  for (LinearConstraint &C : P.affineHull()) {
+    bool Mirrored = false;
+    for (const LinearConstraint &E : Eqs) {
+      bool Neg = E.Rhs == -C.Rhs;
+      for (size_t I = 0; I < C.Coeffs.size() && Neg; ++I)
+        Neg = E.Coeffs[I] == -C.Coeffs[I];
+      if (Neg) {
+        Mirrored = true;
+        break;
+      }
+    }
+    if (!Mirrored)
+      Eqs.push_back(std::move(C));
+  }
+  auto IsEqRow = [&](const LinearConstraint &C) {
+    for (const LinearConstraint &E : Eqs)
+      if (E.Coeffs == C.Coeffs && E.Rhs == C.Rhs)
+        return true;
+    return false;
+  };
+  auto BuildExpr = [&](const LinearConstraint &C) {
+    LinearExpr L;
+    for (size_t I = 0; I < Env.Columns.size(); ++I)
+      if (!C.Coeffs[I].isZero())
+        L.addTerm(Env.Columns[I], C.Coeffs[I]);
+    return L;
+  };
+  for (const LinearConstraint &C : Eqs) {
+    // Sign-normalize so both tight directions render as the same atom.
+    LinearExpr Lhs = BuildExpr(C);
+    LinearExpr Rhs(C.Rhs);
+    LinearExpr Diff = Lhs - Rhs;
+    Rational Scale = Diff.normalizeIntegral(/*NormalizeSign=*/true);
+    Lhs = Lhs.scaled(Scale);
+    Rhs = Rhs.scaled(Scale);
+    Out.add(Atom::mkEq(Ctx, Lhs.toTerm(Ctx), Rhs.toTerm(Ctx)));
+  }
+  Polyhedron Min = P.minimized();
+  for (const LinearConstraint &C : Min.constraints()) {
+    if (IsEqRow(C))
+      continue;
+    // Skip the mirror half of an equality pair.
+    bool Mirror = false;
+    for (const LinearConstraint &E : Eqs) {
+      bool Neg = true;
+      for (size_t I = 0; I < C.Coeffs.size() && Neg; ++I)
+        Neg = C.Coeffs[I] == -E.Coeffs[I];
+      if (Neg && C.Rhs == -E.Rhs) {
+        Mirror = true;
+        break;
+      }
+    }
+    if (Mirror)
+      continue;
+    LinearExpr L = BuildExpr(C);
+    Out.add(Atom::mkLe(Ctx, L.toTerm(Ctx), Ctx.mkNum(C.Rhs)));
+  }
+  return Out;
+}
+
+Conjunction PolyDomain::join(const Conjunction &A, const Conjunction &B) const {
+  if (A.isBottom() || isUnsat(A))
+    return B;
+  if (B.isBottom() || isUnsat(B))
+    return A;
+  Env Env;
+  Env.addIndeterminates(context(), A);
+  Env.addIndeterminates(context(), B);
+  return fromPoly(Polyhedron::hull(toPoly(A, Env), toPoly(B, Env)), Env);
+}
+
+Conjunction PolyDomain::existQuant(const Conjunction &E,
+                                   const std::vector<Term> &Vars) const {
+  if (E.isBottom())
+    return E;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    for (Term V : Vars)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        break;
+      }
+  return fromPoly(toPoly(E, Env).project(Mask), Env);
+}
+
+bool PolyDomain::entails(const Conjunction &E, const Atom &A) const {
+  if (E.isBottom())
+    return true;
+  if (A.isTrivial(context()))
+    return true;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  Env.addIndeterminates(context(), A);
+  auto Row = rowOf(A, Env);
+  if (!Row)
+    return false;
+  Polyhedron P = toPoly(E, Env);
+  auto &[Coeffs, Rhs, IsEq] = *Row;
+  return IsEq ? P.entailsEq(Coeffs, Rhs) : P.entailsLe(Coeffs, Rhs);
+}
+
+bool PolyDomain::isUnsat(const Conjunction &E) const {
+  if (E.isBottom())
+    return true;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  return toPoly(E, Env).isEmpty();
+}
+
+std::vector<std::pair<Term, Term>>
+PolyDomain::impliedVarEqualities(const Conjunction &E) const {
+  std::vector<std::pair<Term, Term>> Out;
+  if (E.isBottom())
+    return Out;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  Polyhedron P = toPoly(E, Env);
+  if (P.isEmpty())
+    return Out;
+  // Route the affine hull through the shared AffineSystem machinery to get
+  // canonical variable representatives.
+  AffineSystem<Rational> S(Env.Columns.size());
+  for (const LinearConstraint &C : P.affineHull()) {
+    std::vector<Rational> Row = C.Coeffs;
+    Row.push_back(C.Rhs);
+    S.addRow(std::move(Row));
+  }
+  std::vector<std::vector<Rational>> Reps = S.varRepresentatives();
+  std::map<std::vector<Rational>, Term> Leader;
+  for (size_t C = 0; C < Env.Columns.size(); ++C) {
+    if (!Env.Columns[C]->isVariable())
+      continue;
+    auto [It, Inserted] = Leader.emplace(Reps[C], Env.Columns[C]);
+    if (!Inserted)
+      Out.emplace_back(It->second, Env.Columns[C]);
+  }
+  return Out;
+}
+
+std::optional<Term>
+PolyDomain::alternate(const Conjunction &E, Term Var,
+                      const std::vector<Term> &Avoid) const {
+  if (E.isBottom())
+    return std::nullopt;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  auto VarIt = Env.Index.find(Var);
+  if (VarIt == Env.Index.end())
+    return std::nullopt;
+  Polyhedron P = toPoly(E, Env);
+  if (P.isEmpty())
+    return std::nullopt;
+  AffineSystem<Rational> S(Env.Columns.size());
+  for (const LinearConstraint &C : P.affineHull()) {
+    std::vector<Rational> Row = C.Coeffs;
+    Row.push_back(C.Rhs);
+    S.addRow(std::move(Row));
+  }
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  for (size_t C = 0; C < Env.Columns.size(); ++C) {
+    if (C == VarIt->second)
+      continue;
+    if (occursIn(Var, Env.Columns[C])) {
+      Mask[C] = true;
+      continue;
+    }
+    for (Term V : Avoid)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        break;
+      }
+  }
+  std::optional<std::vector<Rational>> Row = S.solveFor(VarIt->second, Mask);
+  if (!Row)
+    return std::nullopt;
+  LinearExpr Expr((*Row)[Env.Columns.size()]);
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    if (!(*Row)[C].isZero())
+      Expr.addTerm(Env.Columns[C], (*Row)[C]);
+  return Expr.toTerm(context());
+}
+
+std::vector<std::pair<Term, Term>>
+PolyDomain::alternateBatch(const Conjunction &E,
+                           const std::vector<Term> &Targets) const {
+  std::vector<std::pair<Term, Term>> Out;
+  if (E.isBottom())
+    return Out;
+  Env Env;
+  Env.addIndeterminates(context(), E);
+  std::vector<bool> Mask(Env.Columns.size(), false);
+  bool AnyTarget = false;
+  for (size_t C = 0; C < Env.Columns.size(); ++C)
+    for (Term V : Targets)
+      if (occursIn(V, Env.Columns[C])) {
+        Mask[C] = true;
+        AnyTarget |= Env.Columns[C]->isVariable();
+        break;
+      }
+  if (!AnyTarget)
+    return Out;
+  Polyhedron P = toPoly(E, Env);
+  if (P.isEmpty())
+    return Out;
+  AffineSystem<Rational> S(Env.Columns.size());
+  for (const LinearConstraint &C : P.affineHull()) {
+    std::vector<Rational> Row = C.Coeffs;
+    Row.push_back(C.Rhs);
+    S.addRow(std::move(Row));
+  }
+  for (auto &[Col, Row] : S.solveForMany(Mask)) {
+    if (!Env.Columns[Col]->isVariable())
+      continue;
+    LinearExpr Expr(Row[Env.Columns.size()]);
+    for (size_t C = 0; C < Env.Columns.size(); ++C)
+      if (!Row[C].isZero())
+        Expr.addTerm(Env.Columns[C], Row[C]);
+    Out.emplace_back(Env.Columns[Col], Expr.toTerm(context()));
+  }
+  return Out;
+}
+
+Conjunction PolyDomain::widen(const Conjunction &Old,
+                              const Conjunction &New) const {
+  if (Old.isBottom())
+    return New;
+  if (New.isBottom())
+    return Old;
+  Env Env;
+  Env.addIndeterminates(context(), Old);
+  Env.addIndeterminates(context(), New);
+  return fromPoly(toPoly(Old, Env).widen(toPoly(New, Env)), Env);
+}

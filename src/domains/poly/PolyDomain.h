@@ -1,0 +1,72 @@
+//===- domains/poly/PolyDomain.h - Linear-inequality domain -----*- C++ -*-===//
+///
+/// \file
+/// The logical lattice over the full theory of linear arithmetic
+/// (signature {=, <=, +, -, 0, 1}): convex polyhedra in constraint form,
+/// the domain of Cousot-Halbwachs.  Join is the convex hull, existential
+/// quantification is Fourier-Motzkin, entailment is an exact-simplex LP,
+/// and VE_T / Alternate_T go through the affine hull (implicit equalities)
+/// and Gaussian elimination -- exactly the recipe Section 4.2 sketches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_DOMAINS_POLY_POLYDOMAIN_H
+#define CAI_DOMAINS_POLY_POLYDOMAIN_H
+
+#include "domains/poly/Polyhedron.h"
+#include "term/LinearExpr.h"
+#include "theory/LogicalLattice.h"
+
+#include <map>
+
+namespace cai {
+
+/// The convex-polyhedra domain over linear arithmetic with inequalities.
+class PolyDomain : public LogicalLattice {
+public:
+  explicit PolyDomain(TermContext &Ctx) : LogicalLattice(Ctx) {}
+
+  std::string name() const override { return "poly"; }
+
+  bool ownsFunction(Symbol) const override { return false; }
+  bool ownsPredicate(Symbol S) const override {
+    return S == context().leSymbol();
+  }
+  bool ownsNumerals() const override { return true; }
+
+  Conjunction join(const Conjunction &A, const Conjunction &B) const override;
+  Conjunction existQuant(const Conjunction &E,
+                         const std::vector<Term> &Vars) const override;
+  bool entails(const Conjunction &E, const Atom &A) const override;
+  bool isUnsat(const Conjunction &E) const override;
+  std::vector<std::pair<Term, Term>>
+  impliedVarEqualities(const Conjunction &E) const override;
+  std::optional<Term> alternate(const Conjunction &E, Term Var,
+                                const std::vector<Term> &Avoid) const override;
+  std::vector<std::pair<Term, Term>>
+  alternateBatch(const Conjunction &E,
+                 const std::vector<Term> &Targets) const override;
+  Conjunction widen(const Conjunction &Old,
+                    const Conjunction &New) const override;
+
+private:
+  /// Term <-> column mapping (same opaque-indeterminate discipline as the
+  /// affine domain).
+  struct Env {
+    std::vector<Term> Columns;
+    std::map<Term, size_t, TermIdLess> Index;
+    void add(Term T);
+    void addIndeterminates(const TermContext &Ctx, const Atom &A);
+    void addIndeterminates(const TermContext &Ctx, const Conjunction &E);
+  };
+
+  Polyhedron toPoly(const Conjunction &E, const Env &Env) const;
+  Conjunction fromPoly(const Polyhedron &P, const Env &Env) const;
+  /// (Coeffs, Rhs, IsEquality) for a linear atom, or nullopt.
+  std::optional<std::tuple<std::vector<Rational>, Rational, bool>>
+  rowOf(const Atom &A, const Env &Env) const;
+};
+
+} // namespace cai
+
+#endif // CAI_DOMAINS_POLY_POLYDOMAIN_H

@@ -1,0 +1,235 @@
+//===- domains/poly/Polyhedron.cpp - Constraint-form polyhedra -------------===//
+
+#include "domains/poly/Polyhedron.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace cai;
+
+bool Polyhedron::normalizeRow(LinearConstraint &C) const {
+  // Scale so coefficients are integral with gcd 1 (positive scale only,
+  // preserving the inequality's direction).
+  BigInt Lcm(1);
+  for (const Rational &Coef : C.Coeffs)
+    Lcm = BigInt::lcm(Lcm, Coef.denominator());
+  Lcm = BigInt::lcm(Lcm, C.Rhs.denominator());
+  BigInt Gcd;
+  for (const Rational &Coef : C.Coeffs)
+    Gcd = BigInt::gcd(Gcd, (Coef * Rational(Lcm)).numerator());
+  if (Gcd.isZero()) {
+    // 0 . x <= Rhs: trivially true or trivially false.
+    return C.Rhs.sign() >= 0;
+  }
+  Rational Scale = Rational(Lcm) / Rational(Gcd);
+  for (Rational &Coef : C.Coeffs)
+    Coef *= Scale;
+  C.Rhs *= Scale;
+  return true;
+}
+
+void Polyhedron::addLe(std::vector<Rational> Coeffs, Rational Rhs) {
+  assert(Coeffs.size() == NumVars && "constraint dimension mismatch");
+  LinearConstraint C{std::move(Coeffs), std::move(Rhs)};
+  if (!normalizeRow(C)) {
+    Rows.push_back(std::move(C)); // Trivially false row: keeps emptiness.
+    return;
+  }
+  bool Zero = true;
+  for (const Rational &Coef : C.Coeffs)
+    Zero &= Coef.isZero();
+  if (Zero)
+    return; // Trivially true.
+  if (std::find_if(Rows.begin(), Rows.end(), [&](const LinearConstraint &R) {
+        return R.Coeffs == C.Coeffs && R.Rhs <= C.Rhs;
+      }) != Rows.end())
+    return; // A tighter or equal parallel row already exists.
+  Rows.push_back(std::move(C));
+}
+
+void Polyhedron::addEq(const std::vector<Rational> &Coeffs,
+                       const Rational &Rhs) {
+  addLe(Coeffs, Rhs);
+  std::vector<Rational> Neg(Coeffs.size());
+  for (size_t I = 0; I < Coeffs.size(); ++I)
+    Neg[I] = -Coeffs[I];
+  addLe(std::move(Neg), -Rhs);
+}
+
+bool Polyhedron::isEmpty() const { return !isFeasible(Rows, NumVars); }
+
+bool Polyhedron::entailsLe(const std::vector<Rational> &Coeffs,
+                           const Rational &Rhs) const {
+  LPResult R = maximize(Rows, Coeffs, NumVars);
+  if (R.Status == LPStatus::Infeasible)
+    return true;
+  return R.Status == LPStatus::Optimal && R.Value <= Rhs;
+}
+
+bool Polyhedron::entailsEq(const std::vector<Rational> &Coeffs,
+                           const Rational &Rhs) const {
+  if (!entailsLe(Coeffs, Rhs))
+    return false;
+  std::vector<Rational> Neg(Coeffs.size());
+  for (size_t I = 0; I < Coeffs.size(); ++I)
+    Neg[I] = -Coeffs[I];
+  return entailsLe(Neg, -Rhs);
+}
+
+Polyhedron Polyhedron::project(const std::vector<bool> &Eliminate) const {
+  assert(Eliminate.size() == NumVars && "eliminate mask size mismatch");
+  std::vector<LinearConstraint> Work = Rows;
+
+  auto Dedupe = [](std::vector<LinearConstraint> &Rs) {
+    std::sort(Rs.begin(), Rs.end(),
+              [](const LinearConstraint &A, const LinearConstraint &B) {
+                if (A.Coeffs != B.Coeffs) {
+                  // Lexicographic on coefficients.
+                  for (size_t I = 0; I < A.Coeffs.size(); ++I)
+                    if (A.Coeffs[I] != B.Coeffs[I])
+                      return A.Coeffs[I] < B.Coeffs[I];
+                }
+                return A.Rhs < B.Rhs;
+              });
+    // Among parallel rows keep only the tightest.
+    std::vector<LinearConstraint> Out;
+    for (LinearConstraint &C : Rs)
+      if (Out.empty() || Out.back().Coeffs != C.Coeffs)
+        Out.push_back(std::move(C));
+    Rs = std::move(Out);
+  };
+
+  for (size_t Col = 0; Col < NumVars; ++Col) {
+    if (!Eliminate[Col])
+      continue;
+    std::vector<LinearConstraint> Zero, Pos, Neg;
+    for (LinearConstraint &C : Work) {
+      int S = C.Coeffs[Col].sign();
+      (S == 0 ? Zero : S > 0 ? Pos : Neg).push_back(std::move(C));
+    }
+    std::vector<LinearConstraint> Next = std::move(Zero);
+    for (const LinearConstraint &P : Pos) {
+      for (const LinearConstraint &N : Neg) {
+        // Combine so the column cancels: P/p + N/(-n).
+        Rational Pc = P.Coeffs[Col];
+        Rational Nc = -N.Coeffs[Col];
+        LinearConstraint C;
+        C.Coeffs.resize(NumVars);
+        for (size_t I = 0; I < NumVars; ++I)
+          C.Coeffs[I] = P.Coeffs[I] / Pc + N.Coeffs[I] / Nc;
+        C.Rhs = P.Rhs / Pc + N.Rhs / Nc;
+        if (normalizeRow(C)) {
+          bool AllZero = true;
+          for (const Rational &Coef : C.Coeffs)
+            AllZero &= Coef.isZero();
+          if (!AllZero)
+            Next.push_back(std::move(C));
+        } else {
+          Next.push_back(std::move(C)); // Infeasibility witness.
+        }
+      }
+    }
+    Dedupe(Next);
+    Work = std::move(Next);
+  }
+
+  Polyhedron Out(NumVars);
+  Out.Rows = std::move(Work);
+  return Out.minimized();
+}
+
+Polyhedron Polyhedron::hull(const Polyhedron &A, const Polyhedron &B) {
+  assert(A.NumVars == B.NumVars && "hull of different spaces");
+  if (A.isEmpty())
+    return B;
+  if (B.isEmpty())
+    return A;
+  size_t N = A.NumVars;
+  // Lifted space: x (result), y (the A-scaled point), lambda.
+  size_t Lifted = 2 * N + 1;
+  size_t LambdaCol = 2 * N;
+  Polyhedron L(Lifted);
+  for (const LinearConstraint &C : A.Rows) {
+    // a . y <= lambda * c.
+    std::vector<Rational> Row(Lifted);
+    for (size_t I = 0; I < N; ++I)
+      Row[N + I] = C.Coeffs[I];
+    Row[LambdaCol] = -C.Rhs;
+    L.addLe(std::move(Row), Rational());
+  }
+  for (const LinearConstraint &C : B.Rows) {
+    // g . (x - y) <= (1 - lambda) * d.
+    std::vector<Rational> Row(Lifted);
+    for (size_t I = 0; I < N; ++I) {
+      Row[I] = C.Coeffs[I];
+      Row[N + I] = -C.Coeffs[I];
+    }
+    Row[LambdaCol] = C.Rhs;
+    L.addLe(std::move(Row), C.Rhs);
+  }
+  {
+    std::vector<Rational> Row(Lifted);
+    Row[LambdaCol] = Rational(-1);
+    L.addLe(Row, Rational()); // lambda >= 0.
+    Row[LambdaCol] = Rational(1);
+    L.addLe(std::move(Row), Rational(1)); // lambda <= 1.
+  }
+  std::vector<bool> Mask(Lifted, false);
+  for (size_t I = N; I < Lifted; ++I)
+    Mask[I] = true;
+  Polyhedron Projected = L.project(Mask);
+  // Re-home into the N-column space.
+  Polyhedron Out(N);
+  for (const LinearConstraint &C : Projected.Rows) {
+    std::vector<Rational> Coeffs(C.Coeffs.begin(), C.Coeffs.begin() + N);
+    Out.addLe(std::move(Coeffs), C.Rhs);
+  }
+  return Out;
+}
+
+std::vector<LinearConstraint> Polyhedron::affineHull() const {
+  std::vector<LinearConstraint> Eqs;
+  for (const LinearConstraint &C : Rows) {
+    std::vector<Rational> Neg(C.Coeffs.size());
+    for (size_t I = 0; I < C.Coeffs.size(); ++I)
+      Neg[I] = -C.Coeffs[I];
+    LPResult R = maximize(Rows, Neg, NumVars);
+    if (R.Status == LPStatus::Optimal && R.Value == -C.Rhs)
+      Eqs.push_back(C);
+  }
+  return Eqs;
+}
+
+Polyhedron Polyhedron::minimized() const {
+  Polyhedron Out(NumVars);
+  std::vector<LinearConstraint> Kept = Rows;
+  for (size_t I = 0; I < Kept.size();) {
+    std::vector<LinearConstraint> Others;
+    Others.reserve(Kept.size() - 1);
+    for (size_t J = 0; J < Kept.size(); ++J)
+      if (J != I)
+        Others.push_back(Kept[J]);
+    LPResult R = maximize(Others, Kept[I].Coeffs, NumVars);
+    bool Redundant = R.Status == LPStatus::Infeasible ||
+                     (R.Status == LPStatus::Optimal && R.Value <= Kept[I].Rhs);
+    if (Redundant)
+      Kept.erase(Kept.begin() + I);
+    else
+      ++I;
+  }
+  Out.Rows = std::move(Kept);
+  return Out;
+}
+
+Polyhedron Polyhedron::widen(const Polyhedron &Newer) const {
+  if (isEmpty())
+    return Newer;
+  if (Newer.isEmpty())
+    return *this;
+  Polyhedron Out(NumVars);
+  for (const LinearConstraint &C : Rows)
+    if (Newer.entailsLe(C.Coeffs, C.Rhs))
+      Out.Rows.push_back(C);
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- domains/poly/Polyhedron.h - Constraint-form polyhedra ----*- C++ -*-===//
+///
+/// \file
+/// Convex polyhedra in constraint form over dense column indices:
+/// Fourier-Motzkin projection, convex hull of two polyhedra (via the
+/// lifted lambda-combination projected back down), implicit-equality
+/// detection (the affine hull), entailment and redundancy removal through
+/// the exact simplex.  The PolyDomain wraps this with the term <-> column
+/// mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_DOMAINS_POLY_POLYHEDRON_H
+#define CAI_DOMAINS_POLY_POLYHEDRON_H
+
+#include "domains/poly/Simplex.h"
+
+#include <optional>
+
+namespace cai {
+
+/// A polyhedron {x : C x <= d} over a fixed number of columns.
+class Polyhedron {
+public:
+  explicit Polyhedron(size_t NumVars) : NumVars(NumVars) {}
+
+  size_t numVars() const { return NumVars; }
+  const std::vector<LinearConstraint> &constraints() const { return Rows; }
+
+  /// Adds Coeffs . x <= Rhs.
+  void addLe(std::vector<Rational> Coeffs, Rational Rhs);
+  /// Adds Coeffs . x = Rhs (two inequalities).
+  void addEq(const std::vector<Rational> &Coeffs, const Rational &Rhs);
+
+  bool isEmpty() const;
+
+  /// Does every point satisfy Coeffs . x <= Rhs?
+  bool entailsLe(const std::vector<Rational> &Coeffs,
+                 const Rational &Rhs) const;
+  bool entailsEq(const std::vector<Rational> &Coeffs,
+                 const Rational &Rhs) const;
+
+  /// Existentially quantifies the columns marked true (Fourier-Motzkin,
+  /// equality substitution first, light redundancy pruning).
+  Polyhedron project(const std::vector<bool> &Eliminate) const;
+
+  /// Convex hull (topological closure) of the union.  Either operand may
+  /// be empty, in which case the other is returned.
+  static Polyhedron hull(const Polyhedron &A, const Polyhedron &B);
+
+  /// All implied equalities as rows (Coeffs, Rhs): the explicit ones plus
+  /// every inequality that holds with equality on the whole polyhedron.
+  /// Undefined on empty polyhedra (callers check isEmpty first).
+  std::vector<LinearConstraint> affineHull() const;
+
+  /// Removes constraints entailed by the remaining ones (quadratic number
+  /// of LP calls; used to keep canonical output small).
+  Polyhedron minimized() const;
+
+  /// The CH78 widening: constraints of this polyhedron that \p Newer still
+  /// entails.
+  Polyhedron widen(const Polyhedron &Newer) const;
+
+private:
+  /// Divides each row by the gcd of its coefficients (keeps FM growth in
+  /// check) and drops trivial rows; returns false if a trivially
+  /// unsatisfiable row (0 <= negative) was found.
+  bool normalizeRow(LinearConstraint &C) const;
+
+  size_t NumVars;
+  std::vector<LinearConstraint> Rows;
+};
+
+} // namespace cai
+
+#endif // CAI_DOMAINS_POLY_POLYHEDRON_H

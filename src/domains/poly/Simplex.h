@@ -1,0 +1,53 @@
+//===- domains/poly/Simplex.h - Exact rational LP ----------------*- C++ -*-===//
+///
+/// \file
+/// A two-phase primal simplex over exact rationals with Bland's rule
+/// (guaranteed termination), for free variables and <= constraints.  This
+/// is the decision procedure behind the polyhedra domain: satisfiability,
+/// entailment of inequalities, and implicit-equality detection all reduce
+/// to optimization calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_DOMAINS_POLY_SIMPLEX_H
+#define CAI_DOMAINS_POLY_SIMPLEX_H
+
+#include "support/Rational.h"
+
+#include <vector>
+
+namespace cai {
+
+/// Outcome of an LP solve.
+enum class LPStatus : uint8_t {
+  Optimal,    ///< Bounded optimum found.
+  Unbounded,  ///< Feasible but the objective is unbounded above.
+  Infeasible, ///< No point satisfies the constraints.
+};
+
+/// Result of maximizing an objective over a polyhedron.
+struct LPResult {
+  LPStatus Status;
+  Rational Value;              ///< Optimal objective value (when Optimal).
+  std::vector<Rational> Point; ///< A maximizing point (when Optimal).
+};
+
+/// One linear constraint: Coeffs . x <= Rhs over free rational variables.
+struct LinearConstraint {
+  std::vector<Rational> Coeffs;
+  Rational Rhs;
+};
+
+/// Maximizes Objective . x subject to the constraints (all variables free).
+/// \p NumVars fixes the dimension; every constraint and the objective must
+/// have exactly that many coefficients.
+LPResult maximize(const std::vector<LinearConstraint> &Constraints,
+                  const std::vector<Rational> &Objective, size_t NumVars);
+
+/// Convenience: is the constraint system satisfiable?
+bool isFeasible(const std::vector<LinearConstraint> &Constraints,
+                size_t NumVars);
+
+} // namespace cai
+
+#endif // CAI_DOMAINS_POLY_SIMPLEX_H

@@ -1,0 +1,103 @@
+//===- domains/sign/SignDomain.cpp - The sign domain -----------------------===//
+
+#include "domains/sign/SignDomain.h"
+
+using namespace cai;
+
+std::optional<Atom> SignDomain::lowerAtom(const Atom &A) const {
+  TermContext &Ctx = context();
+  if (A.predicate() == Ctx.eqSymbol())
+    return A;
+  if (A.predicate() == PositivePred) {
+    // t >= 1  ==>  1 - t <= 0  ==>  1 <= t.
+    return Atom::mkLe(Ctx, Ctx.mkNum(1), A.args()[0]);
+  }
+  if (A.predicate() == NegativePred)
+    return Atom::mkLe(Ctx, A.args()[0], Ctx.mkNum(-1));
+  return std::nullopt;
+}
+
+Conjunction SignDomain::lower(const Conjunction &E) const {
+  if (E.isBottom())
+    return E;
+  Conjunction Out;
+  for (const Atom &A : E.atoms())
+    if (std::optional<Atom> L = lowerAtom(A))
+      Out.add(*L);
+  return Out;
+}
+
+Conjunction SignDomain::raise(const Conjunction &P) const {
+  if (P.isBottom())
+    return P;
+  TermContext &Ctx = context();
+  Conjunction Out;
+  // Keep the equalities verbatim.
+  for (const Atom &A : P.atoms())
+    if (A.predicate() == Ctx.eqSymbol())
+      Out.add(A);
+  // Per variable, ask the polyhedron for an expressible sign fact.
+  for (Term V : P.vars()) {
+    if (Poly.entails(P, Atom::mkLe(Ctx, Ctx.mkNum(1), V)))
+      Out.add(Atom(PositivePred, {V}));
+    else if (Poly.entails(P, Atom::mkLe(Ctx, V, Ctx.mkNum(-1))))
+      Out.add(Atom(NegativePred, {V}));
+  }
+  return Out;
+}
+
+Conjunction SignDomain::join(const Conjunction &A,
+                             const Conjunction &B) const {
+  if (A.isBottom() || isUnsat(A))
+    return B;
+  if (B.isBottom() || isUnsat(B))
+    return A;
+  return raise(Poly.join(lower(A), lower(B)));
+}
+
+Conjunction SignDomain::existQuant(const Conjunction &E,
+                                   const std::vector<Term> &Vars) const {
+  if (E.isBottom())
+    return E;
+  return raise(Poly.existQuant(lower(E), Vars));
+}
+
+bool SignDomain::entails(const Conjunction &E, const Atom &A) const {
+  if (E.isBottom())
+    return true;
+  if (A.isTrivial(context()))
+    return true;
+  std::optional<Atom> L = lowerAtom(A);
+  if (!L)
+    return false;
+  return Poly.entails(lower(E), *L);
+}
+
+bool SignDomain::isUnsat(const Conjunction &E) const {
+  if (E.isBottom())
+    return true;
+  return Poly.isUnsat(lower(E));
+}
+
+std::vector<std::pair<Term, Term>>
+SignDomain::impliedVarEqualities(const Conjunction &E) const {
+  if (E.isBottom())
+    return {};
+  return Poly.impliedVarEqualities(lower(E));
+}
+
+std::optional<Term>
+SignDomain::alternate(const Conjunction &E, Term Var,
+                      const std::vector<Term> &Avoid) const {
+  if (E.isBottom())
+    return std::nullopt;
+  return Poly.alternate(lower(E), Var, Avoid);
+}
+
+std::vector<std::pair<Term, Term>>
+SignDomain::alternateBatch(const Conjunction &E,
+                           const std::vector<Term> &Targets) const {
+  if (E.isBottom())
+    return {};
+  return Poly.alternateBatch(lower(E), Targets);
+}

@@ -1,0 +1,70 @@
+//===- domains/sign/SignDomain.h - The sign domain --------------*- C++ -*-===//
+///
+/// \file
+/// The logical lattice over the paper's "theory of sign" (Section 2):
+/// signature {=, positive, negative, +, -, 0, 1} with integer semantics
+/// positive(t) iff t >= 1 and negative(t) iff t <= -1.  Elements are
+/// conjunctions of linear equalities plus positive/negative facts about
+/// *variables*; internally the domain reasons with a full polyhedron but
+/// the output language is deliberately restricted (sign facts on variables
+/// only), which is what reproduces the Figure 8 incompleteness example:
+/// Q(positive(x0) && x = x0 - 1, {x0}) = true because "x >= 0" is not
+/// expressible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_DOMAINS_SIGN_SIGNDOMAIN_H
+#define CAI_DOMAINS_SIGN_SIGNDOMAIN_H
+
+#include "domains/poly/PolyDomain.h"
+
+namespace cai {
+
+/// The sign (positive/negative + linear equalities) domain.
+class SignDomain : public LogicalLattice {
+public:
+  explicit SignDomain(TermContext &Ctx)
+      : LogicalLattice(Ctx), Poly(Ctx),
+        PositivePred(Ctx.getPredicate("positive", 1)),
+        NegativePred(Ctx.getPredicate("negative", 1)) {}
+
+  std::string name() const override { return "sign"; }
+
+  bool ownsFunction(Symbol) const override { return false; }
+  bool ownsPredicate(Symbol S) const override {
+    return S == PositivePred || S == NegativePred;
+  }
+  bool ownsNumerals() const override { return true; }
+
+  Symbol positivePred() const { return PositivePred; }
+  Symbol negativePred() const { return NegativePred; }
+
+  Conjunction join(const Conjunction &A, const Conjunction &B) const override;
+  Conjunction existQuant(const Conjunction &E,
+                         const std::vector<Term> &Vars) const override;
+  bool entails(const Conjunction &E, const Atom &A) const override;
+  bool isUnsat(const Conjunction &E) const override;
+  std::vector<std::pair<Term, Term>>
+  impliedVarEqualities(const Conjunction &E) const override;
+  std::optional<Term> alternate(const Conjunction &E, Term Var,
+                                const std::vector<Term> &Avoid) const override;
+  std::vector<std::pair<Term, Term>>
+  alternateBatch(const Conjunction &E,
+                 const std::vector<Term> &Targets) const override;
+
+private:
+  /// Rewrites sign atoms into the polyhedral language:
+  /// positive(t) -> -t <= -1, negative(t) -> t <= -1.
+  Conjunction lower(const Conjunction &E) const;
+  std::optional<Atom> lowerAtom(const Atom &A) const;
+  /// Extracts the expressible facts back out of a polyhedral element:
+  /// the equalities, plus positive/negative per variable.
+  Conjunction raise(const Conjunction &P) const;
+
+  PolyDomain Poly;
+  Symbol PositivePred, NegativePred;
+};
+
+} // namespace cai
+
+#endif // CAI_DOMAINS_SIGN_SIGNDOMAIN_H

@@ -1,0 +1,109 @@
+//===- domains/uf/CongruenceClosure.cpp - Congruence closure ---------------===//
+
+#include "domains/uf/CongruenceClosure.h"
+
+#include <map>
+
+using namespace cai;
+
+unsigned CongruenceClosure::addTerm(Term T) {
+  auto It = NodeOf.find(T);
+  if (It != NodeOf.end())
+    return It->second;
+  std::vector<unsigned> ArgNodes;
+  if (T->isApp()) {
+    ArgNodes.reserve(T->args().size());
+    for (Term Arg : T->args())
+      ArgNodes.push_back(addTerm(Arg));
+  }
+  unsigned N = static_cast<unsigned>(Terms.size());
+  Terms.push_back(T);
+  Args.push_back(std::move(ArgNodes));
+  Parent.push_back(N);
+  NodeOf.emplace(T, N);
+  // A new App node may be congruent to an existing one right away.
+  if (T->isApp())
+    propagate();
+  return N;
+}
+
+unsigned CongruenceClosure::find(unsigned N) const {
+  assert(N < Parent.size() && "node out of range");
+  while (Parent[N] != N) {
+    Parent[N] = Parent[Parent[N]]; // Path halving.
+    N = Parent[N];
+  }
+  return N;
+}
+
+void CongruenceClosure::merge(unsigned A, unsigned B) {
+  unsigned RA = find(A), RB = find(B);
+  if (RA == RB)
+    return;
+  // Deterministic representative: the smaller node index wins.
+  if (RB < RA)
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  propagate();
+}
+
+void CongruenceClosure::propagate() {
+  // Fixpoint: rebuild the signature table and union any two App nodes with
+  // identical (symbol, class-of-args) signatures.  Quadratic in the worst
+  // case but the E-graphs in this library are small; correctness and
+  // determinism matter more here than asymptotics.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::map<std::pair<uint32_t, std::vector<unsigned>>, unsigned> SigTable;
+    for (unsigned N = 0; N < Terms.size(); ++N) {
+      if (!Terms[N]->isApp())
+        continue;
+      std::vector<unsigned> Sig;
+      Sig.reserve(Args[N].size());
+      for (unsigned Arg : Args[N])
+        Sig.push_back(find(Arg));
+      auto [It, Inserted] =
+          SigTable.emplace(std::make_pair(symbolOf(N).index(), std::move(Sig)),
+                           N);
+      if (Inserted)
+        continue;
+      unsigned RA = find(It->second), RB = find(N);
+      if (RA == RB)
+        continue;
+      if (RB < RA)
+        std::swap(RA, RB);
+      Parent[RB] = RA;
+      Changed = true;
+    }
+  }
+}
+
+void CongruenceClosure::addEquality(Term A, Term B) {
+  unsigned NA = addTerm(A), NB = addTerm(B);
+  merge(NA, NB);
+}
+
+void CongruenceClosure::addConjunction(const Conjunction &E) {
+  if (E.isBottom())
+    return;
+  for (const Atom &A : E.atoms())
+    if (A.predicate() == Ctx.eqSymbol())
+      addEquality(A.lhs(), A.rhs());
+}
+
+bool CongruenceClosure::areEqual(Term A, Term B) {
+  unsigned NA = addTerm(A), NB = addTerm(B);
+  return find(NA) == find(NB);
+}
+
+std::vector<std::vector<unsigned>> CongruenceClosure::allClasses() const {
+  std::map<unsigned, std::vector<unsigned>> ByRep;
+  for (unsigned N = 0; N < Terms.size(); ++N)
+    ByRep[find(N)].push_back(N);
+  std::vector<std::vector<unsigned>> Out;
+  Out.reserve(ByRep.size());
+  for (auto &[Rep, Members] : ByRep)
+    Out.push_back(std::move(Members));
+  return Out;
+}

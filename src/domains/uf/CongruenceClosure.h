@@ -1,0 +1,83 @@
+//===- domains/uf/CongruenceClosure.h - Congruence closure ------*- C++ -*-===//
+///
+/// \file
+/// Congruence closure over hash-consed terms: union-find plus a signature
+/// table, the decision procedure for the theory of uninterpreted functions
+/// (and, with the projection rules layered on by the list domain, for the
+/// theory of lists).  This is the E-DAG the paper's UF lattice operations
+/// are built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_DOMAINS_UF_CONGRUENCECLOSURE_H
+#define CAI_DOMAINS_UF_CONGRUENCECLOSURE_H
+
+#include "term/Conjunction.h"
+
+#include <unordered_map>
+
+namespace cai {
+
+/// A growable congruence-closed E-graph.
+///
+/// Nodes are created per distinct subterm via addTerm; equalities are
+/// asserted with addEquality and congruence is restored eagerly, so
+/// queries (find/areEqual) are always exact for the facts added so far.
+class CongruenceClosure {
+public:
+  explicit CongruenceClosure(const TermContext &Ctx) : Ctx(Ctx) {}
+
+  /// Adds \p T and all its subterms; returns T's node.
+  unsigned addTerm(Term T);
+
+  /// Asserts A = B (adding both terms if needed) and restores congruence.
+  void addEquality(Term A, Term B);
+
+  /// Loads every equality atom of \p E (other atoms are ignored, which is
+  /// the sound over-approximation for a theory that only speaks equality).
+  void addConjunction(const Conjunction &E);
+
+  bool hasTerm(Term T) const { return NodeOf.count(T) != 0; }
+
+  /// Class representative of node \p N (path-compressing).
+  unsigned find(unsigned N) const;
+
+  /// True if both terms are present and congruent.  Terms are added on
+  /// demand, which cannot change existing congruences.
+  bool areEqual(Term A, Term B);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Terms.size()); }
+  Term termOf(unsigned N) const { return Terms[N]; }
+  bool isApp(unsigned N) const { return Terms[N]->isApp(); }
+  Symbol symbolOf(unsigned N) const { return Terms[N]->symbol(); }
+  /// Argument nodes of an App node (original nodes, not class reps).
+  const std::vector<unsigned> &argsOf(unsigned N) const {
+    assert(isApp(N) && "argsOf on a leaf node");
+    return Args[N];
+  }
+
+  /// Merges the classes of two nodes and restores congruence (exposed so
+  /// theory-specific rewrite rules, e.g. the list projections, can drive
+  /// extra merges).
+  void merge(unsigned A, unsigned B);
+
+  /// All congruence classes: representative -> members, deterministically
+  /// ordered by node index.
+  std::vector<std::vector<unsigned>> allClasses() const;
+
+  const TermContext &context() const { return Ctx; }
+
+private:
+  /// Restores congruence by fixpoint over the signature table.
+  void propagate();
+
+  const TermContext &Ctx;
+  std::vector<Term> Terms;                 // Node -> term.
+  std::vector<std::vector<unsigned>> Args; // Node -> argument nodes.
+  mutable std::vector<unsigned> Parent;    // Union-find.
+  std::unordered_map<Term, unsigned> NodeOf;
+};
+
+} // namespace cai
+
+#endif // CAI_DOMAINS_UF_CONGRUENCECLOSURE_H

@@ -1,0 +1,55 @@
+//===- ir/Program.cpp - Flowchart programs ---------------------------------===//
+
+#include "ir/Program.h"
+
+#include <algorithm>
+
+using namespace cai;
+
+void Program::addEdge(NodeId From, NodeId To, Action Act) {
+  assert(From < NumNodes && To < NumNodes && "edge endpoint out of range");
+  Edges.push_back(Edge{From, To, std::move(Act)});
+  Succs.clear();
+}
+
+void Program::addAssertion(NodeId Node, Atom Fact, std::string Label) {
+  assert(Node < NumNodes && "assertion node out of range");
+  Asserts.push_back(Assertion{Node, std::move(Fact), std::move(Label)});
+}
+
+const std::vector<std::vector<size_t>> &Program::successors() const {
+  if (Succs.empty() && NumNodes > 0) {
+    Succs.assign(NumNodes, {});
+    for (size_t I = 0; I < Edges.size(); ++I)
+      Succs[Edges[I].From].push_back(I);
+  }
+  return Succs;
+}
+
+std::vector<Term> Program::variables() const {
+  std::vector<Term> Out;
+  for (const Edge &E : Edges) {
+    if (E.Act.Var)
+      Out.push_back(E.Act.Var);
+    if (E.Act.Value)
+      collectVars(E.Act.Value, Out);
+    if (E.Act.Kind == ActionKind::Assume && !E.Act.Cond.isBottom())
+      for (const Atom &A : E.Act.Cond.atoms())
+        A.collectVars(Out);
+  }
+  for (const Assertion &A : Asserts)
+    A.Fact.collectVars(Out);
+  std::sort(Out.begin(), Out.end(), TermIdLess());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+std::vector<bool> Program::joinPoints() const {
+  std::vector<unsigned> InDegree(NumNodes, 0);
+  for (const Edge &E : Edges)
+    ++InDegree[E.To];
+  std::vector<bool> Out(NumNodes, false);
+  for (NodeId N = 0; N < NumNodes; ++N)
+    Out[N] = InDegree[N] > 1;
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- ir/Program.h - Flowchart programs -------------------------*- C++ -*-===//
+///
+/// \file
+/// The flowchart program model of Figure 5: a control-flow graph whose
+/// edges carry assignments (x := e), havocs (x := *), and assumptions
+/// (conditional-node branches).  Assertions are attached to nodes and
+/// checked against the node invariant after analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_IR_PROGRAM_H
+#define CAI_IR_PROGRAM_H
+
+#include "term/Conjunction.h"
+
+#include <string>
+#include <vector>
+
+namespace cai {
+
+/// Node identifier within a Program.
+using NodeId = unsigned;
+
+/// What an edge does to the abstract state.
+enum class ActionKind : uint8_t {
+  Skip,   ///< No-op.
+  Assign, ///< Var := Value.
+  Havoc,  ///< Var := * (non-deterministic).
+  Assume, ///< Constrain the state with Cond (may be empty = true).
+};
+
+/// The action attached to one CFG edge.
+struct Action {
+  ActionKind Kind = ActionKind::Skip;
+  Term Var = nullptr;  ///< Assign/Havoc target.
+  Term Value = nullptr; ///< Assign right-hand side.
+  Conjunction Cond;    ///< Assume constraint.
+
+  static Action skip() { return Action(); }
+  static Action assign(Term Var, Term Value) {
+    Action A;
+    A.Kind = ActionKind::Assign;
+    A.Var = Var;
+    A.Value = Value;
+    return A;
+  }
+  static Action havoc(Term Var) {
+    Action A;
+    A.Kind = ActionKind::Havoc;
+    A.Var = Var;
+    return A;
+  }
+  static Action assume(Conjunction Cond) {
+    Action A;
+    A.Kind = ActionKind::Assume;
+    A.Cond = std::move(Cond);
+    return A;
+  }
+};
+
+/// One directed CFG edge.
+struct Edge {
+  NodeId From;
+  NodeId To;
+  Action Act;
+};
+
+/// An assertion to verify at a node.
+struct Assertion {
+  NodeId Node;
+  Atom Fact;
+  std::string Label;
+};
+
+/// A flowchart program.
+class Program {
+public:
+  NodeId addNode() { return NumNodes++; }
+  void addEdge(NodeId From, NodeId To, Action Act);
+  void addAssertion(NodeId Node, Atom Fact, std::string Label);
+  void setEntry(NodeId N) { EntryNode = N; }
+
+  NodeId entry() const { return EntryNode; }
+  unsigned numNodes() const { return NumNodes; }
+  const std::vector<Edge> &edges() const { return Edges; }
+  const std::vector<Assertion> &assertions() const { return Asserts; }
+
+  /// Outgoing edge indices per node (built lazily).
+  const std::vector<std::vector<size_t>> &successors() const;
+
+  /// All program variables mentioned anywhere, id-ordered.
+  std::vector<Term> variables() const;
+
+  /// Nodes with more than one incoming edge or a self-reaching back edge
+  /// candidate (conservative loop-head set: any join point).
+  std::vector<bool> joinPoints() const;
+
+private:
+  NodeId EntryNode = 0;
+  unsigned NumNodes = 0;
+  std::vector<Edge> Edges;
+  std::vector<Assertion> Asserts;
+  mutable std::vector<std::vector<size_t>> Succs; // Lazy cache.
+};
+
+} // namespace cai
+
+#endif // CAI_IR_PROGRAM_H

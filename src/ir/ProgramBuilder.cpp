@@ -1,0 +1,122 @@
+//===- ir/ProgramBuilder.cpp - Structured CFG construction -----------------===//
+
+#include "ir/ProgramBuilder.h"
+
+using namespace cai;
+
+Term ProgramBuilder::parseTermOrDie(const std::string &Text) {
+  std::string Error;
+  std::optional<Term> T = parseTerm(Ctx, Text, &Error);
+  assert(T && "builder expression failed to parse");
+  (void)Error;
+  return *T;
+}
+
+Atom ProgramBuilder::parseAtomOrDie(const std::string &Text) {
+  std::string Error;
+  std::optional<Atom> A = parseAtom(Ctx, Text, &Error);
+  assert(A && "builder atom failed to parse");
+  (void)Error;
+  return *A;
+}
+
+void ProgramBuilder::step(Action A) {
+  NodeId Next = P.addNode();
+  P.addEdge(Current, Next, std::move(A));
+  Current = Next;
+}
+
+void ProgramBuilder::assign(Term Var, Term Value) {
+  assert(Var->isVariable() && "assignment target must be a variable");
+  step(Action::assign(Var, Value));
+}
+
+void ProgramBuilder::havoc(Term Var) {
+  assert(Var->isVariable() && "havoc target must be a variable");
+  step(Action::havoc(Var));
+}
+
+void ProgramBuilder::assume(const Conjunction &Cond) {
+  step(Action::assume(Cond));
+}
+
+void ProgramBuilder::assertFact(Atom Fact, std::string Label) {
+  if (Label.empty())
+    Label = "assert#" + std::to_string(AssertCounter);
+  ++AssertCounter;
+  P.addAssertion(Current, std::move(Fact), std::move(Label));
+}
+
+void ProgramBuilder::assign(const std::string &Var, const std::string &Expr) {
+  assign(Ctx.mkVar(Var), parseTermOrDie(Expr));
+}
+
+void ProgramBuilder::havoc(const std::string &Var) { havoc(Ctx.mkVar(Var)); }
+
+void ProgramBuilder::assume(const std::string &Cond) {
+  Conjunction C;
+  C.add(parseAtomOrDie(Cond));
+  assume(C);
+}
+
+void ProgramBuilder::assertFact(const std::string &Fact, std::string Label) {
+  assertFact(parseAtomOrDie(Fact), std::move(Label));
+}
+
+void ProgramBuilder::ifElse(std::optional<Atom> Cond,
+                            const std::function<void()> &Then,
+                            const std::function<void()> &Else) {
+  NodeId Branch = Current;
+
+  Conjunction ThenCond, ElseCond;
+  if (Cond) {
+    ThenCond.add(*Cond);
+    if (std::optional<Atom> Neg = negateAtom(Ctx, *Cond))
+      ElseCond.add(*Neg);
+  }
+
+  // Then arm.
+  NodeId ThenEntry = P.addNode();
+  P.addEdge(Branch, ThenEntry, Action::assume(ThenCond));
+  Current = ThenEntry;
+  Then();
+  NodeId ThenExit = Current;
+
+  // Else arm.
+  NodeId ElseEntry = P.addNode();
+  P.addEdge(Branch, ElseEntry, Action::assume(ElseCond));
+  Current = ElseEntry;
+  if (Else)
+    Else();
+  NodeId ElseExit = Current;
+
+  // Join.
+  NodeId Join = P.addNode();
+  P.addEdge(ThenExit, Join, Action::skip());
+  P.addEdge(ElseExit, Join, Action::skip());
+  Current = Join;
+}
+
+void ProgramBuilder::loop(std::optional<Atom> Cond,
+                          const std::function<void()> &Body) {
+  // Loop head is a fresh join node.
+  NodeId Head = P.addNode();
+  P.addEdge(Current, Head, Action::skip());
+
+  Conjunction EnterCond, ExitCond;
+  if (Cond) {
+    EnterCond.add(*Cond);
+    if (std::optional<Atom> Neg = negateAtom(Ctx, *Cond))
+      ExitCond.add(*Neg);
+  }
+
+  NodeId BodyEntry = P.addNode();
+  P.addEdge(Head, BodyEntry, Action::assume(EnterCond));
+  Current = BodyEntry;
+  Body();
+  P.addEdge(Current, Head, Action::skip()); // Back edge.
+
+  NodeId Exit = P.addNode();
+  P.addEdge(Head, Exit, Action::assume(ExitCond));
+  Current = Exit;
+}

@@ -1,0 +1,81 @@
+//===- ir/ProgramBuilder.h - Structured CFG construction --------*- C++ -*-===//
+///
+/// \file
+/// A convenience builder for flowchart programs: sequential statements,
+/// if/else, while loops and non-deterministic branches, with string-based
+/// overloads that parse expressions on the fly.  The mini-language parser
+/// (ProgramParser.h) is a thin layer over this builder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_IR_PROGRAMBUILDER_H
+#define CAI_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+#include "term/Parser.h"
+
+#include <functional>
+#include <optional>
+
+namespace cai {
+
+/// Builds a Program as a sequence of structured statements.
+///
+/// The builder keeps a "current" node; each statement appends nodes and
+/// edges and advances it.  Structured statements take callbacks that build
+/// their bodies.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(TermContext &Ctx) : Ctx(Ctx) {
+    Current = P.addNode();
+    P.setEntry(Current);
+  }
+
+  TermContext &context() { return Ctx; }
+
+  /// x := e.
+  void assign(Term Var, Term Value);
+  /// x := * (non-deterministic value).
+  void havoc(Term Var);
+  /// assume(c) on the fall-through path.
+  void assume(const Conjunction &Cond);
+  /// assert(fact) checked at the current point.
+  void assertFact(Atom Fact, std::string Label);
+
+  /// String conveniences; assert on parse errors (programmatic inputs).
+  void assign(const std::string &Var, const std::string &Expr);
+  void havoc(const std::string &Var);
+  void assume(const std::string &Cond);
+  void assertFact(const std::string &Fact, std::string Label = "");
+
+  /// if (Cond) { Then() } else { Else() }.  A null \p Cond (nullopt) is a
+  /// non-deterministic branch.  The negation of an atomic condition is
+  /// computed with negateAtom; when not expressible the else branch is
+  /// entered under "true" (the paper's conditional-node rule).
+  void ifElse(std::optional<Atom> Cond, const std::function<void()> &Then,
+              const std::function<void()> &Else = nullptr);
+
+  /// while (Cond) { Body() }; same condition conventions as ifElse.
+  void loop(std::optional<Atom> Cond, const std::function<void()> &Body);
+
+  /// Marks the current node (e.g. to attach assertions later).
+  NodeId here() const { return Current; }
+
+  /// Finishes and returns the program.
+  Program take() { return std::move(P); }
+
+private:
+  Term parseTermOrDie(const std::string &Text);
+  Atom parseAtomOrDie(const std::string &Text);
+  /// Appends an edge from Current to a fresh node and advances.
+  void step(Action A);
+
+  TermContext &Ctx;
+  Program P;
+  NodeId Current;
+  unsigned AssertCounter = 0;
+};
+
+} // namespace cai
+
+#endif // CAI_IR_PROGRAMBUILDER_H

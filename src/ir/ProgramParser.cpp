@@ -1,0 +1,223 @@
+//===- ir/ProgramParser.cpp - The mini-language front end ------------------===//
+
+#include "ir/ProgramParser.h"
+
+#include "ir/ProgramBuilder.h"
+#include "term/Parser.h"
+
+using namespace cai;
+
+namespace {
+
+/// Strips // comments so the shared Lexer does not need to know about them.
+std::string stripComments(std::string_view Source) {
+  std::string Out;
+  Out.reserve(Source.size());
+  for (size_t I = 0; I < Source.size();) {
+    if (Source[I] == '/' && I + 1 < Source.size() && Source[I + 1] == '/') {
+      while (I < Source.size() && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    Out.push_back(Source[I]);
+    ++I;
+  }
+  return Out;
+}
+
+class StatementParser {
+public:
+  StatementParser(TermContext &Ctx, Lexer &Lex, ProgramBuilder &B,
+                  std::string &Error)
+      : Ctx(Ctx), Lex(Lex), B(B), Error(Error) {}
+
+  bool parseStatements(bool InsideBlock) {
+    while (true) {
+      TokKind K = Lex.peek().Kind;
+      if (K == TokKind::End)
+        return !InsideBlock || fail("unexpected end of input inside block");
+      if (K == TokKind::RBrace) {
+        if (!InsideBlock)
+          return fail("unexpected '}'");
+        return true;
+      }
+      if (!parseStatement())
+        return false;
+    }
+  }
+
+private:
+  bool fail(const std::string &Message) {
+    if (Error.empty())
+      Error = Message + " at offset " + std::to_string(Lex.peek().Pos);
+    return false;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (Lex.consumeIf(K))
+      return true;
+    return fail(std::string("expected ") + What);
+  }
+
+  bool parseBlock() {
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+    if (!parseStatements(/*InsideBlock=*/true))
+      return false;
+    return expect(TokKind::RBrace, "'}'");
+  }
+
+  /// cond := "*" | atom | "!" atom.  Returns true on success; sets
+  /// \p Cond to nullopt for a non-deterministic branch.  Negated atoms are
+  /// resolved through negateAtom; a non-negatable "!atom" is treated as a
+  /// non-deterministic branch whose then-side still assumes nothing --
+  /// sound, and the closest atomic approximation.
+  bool parseCond(std::optional<Atom> &Cond, bool &Negated) {
+    Negated = false;
+    if (Lex.peek().Kind == TokKind::Star) {
+      Lex.next();
+      Cond = std::nullopt;
+      return true;
+    }
+    if (Lex.consumeIf(TokKind::Bang))
+      Negated = true;
+    // Allow the conventional !(atom) parenthesization.
+    bool Wrapped = Negated && Lex.consumeIf(TokKind::LParen);
+    std::optional<Atom> A = parseAtomFrom(Ctx, Lex, Error);
+    if (!A)
+      return fail("malformed condition");
+    if (Wrapped && !Lex.consumeIf(TokKind::RParen))
+      return fail("expected ')' closing negated condition");
+    Cond = *A;
+    return true;
+  }
+
+  /// Applies the optional negation to a parsed condition, returning the
+  /// atom to assume on the true branch (nullopt = assume nothing).
+  std::optional<Atom> resolveCond(std::optional<Atom> Cond, bool Negated) {
+    if (!Cond || !Negated)
+      return Cond;
+    return negateAtom(Ctx, *Cond); // nullopt when not expressible.
+  }
+
+  bool parseStatement() {
+    Token T = Lex.peek();
+    if (T.Kind != TokKind::Ident)
+      return fail("expected a statement");
+
+    if (T.Text == "if") {
+      Lex.next();
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      std::optional<Atom> Cond;
+      bool Negated;
+      if (!parseCond(Cond, Negated))
+        return false;
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      std::optional<Atom> ThenCond = resolveCond(Cond, Negated);
+      // Body parsing happens inside builder callbacks; propagate failure
+      // through OK.
+      bool OK = true;
+      auto ParseArm = [&]() {
+        if (OK)
+          OK = parseBlock();
+      };
+      bool HasElse = false;
+      // Peek for else after the then-block: the builder needs to know both
+      // arms, so parse lazily via callbacks in order.
+      B.ifElse(
+          ThenCond, [&]() { ParseArm(); },
+          [&]() {
+            if (!OK)
+              return;
+            if (Lex.peek().Kind == TokKind::Ident &&
+                Lex.peek().Text == "else") {
+              Lex.next();
+              HasElse = true;
+              OK = parseBlock();
+            }
+          });
+      (void)HasElse;
+      return OK;
+    }
+
+    if (T.Text == "while") {
+      Lex.next();
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      std::optional<Atom> Cond;
+      bool Negated;
+      if (!parseCond(Cond, Negated))
+        return false;
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      std::optional<Atom> LoopCond = resolveCond(Cond, Negated);
+      bool OK = true;
+      B.loop(LoopCond, [&]() { OK = parseBlock(); });
+      return OK;
+    }
+
+    if (T.Text == "assert" || T.Text == "assume") {
+      bool IsAssert = T.Text == "assert";
+      Lex.next();
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      std::optional<Atom> A = parseAtomFrom(Ctx, Lex, Error);
+      if (!A)
+        return fail("malformed fact");
+      if (!expect(TokKind::RParen, "')'") || !expect(TokKind::Semi, "';'"))
+        return false;
+      if (IsAssert) {
+        B.assertFact(*A, "assert@" + std::to_string(T.Pos));
+      } else {
+        Conjunction C;
+        C.add(*A);
+        B.assume(C);
+      }
+      return true;
+    }
+
+    // Assignment: ident := expr ; or ident := * ;
+    Lex.next();
+    if (!expect(TokKind::Assign, "':='"))
+      return false;
+    if (Lex.peek().Kind == TokKind::Star) {
+      Lex.next();
+      if (!expect(TokKind::Semi, "';'"))
+        return false;
+      B.havoc(Ctx.mkVar(T.Text));
+      return true;
+    }
+    std::optional<Term> Value = parseTermFrom(Ctx, Lex, Error);
+    if (!Value)
+      return fail("malformed assignment expression");
+    if (!expect(TokKind::Semi, "';'"))
+      return false;
+    B.assign(Ctx.mkVar(T.Text), *Value);
+    return true;
+  }
+
+  TermContext &Ctx;
+  Lexer &Lex;
+  ProgramBuilder &B;
+  std::string &Error;
+};
+
+} // namespace
+
+std::optional<Program> cai::parseProgram(TermContext &Ctx,
+                                         std::string_view Source,
+                                         std::string *Error) {
+  std::string Clean = stripComments(Source);
+  Lexer Lex(Clean);
+  ProgramBuilder B(Ctx);
+  std::string Err;
+  StatementParser SP(Ctx, Lex, B, Err);
+  if (!SP.parseStatements(/*InsideBlock=*/false)) {
+    if (Error)
+      *Error = Err.empty() ? "parse error" : Err;
+    return std::nullopt;
+  }
+  return B.take();
+}

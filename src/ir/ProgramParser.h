@@ -1,0 +1,38 @@
+//===- ir/ProgramParser.h - The mini-language front end ----------*- C++ -*-===//
+///
+/// \file
+/// Parser for the small imperative language used by the examples, tests
+/// and workload generator:
+///
+///   stmt  :=  x := expr ;            assignment
+///           | x := * ;               havoc (non-deterministic value)
+///           | if (cond) block [else block]
+///           | while (cond) block
+///           | assert(atom) ;
+///           | assume(atom) ;
+///   cond  :=  * | atom | !atom       (* = non-deterministic branch)
+///   block :=  { stmt* }
+///
+/// Comments run from "//" to end of line.  Function applications in
+/// expressions (F(x), cons(a,b)) intern symbols on first use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_IR_PROGRAMPARSER_H
+#define CAI_IR_PROGRAMPARSER_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string_view>
+
+namespace cai {
+
+/// Parses a mini-language program.  On failure returns std::nullopt and
+/// sets \p Error to a message with a byte offset.
+std::optional<Program> parseProgram(TermContext &Ctx, std::string_view Source,
+                                    std::string *Error = nullptr);
+
+} // namespace cai
+
+#endif // CAI_IR_PROGRAMPARSER_H

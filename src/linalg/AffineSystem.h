@@ -1,0 +1,445 @@
+//===- linalg/AffineSystem.h - Systems of affine equations ------*- C++ -*-===//
+///
+/// \file
+/// A conjunction of affine equations  a.x = c  over an arbitrary field,
+/// kept in a canonical (reduced row echelon) form.  This is the engine
+/// behind the Karr affine-equality domain (field = Rational) and the
+/// parity-congruence domain (field = GF2): join is the affine hull,
+/// project is block elimination, and variable representatives give the
+/// VE_T operator of the paper in one pass.
+///
+/// Variables are dense column indices 0..NumVars-1; mapping them to terms
+/// is the domains' business.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_LINALG_AFFINESYSTEM_H
+#define CAI_LINALG_AFFINESYSTEM_H
+
+#include "linalg/Matrix.h"
+
+#include <optional>
+
+namespace cai {
+
+/// A canonicalized system of affine equations over field \p F.
+///
+/// Each row is a vector of NumVars coefficients followed by the constant:
+/// row (a_0..a_{n-1}, c) encodes  sum a_i * x_i = c.  The inconsistent
+/// system (0 = 1 derivable) is represented explicitly.
+template <typename F> class AffineSystem {
+public:
+  explicit AffineSystem(size_t NumVars) : NumVars(NumVars) {}
+
+  /// The inconsistent system over \p NumVars variables.
+  static AffineSystem inconsistent(size_t NumVars) {
+    AffineSystem S(NumVars);
+    S.Inconsistent = true;
+    return S;
+  }
+
+  size_t numVars() const { return NumVars; }
+  bool isInconsistent() const {
+    canonicalize();
+    return Inconsistent;
+  }
+  /// True if the system imposes no constraint at all.
+  bool isTrivial() const { return !isInconsistent() && Rows.empty(); }
+
+  /// Adds one equation (NumVars coefficients then the constant) and
+  /// re-canonicalizes lazily on the next query.
+  void addRow(std::vector<F> Row);
+
+  /// The canonical (RREF) rows.
+  const std::vector<std::vector<F>> &rows() const;
+
+  /// Number of independent equations.
+  size_t rank() const { return rows().size(); }
+
+  /// True if the equation \p Row is implied by the system.
+  bool entails(std::vector<F> Row) const;
+
+  /// Existentially quantifies the variables marked true in \p Eliminate:
+  /// the result is the strongest system over the remaining variables (all
+  /// columns are kept; eliminated columns simply no longer occur).
+  AffineSystem project(const std::vector<bool> &Eliminate) const;
+
+  /// The affine hull of the union of the two solution sets (the join of
+  /// the corresponding lattice elements).
+  static AffineSystem join(const AffineSystem &A, const AffineSystem &B);
+
+  /// For each variable, a canonical representative vector of size
+  /// NumVars+1 expressing it over the free variables and a constant; two
+  /// variables are equal in every solution iff their representatives are
+  /// identical.  Empty when inconsistent.
+  std::vector<std::vector<F>> varRepresentatives() const;
+
+  /// Expresses variable \p Var as an affine function of variables for
+  /// which \p Avoid is false (Var itself is always avoided).  Returns the
+  /// coefficient vector (NumVars entries then constant) with
+  /// zero coefficients on all avoided columns, or nullopt if the system
+  /// does not determine such an expression.
+  std::optional<std::vector<F>>
+  solveFor(size_t Var, const std::vector<bool> &Avoid) const;
+
+  /// Batched solveFor: one echelon pass that expresses as many \p Target
+  /// columns as possible over the non-target columns.  Each returned pair
+  /// is (target column, coefficient vector over non-target columns plus
+  /// constant).  May find fewer definitions than repeated solveFor calls
+  /// with shrinking avoid sets, but costs a single elimination.
+  std::vector<std::pair<size_t, std::vector<F>>>
+  solveForMany(const std::vector<bool> &Targets) const;
+
+  bool operator==(const AffineSystem &RHS) const {
+    if (Inconsistent != RHS.Inconsistent || NumVars != RHS.NumVars)
+      return false;
+    return rows() == RHS.rows();
+  }
+
+private:
+  void canonicalize() const;
+  /// RREF with the given column visit order; returns surviving rows in
+  /// original column indexing.
+  static std::vector<std::vector<F>>
+  echelonWithOrder(const std::vector<std::vector<F>> &Input, size_t NumVars,
+                   const std::vector<size_t> &ColOrder, bool &Inconsistent);
+
+  size_t NumVars;
+  mutable bool Inconsistent = false;
+  mutable bool Dirty = false;
+  mutable std::vector<std::vector<F>> Rows;
+};
+
+// Implementation --------------------------------------------------------===//
+
+template <typename F> void AffineSystem<F>::addRow(std::vector<F> Row) {
+  assert(Row.size() == NumVars + 1 && "row size mismatch");
+  if (Inconsistent)
+    return;
+  Rows.push_back(std::move(Row));
+  Dirty = true;
+}
+
+template <typename F>
+std::vector<std::vector<F>>
+AffineSystem<F>::echelonWithOrder(const std::vector<std::vector<F>> &Input,
+                                  size_t NumVars,
+                                  const std::vector<size_t> &ColOrder,
+                                  bool &Inconsistent) {
+  assert(ColOrder.size() == NumVars && "column order must cover all vars");
+  // Permute columns, run RREF (constant column last, never a pivot), then
+  // permute back.
+  Matrix<F> M(Input.size(), NumVars + 1);
+  for (size_t R = 0; R < Input.size(); ++R) {
+    for (size_t C = 0; C < NumVars; ++C)
+      M.at(R, C) = Input[R][ColOrder[C]];
+    M.at(R, NumVars) = Input[R][NumVars];
+  }
+  std::vector<size_t> Pivots = M.reducedRowEchelon();
+  std::vector<std::vector<F>> Out;
+  for (size_t R = 0; R < Pivots.size(); ++R) {
+    if (Pivots[R] == NumVars) {
+      // Pivot in the constant column: the row reads 0 = 1.
+      Inconsistent = true;
+      return {};
+    }
+    std::vector<F> Row(NumVars + 1);
+    for (size_t C = 0; C < NumVars; ++C)
+      Row[ColOrder[C]] = M.at(R, C);
+    Row[NumVars] = M.at(R, NumVars);
+    Out.push_back(std::move(Row));
+  }
+  return Out;
+}
+
+template <typename F> void AffineSystem<F>::canonicalize() const {
+  if (!Dirty || Inconsistent)
+    return;
+  Dirty = false;
+  std::vector<size_t> Identity(NumVars);
+  for (size_t I = 0; I < NumVars; ++I)
+    Identity[I] = I;
+  bool Bad = false;
+  Rows = echelonWithOrder(Rows, NumVars, Identity, Bad);
+  if (Bad) {
+    Inconsistent = true;
+    Rows.clear();
+  }
+}
+
+template <typename F>
+const std::vector<std::vector<F>> &AffineSystem<F>::rows() const {
+  canonicalize();
+  return Rows;
+}
+
+template <typename F> bool AffineSystem<F>::entails(std::vector<F> Row) const {
+  assert(Row.size() == NumVars + 1 && "row size mismatch");
+  if (Inconsistent)
+    return true;
+  canonicalize();
+  // Reduce the row against the RREF basis; entailed iff it reduces to zero.
+  for (const std::vector<F> &Basis : Rows) {
+    size_t Pivot = 0;
+    while (Pivot < NumVars && Basis[Pivot].isZero())
+      ++Pivot;
+    assert(Pivot < NumVars && "all-zero canonical row");
+    if (Row[Pivot].isZero())
+      continue;
+    F Factor = Row[Pivot];
+    for (size_t C = 0; C <= NumVars; ++C)
+      Row[C] = Row[C] - Factor * Basis[C];
+  }
+  for (const F &V : Row)
+    if (!V.isZero())
+      return false;
+  return true;
+}
+
+template <typename F>
+AffineSystem<F>
+AffineSystem<F>::project(const std::vector<bool> &Eliminate) const {
+  assert(Eliminate.size() == NumVars && "eliminate mask size mismatch");
+  if (Inconsistent)
+    return inconsistent(NumVars);
+  canonicalize();
+  // Visit eliminated columns first; rows whose coefficients on eliminated
+  // columns are all zero then span exactly the projection (block
+  // elimination).
+  std::vector<size_t> Order;
+  for (size_t I = 0; I < NumVars; ++I)
+    if (Eliminate[I])
+      Order.push_back(I);
+  for (size_t I = 0; I < NumVars; ++I)
+    if (!Eliminate[I])
+      Order.push_back(I);
+  bool Bad = false;
+  std::vector<std::vector<F>> Echelon =
+      echelonWithOrder(Rows, NumVars, Order, Bad);
+  AffineSystem Out(NumVars);
+  if (Bad)
+    return inconsistent(NumVars);
+  for (std::vector<F> &Row : Echelon) {
+    bool TouchesEliminated = false;
+    for (size_t I = 0; I < NumVars && !TouchesEliminated; ++I)
+      TouchesEliminated = Eliminate[I] && !Row[I].isZero();
+    if (!TouchesEliminated)
+      Out.addRow(std::move(Row));
+  }
+  return Out;
+}
+
+template <typename F>
+AffineSystem<F> AffineSystem<F>::join(const AffineSystem &A,
+                                      const AffineSystem &B) {
+  assert(A.NumVars == B.NumVars && "joining systems over different spaces");
+  if (A.isInconsistent())
+    return B;
+  if (B.isInconsistent())
+    return A;
+  size_t N = A.NumVars;
+  A.canonicalize();
+  B.canonicalize();
+
+  // Represent each solution set as particular point + span of a basis.
+  auto PointAndBasis = [N](const AffineSystem &S, std::vector<F> &Point,
+                           std::vector<std::vector<F>> &Basis) {
+    Matrix<F> M = Matrix<F>::fromRows(S.Rows, N + 1);
+    std::vector<size_t> Pivots;
+    // S.Rows is already RREF with pivot per row in column order.
+    for (const std::vector<F> &Row : S.Rows) {
+      size_t P = 0;
+      while (Row[P].isZero())
+        ++P;
+      Pivots.push_back(P);
+    }
+    // Particular solution: free vars zero, pivot var = row constant.
+    Point.assign(N, F());
+    for (size_t R = 0; R < Pivots.size(); ++R)
+      Point[Pivots[R]] = S.Rows[R][N];
+    // Null space of the homogeneous part.
+    std::vector<bool> IsPivot(N, false);
+    for (size_t P : Pivots)
+      IsPivot[P] = true;
+    Basis.clear();
+    for (size_t Free = 0; Free < N; ++Free) {
+      if (IsPivot[Free])
+        continue;
+      std::vector<F> V(N);
+      V[Free] = F::one();
+      for (size_t R = 0; R < Pivots.size(); ++R)
+        V[Pivots[R]] = F() - S.Rows[R][Free];
+      Basis.push_back(std::move(V));
+    }
+    (void)M;
+  };
+
+  std::vector<F> PointA, PointB;
+  std::vector<std::vector<F>> BasisA, BasisB;
+  PointAndBasis(A, PointA, BasisA);
+  PointAndBasis(B, PointB, BasisB);
+
+  // Affine hull = PointA + span(BasisA, BasisB, PointB - PointA).
+  std::vector<std::vector<F>> Directions = BasisA;
+  Directions.insert(Directions.end(), BasisB.begin(), BasisB.end());
+  std::vector<F> Delta(N);
+  for (size_t I = 0; I < N; ++I)
+    Delta[I] = PointB[I] - PointA[I];
+  Directions.push_back(std::move(Delta));
+
+  // An affine functional a.x = c holds on the hull iff a.d = 0 for every
+  // direction d and a.PointA = c.  Solve for (a, c) as the null space of
+  // the constraint matrix below.
+  std::vector<std::vector<F>> ConstraintRows;
+  for (const std::vector<F> &D : Directions) {
+    std::vector<F> Row(N + 1);
+    for (size_t I = 0; I < N; ++I)
+      Row[I] = D[I];
+    ConstraintRows.push_back(std::move(Row));
+  }
+  {
+    std::vector<F> Row(N + 1);
+    for (size_t I = 0; I < N; ++I)
+      Row[I] = PointA[I];
+    Row[N] = F() - F::one();
+    ConstraintRows.push_back(std::move(Row));
+  }
+  Matrix<F> Constraints = Matrix<F>::fromRows(ConstraintRows, N + 1);
+  std::vector<size_t> Pivots = Constraints.reducedRowEchelon();
+  std::vector<std::vector<F>> EquationBasis =
+      Constraints.nullspaceBasis(Pivots);
+
+  AffineSystem Out(N);
+  for (std::vector<F> &Eq : EquationBasis) {
+    // Null-space vector (a, k) encodes a.x + k*(-1)... the constant column
+    // participated with coefficient (a.PointA - c) sign handled above:
+    // Eq[N] is c directly because the last constraint row was
+    // (PointA, -1).(a, c) = 0, i.e. a.PointA = c.
+    Out.addRow(std::move(Eq));
+  }
+  return Out;
+}
+
+template <typename F>
+std::vector<std::vector<F>> AffineSystem<F>::varRepresentatives() const {
+  canonicalize();
+  std::vector<std::vector<F>> Reps;
+  if (Inconsistent)
+    return Reps;
+  // Pivot variables are rewritten over the free variables; free variables
+  // represent themselves.
+  std::vector<size_t> PivotRowOf(NumVars, ~size_t(0));
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    size_t P = 0;
+    while (Rows[R][P].isZero())
+      ++P;
+    PivotRowOf[P] = R;
+  }
+  Reps.resize(NumVars);
+  for (size_t V = 0; V < NumVars; ++V) {
+    std::vector<F> Rep(NumVars + 1);
+    if (PivotRowOf[V] == ~size_t(0)) {
+      Rep[V] = F::one();
+    } else {
+      const std::vector<F> &Row = Rows[PivotRowOf[V]];
+      // Row: x_V + sum f_j x_j = c  ==>  x_V = c - sum f_j x_j.
+      for (size_t C = 0; C < NumVars; ++C)
+        if (C != V)
+          Rep[C] = F() - Row[C];
+      Rep[NumVars] = Row[NumVars];
+    }
+    Reps[V] = std::move(Rep);
+  }
+  return Reps;
+}
+
+template <typename F>
+std::optional<std::vector<F>>
+AffineSystem<F>::solveFor(size_t Var, const std::vector<bool> &Avoid) const {
+  assert(Var < NumVars && "variable out of range");
+  if (Inconsistent)
+    return std::nullopt;
+  // Project out the avoided variables (always avoiding Var would lose the
+  // very equation we need, so Var stays).
+  std::vector<bool> Mask = Avoid;
+  Mask.resize(NumVars, false);
+  Mask[Var] = false;
+  AffineSystem Projected = project(Mask);
+  // Re-echelon with Var first so a defining row, if any, has Var as pivot.
+  std::vector<size_t> Order;
+  Order.push_back(Var);
+  for (size_t I = 0; I < NumVars; ++I)
+    if (I != Var)
+      Order.push_back(I);
+  bool Bad = false;
+  Projected.canonicalize();
+  std::vector<std::vector<F>> Echelon =
+      echelonWithOrder(Projected.Rows, NumVars, Order, Bad);
+  if (Bad)
+    return std::nullopt;
+  for (const std::vector<F> &Row : Echelon) {
+    if (Row[Var].isZero())
+      continue;
+    // Row: a*Var + rest = c with a == 1 (RREF scaling in permuted order
+    // guarantees the pivot is 1).  Var = c - rest.
+    std::vector<F> Out(NumVars + 1);
+    for (size_t C = 0; C < NumVars; ++C)
+      if (C != Var)
+        Out[C] = F() - Row[C];
+    Out[NumVars] = Row[NumVars];
+    assert((Row[Var] == F::one()) && "pivot not normalized");
+    return Out;
+  }
+  return std::nullopt;
+}
+
+template <typename F>
+std::vector<std::pair<size_t, std::vector<F>>>
+AffineSystem<F>::solveForMany(const std::vector<bool> &Targets) const {
+  std::vector<std::pair<size_t, std::vector<F>>> Out;
+  if (isInconsistent())
+    return Out;
+  canonicalize();
+  // Echelon with target columns first: a row whose pivot is a target and
+  // whose remaining target entries are all zero rewrites that target over
+  // the non-target columns.  (Chains resolve automatically: pivot rows are
+  // reduced against each other.)
+  std::vector<size_t> Order;
+  for (size_t I = 0; I < NumVars; ++I)
+    if (Targets[I])
+      Order.push_back(I);
+  for (size_t I = 0; I < NumVars; ++I)
+    if (!Targets[I])
+      Order.push_back(I);
+  bool Bad = false;
+  std::vector<std::vector<F>> Echelon =
+      echelonWithOrder(Rows, NumVars, Order, Bad);
+  if (Bad)
+    return Out;
+  for (const std::vector<F> &Row : Echelon) {
+    // The pivot is the first nonzero entry in the *permuted* column order.
+    size_t Pivot = NumVars;
+    for (size_t K = 0; K < NumVars && Pivot == NumVars; ++K)
+      if (!Row[Order[K]].isZero())
+        Pivot = Order[K];
+    assert(Pivot != NumVars && "all-zero echelon row");
+    if (!Targets[Pivot])
+      continue;
+    bool Clean = true;
+    for (size_t C = 0; C < NumVars && Clean; ++C)
+      Clean = C == Pivot || !Targets[C] || Row[C].isZero();
+    if (!Clean)
+      continue;
+    std::vector<F> Def(NumVars + 1);
+    for (size_t C = 0; C < NumVars; ++C)
+      if (C != Pivot)
+        Def[C] = F() - Row[C];
+    Def[NumVars] = Row[NumVars];
+    Out.emplace_back(Pivot, std::move(Def));
+  }
+  return Out;
+}
+
+} // namespace cai
+
+#endif // CAI_LINALG_AFFINESYSTEM_H

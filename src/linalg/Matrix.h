@@ -1,0 +1,128 @@
+//===- linalg/Matrix.h - Dense matrices over a field ------------*- C++ -*-===//
+///
+/// \file
+/// A dense matrix over an arbitrary field with reduced-row-echelon-form
+/// (Gauss-Jordan) and null-space computation.  Instantiated with Rational
+/// for the Karr/polyhedra domains and with GF2 for the parity domain.
+///
+/// The Field concept: default constructor yields zero, static one(), the
+/// four arithmetic operators, ==, and isZero().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_LINALG_MATRIX_H
+#define CAI_LINALG_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace cai {
+
+/// A dense row-major matrix over field \p F.
+template <typename F> class Matrix {
+public:
+  Matrix(size_t NumRows, size_t NumCols)
+      : NumRows(NumRows), NumCols(NumCols), Data(NumRows * NumCols) {}
+
+  static Matrix fromRows(std::vector<std::vector<F>> Rows, size_t NumCols) {
+    Matrix M(Rows.size(), NumCols);
+    for (size_t R = 0; R < Rows.size(); ++R) {
+      assert(Rows[R].size() == NumCols && "ragged row");
+      for (size_t C = 0; C < NumCols; ++C)
+        M.at(R, C) = Rows[R][C];
+    }
+    return M;
+  }
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  F &at(size_t Row, size_t Col) {
+    assert(Row < NumRows && Col < NumCols && "index out of range");
+    return Data[Row * NumCols + Col];
+  }
+  const F &at(size_t Row, size_t Col) const {
+    assert(Row < NumRows && Col < NumCols && "index out of range");
+    return Data[Row * NumCols + Col];
+  }
+
+  std::vector<F> row(size_t Row) const {
+    std::vector<F> Out(NumCols);
+    for (size_t C = 0; C < NumCols; ++C)
+      Out[C] = at(Row, C);
+    return Out;
+  }
+
+  /// Transforms in place to reduced row echelon form; returns, per row, the
+  /// pivot column of that row (rows beyond the rank are all-zero and get no
+  /// entry).  Column order is left to right, which callers exploit by
+  /// permuting "eliminate-first" columns to the front.
+  std::vector<size_t> reducedRowEchelon() {
+    std::vector<size_t> Pivots;
+    size_t PivotRow = 0;
+    for (size_t Col = 0; Col < NumCols && PivotRow < NumRows; ++Col) {
+      // Find a row with a non-zero entry in this column.
+      size_t Found = NumRows;
+      for (size_t R = PivotRow; R < NumRows; ++R)
+        if (!at(R, Col).isZero()) {
+          Found = R;
+          break;
+        }
+      if (Found == NumRows)
+        continue;
+      swapRows(PivotRow, Found);
+      // Scale the pivot row to make the pivot 1.
+      F Inv = F::one() / at(PivotRow, Col);
+      for (size_t C = Col; C < NumCols; ++C)
+        at(PivotRow, C) = at(PivotRow, C) * Inv;
+      // Eliminate the column from every other row.
+      for (size_t R = 0; R < NumRows; ++R) {
+        if (R == PivotRow || at(R, Col).isZero())
+          continue;
+        F Factor = at(R, Col);
+        for (size_t C = Col; C < NumCols; ++C)
+          at(R, C) = at(R, C) - Factor * at(PivotRow, C);
+      }
+      Pivots.push_back(Col);
+      ++PivotRow;
+    }
+    return Pivots;
+  }
+
+  /// Returns a basis of the null space {x : Mx = 0}.  The matrix must
+  /// already be in reduced row echelon form with \p Pivots as returned by
+  /// reducedRowEchelon().
+  std::vector<std::vector<F>>
+  nullspaceBasis(const std::vector<size_t> &Pivots) const {
+    std::vector<bool> IsPivot(NumCols, false);
+    for (size_t P : Pivots)
+      IsPivot[P] = true;
+    std::vector<std::vector<F>> Basis;
+    for (size_t Free = 0; Free < NumCols; ++Free) {
+      if (IsPivot[Free])
+        continue;
+      std::vector<F> V(NumCols);
+      V[Free] = F::one();
+      for (size_t R = 0; R < Pivots.size(); ++R)
+        V[Pivots[R]] = F() - at(R, Free);
+      Basis.push_back(std::move(V));
+    }
+    return Basis;
+  }
+
+private:
+  void swapRows(size_t A, size_t B) {
+    if (A == B)
+      return;
+    for (size_t C = 0; C < NumCols; ++C)
+      std::swap(at(A, C), at(B, C));
+  }
+
+  size_t NumRows, NumCols;
+  std::vector<F> Data;
+};
+
+} // namespace cai
+
+#endif // CAI_LINALG_MATRIX_H

@@ -1,0 +1,63 @@
+//===- product/DirectProduct.h - Component-wise combination -----*- C++ -*-===//
+///
+/// \file
+/// The direct product of two logical lattices (Cousot & Cousot 79, the
+/// "independent attribute" combination): every operation is performed
+/// component-wise with no information exchange, so the analysis "discovers
+/// in one shot the information found separately by the component analyses"
+/// and nothing more.  It is the baseline the paper's Figure 1 compares
+/// reduced and logical products against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_PRODUCT_DIRECTPRODUCT_H
+#define CAI_PRODUCT_DIRECTPRODUCT_H
+
+#include "theory/LogicalLattice.h"
+
+namespace cai {
+
+/// Direct (component-wise) product of two logical lattices.
+class DirectProduct : public LogicalLattice {
+public:
+  DirectProduct(TermContext &Ctx, const LogicalLattice &First,
+                const LogicalLattice &Second)
+      : LogicalLattice(Ctx), L1(First), L2(Second) {}
+
+  std::string name() const override {
+    return L1.name() + " x " + L2.name();
+  }
+
+  bool ownsFunction(Symbol S) const override {
+    return L1.ownsFunction(S) || L2.ownsFunction(S);
+  }
+  bool ownsPredicate(Symbol S) const override {
+    return L1.ownsPredicate(S) || L2.ownsPredicate(S);
+  }
+  bool ownsNumerals() const override {
+    return L1.ownsNumerals() || L2.ownsNumerals();
+  }
+
+  Conjunction join(const Conjunction &A, const Conjunction &B) const override;
+  Conjunction existQuant(const Conjunction &E,
+                         const std::vector<Term> &Vars) const override;
+  bool entails(const Conjunction &E, const Atom &A) const override;
+  bool isUnsat(const Conjunction &E) const override;
+  std::vector<std::pair<Term, Term>>
+  impliedVarEqualities(const Conjunction &E) const override;
+  std::optional<Term> alternate(const Conjunction &E, Term Var,
+                                const std::vector<Term> &Avoid) const override;
+  Conjunction widen(const Conjunction &Old,
+                    const Conjunction &New) const override;
+
+  const LogicalLattice &first() const { return L1; }
+  const LogicalLattice &second() const { return L2; }
+
+private:
+  const LogicalLattice &L1;
+  const LogicalLattice &L2;
+};
+
+} // namespace cai
+
+#endif // CAI_PRODUCT_DIRECTPRODUCT_H

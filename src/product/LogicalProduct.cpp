@@ -1,0 +1,286 @@
+//===- product/LogicalProduct.cpp - The paper's core construction ----------===//
+
+#include "product/LogicalProduct.h"
+
+#include "theory/Entailment.h"
+#include "theory/NelsonOppen.h"
+#include "theory/Purify.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cai;
+
+namespace {
+
+/// Deduplicated, id-ordered union of variable vectors.
+std::vector<Term> unionVars(std::vector<Term> A, const std::vector<Term> &B) {
+  A.insert(A.end(), B.begin(), B.end());
+  std::sort(A.begin(), A.end(), TermIdLess());
+  A.erase(std::unique(A.begin(), A.end()), A.end());
+  return A;
+}
+
+/// Marks every variable occurring strictly below a non-arithmetic
+/// application -- the positions where alien terms can appear, and hence
+/// the only variables whose dummy pairs can name one.
+void collectInsideVars(const TermContext &Ctx, Term T, bool UnderApp,
+                       std::set<Term, TermIdLess> &Out) {
+  switch (T->kind()) {
+  case TermKind::Variable:
+    if (UnderApp)
+      Out.insert(T);
+    return;
+  case TermKind::Number:
+    return;
+  case TermKind::App:
+    break;
+  }
+  bool NowUnder = UnderApp || !Ctx.info(T->symbol()).Arithmetic;
+  for (Term Arg : T->args())
+    collectInsideVars(Ctx, Arg, NowUnder, Out);
+}
+
+std::set<Term, TermIdLess> insideVars(const TermContext &Ctx,
+                                      const Conjunction &E) {
+  std::set<Term, TermIdLess> Out;
+  if (E.isBottom())
+    return Out;
+  for (const Atom &A : E.atoms())
+    for (Term Arg : A.args())
+      collectInsideVars(Ctx, Arg, /*UnderApp=*/false, Out);
+  return Out;
+}
+
+} // namespace
+
+Conjunction LogicalProduct::combine(const Conjunction &A, const Conjunction &B,
+                                    bool UseWiden) const {
+  TermContext &Ctx = context();
+  if (A.isBottom() || isUnsat(A))
+    return B;
+  if (B.isBottom() || isUnsat(B))
+    return A;
+
+  // Lines 1-4 of Figure 6: purify and NO-saturate both inputs.
+  PurifyResult PL = purify(Ctx, L1, L2, A);
+  SaturationResult SL = noSaturate(Ctx, L1, L2, PL.Side1, PL.Side2);
+  PurifyResult PR = purify(Ctx, L1, L2, B);
+  SaturationResult SR = noSaturate(Ctx, L1, L2, PR.Side1, PR.Side2);
+  if (SL.Bottom)
+    return B;
+  if (SR.Bottom)
+    return A;
+
+  Conjunction Left1 = SL.Side1, Left2 = SL.Side2;
+  Conjunction Right1 = SR.Side1, Right2 = SR.Side2;
+
+  std::vector<Term> DummyVars;
+  if (M == Mode::Logical) {
+    // Lines 5-7: one fresh dummy variable per <x, y> pair of left/right
+    // variables, defined as x on the left and as y on the right, so the
+    // component joins can name alien terms that occur semantically on both
+    // sides.  Pairs with x == y are redundant (the shared variable itself
+    // plays that role) and are skipped.
+    std::vector<Term> LeftVars = unionVars(A.vars(), PL.FreshVars);
+    std::vector<Term> RightVars = unionVars(B.vars(), PR.FreshVars);
+    if (Pairs == DummyPairs::Pruned) {
+      // Keep only variables that can name an alien term: purification
+      // variables (they name aliens by construction) and variables
+      // occurring under a non-arithmetic application.
+      auto Prune = [&](std::vector<Term> &Vars, const Conjunction &E,
+                       const std::vector<Term> &Fresh) {
+        std::set<Term, TermIdLess> Keep = insideVars(Ctx, E);
+        Keep.insert(Fresh.begin(), Fresh.end());
+        Vars.erase(std::remove_if(Vars.begin(), Vars.end(),
+                                  [&](Term V) { return !Keep.count(V); }),
+                   Vars.end());
+      };
+      Prune(LeftVars, A, PL.FreshVars);
+      Prune(RightVars, B, PR.FreshVars);
+    }
+    for (Term X : LeftVars) {
+      for (Term Y : RightVars) {
+        if (X == Y)
+          continue;
+        Term P = Ctx.freshVar("p");
+        DummyVars.push_back(P);
+        Atom LeftDef = Atom::mkEq(Ctx, X, P);
+        Atom RightDef = Atom::mkEq(Ctx, Y, P);
+        Left1.add(LeftDef);
+        Left2.add(LeftDef);
+        Right1.add(RightDef);
+        Right2.add(RightDef);
+      }
+    }
+  }
+
+  // Lines 8-9: component-wise join (or widening, Section 4.3).
+  Conjunction E1 = UseWiden ? L1.widen(Left1, Right1) : L1.join(Left1, Right1);
+  Conjunction E2 = UseWiden ? L2.widen(Left2, Right2) : L2.join(Left2, Right2);
+  Conjunction E = E1.meet(E2);
+
+  // Line 10: eliminate the dummies with the product's own Q, which is what
+  // materializes mixed facts such as u = F(v + 1).
+  if (!DummyVars.empty())
+    E = existQuant(E, DummyVars);
+  return E.simplified(Ctx);
+}
+
+Conjunction LogicalProduct::join(const Conjunction &A,
+                                 const Conjunction &B) const {
+  return combine(A, B, /*UseWiden=*/false);
+}
+
+Conjunction LogicalProduct::widen(const Conjunction &Old,
+                                  const Conjunction &New) const {
+  return combine(Old, New, /*UseWiden=*/true);
+}
+
+LogicalProduct::QSaturationResult
+LogicalProduct::qSaturate(const Conjunction &E1, const Conjunction &E2,
+                          const std::vector<Term> &V1) const {
+  QSaturationResult Result;
+  std::vector<Term> V2 = V1; // Still-unresolved variables, id-ordered.
+  // Round-based batched Alternate: each batch finds every definition
+  // derivable while avoiding the whole current V2 (one canonicalization
+  // pass per theory per round), and removals unlock further definitions in
+  // the next round -- the same fixpoint as the paper's per-variable loop.
+  bool Changed = true;
+  while (Changed && !V2.empty()) {
+    Changed = false;
+    for (int Side = 0; Side < 2 && !V2.empty(); ++Side) {
+      const LogicalLattice &L = Side == 0 ? L1 : L2;
+      const Conjunction &E = Side == 0 ? E1 : E2;
+      for (auto &[Y, T] : L.alternateBatch(E, V2)) {
+        auto It = std::find(V2.begin(), V2.end(), Y);
+        if (It == V2.end())
+          continue;
+        Result.Defs.emplace_back(Y, T);
+        V2.erase(It);
+        Changed = true;
+      }
+    }
+  }
+  Result.Remaining = std::move(V2);
+  return Result;
+}
+
+Conjunction LogicalProduct::backSubstitute(
+    Conjunction E, const std::vector<std::pair<Term, Term>> &Defs) const {
+  // Definitions found later may mention variables defined earlier but not
+  // vice versa, so substituting in reverse removal order resolves chains.
+  for (auto It = Defs.rbegin(); It != Defs.rend(); ++It) {
+    Substitution S;
+    S.emplace(It->first, It->second);
+    E = E.substitute(context(), S);
+  }
+  return E;
+}
+
+Conjunction LogicalProduct::existQuant(const Conjunction &E,
+                                       const std::vector<Term> &Vars) const {
+  TermContext &Ctx = context();
+  if (E.isBottom())
+    return E;
+
+  // Lines 1-2 of Figure 7.
+  PurifyResult P = purify(Ctx, L1, L2, E);
+  SaturationResult Sat = noSaturate(Ctx, L1, L2, P.Side1, P.Side2);
+  if (Sat.Bottom)
+    return Conjunction::bottom();
+
+  // Line 3: V1 is everything to eliminate -- the caller's variables plus
+  // the purification variables.
+  std::vector<Term> V1 = unionVars(Vars, P.FreshVars);
+
+  // Line 4: in Logical mode, find Alternate definitions; the reduced
+  // product takes V2 := V1.
+  QSaturationResult Q;
+  if (M == Mode::Logical)
+    Q = qSaturate(Sat.Side1, Sat.Side2, V1);
+  else
+    Q.Remaining = V1;
+
+  // Lines 5-6: component quantification over the undefined variables.
+  Conjunction E12 = L1.existQuant(Sat.Side1, Q.Remaining);
+  Conjunction E22 = L2.existQuant(Sat.Side2, Q.Remaining);
+
+  // Lines 7-8: back-substitute the definitions, producing mixed facts.
+  E12 = backSubstitute(std::move(E12), Q.Defs);
+  E22 = backSubstitute(std::move(E22), Q.Defs);
+
+  // Line 9.
+  return E12.meet(E22).simplified(Ctx);
+}
+
+bool LogicalProduct::entails(const Conjunction &E, const Atom &A) const {
+  return combinedEntails(context(), L1, L2, E, A);
+}
+
+bool LogicalProduct::isUnsat(const Conjunction &E) const {
+  return combinedIsUnsat(context(), L1, L2, E);
+}
+
+std::vector<std::pair<Term, Term>>
+LogicalProduct::impliedVarEqualities(const Conjunction &E) const {
+  std::vector<std::pair<Term, Term>> Out;
+  if (E.isBottom())
+    return Out;
+  TermContext &Ctx = context();
+  PurifyResult P = purify(Ctx, L1, L2, E);
+  SaturationResult Sat = noSaturate(Ctx, L1, L2, P.Side1, P.Side2);
+  if (Sat.Bottom)
+    return Out;
+  // After saturation each side individually implies every shared variable
+  // equality; take the union restricted to the input's own variables.
+  std::set<Term, TermIdLess> InputVars;
+  for (Term V : E.vars())
+    InputVars.insert(V);
+  auto Collect = [&](const std::vector<std::pair<Term, Term>> &Eqs) {
+    for (const auto &[X, Y] : Eqs)
+      if (InputVars.count(X) && InputVars.count(Y))
+        Out.emplace_back(X, Y);
+  };
+  Collect(L1.impliedVarEqualities(Sat.Side1));
+  Collect(L2.impliedVarEqualities(Sat.Side2));
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    return std::make_pair(A.first->id(), A.second->id()) <
+           std::make_pair(B.first->id(), B.second->id());
+  });
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+std::optional<Term>
+LogicalProduct::alternate(const Conjunction &E, Term Var,
+                          const std::vector<Term> &Avoid) const {
+  if (E.isBottom())
+    return std::nullopt;
+  TermContext &Ctx = context();
+  PurifyResult P = purify(Ctx, L1, L2, E);
+  SaturationResult Sat = noSaturate(Ctx, L1, L2, P.Side1, P.Side2);
+  if (Sat.Bottom)
+    return std::nullopt;
+  // Eliminate Var, the avoided variables and the purification variables;
+  // if QSaturation found a definition for Var, back-substitution yields a
+  // term over permitted variables only.
+  std::vector<Term> V1 = unionVars(Avoid, P.FreshVars);
+  V1 = unionVars(V1, {Var});
+  QSaturationResult Q = qSaturate(Sat.Side1, Sat.Side2, V1);
+  for (size_t I = 0; I < Q.Defs.size(); ++I) {
+    if (Q.Defs[I].first != Var)
+      continue;
+    // Resolve chains: a definition found at step I may mention variables
+    // defined at earlier steps (never later ones), so substitute the
+    // earlier definitions into Var's, most recent first.
+    Term T = Q.Defs[I].second;
+    for (size_t J = I; J-- > 0;) {
+      Substitution S;
+      S.emplace(Q.Defs[J].first, Q.Defs[J].second);
+      T = Ctx.substitute(T, S);
+    }
+    return T;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,440 @@
+//===- support/BigInt.cpp - Arbitrary-precision signed integers ----------===//
+///
+/// \file
+/// Small values (anything fitting int64_t) live inline; arithmetic on them
+/// runs through __int128 and only promotes on overflow.  The big path is
+/// schoolbook base-2^32 limb arithmetic with Knuth algorithm D division.
+/// Every result is demoted back to the small form when it fits, keeping
+/// the representation canonical (operator== relies on that).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+
+using namespace cai;
+
+static constexpr __int128 Int64Min = INT64_MIN;
+static constexpr __int128 Int64Max = INT64_MAX;
+
+BigInt BigInt::fromInt128(__int128 Value) {
+  if (Value >= Int64Min && Value <= Int64Max)
+    return BigInt(static_cast<int64_t>(Value));
+  bool Neg = Value < 0;
+  unsigned __int128 Mag =
+      Neg ? ~static_cast<unsigned __int128>(Value) + 1
+          : static_cast<unsigned __int128>(Value);
+  Magnitude Limbs;
+  while (Mag) {
+    Limbs.push_back(static_cast<uint32_t>(Mag));
+    Mag >>= 32;
+  }
+  return fromMagnitude(Neg, std::move(Limbs));
+}
+
+BigInt BigInt::fromMagnitude(bool Negative, Magnitude Limbs) {
+  trim(Limbs);
+  // Demote when the magnitude fits an int64.
+  if (Limbs.size() <= 2) {
+    uint64_t Mag = 0;
+    if (!Limbs.empty())
+      Mag = Limbs[0];
+    if (Limbs.size() == 2)
+      Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
+    if (Mag <= static_cast<uint64_t>(INT64_MAX))
+      return BigInt(Negative ? -static_cast<int64_t>(Mag)
+                             : static_cast<int64_t>(Mag));
+    if (Negative && Mag == static_cast<uint64_t>(1) << 63)
+      return BigInt(INT64_MIN);
+  }
+  BigInt Out;
+  Out.IsBig = true;
+  Out.Negative = Negative;
+  Out.Limbs = std::move(Limbs);
+  assert(!Out.Limbs.empty() && "big form must be non-zero");
+  return Out;
+}
+
+BigInt::Magnitude BigInt::magnitude() const {
+  if (IsBig)
+    return Limbs;
+  Magnitude Out;
+  uint64_t Mag = smallMagnitude();
+  if (Mag)
+    Out.push_back(static_cast<uint32_t>(Mag));
+  if (Mag >> 32)
+    Out.push_back(static_cast<uint32_t>(Mag >> 32));
+  return Out;
+}
+
+bool BigInt::isValidDecimal(const std::string &Text) {
+  size_t Start = (!Text.empty() && Text[0] == '-') ? 1 : 0;
+  if (Text.size() == Start)
+    return false;
+  for (size_t I = Start; I < Text.size(); ++I)
+    if (Text[I] < '0' || Text[I] > '9')
+      return false;
+  return true;
+}
+
+BigInt BigInt::fromString(const std::string &Text) {
+  assert(isValidDecimal(Text) && "malformed decimal integer");
+  BigInt Result;
+  size_t Start = Text[0] == '-' ? 1 : 0;
+  BigInt Ten(10);
+  for (size_t I = Start; I < Text.size(); ++I)
+    Result = Result * Ten + BigInt(Text[I] - '0');
+  if (Text[0] == '-')
+    Result = -Result;
+  return Result;
+}
+
+void BigInt::trim(Magnitude &Limbs) {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+}
+
+int BigInt::compareMagnitude(const Magnitude &A, const Magnitude &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+BigInt::Magnitude BigInt::addMagnitude(const Magnitude &A,
+                                       const Magnitude &B) {
+  Magnitude Result;
+  Result.reserve(std::max(A.size(), B.size()) + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0, E = std::max(A.size(), B.size()); I < E; ++I) {
+    uint64_t Sum = Carry;
+    if (I < A.size())
+      Sum += A[I];
+    if (I < B.size())
+      Sum += B[I];
+    Result.push_back(static_cast<uint32_t>(Sum));
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    Result.push_back(static_cast<uint32_t>(Carry));
+  return Result;
+}
+
+BigInt::Magnitude BigInt::subMagnitude(const Magnitude &A,
+                                       const Magnitude &B) {
+  assert(compareMagnitude(A, B) >= 0 && "subMagnitude requires |A| >= |B|");
+  Magnitude Result;
+  Result.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    Borrow = 0;
+    if (Diff < 0) {
+      Diff += static_cast<int64_t>(1) << 32;
+      Borrow = 1;
+    }
+    Result.push_back(static_cast<uint32_t>(Diff));
+  }
+  assert(Borrow == 0 && "magnitude subtraction underflow");
+  trim(Result);
+  return Result;
+}
+
+BigInt::Magnitude BigInt::mulMagnitude(const Magnitude &A,
+                                       const Magnitude &B) {
+  if (A.empty() || B.empty())
+    return {};
+  Magnitude Result(A.size() + B.size(), 0);
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J < B.size(); ++J) {
+      uint64_t Cur = static_cast<uint64_t>(A[I]) * B[J] + Result[I + J] + Carry;
+      Result[I + J] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry) {
+      uint64_t Cur = Result[K] + Carry;
+      Result[K] = static_cast<uint32_t>(Cur);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  trim(Result);
+  return Result;
+}
+
+BigInt::Magnitude BigInt::divMagnitude(const Magnitude &A, const Magnitude &B,
+                                       Magnitude &Rem) {
+  assert(!B.empty() && "division by zero");
+  Rem.clear();
+  if (compareMagnitude(A, B) < 0) {
+    Rem = A;
+    return {};
+  }
+
+  // Single-limb divisor fast path.
+  if (B.size() == 1) {
+    uint64_t Divisor = B[0];
+    Magnitude Quot(A.size(), 0);
+    uint64_t Carry = 0;
+    for (size_t I = A.size(); I-- > 0;) {
+      uint64_t Cur = (Carry << 32) | A[I];
+      Quot[I] = static_cast<uint32_t>(Cur / Divisor);
+      Carry = Cur % Divisor;
+    }
+    trim(Quot);
+    if (Carry)
+      Rem.push_back(static_cast<uint32_t>(Carry));
+    return Quot;
+  }
+
+  // Knuth algorithm D.  Normalize so the divisor's top limb has its high bit
+  // set; this bounds the quotient-digit estimate error to at most 2.
+  int Shift = 0;
+  for (uint32_t Top = B.back(); !(Top & 0x80000000u); Top <<= 1)
+    ++Shift;
+
+  auto shiftLeft = [](const Magnitude &V, int S) {
+    if (S == 0)
+      return V;
+    Magnitude Out(V.size() + 1, 0);
+    for (size_t I = 0; I < V.size(); ++I) {
+      Out[I] |= V[I] << S;
+      Out[I + 1] = static_cast<uint32_t>(static_cast<uint64_t>(V[I]) >>
+                                         (32 - S));
+    }
+    trim(Out);
+    return Out;
+  };
+  auto shiftRight = [](Magnitude V, int S) {
+    if (S == 0)
+      return V;
+    for (size_t I = 0; I < V.size(); ++I) {
+      V[I] >>= S;
+      if (I + 1 < V.size())
+        V[I] |= V[I + 1] << (32 - S);
+    }
+    trim(V);
+    return V;
+  };
+
+  Magnitude U = shiftLeft(A, Shift);
+  Magnitude V = shiftLeft(B, Shift);
+  size_t N = V.size();
+  size_t M = U.size() - N;
+  U.resize(U.size() + 1, 0); // Room for the overflow limb.
+
+  Magnitude Quot(M + 1, 0);
+  for (size_t J = M + 1; J-- > 0;) {
+    // Estimate the quotient digit from the top two limbs.
+    uint64_t Numer = (static_cast<uint64_t>(U[J + N]) << 32) | U[J + N - 1];
+    uint64_t QHat = Numer / V[N - 1];
+    uint64_t RHat = Numer % V[N - 1];
+    while (QHat >= (static_cast<uint64_t>(1) << 32) ||
+           QHat * V[N - 2] > ((RHat << 32) | U[J + N - 2])) {
+      --QHat;
+      RHat += V[N - 1];
+      if (RHat >= (static_cast<uint64_t>(1) << 32))
+        break;
+    }
+
+    // Multiply-and-subtract; QHat may still be one too large.
+    int64_t Borrow = 0;
+    uint64_t Carry = 0;
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t Product = QHat * V[I] + Carry;
+      Carry = Product >> 32;
+      int64_t Diff = static_cast<int64_t>(U[I + J]) -
+                     static_cast<int64_t>(Product & 0xFFFFFFFFu) - Borrow;
+      Borrow = 0;
+      if (Diff < 0) {
+        Diff += static_cast<int64_t>(1) << 32;
+        Borrow = 1;
+      }
+      U[I + J] = static_cast<uint32_t>(Diff);
+    }
+    int64_t Diff = static_cast<int64_t>(U[J + N]) -
+                   static_cast<int64_t>(Carry) - Borrow;
+    if (Diff < 0) {
+      // QHat was one too large: add the divisor back.
+      Diff += static_cast<int64_t>(1) << 32;
+      --QHat;
+      uint64_t AddCarry = 0;
+      for (size_t I = 0; I < N; ++I) {
+        uint64_t Sum = static_cast<uint64_t>(U[I + J]) + V[I] + AddCarry;
+        U[I + J] = static_cast<uint32_t>(Sum);
+        AddCarry = Sum >> 32;
+      }
+      Diff += static_cast<int64_t>(AddCarry);
+      Diff &= 0xFFFFFFFF;
+    }
+    U[J + N] = static_cast<uint32_t>(Diff);
+    Quot[J] = static_cast<uint32_t>(QHat);
+  }
+
+  U.resize(N);
+  trim(U);
+  Rem = shiftRight(std::move(U), Shift);
+  trim(Quot);
+  return Quot;
+}
+
+BigInt BigInt::operator-() const {
+  if (!IsBig) {
+    if (Small == INT64_MIN)
+      return fromInt128(-static_cast<__int128>(Small));
+    return BigInt(-Small);
+  }
+  BigInt Result = *this;
+  Result.Negative = !Result.Negative;
+  return Result;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  if (!IsBig && !RHS.IsBig)
+    return fromInt128(static_cast<__int128>(Small) + RHS.Small);
+  Magnitude LM = magnitude(), RM = RHS.magnitude();
+  bool LN = isNegative(), RN = RHS.isNegative();
+  if (LN == RN)
+    return fromMagnitude(LN, addMagnitude(LM, RM));
+  if (compareMagnitude(LM, RM) >= 0)
+    return fromMagnitude(LN, subMagnitude(LM, RM));
+  return fromMagnitude(RN, subMagnitude(RM, LM));
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const {
+  if (!IsBig && !RHS.IsBig)
+    return fromInt128(static_cast<__int128>(Small) - RHS.Small);
+  return *this + (-RHS);
+}
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  if (!IsBig && !RHS.IsBig)
+    return fromInt128(static_cast<__int128>(Small) * RHS.Small);
+  return fromMagnitude(isNegative() != RHS.isNegative(),
+                       mulMagnitude(magnitude(), RHS.magnitude()));
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  if (!IsBig && !RHS.IsBig) {
+    // INT64_MIN / -1 is the only overflowing case.
+    if (Small == INT64_MIN && RHS.Small == -1)
+      return fromInt128(-static_cast<__int128>(INT64_MIN));
+    return BigInt(Small / RHS.Small);
+  }
+  Magnitude Rem;
+  Magnitude Quot = divMagnitude(magnitude(), RHS.magnitude(), Rem);
+  return fromMagnitude(isNegative() != RHS.isNegative(), std::move(Quot));
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  if (!IsBig && !RHS.IsBig) {
+    if (Small == INT64_MIN && RHS.Small == -1)
+      return BigInt(0);
+    return BigInt(Small % RHS.Small);
+  }
+  Magnitude Rem;
+  divMagnitude(magnitude(), RHS.magnitude(), Rem);
+  return fromMagnitude(isNegative(), std::move(Rem));
+}
+
+bool BigInt::operator<(const BigInt &RHS) const {
+  if (!IsBig && !RHS.IsBig)
+    return Small < RHS.Small;
+  bool LN = isNegative(), RN = RHS.isNegative();
+  if (LN != RN)
+    return LN;
+  // Same sign; a big form always has larger magnitude than a small one.
+  if (IsBig != RHS.IsBig)
+    return RHS.IsBig != LN;
+  int Cmp = compareMagnitude(Limbs, RHS.Limbs);
+  return LN ? Cmp > 0 : Cmp < 0;
+}
+
+BigInt BigInt::abs() const {
+  if (isNegative())
+    return -*this;
+  return *this;
+}
+
+BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+  // Small fast path: plain Euclid on uint64.
+  if (!A.IsBig && !B.IsBig) {
+    uint64_t X = A.smallMagnitude(), Y = B.smallMagnitude();
+    while (Y) {
+      uint64_t R = X % Y;
+      X = Y;
+      Y = R;
+    }
+    // X <= max(|a|,|b|) <= 2^63 always fits back.
+    return fromInt128(static_cast<__int128>(X));
+  }
+  BigInt X = A.abs(), Y = B.abs();
+  while (!Y.isZero()) {
+    BigInt R = X % Y;
+    X = std::move(Y);
+    Y = std::move(R);
+  }
+  return X;
+}
+
+BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {
+  if (A.isZero() || B.isZero())
+    return BigInt();
+  return (A.abs() / gcd(A, B)) * B.abs();
+}
+
+BigInt BigInt::pow(const BigInt &Base, unsigned Exp) {
+  BigInt Result(1), Factor = Base;
+  while (Exp) {
+    if (Exp & 1)
+      Result *= Factor;
+    Factor *= Factor;
+    Exp >>= 1;
+  }
+  return Result;
+}
+
+std::string BigInt::toString() const {
+  if (!IsBig)
+    return std::to_string(Small);
+  std::string Digits;
+  Magnitude Work = Limbs;
+  // Extract 9 decimal digits at a time using the single-limb fast path.
+  const uint64_t Chunk = 1000000000;
+  while (!Work.empty()) {
+    uint64_t Carry = 0;
+    for (size_t I = Work.size(); I-- > 0;) {
+      uint64_t Cur = (Carry << 32) | Work[I];
+      Work[I] = static_cast<uint32_t>(Cur / Chunk);
+      Carry = Cur % Chunk;
+    }
+    trim(Work);
+    for (int I = 0; I < 9; ++I) {
+      Digits.push_back('0' + static_cast<char>(Carry % 10));
+      Carry /= 10;
+    }
+  }
+  while (Digits.size() > 1 && Digits.back() == '0')
+    Digits.pop_back();
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+size_t BigInt::hash() const {
+  if (!IsBig)
+    return static_cast<size_t>(Small) * 1099511628211ull;
+  size_t H = Negative ? 0x9e3779b97f4a7c15ull : 0;
+  for (uint32_t Limb : Limbs)
+    H = H * 1099511628211ull ^ Limb;
+  return H;
+}

@@ -1,0 +1,154 @@
+//===- support/BigInt.h - Arbitrary-precision signed integers --*- C++ -*-===//
+//
+// Part of the cai project: a reproduction of "Combining Abstract
+// Interpreters" (Gulwani & Tiwari, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision signed integer arithmetic.
+///
+/// The Karr domain (affine hulls), Fourier-Motzkin elimination and the exact
+/// simplex all produce coefficient blow-up that genuinely overflows 64-bit
+/// integers, so every numeric domain in this library is backed by BigInt
+/// (through Rational).
+///
+/// Representation: a small-value fast path (plain int64_t, no heap
+/// allocation -- the overwhelmingly common case in abstract interpretation)
+/// with transparent promotion to sign-magnitude base-2^32 limbs,
+/// least-significant first.  Results demote back to the small form whenever
+/// they fit, so chains of small operations never touch the heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_SUPPORT_BIGINT_H
+#define CAI_SUPPORT_BIGINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cai {
+
+/// An arbitrary-precision signed integer.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a machine integer (small form; never allocates).
+  BigInt(int64_t Value) : Small(Value) {}
+
+  /// Parses a decimal string with an optional leading '-'.  Asserts on
+  /// malformed input; use isValidDecimal to validate untrusted text first.
+  static BigInt fromString(const std::string &Text);
+
+  /// Returns true if \p Text is a well-formed decimal integer.
+  static bool isValidDecimal(const std::string &Text);
+
+  bool isZero() const { return !IsBig && Small == 0; }
+  bool isNegative() const { return IsBig ? Negative : Small < 0; }
+  bool isOne() const { return !IsBig && Small == 1; }
+
+  /// Returns the value as int64_t.  Asserts if it does not fit.
+  int64_t toInt64() const {
+    assert(fitsInt64() && "value does not fit in int64_t");
+    return Small;
+  }
+
+  /// True if the value fits in an int64_t.  (Big values are demoted
+  /// eagerly, so the big form never holds an int64-representable value.)
+  bool fitsInt64() const { return !IsBig; }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+
+  /// Truncated division (C semantics: rounds toward zero).  Asserts on
+  /// division by zero.
+  BigInt operator/(const BigInt &RHS) const;
+
+  /// Remainder matching operator/ (same sign as the dividend).
+  BigInt operator%(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+  BigInt &operator/=(const BigInt &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const BigInt &RHS) const {
+    if (IsBig != RHS.IsBig)
+      return false; // Canonical forms: small values are never stored big.
+    if (!IsBig)
+      return Small == RHS.Small;
+    return Negative == RHS.Negative && Limbs == RHS.Limbs;
+  }
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const BigInt &RHS) const;
+  bool operator<=(const BigInt &RHS) const { return !(RHS < *this); }
+  bool operator>(const BigInt &RHS) const { return RHS < *this; }
+  bool operator>=(const BigInt &RHS) const { return !(*this < RHS); }
+
+  /// Returns -1, 0, or 1 according to the sign of the value.
+  int sign() const {
+    if (IsBig)
+      return Negative ? -1 : 1; // Big values are never zero.
+    return Small < 0 ? -1 : Small > 0 ? 1 : 0;
+  }
+
+  /// Absolute value.
+  BigInt abs() const;
+
+  /// Greatest common divisor of the absolute values; gcd(0, x) == |x|.
+  static BigInt gcd(const BigInt &A, const BigInt &B);
+
+  /// Least common multiple of the absolute values; lcm(0, x) == 0.
+  static BigInt lcm(const BigInt &A, const BigInt &B);
+
+  /// Raises \p Base to the non-negative power \p Exp.
+  static BigInt pow(const BigInt &Base, unsigned Exp);
+
+  /// Decimal rendering with a leading '-' for negative values.
+  std::string toString() const;
+
+  /// Hash suitable for unordered containers.
+  size_t hash() const;
+
+private:
+  using Magnitude = std::vector<uint32_t>;
+
+  /// Builds the canonical form from sign + magnitude, demoting when small.
+  static BigInt fromMagnitude(bool Negative, Magnitude Limbs);
+  /// Builds from a 128-bit signed intermediate (small-path overflow).
+  static BigInt fromInt128(__int128 Value);
+
+  /// Magnitude of the small value (valid only when !IsBig).
+  uint64_t smallMagnitude() const {
+    return Small < 0 ? ~static_cast<uint64_t>(Small) + 1
+                     : static_cast<uint64_t>(Small);
+  }
+  /// Copies this value's magnitude into limb form.
+  Magnitude magnitude() const;
+
+  static int compareMagnitude(const Magnitude &A, const Magnitude &B);
+  static Magnitude addMagnitude(const Magnitude &A, const Magnitude &B);
+  /// Requires |A| >= |B|.
+  static Magnitude subMagnitude(const Magnitude &A, const Magnitude &B);
+  static Magnitude mulMagnitude(const Magnitude &A, const Magnitude &B);
+  /// Knuth algorithm D; returns quotient magnitude and leaves the remainder
+  /// magnitude in \p Rem.
+  static Magnitude divMagnitude(const Magnitude &A, const Magnitude &B,
+                                Magnitude &Rem);
+  static void trim(Magnitude &Limbs);
+
+  int64_t Small = 0;  ///< Valid when !IsBig.
+  Magnitude Limbs;    ///< Valid when IsBig.
+  bool Negative = false;
+  bool IsBig = false;
+};
+
+} // namespace cai
+
+#endif // CAI_SUPPORT_BIGINT_H

@@ -1,0 +1,85 @@
+//===- support/Rational.cpp - Exact rational arithmetic ------------------===//
+
+#include "support/Rational.h"
+
+using namespace cai;
+
+Rational::Rational(BigInt Numerator, BigInt Denominator)
+    : Num(std::move(Numerator)), Den(std::move(Denominator)) {
+  assert(!Den.isZero() && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNegative()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt G = BigInt::gcd(Num, Den);
+  if (!G.isOne()) {
+    Num /= G;
+    Den /= G;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational Result = *this;
+  Result.Num = -Result.Num;
+  return Result;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "rational division by zero");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  return Num * RHS.Den < RHS.Num * Den;
+}
+
+Rational Rational::inverse() const {
+  assert(!isZero() && "inverse of zero");
+  return Rational(Den, Num);
+}
+
+BigInt Rational::floor() const {
+  if (Den.isOne())
+    return Num;
+  // The value is not an integer here (lowest terms), so truncated division
+  // rounds up for negatives and down for positives.
+  BigInt Q = Num / Den;
+  if (Num.isNegative())
+    Q = Q - BigInt(1);
+  return Q;
+}
+
+BigInt Rational::ceil() const {
+  if (Den.isOne())
+    return Num;
+  BigInt Q = Num / Den;
+  if (!Num.isNegative())
+    Q = Q + BigInt(1);
+  return Q;
+}
+
+std::string Rational::toString() const {
+  if (Den.isOne())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}

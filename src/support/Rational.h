@@ -1,0 +1,90 @@
+//===- support/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+///
+/// \file
+/// Exact rationals over BigInt, always kept in lowest terms with a positive
+/// denominator.  This is the coefficient field for the Karr affine domain,
+/// Fourier-Motzkin elimination and the exact simplex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_SUPPORT_RATIONAL_H
+#define CAI_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <string>
+
+namespace cai {
+
+/// An exact rational number.
+///
+/// Also models the Field concept used by linalg::Matrix: default constructor
+/// is zero, and it provides +, -, *, /, ==, isZero and one().
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Num(0), Den(1) {}
+
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(BigInt Numerator) : Num(std::move(Numerator)), Den(1) {}
+
+  /// Constructs Numerator/Denominator and normalizes.  Asserts on a zero
+  /// denominator.
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  static Rational one() { return Rational(1); }
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isOne() const { return Num.isOne() && Den.isOne(); }
+  bool isInteger() const { return Den.isOne(); }
+  int sign() const { return Num.sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Asserts on division by zero.
+  Rational operator/(const Rational &RHS) const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator<=(const Rational &RHS) const { return !(RHS < *this); }
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator>=(const Rational &RHS) const { return !(*this < RHS); }
+
+  Rational abs() const { return sign() < 0 ? -*this : *this; }
+
+  /// Reciprocal; asserts on zero.
+  Rational inverse() const;
+
+  /// Largest integer <= value.
+  BigInt floor() const;
+  /// Smallest integer >= value.
+  BigInt ceil() const;
+
+  /// Renders as "n" or "n/d".
+  std::string toString() const;
+
+  size_t hash() const { return Num.hash() * 31 ^ Den.hash(); }
+
+private:
+  void normalize();
+
+  BigInt Num;
+  BigInt Den; // Always positive.
+};
+
+} // namespace cai
+
+#endif // CAI_SUPPORT_RATIONAL_H

@@ -1,0 +1,70 @@
+//===- term/Conjunction.cpp - Conjunctions of atomic facts ----------------===//
+
+#include "term/Conjunction.h"
+
+#include <algorithm>
+
+using namespace cai;
+
+Conjunction Conjunction::of(std::vector<Atom> Atoms) {
+  Conjunction C;
+  std::sort(Atoms.begin(), Atoms.end());
+  Atoms.erase(std::unique(Atoms.begin(), Atoms.end()), Atoms.end());
+  C.Items = std::move(Atoms);
+  return C;
+}
+
+void Conjunction::add(const Atom &A) {
+  if (Bottom)
+    return;
+  auto It = std::lower_bound(Items.begin(), Items.end(), A);
+  if (It != Items.end() && *It == A)
+    return;
+  Items.insert(It, A);
+}
+
+Conjunction Conjunction::meet(const Conjunction &RHS) const {
+  if (Bottom || RHS.Bottom)
+    return bottom();
+  Conjunction Result = *this;
+  for (const Atom &A : RHS.Items)
+    Result.add(A);
+  return Result;
+}
+
+bool Conjunction::contains(const Atom &A) const {
+  if (Bottom)
+    return false;
+  return std::binary_search(Items.begin(), Items.end(), A);
+}
+
+Conjunction Conjunction::substitute(TermContext &Ctx,
+                                    const Substitution &Subst) const {
+  if (Bottom || Subst.empty())
+    return *this;
+  Conjunction Result;
+  for (const Atom &A : Items)
+    Result.add(A.substitute(Ctx, Subst));
+  return Result;
+}
+
+std::vector<Term> Conjunction::vars() const {
+  std::vector<Term> Out;
+  if (Bottom)
+    return Out;
+  for (const Atom &A : Items)
+    A.collectVars(Out);
+  std::sort(Out.begin(), Out.end(), TermIdLess());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+Conjunction Conjunction::simplified(TermContext &Ctx) const {
+  if (Bottom)
+    return *this;
+  Conjunction Result;
+  for (const Atom &A : Items)
+    if (!A.isTrivial(Ctx))
+      Result.add(A);
+  return Result;
+}

@@ -1,0 +1,76 @@
+//===- term/Conjunction.h - Conjunctions of atomic facts --------*- C++ -*-===//
+///
+/// \file
+/// A finite conjunction of atomic facts, or the explicit inconsistent
+/// element "false".  These are the elements of every logical lattice
+/// (Definition 1): "true" is the empty conjunction (lattice top), "false"
+/// is lattice bottom.  Atoms are kept sorted and deduplicated; syntactic
+/// equality of two conjunctions is therefore meaningful, but semantic
+/// lattice equality is still a domain question (mutual entailment).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_TERM_CONJUNCTION_H
+#define CAI_TERM_CONJUNCTION_H
+
+#include "term/Atom.h"
+
+namespace cai {
+
+/// A sorted, deduplicated conjunction of atoms, with an explicit bottom.
+class Conjunction {
+public:
+  /// Constructs "true" (the empty conjunction, lattice top).
+  Conjunction() = default;
+
+  static Conjunction top() { return Conjunction(); }
+  static Conjunction bottom() {
+    Conjunction C;
+    C.Bottom = true;
+    return C;
+  }
+  static Conjunction of(std::vector<Atom> Atoms);
+
+  bool isBottom() const { return Bottom; }
+  bool isTop() const { return !Bottom && Items.empty(); }
+
+  const std::vector<Atom> &atoms() const {
+    assert(!Bottom && "no atoms in bottom");
+    return Items;
+  }
+  size_t size() const { return Bottom ? 0 : Items.size(); }
+
+  auto begin() const { return Items.begin(); }
+  auto end() const { return Items.end(); }
+
+  /// Adds one atom, keeping the sorted/dedup invariant.  No-op on bottom.
+  void add(const Atom &A);
+
+  /// Conjoins another conjunction (the lattice meet at the syntactic level).
+  Conjunction meet(const Conjunction &RHS) const;
+
+  bool contains(const Atom &A) const;
+
+  /// Syntactic equality (same sorted atom list, same bottom flag).
+  bool operator==(const Conjunction &RHS) const {
+    return Bottom == RHS.Bottom && Items == RHS.Items;
+  }
+  bool operator!=(const Conjunction &RHS) const { return !(*this == RHS); }
+
+  /// Applies a substitution to every atom.
+  Conjunction substitute(TermContext &Ctx, const Substitution &Subst) const;
+
+  /// All variables occurring in the conjunction, deduped, ordered by id.
+  std::vector<Term> vars() const;
+
+  /// Removes trivially valid atoms (t = t and friends).
+  Conjunction simplified(TermContext &Ctx) const;
+
+private:
+  bool Bottom = false;
+  std::vector<Atom> Items;
+};
+
+} // namespace cai
+
+#endif // CAI_TERM_CONJUNCTION_H

@@ -1,0 +1,78 @@
+//===- term/LinearExpr.h - Linear views of terms ----------------*- C++ -*-===//
+///
+/// \file
+/// A LinearExpr is the canonical linear-combination view of a term:
+/// sum of Coeff * Indeterminate plus a rational constant.  Indeterminates
+/// are variables or opaque non-arithmetic subterms (e.g. F(x) inside
+/// 2*F(x) + y); the numeric domains require all indeterminates to be
+/// variables, while purification is what turns opaque subterms into fresh
+/// variables beforehand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_TERM_LINEAREXPR_H
+#define CAI_TERM_LINEAREXPR_H
+
+#include "term/TermContext.h"
+
+#include <map>
+#include <optional>
+
+namespace cai {
+
+/// A linear combination of terms with rational coefficients.
+class LinearExpr {
+public:
+  /// Constructs the zero expression.
+  LinearExpr() = default;
+  explicit LinearExpr(Rational Constant) : Constant(std::move(Constant)) {}
+
+  /// Decomposes \p T over the arithmetic symbols (+, *).  Non-arithmetic
+  /// applications become opaque indeterminates with coefficient handling;
+  /// returns std::nullopt only when a '*' has two non-numeral operands
+  /// (a genuinely non-linear term).
+  static std::optional<LinearExpr> fromTerm(const TermContext &Ctx, Term T);
+
+  /// The coefficient of \p Indeterminate (zero if absent).
+  Rational coeff(Term Indeterminate) const;
+  const Rational &constant() const { return Constant; }
+
+  /// Indeterminate -> coefficient, ordered by term id; no zero entries.
+  const std::map<Term, Rational, TermIdLess> &terms() const { return Coeffs; }
+
+  bool isConstant() const { return Coeffs.empty(); }
+  bool isZero() const { return Coeffs.empty() && Constant.isZero(); }
+
+  /// True if every indeterminate is a variable.
+  bool allVars() const;
+
+  void addTerm(Term Indeterminate, const Rational &Coeff);
+  void addConstant(const Rational &Value) { Constant += Value; }
+
+  LinearExpr operator+(const LinearExpr &RHS) const;
+  LinearExpr operator-(const LinearExpr &RHS) const;
+  LinearExpr scaled(const Rational &Factor) const;
+
+  bool operator==(const LinearExpr &RHS) const {
+    return Constant == RHS.Constant && Coeffs == RHS.Coeffs;
+  }
+
+  /// Rebuilds the canonical term (indeterminates in id order, constant
+  /// last, unit coefficients folded).
+  Term toTerm(TermContext &Ctx) const;
+
+  /// Multiplies through by the least common denominator and divides by the
+  /// gcd of all numerators so every coefficient is an integer and their gcd
+  /// is 1.  The leading (smallest-id) coefficient is made positive when
+  /// \p NormalizeSign is set.  Returns the scale factor applied (always
+  /// positive unless the sign was flipped).
+  Rational normalizeIntegral(bool NormalizeSign);
+
+private:
+  std::map<Term, Rational, TermIdLess> Coeffs;
+  Rational Constant;
+};
+
+} // namespace cai
+
+#endif // CAI_TERM_LINEAREXPR_H

@@ -1,0 +1,152 @@
+//===- term/Printer.cpp - Textual rendering of terms and facts ------------===//
+
+#include "term/Printer.h"
+
+using namespace cai;
+
+namespace {
+
+/// Precedence levels used to decide parenthesization.
+enum Precedence { PrecSum = 0, PrecProduct = 1, PrecAtomTerm = 2 };
+
+void printTerm(const TermContext &Ctx, Term T, int MinPrec,
+               std::string &Out) {
+  switch (T->kind()) {
+  case TermKind::Variable:
+    Out += T->varName();
+    return;
+  case TermKind::Number: {
+    const Rational &V = T->number();
+    bool Paren = V.sign() < 0 && MinPrec > PrecSum;
+    if (Paren)
+      Out += '(';
+    Out += V.toString();
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case TermKind::App:
+    break;
+  }
+
+  if (T->symbol() == Ctx.addSymbol()) {
+    bool Paren = MinPrec > PrecSum;
+    if (Paren)
+      Out += '(';
+    bool First = true;
+    for (Term Arg : T->args()) {
+      // Render negative addends with a binary minus.
+      bool Negative = false;
+      Term Positive = Arg;
+      if (Arg->isNumber() && Arg->number().sign() < 0) {
+        Negative = true;
+      } else if (Arg->isApp() && Arg->symbol() == Ctx.mulSymbol() &&
+                 Arg->args()[0]->isNumber() &&
+                 Arg->args()[0]->number().sign() < 0) {
+        Negative = true;
+        Rational Coeff = -Arg->args()[0]->number();
+        if (Coeff.isOne())
+          Positive = Arg->args()[1];
+        else
+          Positive = nullptr; // Signal: print Coeff * arg below.
+        if (!Positive) {
+          if (!First)
+            Out += " - ";
+          else
+            Out += "-";
+          Out += Coeff.toString();
+          Out += '*';
+          printTerm(Ctx, Arg->args()[1], PrecAtomTerm, Out);
+          First = false;
+          continue;
+        }
+      }
+      if (Negative) {
+        Out += First ? "-" : " - ";
+        if (Positive->isNumber())
+          Out += (-Positive->number()).toString();
+        else
+          printTerm(Ctx, Positive, PrecProduct, Out);
+      } else {
+        if (!First)
+          Out += " + ";
+        printTerm(Ctx, Arg, PrecProduct, Out);
+      }
+      First = false;
+    }
+    if (Paren)
+      Out += ')';
+    return;
+  }
+
+  if (T->symbol() == Ctx.mulSymbol()) {
+    bool Paren = MinPrec > PrecProduct;
+    if (Paren)
+      Out += '(';
+    printTerm(Ctx, T->args()[0], PrecAtomTerm, Out);
+    Out += '*';
+    printTerm(Ctx, T->args()[1], PrecAtomTerm, Out);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+
+  Out += Ctx.info(T->symbol()).Name;
+  Out += '(';
+  bool First = true;
+  for (Term Arg : T->args()) {
+    if (!First)
+      Out += ", ";
+    printTerm(Ctx, Arg, PrecSum, Out);
+    First = false;
+  }
+  Out += ')';
+}
+
+} // namespace
+
+std::string cai::toString(const TermContext &Ctx, Term T) {
+  std::string Out;
+  printTerm(Ctx, T, PrecSum, Out);
+  return Out;
+}
+
+std::string cai::toString(const TermContext &Ctx, const Atom &A) {
+  const SymbolInfo &Info = Ctx.info(A.predicate());
+  // Binary infix predicates.
+  if (A.args().size() == 2 && (A.isEq(Ctx) || A.isLe(Ctx))) {
+    std::string Out = toString(Ctx, A.lhs());
+    Out += ' ';
+    Out += Info.Name;
+    Out += ' ';
+    Out += toString(Ctx, A.rhs());
+    return Out;
+  }
+  std::string Out = Info.Name;
+  Out += '(';
+  bool First = true;
+  for (Term Arg : A.args()) {
+    if (!First)
+      Out += ", ";
+    Out += toString(Ctx, Arg);
+    First = false;
+  }
+  Out += ')';
+  return Out;
+}
+
+std::string cai::toString(const TermContext &Ctx, const Conjunction &C) {
+  if (C.isBottom())
+    return "false";
+  if (C.isTop())
+    return "true";
+  std::string Out;
+  bool First = true;
+  for (const Atom &A : C.atoms()) {
+    if (!First)
+      Out += " && ";
+    Out += toString(Ctx, A);
+    First = false;
+  }
+  return Out;
+}

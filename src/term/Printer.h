@@ -1,0 +1,24 @@
+//===- term/Printer.h - Textual rendering of terms and facts ----*- C++ -*-===//
+///
+/// \file
+/// Human-readable rendering of terms, atoms and conjunctions, matching the
+/// concrete syntax accepted by term/Parser.h so printed facts round-trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_TERM_PRINTER_H
+#define CAI_TERM_PRINTER_H
+
+#include "term/Conjunction.h"
+
+#include <string>
+
+namespace cai {
+
+std::string toString(const TermContext &Ctx, Term T);
+std::string toString(const TermContext &Ctx, const Atom &A);
+std::string toString(const TermContext &Ctx, const Conjunction &C);
+
+} // namespace cai
+
+#endif // CAI_TERM_PRINTER_H

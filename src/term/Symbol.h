@@ -1,0 +1,63 @@
+//===- term/Symbol.h - Interned function/predicate symbols -----*- C++ -*-===//
+///
+/// \file
+/// Function and predicate symbols.  A Symbol is a lightweight handle into
+/// the TermContext's symbol table; theory membership of a symbol is decided
+/// by the lattices' signatures (theory/Signature.h), not stored here, so the
+/// same symbol universe can be partitioned differently by different domain
+/// combinations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_TERM_SYMBOL_H
+#define CAI_TERM_SYMBOL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cai {
+
+/// Distinguishes the two roles a symbol can play.
+enum class SymbolKind : uint8_t {
+  Function,  ///< Builds terms: +, *, F, car, cons, ...
+  Predicate, ///< Builds atoms: =, <=, even, positive, ...
+};
+
+/// A handle to an interned symbol.  Symbols are created and owned by a
+/// TermContext; handles from different contexts must not be mixed.
+class Symbol {
+public:
+  Symbol() : Idx(~0u) {}
+
+  bool isValid() const { return Idx != ~0u; }
+  uint32_t index() const { return Idx; }
+
+  bool operator==(Symbol RHS) const { return Idx == RHS.Idx; }
+  bool operator!=(Symbol RHS) const { return Idx != RHS.Idx; }
+  bool operator<(Symbol RHS) const { return Idx < RHS.Idx; }
+
+private:
+  friend class TermContext;
+  explicit Symbol(uint32_t Idx) : Idx(Idx) {}
+
+  uint32_t Idx;
+};
+
+/// Immutable metadata for one interned symbol.
+struct SymbolInfo {
+  std::string Name;
+  unsigned Arity;
+  SymbolKind Kind;
+  /// True for the built-in arithmetic symbols (+, *, unary -) that the
+  /// linear-arithmetic signatures claim.
+  bool Arithmetic;
+};
+
+} // namespace cai
+
+template <> struct std::hash<cai::Symbol> {
+  size_t operator()(cai::Symbol S) const noexcept { return S.index(); }
+};
+
+#endif // CAI_TERM_SYMBOL_H

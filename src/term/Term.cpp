@@ -1,0 +1,55 @@
+//===- term/Term.cpp - Hash-consed first-order terms ---------------------===//
+
+#include "term/Term.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace cai;
+
+static void collectVarsImpl(Term T, std::unordered_set<Term> &Seen,
+                            std::vector<Term> &Out) {
+  if (T->isVariable()) {
+    if (Seen.insert(T).second)
+      Out.push_back(T);
+    return;
+  }
+  if (T->isApp())
+    for (Term Arg : T->args())
+      collectVarsImpl(Arg, Seen, Out);
+}
+
+void cai::collectVars(Term T, std::vector<Term> &Out) {
+  std::unordered_set<Term> Seen(Out.begin(), Out.end());
+  collectVarsImpl(T, Seen, Out);
+  std::sort(Out.begin(), Out.end(), TermIdLess());
+}
+
+bool cai::occursIn(Term Var, Term T) {
+  if (T == Var)
+    return true;
+  if (!T->isApp())
+    return false;
+  for (Term Arg : T->args())
+    if (occursIn(Var, Arg))
+      return true;
+  return false;
+}
+
+unsigned cai::termDepth(Term T) {
+  if (!T->isApp())
+    return 1;
+  unsigned Max = 0;
+  for (Term Arg : T->args())
+    Max = std::max(Max, termDepth(Arg));
+  return Max + 1;
+}
+
+unsigned cai::termSize(Term T) {
+  if (!T->isApp())
+    return 1;
+  unsigned Size = 1;
+  for (Term Arg : T->args())
+    Size += termSize(Arg);
+  return Size;
+}

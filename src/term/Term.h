@@ -1,0 +1,102 @@
+//===- term/Term.h - Hash-consed first-order terms --------------*- C++ -*-===//
+///
+/// \file
+/// First-order terms: variables, rational numerals, and applications of
+/// function symbols.  Terms are hash-consed by the owning TermContext, so
+/// structural equality is pointer equality and each term carries a stable
+/// sequential id used for deterministic ordering (never order by pointer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_TERM_TERM_H
+#define CAI_TERM_TERM_H
+
+#include "support/Rational.h"
+#include "term/Symbol.h"
+
+#include <vector>
+
+namespace cai {
+
+class TermContext;
+
+/// The three structural kinds of term.
+enum class TermKind : uint8_t {
+  Variable, ///< A named variable (program variable or fresh internal one).
+  Number,   ///< A rational numeral.
+  App,      ///< Application of a function Symbol to argument terms.
+};
+
+/// An immutable, hash-consed term node.  Always access through `Term`
+/// (a const pointer); nodes are created only by TermContext.
+class TermNode {
+public:
+  TermKind kind() const { return Kind; }
+  /// Stable creation index; use for deterministic ordering.
+  uint32_t id() const { return Id; }
+
+  bool isVariable() const { return Kind == TermKind::Variable; }
+  bool isNumber() const { return Kind == TermKind::Number; }
+  bool isApp() const { return Kind == TermKind::App; }
+
+  /// Variable name; valid only for Variable nodes.
+  const std::string &varName() const {
+    assert(Kind == TermKind::Variable && "not a variable");
+    return Name;
+  }
+
+  /// Numeral value; valid only for Number nodes.
+  const Rational &number() const {
+    assert(Kind == TermKind::Number && "not a numeral");
+    return Value;
+  }
+
+  /// Applied symbol; valid only for App nodes.
+  Symbol symbol() const {
+    assert(Kind == TermKind::App && "not an application");
+    return Sym;
+  }
+
+  /// Argument list; valid only for App nodes.
+  const std::vector<const TermNode *> &args() const {
+    assert(Kind == TermKind::App && "not an application");
+    return Args;
+  }
+
+private:
+  friend class TermContext;
+  TermNode() = default;
+
+  TermKind Kind = TermKind::Variable;
+  uint32_t Id = 0;
+  std::string Name;                   // Variable
+  Rational Value;                     // Number
+  Symbol Sym;                         // App
+  std::vector<const TermNode *> Args; // App
+};
+
+/// The user-facing term handle.
+using Term = const TermNode *;
+
+/// Collects the set of variables occurring in \p T into \p Out (deduped,
+/// ordered by term id).
+void collectVars(Term T, std::vector<Term> &Out);
+
+/// Returns true if variable \p Var occurs in \p T.
+bool occursIn(Term Var, Term T);
+
+/// Returns the maximum nesting depth of \p T (variables and numerals have
+/// depth 1).
+unsigned termDepth(Term T);
+
+/// Returns the number of nodes in \p T counted as a tree.
+unsigned termSize(Term T);
+
+/// Deterministic ordering helper for containers of terms.
+struct TermIdLess {
+  bool operator()(Term A, Term B) const { return A->id() < B->id(); }
+};
+
+} // namespace cai
+
+#endif // CAI_TERM_TERM_H

@@ -1,0 +1,214 @@
+//===- term/TermContext.cpp - Term and symbol interner -------------------===//
+
+#include "term/TermContext.h"
+
+#include <algorithm>
+
+using namespace cai;
+
+/// Arity value used for the variadic sum symbol.
+static constexpr unsigned VariadicArity = ~0u;
+
+TermContext::TermContext() {
+  SymAdd = internSymbol("+", VariadicArity, SymbolKind::Function, true);
+  SymMul = internSymbol("*", 2, SymbolKind::Function, true);
+  SymEq = internSymbol("=", 2, SymbolKind::Predicate, false);
+  SymLe = internSymbol("<=", 2, SymbolKind::Predicate, false);
+}
+
+Symbol TermContext::internSymbol(const std::string &Name, unsigned Arity,
+                                 SymbolKind Kind, bool Arithmetic) {
+  auto It = SymbolByName.find(Name);
+  if (It != SymbolByName.end()) {
+    const SymbolInfo &Existing = Symbols[It->second];
+    assert(Existing.Arity == Arity && Existing.Kind == Kind &&
+           "symbol re-interned with different metadata");
+    (void)Existing;
+    return Symbol(It->second);
+  }
+  uint32_t Idx = static_cast<uint32_t>(Symbols.size());
+  Symbols.push_back(SymbolInfo{Name, Arity, Kind, Arithmetic});
+  SymbolByName.emplace(Name, Idx);
+  return Symbol(Idx);
+}
+
+Symbol TermContext::getFunction(const std::string &Name, unsigned Arity) {
+  return internSymbol(Name, Arity, SymbolKind::Function, false);
+}
+
+Symbol TermContext::getPredicate(const std::string &Name, unsigned Arity) {
+  return internSymbol(Name, Arity, SymbolKind::Predicate, false);
+}
+
+Symbol TermContext::findSymbol(const std::string &Name) const {
+  auto It = SymbolByName.find(Name);
+  if (It == SymbolByName.end())
+    return Symbol();
+  return Symbol(It->second);
+}
+
+Term TermContext::internNode(TermNode Node) {
+  Node.Id = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back(std::move(Node));
+  return &Nodes.back();
+}
+
+Term TermContext::mkVar(const std::string &Name) {
+  auto It = VarByName.find(Name);
+  if (It != VarByName.end())
+    return It->second;
+  TermNode Node;
+  Node.Kind = TermKind::Variable;
+  Node.Name = Name;
+  Term T = internNode(std::move(Node));
+  VarByName.emplace(Name, T);
+  return T;
+}
+
+Term TermContext::freshVar(const std::string &Hint) {
+  return mkVar("$" + Hint + std::to_string(FreshCounter++));
+}
+
+Term TermContext::mkNum(Rational Value) {
+  auto It = NumByValue.find(Value);
+  if (It != NumByValue.end())
+    return It->second;
+  TermNode Node;
+  Node.Kind = TermKind::Number;
+  Node.Value = Value;
+  Term T = internNode(std::move(Node));
+  NumByValue.emplace(std::move(Value), T);
+  return T;
+}
+
+Term TermContext::mkApp(Symbol Fn, std::vector<Term> Args) {
+  assert(Fn.isValid() && "invalid symbol");
+  assert(info(Fn).Kind == SymbolKind::Function && "not a function symbol");
+  assert((info(Fn).Arity == VariadicArity ||
+          info(Fn).Arity == Args.size()) &&
+         "arity mismatch");
+  AppKey Key{Fn.index(), Args};
+  auto It = AppByKey.find(Key);
+  if (It != AppByKey.end())
+    return It->second;
+  TermNode Node;
+  Node.Kind = TermKind::App;
+  Node.Sym = Fn;
+  Node.Args = std::move(Args);
+  Term T = internNode(std::move(Node));
+  AppByKey.emplace(std::move(Key), T);
+  return T;
+}
+
+Term TermContext::mkAdd(Term Left, Term Right) {
+  // Flatten nested sums and combine like terms: each addend contributes a
+  // (coefficient, base) pair, accumulated per base in first-seen order so
+  // x - x cancels and 2*x + x folds to 3*x.
+  std::vector<Term> Order;
+  std::unordered_map<Term, Rational> CoeffOf;
+  Rational Constant;
+  auto AddPiece = [&](Term Base, const Rational &Coeff) {
+    auto [It, Inserted] = CoeffOf.emplace(Base, Coeff);
+    if (Inserted)
+      Order.push_back(Base);
+    else
+      It->second += Coeff;
+  };
+  auto Append = [&](Term T, auto &&Self) -> void {
+    if (T->isNumber()) {
+      Constant += T->number();
+      return;
+    }
+    if (T->isApp() && T->symbol() == SymAdd) {
+      for (Term Arg : T->args())
+        Self(Arg, Self);
+      return;
+    }
+    if (T->isApp() && T->symbol() == SymMul && T->args()[0]->isNumber()) {
+      AddPiece(T->args()[1], T->args()[0]->number());
+      return;
+    }
+    AddPiece(T, Rational(1));
+  };
+  Append(Left, Append);
+  Append(Right, Append);
+
+  // Canonical addend order (term id) so syntactically different builds of
+  // the same sum hash-cons to one node (1 + a + b == 1 + b + a).
+  std::sort(Order.begin(), Order.end(),
+            [](Term A, Term B) { return A->id() < B->id(); });
+
+  std::vector<Term> Addends;
+  for (Term Base : Order) {
+    const Rational &Coeff = CoeffOf[Base];
+    if (!Coeff.isZero())
+      Addends.push_back(mkMul(Coeff, Base));
+  }
+  if (!Constant.isZero() || Addends.empty())
+    Addends.push_back(mkNum(Constant));
+  if (Addends.size() == 1)
+    return Addends.front();
+  return mkApp(SymAdd, std::move(Addends));
+}
+
+Term TermContext::mkSub(Term Left, Term Right) {
+  return mkAdd(Left, mkNeg(Right));
+}
+
+Term TermContext::mkMul(Rational Coeff, Term T) {
+  if (Coeff.isZero())
+    return mkNum(0);
+  if (T->isNumber())
+    return mkNum(Coeff * T->number());
+  if (Coeff.isOne())
+    return T;
+  // Fold nested scaling: c * (d * t) == (c*d) * t.
+  if (T->isApp() && T->symbol() == SymMul && T->args()[0]->isNumber())
+    return mkMul(Coeff * T->args()[0]->number(), T->args()[1]);
+  // Distribute over sums so -(a+b) stays flat.
+  if (T->isApp() && T->symbol() == SymAdd) {
+    Term Sum = mkNum(0);
+    for (Term Arg : T->args())
+      Sum = mkAdd(Sum, mkMul(Coeff, Arg));
+    return Sum;
+  }
+  return mkApp(SymMul, {mkNum(Coeff), T});
+}
+
+Term TermContext::substitute(Term T, const Substitution &Subst) {
+  if (Subst.empty())
+    return T;
+  switch (T->kind()) {
+  case TermKind::Variable: {
+    auto It = Subst.find(T);
+    return It == Subst.end() ? T : It->second;
+  }
+  case TermKind::Number:
+    return T;
+  case TermKind::App: {
+    bool Changed = false;
+    std::vector<Term> NewArgs;
+    NewArgs.reserve(T->args().size());
+    for (Term Arg : T->args()) {
+      Term NewArg = substitute(Arg, Subst);
+      Changed |= NewArg != Arg;
+      NewArgs.push_back(NewArg);
+    }
+    if (!Changed)
+      return T;
+    // Rebuild through the normalizing constructors so substituted sums and
+    // products stay flat.
+    if (T->symbol() == SymAdd) {
+      Term Sum = mkNum(0);
+      for (Term Arg : NewArgs)
+        Sum = mkAdd(Sum, Arg);
+      return Sum;
+    }
+    if (T->symbol() == SymMul && NewArgs[0]->isNumber())
+      return mkMul(NewArgs[0]->number(), NewArgs[1]);
+    return mkApp(T->symbol(), std::move(NewArgs));
+  }
+  }
+  assert(false && "unknown term kind");
+  return T;
+}

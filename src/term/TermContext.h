@@ -1,0 +1,131 @@
+//===- term/TermContext.h - Term and symbol interner ------------*- C++ -*-===//
+///
+/// \file
+/// The TermContext owns all symbols and hash-consed terms used by one
+/// analysis.  It pre-interns the arithmetic function symbols (+, *) and the
+/// core predicates (=, <=) and provides builders that keep arithmetic terms
+/// in a lightly-normalized form.  All lattices, products and programs in a
+/// run must share one context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_TERM_TERMCONTEXT_H
+#define CAI_TERM_TERMCONTEXT_H
+
+#include "term/Term.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace cai {
+
+/// A variable-to-term substitution, applied simultaneously.
+using Substitution = std::unordered_map<Term, Term>;
+
+/// Owns and interns symbols and terms.
+class TermContext {
+public:
+  TermContext();
+  TermContext(const TermContext &) = delete;
+  TermContext &operator=(const TermContext &) = delete;
+
+  /// \name Symbol interning
+  /// @{
+
+  /// Returns the function symbol \p Name / \p Arity, creating it on first
+  /// use.  Asserts if the name was previously interned with different
+  /// metadata.
+  Symbol getFunction(const std::string &Name, unsigned Arity);
+
+  /// Returns the predicate symbol \p Name / \p Arity, creating it on first
+  /// use.
+  Symbol getPredicate(const std::string &Name, unsigned Arity);
+
+  /// Looks up a symbol by name without creating it.
+  Symbol findSymbol(const std::string &Name) const;
+
+  const SymbolInfo &info(Symbol S) const {
+    assert(S.index() < Symbols.size() && "foreign symbol");
+    return Symbols[S.index()];
+  }
+
+  /// The n-ary arithmetic sum symbol.
+  Symbol addSymbol() const { return SymAdd; }
+  /// The binary scale symbol; first argument is always a numeral.
+  Symbol mulSymbol() const { return SymMul; }
+  /// The binary equality predicate.
+  Symbol eqSymbol() const { return SymEq; }
+  /// The binary <= predicate.
+  Symbol leSymbol() const { return SymLe; }
+
+  /// @}
+  /// \name Term builders
+  /// @{
+
+  Term mkVar(const std::string &Name);
+
+  /// Returns a fresh variable whose name cannot collide with user names
+  /// (names beginning with '$' are reserved for the library).
+  Term freshVar(const std::string &Hint = "v");
+
+  Term mkNum(Rational Value);
+  Term mkNum(int64_t Value) { return mkNum(Rational(Value)); }
+
+  /// Applies \p Fn to \p Args.  Asserts on arity mismatch for non-variadic
+  /// symbols.
+  Term mkApp(Symbol Fn, std::vector<Term> Args);
+
+  /// Builds Left + Right, flattening nested sums and folding numerals.
+  Term mkAdd(Term Left, Term Right);
+  /// Builds Left - Right.
+  Term mkSub(Term Left, Term Right);
+  /// Builds Coeff * T, folding the trivial cases 0*t and 1*t.
+  Term mkMul(Rational Coeff, Term T);
+  Term mkNeg(Term T) { return mkMul(Rational(-1), T); }
+
+  /// @}
+
+  /// Applies \p Subst simultaneously to \p T, rebuilding affected nodes.
+  Term substitute(Term T, const Substitution &Subst);
+
+  /// Number of terms interned so far (diagnostic).
+  size_t numTerms() const { return Nodes.size(); }
+
+private:
+  Symbol internSymbol(const std::string &Name, unsigned Arity, SymbolKind Kind,
+                      bool Arithmetic);
+  Term internNode(TermNode Node);
+
+  struct AppKey {
+    uint32_t Sym;
+    std::vector<const TermNode *> Args;
+    bool operator==(const AppKey &RHS) const {
+      return Sym == RHS.Sym && Args == RHS.Args;
+    }
+  };
+  struct AppKeyHash {
+    size_t operator()(const AppKey &K) const {
+      size_t H = K.Sym;
+      for (const TermNode *Arg : K.Args)
+        H = H * 1099511628211ull ^ reinterpret_cast<size_t>(Arg);
+      return H;
+    }
+  };
+  struct RationalHash {
+    size_t operator()(const Rational &R) const { return R.hash(); }
+  };
+
+  std::deque<TermNode> Nodes; // Stable addresses.
+  std::vector<SymbolInfo> Symbols;
+  std::unordered_map<std::string, uint32_t> SymbolByName;
+  std::unordered_map<std::string, Term> VarByName;
+  std::unordered_map<Rational, Term, RationalHash> NumByValue;
+  std::unordered_map<AppKey, Term, AppKeyHash> AppByKey;
+  uint64_t FreshCounter = 0;
+
+  Symbol SymAdd, SymMul, SymEq, SymLe;
+};
+
+} // namespace cai
+
+#endif // CAI_TERM_TERMCONTEXT_H

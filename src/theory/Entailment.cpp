@@ -1,0 +1,55 @@
+//===- theory/Entailment.cpp - Combined-theory entailment ------------------===//
+
+#include "theory/Entailment.h"
+
+#include "theory/NelsonOppen.h"
+#include "theory/Purify.h"
+
+using namespace cai;
+
+bool cai::combinedEntails(TermContext &Ctx, const LogicalLattice &L1,
+                          const LogicalLattice &L2, const Conjunction &E,
+                          const Atom &F) {
+  if (E.isBottom())
+    return true;
+  if (F.isTrivial(Ctx))
+    return true;
+
+  // Purify E and the queried fact in one pass so F's alien terms reuse E's
+  // naming; the definitional atoms introduced for F's aliens are a
+  // conservative extension of E and sound to assume on the left.
+  Purifier P(Ctx, L1, L2);
+  for (const Atom &A : E.atoms()) {
+    auto [S, Pure] = P.purifyAtom(A);
+    P.addToSide(S, Pure);
+  }
+  auto [FSide, FPure] = P.purifyAtom(F);
+  if (FSide == Purifier::Side::Dropped)
+    return false; // Neither theory can even express the fact.
+
+  SaturationResult Sat =
+      noSaturate(Ctx, L1, L2, P.side1(), P.side2());
+  if (Sat.Bottom)
+    return true;
+
+  switch (FSide) {
+  case Purifier::Side::One:
+    return L1.entails(Sat.Side1, FPure);
+  case Purifier::Side::Two:
+    return L2.entails(Sat.Side2, FPure);
+  case Purifier::Side::Both:
+    return L1.entails(Sat.Side1, FPure) || L2.entails(Sat.Side2, FPure);
+  case Purifier::Side::Dropped:
+    break;
+  }
+  return false;
+}
+
+bool cai::combinedIsUnsat(TermContext &Ctx, const LogicalLattice &L1,
+                          const LogicalLattice &L2, const Conjunction &E) {
+  if (E.isBottom())
+    return true;
+  PurifyResult P = purify(Ctx, L1, L2, E);
+  SaturationResult Sat = noSaturate(Ctx, L1, L2, P.Side1, P.Side2);
+  return Sat.Bottom;
+}

@@ -1,0 +1,33 @@
+//===- theory/Entailment.h - Combined-theory entailment ----------*- C++ -*-===//
+///
+/// \file
+/// Entailment of atomic facts over a combined theory, by purification +
+/// NO-saturation + dispatch to the owning component (justified by
+/// Property 1 of the paper).  This is the decision procedure the assertion
+/// checker uses on the product domains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_THEORY_ENTAILMENT_H
+#define CAI_THEORY_ENTAILMENT_H
+
+#include "theory/LogicalLattice.h"
+
+namespace cai {
+
+/// True if \p E implies \p F over the combined theory of L1 and L2.
+/// \p F may be a mixed atom; its alien terms are named with the same
+/// purification pass as \p E so the definitional extension is shared.
+bool combinedEntails(TermContext &Ctx, const LogicalLattice &L1,
+                     const LogicalLattice &L2, const Conjunction &E,
+                     const Atom &F);
+
+/// True if \p E is unsatisfiable over the combined theory of L1 and L2
+/// (for convex, stably infinite, disjoint theories this is decided exactly
+/// by purify + saturate + per-side checks).
+bool combinedIsUnsat(TermContext &Ctx, const LogicalLattice &L1,
+                     const LogicalLattice &L2, const Conjunction &E);
+
+} // namespace cai
+
+#endif // CAI_THEORY_ENTAILMENT_H

@@ -1,0 +1,56 @@
+//===- theory/LogicalLattice.cpp - The abstract-domain interface ----------===//
+
+#include "theory/LogicalLattice.h"
+
+using namespace cai;
+
+LogicalLattice::~LogicalLattice() = default;
+
+Conjunction LogicalLattice::widen(const Conjunction &Old,
+                                  const Conjunction &New) const {
+  return join(Old, New);
+}
+
+std::vector<std::pair<Term, Term>>
+LogicalLattice::alternateBatch(const Conjunction &E,
+                               const std::vector<Term> &Targets) const {
+  std::vector<std::pair<Term, Term>> Out;
+  for (Term Y : Targets) {
+    std::vector<Term> Avoid;
+    for (Term Z : Targets)
+      if (Z != Y)
+        Avoid.push_back(Z);
+    if (std::optional<Term> T = alternate(E, Y, Avoid)) {
+      // The contract requires avoidance of *all* targets including those
+      // already defined this batch; alternate's per-variable avoid set
+      // covers exactly that here.
+      Out.emplace_back(Y, *T);
+    }
+  }
+  return Out;
+}
+
+Conjunction LogicalLattice::meet(const Conjunction &A,
+                                 const Conjunction &B) const {
+  Conjunction Result = A.meet(B);
+  if (!Result.isBottom() && isUnsat(Result))
+    return Conjunction::bottom();
+  return Result;
+}
+
+bool LogicalLattice::entailsAll(const Conjunction &E,
+                                const Conjunction &C) const {
+  if (E.isBottom())
+    return true;
+  if (C.isBottom())
+    return isUnsat(E);
+  for (const Atom &A : C.atoms())
+    if (!entails(E, A))
+      return false;
+  return true;
+}
+
+bool LogicalLattice::equivalent(const Conjunction &A,
+                                const Conjunction &B) const {
+  return entailsAll(A, B) && entailsAll(B, A);
+}

@@ -1,0 +1,36 @@
+//===- theory/NelsonOppen.h - Equality propagation ---------------*- C++ -*-===//
+///
+/// \file
+/// NOSaturation_{T1,T2} (Section 2): repeatedly exchanges implied variable
+/// equalities between two pure conjunctions until a fixed point.  For
+/// convex, stably infinite, disjoint theories this makes each side
+/// individually complete for its pure consequences (Property 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_THEORY_NELSONOPPEN_H
+#define CAI_THEORY_NELSONOPPEN_H
+
+#include "theory/LogicalLattice.h"
+
+namespace cai {
+
+/// Result of saturation: the two strengthened sides, or bottom if either
+/// side became unsatisfiable.
+struct SaturationResult {
+  Conjunction Side1;
+  Conjunction Side2;
+  bool Bottom = false;
+  /// Number of propagation rounds performed (diagnostic; used by the
+  /// Nelson-Oppen benchmark).
+  unsigned Rounds = 0;
+};
+
+/// NOSaturation_{T1,T2}(E1, E2).
+SaturationResult noSaturate(TermContext &Ctx, const LogicalLattice &L1,
+                            const LogicalLattice &L2, Conjunction E1,
+                            Conjunction E2);
+
+} // namespace cai
+
+#endif // CAI_THEORY_NELSONOPPEN_H

@@ -1,0 +1,174 @@
+//===- workloads/Workloads.cpp - Program generators for experiments --------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/ProgramBuilder.h"
+
+#include <random>
+
+using namespace cai;
+
+namespace {
+
+/// One lock-step variable pair plus the code that initializes/updates it.
+class Track {
+public:
+  Track(TrackKind Kind, unsigned Id, std::mt19937 &Rng)
+      : Kind(Kind), Id(Id), K(1 + static_cast<int>(Rng() % 4)) {}
+
+  std::string var(const char *Base) const {
+    return std::string(Base) + std::to_string(Id);
+  }
+
+  void init(ProgramBuilder &B, std::mt19937 &Rng) const {
+    int C = static_cast<int>(Rng() % 5);
+    switch (Kind) {
+    case TrackKind::Affine:
+      B.assign(var("x"), std::to_string(C));
+      B.assign(var("y"), std::to_string(2 * C));
+      return;
+    case TrackKind::UF:
+      B.assign(var("x"), std::to_string(C));
+      B.assign(var("y"), "F(" + std::to_string(C) + ")");
+      return;
+    case TrackKind::Reduced:
+      B.assign(var("x"), std::to_string(C));
+      B.assign(var("y"), std::to_string(C));
+      return;
+    case TrackKind::Mixed:
+      B.assign(var("x"), std::to_string(C));
+      B.assign(var("y"), "F(" + std::to_string(C + K) + ")");
+      return;
+    }
+  }
+
+  /// One invariant-preserving update; \p Variant lets branches use
+  /// different-but-equivalent code on the two arms.
+  void update(ProgramBuilder &B, int Variant) const {
+    switch (Kind) {
+    case TrackKind::Affine: {
+      int Step = 1 + Variant;
+      B.assign(var("x"), var("x") + " + " + std::to_string(Step));
+      B.assign(var("y"), var("y") + " + " + std::to_string(2 * Step));
+      return;
+    }
+    case TrackKind::UF:
+      B.assign(var("x"), "F(" + var("x") + ")");
+      B.assign(var("y"), "F(" + var("y") + ")");
+      return;
+    case TrackKind::Reduced:
+      // The Figure 1 c-track: proving x' = y' from x = y needs the affine
+      // fact 2x - y = y to flow into the congruence reasoning.
+      B.assign(var("x"), "F(2*" + var("x") + " - " + var("y") + ")");
+      B.assign(var("y"), "F(" + var("y") + ")");
+      return;
+    case TrackKind::Mixed:
+      // The Figure 1 d-track with offset K: y = F(x + K) is maintained.
+      B.assign(var("x"), "F(" + std::to_string(K) + " + " + var("x") + ")");
+      B.assign(var("y"), "F(" + var("y") + " + " + std::to_string(K) + ")");
+      return;
+    }
+  }
+
+  void assertInvariant(ProgramBuilder &B) const {
+    switch (Kind) {
+    case TrackKind::Affine:
+      B.assertFact(var("y") + " = 2*" + var("x"), label());
+      return;
+    case TrackKind::UF:
+      B.assertFact(var("y") + " = F(" + var("x") + ")", label());
+      return;
+    case TrackKind::Reduced:
+      B.assertFact(var("y") + " = " + var("x"), label());
+      return;
+    case TrackKind::Mixed:
+      B.assertFact(
+          var("y") + " = F(" + var("x") + " + " + std::to_string(K) + ")",
+          label());
+      return;
+    }
+  }
+
+  TrackKind kind() const { return Kind; }
+
+private:
+  std::string label() const {
+    const char *Names[] = {"affine", "uf", "reduced", "mixed"};
+    return std::string(Names[static_cast<int>(Kind)]) + "#" +
+           std::to_string(Id);
+  }
+
+  TrackKind Kind;
+  unsigned Id;
+  int K; // Offset used by Mixed tracks.
+};
+
+} // namespace
+
+bool cai::expectedVerified(unsigned Tier, TrackKind K) {
+  switch (K) {
+  case TrackKind::Affine:
+    return Tier == 0 || Tier >= 2;
+  case TrackKind::UF:
+    return Tier >= 1;
+  case TrackKind::Reduced:
+    return Tier >= 3;
+  case TrackKind::Mixed:
+    return Tier >= 4;
+  }
+  return false;
+}
+
+Workload cai::generateWorkload(TermContext &Ctx,
+                               const WorkloadOptions &Opts) {
+  std::mt19937 Rng(Opts.Seed);
+  ProgramBuilder B(Ctx);
+
+  std::vector<Track> Tracks;
+  unsigned Id = 0;
+  auto AddTracks = [&](TrackKind Kind, unsigned Count) {
+    for (unsigned I = 0; I < Count; ++I)
+      Tracks.emplace_back(Kind, Id++, Rng);
+  };
+  AddTracks(TrackKind::Affine, Opts.AffineTracks);
+  AddTracks(TrackKind::UF, Opts.UFTracks);
+  AddTracks(TrackKind::Reduced, Opts.ReducedTracks);
+  AddTracks(TrackKind::Mixed, Opts.MixedTracks);
+
+  // Deterministic shuffle for interleaving.
+  std::shuffle(Tracks.begin(), Tracks.end(), Rng);
+
+  for (const Track &T : Tracks)
+    T.init(B, Rng);
+  for (unsigned N = 0; N < Opts.NoiseVars; ++N)
+    B.assign("noise" + std::to_string(N), std::to_string(Rng() % 7));
+
+  auto Body = [&]() {
+    // Plain updates for a prefix of the tracks, branch-wrapped updates for
+    // the rest.
+    size_t Branched = std::min<size_t>(Opts.Branches, Tracks.size());
+    size_t Plain = Tracks.size() - Branched;
+    for (size_t I = 0; I < Plain; ++I)
+      Tracks[I].update(B, 0);
+    for (size_t I = Plain; I < Tracks.size(); ++I) {
+      const Track &T = Tracks[I];
+      B.ifElse(std::nullopt, [&]() { T.update(B, 0); },
+               [&]() { T.update(B, 1); });
+    }
+    for (unsigned N = 0; N < Opts.NoiseVars; ++N)
+      B.havoc("noise" + std::to_string(N));
+  };
+
+  if (Opts.Loop)
+    B.loop(std::nullopt, Body);
+  else
+    Body();
+
+  Workload Out;
+  for (const Track &T : Tracks) {
+    T.assertInvariant(B);
+    Out.Kinds.push_back(T.kind());
+  }
+  Out.P = B.take();
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- workloads/Workloads.h - Program generators for experiments -*- C++ -*-===//
+///
+/// \file
+/// Synthetic-program generator for the paper's future-work experiment
+/// ("compare the cost and precision of an analysis over logical product as
+/// opposed to direct product or reduced product", Section 7).  Programs
+/// are built from *tracks*: pairs of variables updated in lock-step so an
+/// invariant of a known difficulty class holds by construction, following
+/// the four tracks of Figure 1:
+///
+///   Affine  -- y = 2x          (pure linear arithmetic; Karr finds it)
+///   UF      -- y = F(x)        (pure congruence; GVN finds it)
+///   Reduced -- c1 = c2 via c1 := F(2c1 - c2), c2 := F(c2)
+///              (pure fact, but the *proof* needs theory cooperation)
+///   Mixed   -- d2 = F(d1 + k)  (the invariant itself is a mixed fact;
+///              only the logical product can represent it)
+///
+/// The generator interleaves tracks, adds invariant-preserving branches
+/// and havoc noise, and labels every assertion with the weakest analysis
+/// expected to verify it, giving ground truth for the precision sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_WORKLOADS_WORKLOADS_H
+#define CAI_WORKLOADS_WORKLOADS_H
+
+#include "ir/Program.h"
+
+namespace cai {
+
+/// Difficulty class of one track's assertion: the weakest combination
+/// expected to verify it.
+enum class TrackKind : uint8_t {
+  Affine,  ///< Verified by the affine domain alone (and everything above).
+  UF,      ///< Verified by the UF domain alone (and everything above).
+  Reduced, ///< Needs the reduced product (theory cooperation).
+  Mixed,   ///< Needs the logical product (mixed invariant).
+};
+
+/// Shape parameters for one generated program.
+struct WorkloadOptions {
+  unsigned Seed = 1;
+  /// Tracks per kind.
+  unsigned AffineTracks = 1;
+  unsigned UFTracks = 1;
+  unsigned ReducedTracks = 1;
+  unsigned MixedTracks = 1;
+  /// Invariant-preserving if/else blocks inside the loop body.
+  unsigned Branches = 1;
+  /// Unrelated havoc'd noise variables touched in the body.
+  unsigned NoiseVars = 1;
+  /// Wrap the body in a loop (otherwise straight-line repetition).
+  bool Loop = true;
+};
+
+/// A generated program plus per-assertion ground truth.
+struct Workload {
+  Program P;
+  /// Kinds[i] classifies P.assertions()[i].
+  std::vector<TrackKind> Kinds;
+};
+
+/// Builds a random program per \p Opts (deterministic in Opts.Seed).
+Workload generateWorkload(TermContext &Ctx, const WorkloadOptions &Opts);
+
+/// True if an analysis of the given precision tier should verify a track
+/// of kind \p K.  Tiers: 0 affine-only, 1 uf-only, 2 direct, 3 reduced,
+/// 4 logical.
+bool expectedVerified(unsigned Tier, TrackKind K);
+
+} // namespace cai
+
+#endif // CAI_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,39 @@
+//===- tests/TestUtil.h - Shared test helpers --------------------*- C++ -*-===//
+
+#ifndef CAI_TESTS_TESTUTIL_H
+#define CAI_TESTS_TESTUTIL_H
+
+#include "term/Parser.h"
+#include "term/Printer.h"
+
+#include <gtest/gtest.h>
+
+namespace cai::test {
+
+/// Parses a term, failing the test on error.
+inline Term T(TermContext &Ctx, const std::string &Text) {
+  std::string Error;
+  std::optional<Term> Result = parseTerm(Ctx, Text, &Error);
+  EXPECT_TRUE(Result) << "parse error in '" << Text << "': " << Error;
+  return Result ? *Result : Ctx.mkNum(0);
+}
+
+/// Parses an atom, failing the test on error.
+inline Atom A(TermContext &Ctx, const std::string &Text) {
+  std::string Error;
+  std::optional<Atom> Result = parseAtom(Ctx, Text, &Error);
+  EXPECT_TRUE(Result) << "parse error in '" << Text << "': " << Error;
+  return Result ? *Result : Atom::mkEq(Ctx, Ctx.mkNum(0), Ctx.mkNum(0));
+}
+
+/// Parses a conjunction, failing the test on error.
+inline Conjunction C(TermContext &Ctx, const std::string &Text) {
+  std::string Error;
+  std::optional<Conjunction> Result = parseConjunction(Ctx, Text, &Error);
+  EXPECT_TRUE(Result) << "parse error in '" << Text << "': " << Error;
+  return Result ? *Result : Conjunction::top();
+}
+
+} // namespace cai::test
+
+#endif // CAI_TESTS_TESTUTIL_H

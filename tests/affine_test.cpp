@@ -1,0 +1,176 @@
+//===- tests/affine_test.cpp - The Karr affine-equality domain -------------===//
+
+#include "domains/affine/AffineDomain.h"
+
+#include "TestUtil.h"
+
+#include <random>
+
+using namespace cai;
+using cai::test::A;
+using cai::test::C;
+using cai::test::T;
+
+namespace {
+
+class AffineTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+  AffineDomain D{Ctx};
+};
+
+} // namespace
+
+TEST_F(AffineTest, EntailsBasics) {
+  Conjunction E = C(Ctx, "x = y + 1 && y = z");
+  EXPECT_TRUE(D.entails(E, A(Ctx, "x = z + 1")));
+  EXPECT_TRUE(D.entails(E, A(Ctx, "2*x = 2*z + 2")));
+  EXPECT_FALSE(D.entails(E, A(Ctx, "x = z")));
+  EXPECT_TRUE(D.entails(Conjunction::bottom(), A(Ctx, "x = z")));
+}
+
+TEST_F(AffineTest, IsUnsat) {
+  EXPECT_TRUE(D.isUnsat(C(Ctx, "x = 1 && x = 2")));
+  EXPECT_FALSE(D.isUnsat(C(Ctx, "x = 1 && y = 2")));
+  EXPECT_TRUE(D.isUnsat(C(Ctx, "x = y && x = y + 1")));
+}
+
+TEST_F(AffineTest, JoinIsLeastUpperBoundOnLines) {
+  // Figure 3's LA part: {x=a, y=b} join {x=b, y=a} gives x+y = a+b.
+  Conjunction E1 = C(Ctx, "x = a && y = b");
+  Conjunction E2 = C(Ctx, "x = b && y = a");
+  Conjunction J = D.join(E1, E2);
+  EXPECT_TRUE(D.entails(J, A(Ctx, "x + y = a + b")));
+  EXPECT_FALSE(D.entails(J, A(Ctx, "x = a")));
+  EXPECT_FALSE(D.entails(J, A(Ctx, "x = b")));
+}
+
+TEST_F(AffineTest, JoinWithBottom) {
+  Conjunction E = C(Ctx, "x = 1");
+  EXPECT_TRUE(D.entails(D.join(E, Conjunction::bottom()), A(Ctx, "x = 1")));
+  EXPECT_TRUE(D.entails(D.join(Conjunction::bottom(), E), A(Ctx, "x = 1")));
+}
+
+TEST_F(AffineTest, JoinSoundAndCompleteSpotCheck) {
+  Conjunction E1 = C(Ctx, "a = 0 && b = 0");
+  Conjunction E2 = C(Ctx, "a = 1 && b = 2");
+  Conjunction J = D.join(E1, E2);
+  EXPECT_TRUE(D.entails(J, A(Ctx, "b = 2*a")));
+  EXPECT_FALSE(D.entails(J, A(Ctx, "a = 0")));
+}
+
+TEST_F(AffineTest, ExistQuantProjects) {
+  Conjunction E = C(Ctx, "x = z + 1 && y = z + 2");
+  Conjunction Q = D.existQuant(E, {T(Ctx, "z")});
+  EXPECT_TRUE(D.entails(Q, A(Ctx, "y = x + 1")));
+  EXPECT_FALSE(D.entails(Q, A(Ctx, "x = z + 1")));
+  // The result must not mention z at all.
+  for (Term V : Q.vars())
+    EXPECT_NE(V, T(Ctx, "z"));
+}
+
+TEST_F(AffineTest, ExistQuantKillsOpaqueTermsContainingVar) {
+  // F(z) must die with z even though F is not arithmetic.
+  Conjunction E = C(Ctx, "x = F(z) && y = F(z)");
+  Conjunction Q = D.existQuant(E, {T(Ctx, "z")});
+  // x = y survives (both equal the same opaque column).
+  EXPECT_TRUE(D.entails(Q, A(Ctx, "x = y")));
+  for (Term V : Q.vars())
+    EXPECT_NE(V, T(Ctx, "z"));
+}
+
+TEST_F(AffineTest, ImpliedVarEqualities) {
+  Conjunction E = C(Ctx, "x = y && y = z + 0 && w = 5");
+  std::vector<std::pair<Term, Term>> Eqs = D.impliedVarEqualities(E);
+  // x = y = z forms one class: two pairs from the leader.
+  ASSERT_EQ(Eqs.size(), 2u);
+  EXPECT_TRUE(D.entails(E, Atom::mkEq(Ctx, Eqs[0].first, Eqs[0].second)));
+  EXPECT_TRUE(D.entails(E, Atom::mkEq(Ctx, Eqs[1].first, Eqs[1].second)));
+}
+
+TEST_F(AffineTest, ImpliedVarEqualitiesThroughConstants) {
+  Conjunction E = C(Ctx, "x = 5 && y = 5");
+  std::vector<std::pair<Term, Term>> Eqs = D.impliedVarEqualities(E);
+  ASSERT_EQ(Eqs.size(), 1u);
+}
+
+TEST_F(AffineTest, AlternateFindsRewriting) {
+  Conjunction E = C(Ctx, "x = y + 1 && y = z + 1");
+  // Avoiding nothing: x = y + 1 is fine.
+  std::optional<Term> T1 = D.alternate(E, T(Ctx, "x"), {});
+  ASSERT_TRUE(T1);
+  EXPECT_TRUE(D.entails(E, Atom::mkEq(Ctx, T(Ctx, "x"), *T1)));
+  // Avoiding y: must route through z.
+  std::optional<Term> T2 = D.alternate(E, T(Ctx, "x"), {T(Ctx, "y")});
+  ASSERT_TRUE(T2);
+  EXPECT_FALSE(occursIn(T(Ctx, "y"), *T2));
+  EXPECT_TRUE(D.entails(E, Atom::mkEq(Ctx, T(Ctx, "x"), *T2)));
+  // Avoiding both: no alternative exists.
+  EXPECT_FALSE(D.alternate(E, T(Ctx, "x"), {T(Ctx, "y"), T(Ctx, "z")}));
+}
+
+TEST_F(AffineTest, AlternateRejectsTermsContainingTarget) {
+  Conjunction E = C(Ctx, "x = x + 0"); // Trivial; no real definition.
+  EXPECT_FALSE(D.alternate(E, T(Ctx, "x"), {}));
+}
+
+TEST_F(AffineTest, MeetDetectsBottom) {
+  Conjunction E1 = C(Ctx, "x = 1");
+  Conjunction E2 = C(Ctx, "x = 2");
+  EXPECT_TRUE(D.meet(E1, E2).isBottom());
+  EXPECT_FALSE(D.meet(E1, C(Ctx, "y = 2")).isBottom());
+}
+
+TEST_F(AffineTest, RationalCoefficientsNormalizeToIntegers) {
+  // Join of (x=0,y=0) and (x=2,y=1): the hull is x = 2y; coefficients in
+  // the rendered atoms must be integral.
+  Conjunction J = D.join(C(Ctx, "x = 0 && y = 0"), C(Ctx, "x = 2 && y = 1"));
+  EXPECT_TRUE(D.entails(J, A(Ctx, "x = 2*y")));
+  for (const Atom &At : J.atoms())
+    for (Term Arg : At.args()) {
+      std::optional<LinearExpr> L = LinearExpr::fromTerm(Ctx, Arg);
+      ASSERT_TRUE(L);
+      for (const auto &[Col, Coef] : L->terms())
+        EXPECT_TRUE(Coef.isInteger()) << toString(Ctx, At);
+    }
+}
+
+// Property: join is an upper bound and is associative-ish on random affine
+// inputs (upper-bound checks only; LUB uniqueness is exercised above).
+class AffineJoinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffineJoinProperty, UpperBoundAndMonotone) {
+  TermContext Ctx;
+  AffineDomain D(Ctx);
+  std::mt19937 Rng(GetParam());
+  std::uniform_int_distribution<int> Coeff(-2, 2);
+  const char *Vars[] = {"x", "y", "z", "w"};
+  auto RandomConj = [&]() {
+    Conjunction Out;
+    for (int R = 0; R < 2; ++R) {
+      LinearExpr E;
+      for (const char *V : Vars)
+        E.addTerm(Ctx.mkVar(V), Rational(Coeff(Rng)));
+      E.addConstant(Rational(Coeff(Rng)));
+      Out.add(Atom::mkEq(Ctx, E.toTerm(Ctx), Ctx.mkNum(0)));
+    }
+    return Out;
+  };
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Conjunction E1 = RandomConj(), E2 = RandomConj();
+    if (D.isUnsat(E1) || D.isUnsat(E2))
+      continue;
+    Conjunction J = D.join(E1, E2);
+    for (const Atom &At : J.atoms()) {
+      EXPECT_TRUE(D.entails(E1, At));
+      EXPECT_TRUE(D.entails(E2, At));
+    }
+    // Join with self is equivalent to self.
+    EXPECT_TRUE(D.equivalent(D.join(E1, E1), E1));
+    // Join is commutative up to equivalence.
+    EXPECT_TRUE(D.equivalent(J, D.join(E2, E1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineJoinProperty,
+                         ::testing::Values(11, 22, 33, 44));

@@ -1,0 +1,121 @@
+//===- tests/lists_test.cpp - The list domain and product nesting ----------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/lists/ListDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "ir/ProgramParser.h"
+#include "product/LogicalProduct.h"
+
+#include "TestUtil.h"
+
+using namespace cai;
+using cai::test::A;
+using cai::test::C;
+using cai::test::T;
+
+namespace {
+
+class ListTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+  ListDomain D{Ctx};
+};
+
+} // namespace
+
+TEST_F(ListTest, ProjectionAxioms) {
+  Conjunction E = C(Ctx, "p = cons(x, y)");
+  EXPECT_TRUE(D.entails(E, A(Ctx, "car(p) = x")));
+  EXPECT_TRUE(D.entails(E, A(Ctx, "cdr(p) = y")));
+  EXPECT_FALSE(D.entails(E, A(Ctx, "car(p) = y")));
+}
+
+TEST_F(ListTest, ProjectionThroughEqualities) {
+  Conjunction E = C(Ctx, "p = q && q = cons(a, b) && u = car(p)");
+  EXPECT_TRUE(D.entails(E, A(Ctx, "u = a")));
+  EXPECT_TRUE(D.entails(E, A(Ctx, "cdr(p) = b")));
+}
+
+TEST_F(ListTest, NestedConsStructure) {
+  Conjunction E = C(Ctx, "p = cons(cons(a, b), c)");
+  EXPECT_TRUE(D.entails(E, A(Ctx, "car(car(p)) = a")));
+  EXPECT_TRUE(D.entails(E, A(Ctx, "cdr(car(p)) = b")));
+  EXPECT_TRUE(D.entails(E, A(Ctx, "cdr(p) = c")));
+}
+
+TEST_F(ListTest, CongruenceOnCons) {
+  Conjunction E = C(Ctx, "x = y && u = v");
+  EXPECT_TRUE(D.entails(E, A(Ctx, "cons(x, u) = cons(y, v)")));
+}
+
+TEST_F(ListTest, JoinKeepsCommonStructure) {
+  Conjunction E1 = C(Ctx, "p = cons(a, b) && x = a");
+  Conjunction E2 = C(Ctx, "p = cons(a, c) && x = a");
+  Conjunction J = D.join(E1, E2);
+  EXPECT_TRUE(D.entails(J, A(Ctx, "car(p) = x"))) << toString(Ctx, J);
+  EXPECT_FALSE(D.entails(J, A(Ctx, "cdr(p) = b")));
+}
+
+TEST_F(ListTest, ExistQuantRewrites) {
+  Conjunction E = C(Ctx, "p = cons(x, t) && y = x");
+  Conjunction Q = D.existQuant(E, {T(Ctx, "x")});
+  EXPECT_TRUE(D.entails(Q, A(Ctx, "car(p) = y"))) << toString(Ctx, Q);
+  for (Term V : Q.vars())
+    EXPECT_NE(V, T(Ctx, "x"));
+}
+
+TEST_F(ListTest, AlternateThroughProjection) {
+  Conjunction E = C(Ctx, "p = cons(x, t)");
+  std::optional<Term> Alt = D.alternate(E, T(Ctx, "x"), {T(Ctx, "t")});
+  ASSERT_TRUE(Alt);
+  EXPECT_TRUE(D.entails(E, Atom::mkEq(Ctx, T(Ctx, "x"), *Alt)));
+  EXPECT_FALSE(occursIn(T(Ctx, "t"), *Alt));
+}
+
+TEST(ListProductTest, NestedProductThreeTheories) {
+  // (affine >< uf) >< lists: a logical product is itself a logical
+  // lattice, so products nest.  The UF component must cede car/cdr/cons.
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  ListDomain Lists(Ctx);
+  UFDomain UF(Ctx, {Lists.carSym(), Lists.cdrSym(), Lists.consSym()});
+  LogicalProduct Inner(Ctx, LA, UF);
+  LogicalProduct Outer(Ctx, Inner, Lists);
+
+  // A fact spanning all three theories.
+  Conjunction E =
+      cai::test::C(Ctx, "p = cons(F(x), y) && x = z + 1 && u = car(p)");
+  EXPECT_TRUE(Outer.entails(E, cai::test::A(Ctx, "u = F(z + 1)")));
+  EXPECT_FALSE(Outer.entails(E, cai::test::A(Ctx, "u = F(z)")));
+
+  // Join across all three: common structure survives.
+  Conjunction E1 = cai::test::C(Ctx, "p = cons(a, b) && a = F(w) && w = 1");
+  Conjunction E2 = cai::test::C(Ctx, "p = cons(a, c) && a = F(w) && w = 1");
+  Conjunction J = Outer.join(E1, E2);
+  EXPECT_TRUE(Outer.entails(J, cai::test::A(Ctx, "car(p) = F(1)")))
+      << toString(Ctx, J);
+}
+
+TEST(ListProductTest, ListProgramAnalysis) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  ListDomain Lists(Ctx);
+  LogicalProduct Product(Ctx, LA, Lists);
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, R"(
+    n := 1;
+    p := cons(n, q);
+    h := car(p);
+    assert(h = n);
+    assert(h = 1);
+    t := cdr(p);
+    assert(t = q);
+  )", &Error);
+  ASSERT_TRUE(P) << Error;
+  AnalysisResult R = Analyzer(Product).run(*P);
+  ASSERT_EQ(R.Assertions.size(), 3u);
+  EXPECT_TRUE(R.Assertions[0].Verified);
+  EXPECT_TRUE(R.Assertions[1].Verified);
+  EXPECT_TRUE(R.Assertions[2].Verified);
+}

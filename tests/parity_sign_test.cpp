@@ -1,0 +1,190 @@
+//===- tests/parity_sign_test.cpp - Parity and sign domains ----------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/parity/ParityDomain.h"
+#include "domains/sign/SignDomain.h"
+#include "ir/ProgramParser.h"
+#include "product/LogicalProduct.h"
+
+#include "TestUtil.h"
+
+using namespace cai;
+using cai::test::A;
+using cai::test::C;
+using cai::test::T;
+
+namespace {
+
+class ParityTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+  ParityDomain D{Ctx};
+};
+
+class SignTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+  SignDomain D{Ctx};
+};
+
+} // namespace
+
+TEST_F(ParityTest, BasicEntailment) {
+  Conjunction E = C(Ctx, "even(x) && odd(y)");
+  EXPECT_TRUE(D.entails(E, A(Ctx, "odd(x + y)")));
+  EXPECT_TRUE(D.entails(E, A(Ctx, "even(x + y + 1)")));
+  EXPECT_TRUE(D.entails(E, A(Ctx, "even(2*y)")));
+  EXPECT_FALSE(D.entails(E, A(Ctx, "even(y)")));
+  EXPECT_FALSE(D.entails(E, A(Ctx, "odd(x)")));
+}
+
+TEST_F(ParityTest, EqualitiesShadowIntoParity) {
+  // x = 2y + 1 forces odd(x) regardless of y's parity.
+  Conjunction E = C(Ctx, "x = 2*y + 1");
+  EXPECT_TRUE(D.entails(E, A(Ctx, "odd(x)")));
+  EXPECT_TRUE(D.entails(E, A(Ctx, "even(x + 1)")));
+  EXPECT_FALSE(D.entails(E, A(Ctx, "even(y)")));
+}
+
+TEST_F(ParityTest, UnsatParities) {
+  EXPECT_TRUE(D.isUnsat(C(Ctx, "even(x) && odd(x)")));
+  EXPECT_TRUE(D.isUnsat(C(Ctx, "even(x) && x = 2*y + 1")));
+  EXPECT_FALSE(D.isUnsat(C(Ctx, "even(x) && odd(x + 1)")));
+  EXPECT_TRUE(D.isUnsat(C(Ctx, "odd(0)")));
+}
+
+TEST_F(ParityTest, JoinKeepsCommonParity) {
+  Conjunction E1 = C(Ctx, "x = 2 && y = 1");
+  Conjunction E2 = C(Ctx, "x = 4 && y = 7");
+  Conjunction J = D.join(E1, E2);
+  EXPECT_TRUE(D.entails(J, A(Ctx, "even(x)")));
+  EXPECT_TRUE(D.entails(J, A(Ctx, "odd(y)")));
+  EXPECT_FALSE(D.entails(J, A(Ctx, "x = 2")));
+}
+
+TEST_F(ParityTest, JoinKeepsRelationalParity) {
+  // Both sides have x + y even but with different individual parities.
+  Conjunction E1 = C(Ctx, "even(x) && even(y)");
+  Conjunction E2 = C(Ctx, "odd(x) && odd(y)");
+  Conjunction J = D.join(E1, E2);
+  EXPECT_TRUE(D.entails(J, A(Ctx, "even(x + y)")));
+  EXPECT_FALSE(D.entails(J, A(Ctx, "even(x)")));
+}
+
+TEST_F(ParityTest, ExistQuantFigure8Half) {
+  Conjunction E = C(Ctx, "even(x0) && x = x0 - 1");
+  Conjunction Q = D.existQuant(E, {T(Ctx, "x0")});
+  EXPECT_TRUE(D.entails(Q, A(Ctx, "odd(x)"))) << toString(Ctx, Q);
+  for (Term V : Q.vars())
+    EXPECT_NE(V, T(Ctx, "x0"));
+}
+
+TEST_F(ParityTest, AlternateUsesEqualities) {
+  Conjunction E = C(Ctx, "x = y + 2 && even(y)");
+  std::optional<Term> Alt = D.alternate(E, T(Ctx, "x"), {});
+  ASSERT_TRUE(Alt);
+  EXPECT_TRUE(D.entails(E, Atom::mkEq(Ctx, T(Ctx, "x"), *Alt)));
+}
+
+TEST_F(SignTest, BasicEntailment) {
+  Conjunction E = C(Ctx, "positive(x) && x = y");
+  EXPECT_TRUE(D.entails(E, A(Ctx, "positive(y)")));
+  EXPECT_FALSE(D.entails(E, A(Ctx, "negative(y)")));
+}
+
+TEST_F(SignTest, UnsatSigns) {
+  EXPECT_TRUE(D.isUnsat(C(Ctx, "positive(x) && negative(x)")));
+  EXPECT_TRUE(D.isUnsat(C(Ctx, "positive(x) && x = 0")));
+  EXPECT_FALSE(D.isUnsat(C(Ctx, "positive(x) && x = 1")));
+}
+
+TEST_F(SignTest, JoinKeepsCommonSign) {
+  Conjunction E1 = C(Ctx, "x = 1 && y = 0 - 2");
+  Conjunction E2 = C(Ctx, "x = 5 && y = 0 - 7");
+  Conjunction J = D.join(E1, E2);
+  EXPECT_TRUE(D.entails(J, A(Ctx, "positive(x)")));
+  EXPECT_TRUE(D.entails(J, A(Ctx, "negative(y)")));
+  EXPECT_FALSE(D.entails(J, A(Ctx, "x = 1")));
+}
+
+TEST_F(SignTest, Figure8HalfGivesTop) {
+  // positive(x0) && x = x0 - 1: over the integers x >= 0, which the sign
+  // language cannot express about the *variable* x.
+  Conjunction E = C(Ctx, "positive(x0) && x = x0 - 1");
+  Conjunction Q = D.existQuant(E, {T(Ctx, "x0")});
+  EXPECT_TRUE(Q.isTop()) << toString(Ctx, Q);
+}
+
+TEST_F(SignTest, ShiftedBoundIsExpressible) {
+  Conjunction E = C(Ctx, "positive(x0) && x = x0 + 5");
+  Conjunction Q = D.existQuant(E, {T(Ctx, "x0")});
+  EXPECT_TRUE(D.entails(Q, A(Ctx, "positive(x)")));
+}
+
+TEST_F(SignTest, EqualitiesSurviveProjection) {
+  Conjunction E = C(Ctx, "x = y + z && z = 0 - w && positive(w)");
+  Conjunction Q = D.existQuant(E, {T(Ctx, "z")});
+  EXPECT_TRUE(D.entails(Q, A(Ctx, "x = y - w")));
+}
+
+TEST(ParitySignProgramTest, ParityLoopInvariant) {
+  TermContext Ctx;
+  ParityDomain Parity(Ctx);
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, R"(
+    x := 0; y := 1;
+    while (*) { x := x + 2; y := y + 2; }
+    assert(even(x)); assert(odd(y)); assert(odd(x + y));
+  )", &Error);
+  ASSERT_TRUE(P) << Error;
+  AnalysisResult R = Analyzer(Parity).run(*P);
+  EXPECT_TRUE(R.Converged);
+  ASSERT_EQ(R.Assertions.size(), 3u);
+  EXPECT_TRUE(R.Assertions[0].Verified);
+  EXPECT_TRUE(R.Assertions[1].Verified);
+  EXPECT_TRUE(R.Assertions[2].Verified);
+}
+
+TEST(ParitySignProgramTest, SignLoopInvariant) {
+  TermContext Ctx;
+  SignDomain Sign(Ctx);
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, R"(
+    x := 1;
+    while (*) { x := x + 1; }
+    assert(positive(x));
+  )", &Error);
+  ASSERT_TRUE(P) << Error;
+  AnalysisResult R = Analyzer(Sign).run(*P);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Assertions[0].Verified);
+}
+
+TEST(ParitySignProgramTest, CombinedCatchesBoth) {
+  // The Cousot-style program: x := x - 1 under even(x) && positive(x).
+  // Individually parity proves odd, sign proves nothing; the product keeps
+  // both *input* facts where expressible but the transfer shows the
+  // Figure 8 incompleteness (positive(x) after the decrement is lost).
+  TermContext Ctx;
+  ParityDomain Parity(Ctx);
+  SignDomain Sign(Ctx);
+  LogicalProduct Product(Ctx, Parity, Sign);
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, R"(
+    x := *;
+    assume(even(x));
+    assume(positive(x));
+    x := x - 1;
+    assert(odd(x));
+    assert(positive(x));
+  )", &Error);
+  ASSERT_TRUE(P) << Error;
+  AnalysisResult R = Analyzer(Product).run(*P);
+  ASSERT_EQ(R.Assertions.size(), 2u);
+  EXPECT_TRUE(R.Assertions[0].Verified);
+  // The most precise result would verify this too (x >= 1 even after the
+  // decrement since even positives are >= 2), but the black-box
+  // combination of *non-disjoint* theories is incomplete -- this is the
+  // paper's Figure 8 point, reproduced end to end.
+  EXPECT_FALSE(R.Assertions[1].Verified);
+}

@@ -1,0 +1,197 @@
+//===- tests/support_test.cpp - BigInt, Rational, GF2 ----------------------===//
+
+#include "support/BigInt.h"
+#include "support/GF2.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace cai;
+
+TEST(BigIntTest, ConstructAndRender) {
+  EXPECT_EQ(BigInt(0).toString(), "0");
+  EXPECT_EQ(BigInt(42).toString(), "42");
+  EXPECT_EQ(BigInt(-7).toString(), "-7");
+  EXPECT_EQ(BigInt(INT64_MIN).toString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).toString(), "9223372036854775807");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  const char *Cases[] = {"0", "1", "-1", "123456789012345678901234567890",
+                         "-999999999999999999999999999999999"};
+  for (const char *Text : Cases)
+    EXPECT_EQ(BigInt::fromString(Text).toString(), Text);
+}
+
+TEST(BigIntTest, ValidationRejectsGarbage) {
+  EXPECT_FALSE(BigInt::isValidDecimal(""));
+  EXPECT_FALSE(BigInt::isValidDecimal("-"));
+  EXPECT_FALSE(BigInt::isValidDecimal("12a"));
+  EXPECT_FALSE(BigInt::isValidDecimal("1.5"));
+  EXPECT_TRUE(BigInt::isValidDecimal("-0"));
+}
+
+TEST(BigIntTest, ArithmeticSmall) {
+  EXPECT_EQ(BigInt(3) + BigInt(4), BigInt(7));
+  EXPECT_EQ(BigInt(3) - BigInt(4), BigInt(-1));
+  EXPECT_EQ(BigInt(-3) * BigInt(4), BigInt(-12));
+  EXPECT_EQ(BigInt(17) / BigInt(5), BigInt(3));
+  EXPECT_EQ(BigInt(17) % BigInt(5), BigInt(2));
+  EXPECT_EQ(BigInt(-17) / BigInt(5), BigInt(-3)); // Truncates toward zero.
+  EXPECT_EQ(BigInt(-17) % BigInt(5), BigInt(-2));
+}
+
+TEST(BigIntTest, CarryChains) {
+  BigInt A = BigInt::fromString("4294967295"); // 2^32 - 1
+  EXPECT_EQ((A + BigInt(1)).toString(), "4294967296");
+  BigInt B = BigInt::fromString("18446744073709551615"); // 2^64 - 1
+  EXPECT_EQ((B + BigInt(1)).toString(), "18446744073709551616");
+  EXPECT_EQ((B * B).toString(), "340282366920938463426481119284349108225");
+}
+
+TEST(BigIntTest, MultiLimbDivision) {
+  BigInt A = BigInt::fromString("340282366920938463426481119284349108225");
+  BigInt B = BigInt::fromString("18446744073709551615");
+  EXPECT_EQ((A / B).toString(), "18446744073709551615");
+  EXPECT_EQ((A % B).toString(), "0");
+  BigInt C = A + BigInt(12345);
+  EXPECT_EQ((C / B).toString(), "18446744073709551615");
+  EXPECT_EQ((C % B).toString(), "12345");
+}
+
+TEST(BigIntTest, DivisionRandomizedAgainstReconstruction) {
+  std::mt19937_64 Rng(12345);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    // Random magnitudes of varied widths to exercise Knuth D corner cases.
+    auto RandomBig = [&](int Limbs) {
+      BigInt Acc(0);
+      for (int I = 0; I < Limbs; ++I)
+        Acc = Acc * BigInt::fromString("4294967296") +
+              BigInt(static_cast<int64_t>(Rng() & 0xFFFFFFFFull));
+      return Acc;
+    };
+    BigInt A = RandomBig(1 + Trial % 5);
+    BigInt B = RandomBig(1 + Trial % 3);
+    if (B.isZero())
+      continue;
+    BigInt Q = A / B, R = A % B;
+    EXPECT_EQ(Q * B + R, A) << "trial " << Trial;
+    EXPECT_TRUE(R.abs() < B.abs()) << "trial " << Trial;
+  }
+}
+
+TEST(BigIntTest, GcdLcmPow) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(-5)), BigInt(5));
+  EXPECT_EQ(BigInt::lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_EQ(BigInt::lcm(BigInt(0), BigInt(3)), BigInt(0));
+  EXPECT_EQ(BigInt::pow(BigInt(2), 100).toString(),
+            "1267650600228229401496703205376");
+  EXPECT_EQ(BigInt::pow(BigInt(7), 0), BigInt(1));
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  std::vector<BigInt> Sorted = {BigInt::fromString("-100000000000000000000"),
+                                BigInt(-2), BigInt(0), BigInt(1),
+                                BigInt::fromString("99999999999999999999")};
+  for (size_t I = 0; I < Sorted.size(); ++I)
+    for (size_t J = 0; J < Sorted.size(); ++J) {
+      EXPECT_EQ(Sorted[I] < Sorted[J], I < J);
+      EXPECT_EQ(Sorted[I] == Sorted[J], I == J);
+      EXPECT_EQ(Sorted[I] <= Sorted[J], I <= J);
+    }
+}
+
+TEST(BigIntTest, Int64Bounds) {
+  EXPECT_TRUE(BigInt(INT64_MAX).fitsInt64());
+  EXPECT_TRUE(BigInt(INT64_MIN).fitsInt64());
+  EXPECT_FALSE((BigInt(INT64_MAX) + BigInt(1)).fitsInt64());
+  EXPECT_FALSE((BigInt(INT64_MIN) - BigInt(1)).fitsInt64());
+  EXPECT_EQ(BigInt(INT64_MIN).toInt64(), INT64_MIN);
+  EXPECT_EQ((BigInt(INT64_MAX)).toInt64(), INT64_MAX);
+}
+
+TEST(RationalTest, NormalizationLowestTerms) {
+  Rational R(BigInt(4), BigInt(6));
+  EXPECT_EQ(R.numerator(), BigInt(2));
+  EXPECT_EQ(R.denominator(), BigInt(3));
+  Rational Neg(BigInt(3), BigInt(-6));
+  EXPECT_EQ(Neg.numerator(), BigInt(-1));
+  EXPECT_EQ(Neg.denominator(), BigInt(2));
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-7)), Rational(0));
+}
+
+TEST(RationalTest, FieldAxiomsSpotChecks) {
+  Rational Half(BigInt(1), BigInt(2));
+  Rational Third(BigInt(1), BigInt(3));
+  EXPECT_EQ(Half + Third, Rational(BigInt(5), BigInt(6)));
+  EXPECT_EQ(Half * Third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(Half - Half, Rational(0));
+  EXPECT_EQ(Half / Third, Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(Half.inverse(), Rational(2));
+  EXPECT_TRUE(Third < Half);
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).floor(), BigInt(3));
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).ceil(), BigInt(4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).floor(), BigInt(-4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(5).floor(), BigInt(5));
+  EXPECT_EQ(Rational(5).ceil(), BigInt(5));
+  EXPECT_EQ(Rational(-5).floor(), BigInt(-5));
+}
+
+TEST(RationalTest, ToStringForms) {
+  EXPECT_EQ(Rational(BigInt(1), BigInt(2)).toString(), "1/2");
+  EXPECT_EQ(Rational(-3).toString(), "-3");
+  EXPECT_EQ(Rational(BigInt(-2), BigInt(4)).toString(), "-1/2");
+}
+
+TEST(GF2Test, FieldTable) {
+  GF2 Zero, One = GF2::one();
+  EXPECT_EQ(Zero + Zero, Zero);
+  EXPECT_EQ(Zero + One, One);
+  EXPECT_EQ(One + One, Zero);
+  EXPECT_EQ(One * One, One);
+  EXPECT_EQ(Zero * One, Zero);
+  EXPECT_EQ(One - One, Zero);
+  EXPECT_EQ(-One, One);
+  EXPECT_EQ(One / One, One);
+  EXPECT_EQ(One.inverse(), One);
+  EXPECT_EQ(GF2::fromInt(5), One);
+  EXPECT_EQ(GF2::fromInt(-4), Zero);
+  EXPECT_EQ(GF2::fromInt(-3), One);
+}
+
+// Property sweep: rational arithmetic agrees with double arithmetic on
+// small values (no overflow regime) for all four operators.
+class RationalOpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalOpProperty, MatchesExactFractions) {
+  int Seed = GetParam();
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<int> Dist(-30, 30);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    int An = Dist(Rng), Ad = Dist(Rng), Bn = Dist(Rng), Bd = Dist(Rng);
+    if (Ad == 0 || Bd == 0)
+      continue;
+    Rational A = Rational(BigInt(An), BigInt(Ad));
+    Rational B = Rational(BigInt(Bn), BigInt(Bd));
+    // (a + b) * d_a * d_b is integral and equals an*bd + bn*ad.
+    Rational Sum = A + B;
+    EXPECT_EQ(Sum * Rational(BigInt(Ad * Bd)),
+              Rational(BigInt(An * Bd + Bn * Ad)));
+    Rational Prod = A * B;
+    EXPECT_EQ(Prod * Rational(BigInt(Ad * Bd)), Rational(BigInt(An * Bn)));
+    if (!B.isZero()) {
+      Rational Quot = A / B;
+      EXPECT_EQ(Quot * B, A);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalOpProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));

@@ -1,0 +1,256 @@
+//===- tests/term_test.cpp - Terms, atoms, conjunctions, parser ------------===//
+
+#include "term/Conjunction.h"
+#include "term/LinearExpr.h"
+#include "term/Parser.h"
+#include "term/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cai;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+} // namespace
+
+TEST_F(TermTest, HashConsingGivesPointerIdentity) {
+  Term X1 = Ctx.mkVar("x"), X2 = Ctx.mkVar("x");
+  EXPECT_EQ(X1, X2);
+  Term N1 = Ctx.mkNum(5), N2 = Ctx.mkNum(5);
+  EXPECT_EQ(N1, N2);
+  Symbol F = Ctx.getFunction("F", 1);
+  EXPECT_EQ(Ctx.mkApp(F, {X1}), Ctx.mkApp(F, {X2}));
+  EXPECT_NE(Ctx.mkApp(F, {X1}), Ctx.mkApp(F, {N1}));
+}
+
+TEST_F(TermTest, FreshVarsAreDistinctAndReserved) {
+  Term A = Ctx.freshVar("t"), B = Ctx.freshVar("t");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(A->varName()[0], '$');
+}
+
+TEST_F(TermTest, AddFoldsConstantsAndFlattens) {
+  Term X = Ctx.mkVar("x"), Y = Ctx.mkVar("y");
+  Term Sum = Ctx.mkAdd(Ctx.mkAdd(X, Ctx.mkNum(2)), Ctx.mkAdd(Y, Ctx.mkNum(3)));
+  // x + 2 + y + 3 == x + y + 5, flattened into one n-ary sum.
+  ASSERT_TRUE(Sum->isApp());
+  EXPECT_EQ(Sum->symbol(), Ctx.addSymbol());
+  EXPECT_EQ(Sum->args().size(), 3u);
+  EXPECT_EQ(toString(Ctx, Sum), "x + y + 5");
+}
+
+TEST_F(TermTest, MulNormalizations) {
+  Term X = Ctx.mkVar("x");
+  EXPECT_EQ(Ctx.mkMul(Rational(0), X), Ctx.mkNum(0));
+  EXPECT_EQ(Ctx.mkMul(Rational(1), X), X);
+  EXPECT_EQ(Ctx.mkMul(Rational(3), Ctx.mkNum(2)), Ctx.mkNum(6));
+  Term TwoX = Ctx.mkMul(Rational(2), X);
+  EXPECT_EQ(Ctx.mkMul(Rational(3), TwoX), Ctx.mkMul(Rational(6), X));
+}
+
+TEST_F(TermTest, SubBuildsNegatedAddend) {
+  Term X = Ctx.mkVar("x"), Y = Ctx.mkVar("y");
+  Term D = Ctx.mkSub(X, Y);
+  EXPECT_EQ(toString(Ctx, D), "x - y");
+  EXPECT_EQ(Ctx.mkSub(X, X), Ctx.mkNum(0));
+}
+
+TEST_F(TermTest, SubstituteRebuildsNormalized) {
+  Term X = Ctx.mkVar("x"), Y = Ctx.mkVar("y");
+  Symbol F = Ctx.getFunction("F", 1);
+  Term T = Ctx.mkAdd(Ctx.mkApp(F, {X}), X);
+  Substitution S;
+  S.emplace(X, Ctx.mkAdd(Y, Ctx.mkNum(1)));
+  Term R = Ctx.substitute(T, S);
+  // Addends are in canonical (term-id) order: y was interned before the
+  // F-application, so it prints first.
+  EXPECT_EQ(toString(Ctx, R), "y + F(y + 1) + 1");
+  // Substituting a variable not present is the identity (same pointer).
+  Substitution None;
+  None.emplace(Ctx.mkVar("zz"), Y);
+  EXPECT_EQ(Ctx.substitute(T, None), T);
+}
+
+TEST_F(TermTest, OccursAndDepthAndSize) {
+  Term X = Ctx.mkVar("x"), Y = Ctx.mkVar("y");
+  Symbol F = Ctx.getFunction("F", 1);
+  Term T = Ctx.mkApp(F, {Ctx.mkApp(F, {X})});
+  EXPECT_TRUE(occursIn(X, T));
+  EXPECT_FALSE(occursIn(Y, T));
+  EXPECT_EQ(termDepth(T), 3u);
+  EXPECT_EQ(termSize(T), 3u);
+  EXPECT_EQ(termDepth(X), 1u);
+}
+
+TEST_F(TermTest, CollectVarsDedupsAndOrders) {
+  Term X = Ctx.mkVar("x"), Y = Ctx.mkVar("y");
+  Symbol G = Ctx.getFunction("G", 2);
+  Term T = Ctx.mkApp(G, {Ctx.mkAdd(X, Y), X});
+  std::vector<Term> Vars;
+  collectVars(T, Vars);
+  ASSERT_EQ(Vars.size(), 2u);
+  EXPECT_EQ(Vars[0], X);
+  EXPECT_EQ(Vars[1], Y);
+}
+
+TEST_F(TermTest, AtomCanonicalizesEquality) {
+  Term X = Ctx.mkVar("x"), Y = Ctx.mkVar("y");
+  EXPECT_EQ(Atom::mkEq(Ctx, X, Y), Atom::mkEq(Ctx, Y, X));
+  EXPECT_NE(Atom::mkLe(Ctx, X, Y), Atom::mkLe(Ctx, Y, X));
+}
+
+TEST_F(TermTest, AtomTriviality) {
+  Term X = Ctx.mkVar("x");
+  EXPECT_TRUE(Atom::mkEq(Ctx, X, X).isTrivial(Ctx));
+  EXPECT_TRUE(Atom::mkLe(Ctx, Ctx.mkNum(1), Ctx.mkNum(2)).isTrivial(Ctx));
+  EXPECT_FALSE(Atom::mkLe(Ctx, Ctx.mkNum(2), Ctx.mkNum(1)).isTrivial(Ctx));
+  EXPECT_FALSE(Atom::mkEq(Ctx, X, Ctx.mkNum(0)).isTrivial(Ctx));
+}
+
+TEST_F(TermTest, ConjunctionSortedDedup) {
+  Term X = Ctx.mkVar("x"), Y = Ctx.mkVar("y");
+  Conjunction C;
+  C.add(Atom::mkEq(Ctx, X, Y));
+  C.add(Atom::mkEq(Ctx, Y, X)); // Same canonical atom.
+  C.add(Atom::mkEq(Ctx, X, Ctx.mkNum(1)));
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_TRUE(C.contains(Atom::mkEq(Ctx, Y, X)));
+}
+
+TEST_F(TermTest, ConjunctionBottomAbsorbs) {
+  Conjunction B = Conjunction::bottom();
+  Conjunction T = Conjunction::top();
+  EXPECT_TRUE(B.meet(T).isBottom());
+  EXPECT_TRUE(T.meet(B).isBottom());
+  EXPECT_TRUE(T.isTop());
+  B.add(Atom::mkEq(Ctx, Ctx.mkVar("x"), Ctx.mkNum(1)));
+  EXPECT_TRUE(B.isBottom());
+}
+
+TEST_F(TermTest, LinearExprDecomposition) {
+  std::optional<Term> T = parseTerm(Ctx, "2*x - 3*y + 4 + x");
+  ASSERT_TRUE(T);
+  std::optional<LinearExpr> L = LinearExpr::fromTerm(Ctx, *T);
+  ASSERT_TRUE(L);
+  EXPECT_EQ(L->coeff(Ctx.mkVar("x")), Rational(3));
+  EXPECT_EQ(L->coeff(Ctx.mkVar("y")), Rational(-3));
+  EXPECT_EQ(L->constant(), Rational(4));
+  EXPECT_TRUE(L->allVars());
+}
+
+TEST_F(TermTest, LinearExprOpaqueIndeterminates) {
+  std::optional<Term> T = parseTerm(Ctx, "2*F(x) + y");
+  ASSERT_TRUE(T);
+  std::optional<LinearExpr> L = LinearExpr::fromTerm(Ctx, *T);
+  ASSERT_TRUE(L);
+  EXPECT_FALSE(L->allVars());
+  Symbol F = Ctx.findSymbol("F");
+  EXPECT_EQ(L->coeff(Ctx.mkApp(F, {Ctx.mkVar("x")})), Rational(2));
+}
+
+TEST_F(TermTest, LinearExprRejectsNonLinear) {
+  // x*y cannot be parsed (parser enforces a numeral factor), so build it.
+  Term X = Ctx.mkVar("x"), Y = Ctx.mkVar("y");
+  Term Bad = Ctx.mkApp(Ctx.mulSymbol(), {X, Y});
+  EXPECT_FALSE(LinearExpr::fromTerm(Ctx, Bad).has_value());
+}
+
+TEST_F(TermTest, LinearExprNormalizeIntegral) {
+  LinearExpr E;
+  E.addTerm(Ctx.mkVar("x"), Rational(BigInt(1), BigInt(2)));
+  E.addTerm(Ctx.mkVar("y"), Rational(BigInt(-1), BigInt(3)));
+  E.addConstant(Rational(BigInt(1), BigInt(6)));
+  E.normalizeIntegral(/*NormalizeSign=*/true);
+  EXPECT_EQ(E.coeff(Ctx.mkVar("x")), Rational(3));
+  EXPECT_EQ(E.coeff(Ctx.mkVar("y")), Rational(-2));
+  EXPECT_EQ(E.constant(), Rational(1));
+}
+
+TEST_F(TermTest, ParsePrintRoundTrip) {
+  const char *Terms[] = {"x",       "42",          "x + y + 5", "x - y",
+                         "2*x",     "F(x + 1)",    "G(x, y)",   "F(F(x))",
+                         "x - 2*y", "F(2*x - y)"};
+  for (const char *Text : Terms) {
+    std::optional<Term> T = parseTerm(Ctx, Text);
+    ASSERT_TRUE(T) << Text;
+    std::optional<Term> Again = parseTerm(Ctx, toString(Ctx, *T));
+    ASSERT_TRUE(Again) << toString(Ctx, *T);
+    EXPECT_EQ(*T, *Again) << Text << " vs " << toString(Ctx, *T);
+  }
+}
+
+TEST_F(TermTest, ParseAtoms) {
+  std::optional<Atom> A = parseAtom(Ctx, "x + 1 <= F(y)");
+  ASSERT_TRUE(A);
+  EXPECT_TRUE(A->isLe(Ctx));
+  // Strict < desugars with integer semantics.
+  std::optional<Atom> Lt = parseAtom(Ctx, "x < y");
+  ASSERT_TRUE(Lt);
+  EXPECT_EQ(toString(Ctx, *Lt), "x + 1 <= y");
+  std::optional<Atom> Ge = parseAtom(Ctx, "x >= y");
+  ASSERT_TRUE(Ge);
+  EXPECT_EQ(toString(Ctx, *Ge), "y <= x");
+}
+
+TEST_F(TermTest, ParsePredicateAtoms) {
+  Ctx.getPredicate("even", 1);
+  std::optional<Atom> A = parseAtom(Ctx, "even(x + 1)");
+  ASSERT_TRUE(A);
+  EXPECT_EQ(Ctx.info(A->predicate()).Name, "even");
+  ASSERT_EQ(A->args().size(), 1u);
+}
+
+TEST_F(TermTest, ParseConjunctions) {
+  std::optional<Conjunction> C = parseConjunction(Ctx, "x = 1 && y <= x + 2");
+  ASSERT_TRUE(C);
+  EXPECT_EQ(C->size(), 2u);
+  EXPECT_TRUE(parseConjunction(Ctx, "true")->isTop());
+  EXPECT_TRUE(parseConjunction(Ctx, "false")->isBottom());
+}
+
+TEST_F(TermTest, ParseErrorsAreReported) {
+  std::string Error;
+  EXPECT_FALSE(parseTerm(Ctx, "x +", &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(parseTerm(Ctx, "x y", &Error)); // Trailing input.
+  EXPECT_FALSE(parseAtom(Ctx, "x != y", &Error));
+  EXPECT_FALSE(parseTerm(Ctx, "x * y", &Error)); // Non-linear.
+  EXPECT_FALSE(parseConjunction(Ctx, "x = 1 &&", &Error));
+}
+
+TEST_F(TermTest, NegateAtomForms) {
+  std::optional<Atom> Le = parseAtom(Ctx, "x <= y");
+  std::optional<Atom> NotLe = negateAtom(Ctx, *Le);
+  ASSERT_TRUE(NotLe);
+  EXPECT_EQ(toString(Ctx, *NotLe), "y + 1 <= x");
+
+  std::optional<Atom> Eq = parseAtom(Ctx, "x = y");
+  EXPECT_FALSE(negateAtom(Ctx, *Eq)); // Disequality is not atomic.
+
+  Ctx.getPredicate("even", 1);
+  Ctx.getPredicate("odd", 1);
+  std::optional<Atom> Even = parseAtom(Ctx, "even(x)");
+  std::optional<Atom> NotEven = negateAtom(Ctx, *Even);
+  ASSERT_TRUE(NotEven);
+  EXPECT_EQ(Ctx.info(NotEven->predicate()).Name, "odd");
+
+  Ctx.getPredicate("positive", 1);
+  Ctx.getPredicate("negative", 1);
+  std::optional<Atom> Pos = parseAtom(Ctx, "positive(x)");
+  std::optional<Atom> NotPos = negateAtom(Ctx, *Pos);
+  ASSERT_TRUE(NotPos);
+  EXPECT_EQ(toString(Ctx, *NotPos), "negative(x - 1)");
+}
+
+TEST_F(TermTest, PrinterNegativeCoefficients) {
+  std::optional<Term> T = parseTerm(Ctx, "0 - x + 2*y - 3");
+  ASSERT_TRUE(T);
+  std::optional<Term> Again = parseTerm(Ctx, toString(Ctx, *T));
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(*T, *Again);
+}

@@ -1,0 +1,285 @@
+//===- tools/cai-analyze.cpp - Command-line analysis driver ----------------===//
+///
+/// Analyzes a mini-language program with a chosen domain combination and
+/// prints invariants and assertion verdicts.
+///
+///   cai-analyze [options] <program.imp>
+///
+///   --domain=<spec>   affine | poly | uf | parity | sign | lists
+///                     | direct:<d1>,<d2>
+///                     | reduced:<d1>,<d2>
+///                     | logical:<d1>,<d2>        (default logical:poly,uf)
+///                     Product components may themselves be products,
+///                     written with parentheses:
+///                     logical:(logical:affine,uf),lists
+///   --invariants      print the invariant at every program node
+///   --encode=comm     apply the Section 5.1 commutative encoding first
+///   --encode=arity    apply the Section 5.2 arity-reduction encoding
+///   --widening-delay=N
+///
+/// Exit code: 0 if every assertion verified, 1 otherwise, 2 on errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/arrays/ArrayDomain.h"
+#include "domains/lists/ListDomain.h"
+#include "domains/parity/ParityDomain.h"
+#include "domains/poly/PolyDomain.h"
+#include "domains/sign/SignDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "encodings/Encodings.h"
+#include "ir/ProgramParser.h"
+#include "product/DirectProduct.h"
+#include "product/LogicalProduct.h"
+#include "term/Printer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+using namespace cai;
+
+namespace {
+
+/// Owns every lattice built while parsing a --domain spec (components must
+/// outlive the products referencing them).
+struct DomainFactory {
+  TermContext &Ctx;
+  std::vector<std::unique_ptr<LogicalLattice>> Owned;
+  std::unique_ptr<ListDomain> ListsInstance;
+  std::string Error;
+
+  explicit DomainFactory(TermContext &Ctx) : Ctx(Ctx) {}
+
+  LogicalLattice *keep(std::unique_ptr<LogicalLattice> L) {
+    Owned.push_back(std::move(L));
+    return Owned.back().get();
+  }
+
+  /// Grammar: spec := name | kind ':' spec ',' spec | '(' spec ')' ...
+  /// Parses from \p S at \p Pos; returns nullptr and sets Error on failure.
+  LogicalLattice *parse(const std::string &S, size_t &Pos) {
+    auto StartsWith = [&](const char *Word) {
+      size_t Len = std::strlen(Word);
+      return S.compare(Pos, Len, Word) == 0;
+    };
+    if (Pos < S.size() && S[Pos] == '(') {
+      ++Pos;
+      LogicalLattice *Inner = parse(S, Pos);
+      if (!Inner)
+        return nullptr;
+      if (Pos >= S.size() || S[Pos] != ')') {
+        Error = "expected ')' in domain spec";
+        return nullptr;
+      }
+      ++Pos;
+      return Inner;
+    }
+    for (const char *Kind : {"direct", "reduced", "logical"}) {
+      if (!StartsWith(Kind) || S[Pos + std::strlen(Kind)] != ':')
+        continue;
+      Pos += std::strlen(Kind) + 1;
+      LogicalLattice *First = parse(S, Pos);
+      if (!First)
+        return nullptr;
+      if (Pos >= S.size() || S[Pos] != ',') {
+        Error = "expected ',' between product components";
+        return nullptr;
+      }
+      ++Pos;
+      LogicalLattice *Second = parse(S, Pos);
+      if (!Second)
+        return nullptr;
+      if (std::strcmp(Kind, "direct") == 0)
+        return keep(std::make_unique<DirectProduct>(Ctx, *First, *Second));
+      auto Mode = std::strcmp(Kind, "reduced") == 0
+                      ? LogicalProduct::Mode::Reduced
+                      : LogicalProduct::Mode::Logical;
+      return keep(
+          std::make_unique<LogicalProduct>(Ctx, *First, *Second, Mode));
+    }
+    struct Named {
+      const char *Name;
+      std::unique_ptr<LogicalLattice> (DomainFactory::*Make)();
+    };
+    const Named Table[] = {
+        {"affine", &DomainFactory::makeAffine},
+        {"poly", &DomainFactory::makePoly},
+        {"uf", &DomainFactory::makeUF},
+        {"parity", &DomainFactory::makeParity},
+        {"sign", &DomainFactory::makeSign},
+        {"lists", &DomainFactory::makeLists},
+        {"arrays", &DomainFactory::makeArrays},
+    };
+    for (const Named &N : Table) {
+      size_t Len = std::strlen(N.Name);
+      if (S.compare(Pos, Len, N.Name) == 0) {
+        Pos += Len;
+        return keep((this->*N.Make)());
+      }
+    }
+    Error = "unknown domain at '" + S.substr(Pos) + "'";
+    return nullptr;
+  }
+
+  std::unique_ptr<LogicalLattice> makeAffine() {
+    return std::make_unique<AffineDomain>(Ctx);
+  }
+  std::unique_ptr<LogicalLattice> makePoly() {
+    return std::make_unique<PolyDomain>(Ctx);
+  }
+  std::unique_ptr<LogicalLattice> makeUF() {
+    // If a lists domain participates anywhere in the spec, cede its
+    // symbols so the nested product dispatches them correctly.
+    std::set<Symbol> Excluded;
+    if (ListsInstance) {
+      Excluded.insert(ListsInstance->carSym());
+      Excluded.insert(ListsInstance->cdrSym());
+      Excluded.insert(ListsInstance->consSym());
+    }
+    return std::make_unique<UFDomain>(Ctx, Excluded);
+  }
+  std::unique_ptr<LogicalLattice> makeParity() {
+    return std::make_unique<ParityDomain>(Ctx);
+  }
+  std::unique_ptr<LogicalLattice> makeSign() {
+    return std::make_unique<SignDomain>(Ctx);
+  }
+  std::unique_ptr<LogicalLattice> makeArrays() {
+    return std::make_unique<ArrayDomain>(Ctx);
+  }
+  std::unique_ptr<LogicalLattice> makeLists() {
+    auto L = std::make_unique<ListDomain>(Ctx);
+    ListsInstance = std::make_unique<ListDomain>(Ctx);
+    return L;
+  }
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cai-analyze [--domain=<spec>] [--invariants]\n"
+      "                   [--encode=comm|arity] [--widening-delay=N]\n"
+      "                   <program.imp>\n"
+      "domain specs: affine poly uf parity sign lists arrays\n"
+      "              direct:<a>,<b>  reduced:<a>,<b>  logical:<a>,<b>\n"
+      "              nested: logical:(logical:affine,uf),lists\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string DomainSpec = "logical:poly,uf";
+  std::string Encode;
+  std::string Path;
+  bool ShowInvariants = false;
+  AnalyzerOptions Opts;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--domain=", 0) == 0) {
+      DomainSpec = Arg.substr(9);
+    } else if (Arg == "--invariants") {
+      ShowInvariants = true;
+    } else if (Arg.rfind("--encode=", 0) == 0) {
+      Encode = Arg.substr(9);
+    } else if (Arg.rfind("--widening-delay=", 0) == 0) {
+      Opts.WideningDelay = static_cast<unsigned>(std::stoul(Arg.substr(17)));
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  TermContext Ctx;
+  // Pre-intern the theory predicates so the parser recognizes them even if
+  // the chosen domains do not mention them.
+  Ctx.getPredicate("even", 1);
+  Ctx.getPredicate("odd", 1);
+  Ctx.getPredicate("positive", 1);
+  Ctx.getPredicate("negative", 1);
+
+  DomainFactory Factory(Ctx);
+  // Pre-scan: if the spec mentions lists, build it first so UF cedes the
+  // symbols.
+  if (DomainSpec.find("lists") != std::string::npos)
+    Factory.ListsInstance = std::make_unique<ListDomain>(Ctx);
+  size_t Pos = 0;
+  LogicalLattice *Domain = Factory.parse(DomainSpec, Pos);
+  if (!Domain || Pos != DomainSpec.size()) {
+    std::fprintf(stderr, "error: bad --domain spec: %s\n",
+                 Factory.Error.empty() ? "trailing input"
+                                       : Factory.Error.c_str());
+    return 2;
+  }
+
+  std::string ParseError;
+  std::optional<Program> P = parseProgram(Ctx, Buffer.str(), &ParseError);
+  if (!P) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), ParseError.c_str());
+    return 2;
+  }
+
+  Program Analyzed = *P;
+  if (Encode == "comm") {
+    TermEncoder Enc(Ctx, TermEncoder::Scheme::Commutative);
+    Analyzed = Enc.encode(Analyzed);
+  } else if (Encode == "arity") {
+    TermEncoder Enc(Ctx, TermEncoder::Scheme::ArityReduction);
+    Analyzed = Enc.encode(Analyzed);
+  } else if (!Encode.empty()) {
+    std::fprintf(stderr, "error: unknown --encode '%s'\n", Encode.c_str());
+    return 2;
+  }
+
+  AnalysisResult R = Analyzer(*Domain, Opts).run(Analyzed);
+
+  std::printf("domain:     %s\n", Domain->name().c_str());
+  std::printf("converged:  %s\n", R.Converged ? "yes" : "no");
+  std::printf("stats:      %lu joins, %lu widenings, %lu transfers, "
+              "max %u updates/node\n",
+              R.Stats.Joins, R.Stats.Widenings, R.Stats.Transfers,
+              R.Stats.MaxNodeUpdates);
+
+  if (ShowInvariants) {
+    std::printf("\ninvariants:\n");
+    for (NodeId N = 0; N < Analyzed.numNodes(); ++N)
+      std::printf("  node %-4u %s\n", N,
+                  toString(Ctx, R.Invariants[N]).c_str());
+  }
+
+  std::printf("\nassertions:\n");
+  for (size_t I = 0; I < R.Assertions.size(); ++I) {
+    const Assertion &A = Analyzed.assertions()[I];
+    std::printf("  %-20s %-12s %s\n", R.Assertions[I].Label.c_str(),
+                R.Assertions[I].Verified ? "VERIFIED" : "not-verified",
+                toString(Ctx, A.Fact).c_str());
+  }
+  unsigned Verified = R.numVerified();
+  std::printf("\n%u/%zu assertions verified\n", Verified,
+              R.Assertions.size());
+  return Verified == R.Assertions.size() ? 0 : 1;
+}
