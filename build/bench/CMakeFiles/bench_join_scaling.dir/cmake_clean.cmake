@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_scaling.dir/bench_join_scaling.cpp.o"
+  "CMakeFiles/bench_join_scaling.dir/bench_join_scaling.cpp.o.d"
+  "bench_join_scaling"
+  "bench_join_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

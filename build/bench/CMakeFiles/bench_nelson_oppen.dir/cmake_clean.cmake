@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nelson_oppen.dir/bench_nelson_oppen.cpp.o"
+  "CMakeFiles/bench_nelson_oppen.dir/bench_nelson_oppen.cpp.o.d"
+  "bench_nelson_oppen"
+  "bench_nelson_oppen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nelson_oppen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

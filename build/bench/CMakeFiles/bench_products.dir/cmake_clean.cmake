@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_products.dir/bench_products.cpp.o"
+  "CMakeFiles/bench_products.dir/bench_products.cpp.o.d"
+  "bench_products"
+  "bench_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quant_scaling.dir/bench_quant_scaling.cpp.o"
+  "CMakeFiles/bench_quant_scaling.dir/bench_quant_scaling.cpp.o.d"
+  "bench_quant_scaling"
+  "bench_quant_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quant_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commutative_floats.dir/commutative_floats.cpp.o"
+  "CMakeFiles/commutative_floats.dir/commutative_floats.cpp.o.d"
+  "commutative_floats"
+  "commutative_floats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commutative_floats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

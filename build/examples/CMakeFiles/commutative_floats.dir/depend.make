@@ -1,0 +1,2 @@
+# Empty dependencies file for commutative_floats.
+# This may be replaced when dependencies are built.

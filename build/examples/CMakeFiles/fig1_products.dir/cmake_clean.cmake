@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_products.dir/fig1_products.cpp.o"
+  "CMakeFiles/fig1_products.dir/fig1_products.cpp.o.d"
+  "fig1_products"
+  "fig1_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

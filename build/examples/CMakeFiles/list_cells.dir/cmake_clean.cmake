@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_cells.dir/list_cells.cpp.o"
+  "CMakeFiles/list_cells.dir/list_cells.cpp.o.d"
+  "list_cells"
+  "list_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

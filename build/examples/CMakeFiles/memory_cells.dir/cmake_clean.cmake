@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_cells.dir/memory_cells.cpp.o"
+  "CMakeFiles/memory_cells.dir/memory_cells.cpp.o.d"
+  "memory_cells"
+  "memory_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

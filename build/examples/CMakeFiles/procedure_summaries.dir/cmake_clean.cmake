@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procedure_summaries.dir/procedure_summaries.cpp.o"
+  "CMakeFiles/procedure_summaries.dir/procedure_summaries.cpp.o.d"
+  "procedure_summaries"
+  "procedure_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procedure_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

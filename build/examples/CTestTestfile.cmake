@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;cai_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fig1_products "/root/repo/build/examples/fig1_products")
+set_tests_properties(example_fig1_products PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;cai_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_commutative_floats "/root/repo/build/examples/commutative_floats")
+set_tests_properties(example_commutative_floats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;cai_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_list_cells "/root/repo/build/examples/list_cells")
+set_tests_properties(example_list_cells PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;cai_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_procedure_summaries "/root/repo/build/examples/procedure_summaries")
+set_tests_properties(example_procedure_summaries PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;cai_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memory_cells "/root/repo/build/examples/memory_cells")
+set_tests_properties(example_memory_cells PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;cai_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Analyzer.cpp" "src/CMakeFiles/cai.dir/analysis/Analyzer.cpp.o" "gcc" "src/CMakeFiles/cai.dir/analysis/Analyzer.cpp.o.d"
+  "/root/repo/src/domains/affine/AffineDomain.cpp" "src/CMakeFiles/cai.dir/domains/affine/AffineDomain.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/affine/AffineDomain.cpp.o.d"
+  "/root/repo/src/domains/arrays/ArrayDomain.cpp" "src/CMakeFiles/cai.dir/domains/arrays/ArrayDomain.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/arrays/ArrayDomain.cpp.o.d"
+  "/root/repo/src/domains/lists/ListDomain.cpp" "src/CMakeFiles/cai.dir/domains/lists/ListDomain.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/lists/ListDomain.cpp.o.d"
+  "/root/repo/src/domains/parity/ParityDomain.cpp" "src/CMakeFiles/cai.dir/domains/parity/ParityDomain.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/parity/ParityDomain.cpp.o.d"
+  "/root/repo/src/domains/poly/PolyDomain.cpp" "src/CMakeFiles/cai.dir/domains/poly/PolyDomain.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/poly/PolyDomain.cpp.o.d"
+  "/root/repo/src/domains/poly/Polyhedron.cpp" "src/CMakeFiles/cai.dir/domains/poly/Polyhedron.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/poly/Polyhedron.cpp.o.d"
+  "/root/repo/src/domains/poly/Simplex.cpp" "src/CMakeFiles/cai.dir/domains/poly/Simplex.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/poly/Simplex.cpp.o.d"
+  "/root/repo/src/domains/sign/SignDomain.cpp" "src/CMakeFiles/cai.dir/domains/sign/SignDomain.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/sign/SignDomain.cpp.o.d"
+  "/root/repo/src/domains/uf/CongruenceClosure.cpp" "src/CMakeFiles/cai.dir/domains/uf/CongruenceClosure.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/uf/CongruenceClosure.cpp.o.d"
+  "/root/repo/src/domains/uf/UFDomain.cpp" "src/CMakeFiles/cai.dir/domains/uf/UFDomain.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/uf/UFDomain.cpp.o.d"
+  "/root/repo/src/domains/uf/UFJoin.cpp" "src/CMakeFiles/cai.dir/domains/uf/UFJoin.cpp.o" "gcc" "src/CMakeFiles/cai.dir/domains/uf/UFJoin.cpp.o.d"
+  "/root/repo/src/encodings/Encodings.cpp" "src/CMakeFiles/cai.dir/encodings/Encodings.cpp.o" "gcc" "src/CMakeFiles/cai.dir/encodings/Encodings.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/cai.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/cai.dir/ir/Program.cpp.o.d"
+  "/root/repo/src/ir/ProgramBuilder.cpp" "src/CMakeFiles/cai.dir/ir/ProgramBuilder.cpp.o" "gcc" "src/CMakeFiles/cai.dir/ir/ProgramBuilder.cpp.o.d"
+  "/root/repo/src/ir/ProgramParser.cpp" "src/CMakeFiles/cai.dir/ir/ProgramParser.cpp.o" "gcc" "src/CMakeFiles/cai.dir/ir/ProgramParser.cpp.o.d"
+  "/root/repo/src/product/DirectProduct.cpp" "src/CMakeFiles/cai.dir/product/DirectProduct.cpp.o" "gcc" "src/CMakeFiles/cai.dir/product/DirectProduct.cpp.o.d"
+  "/root/repo/src/product/LogicalProduct.cpp" "src/CMakeFiles/cai.dir/product/LogicalProduct.cpp.o" "gcc" "src/CMakeFiles/cai.dir/product/LogicalProduct.cpp.o.d"
+  "/root/repo/src/support/BigInt.cpp" "src/CMakeFiles/cai.dir/support/BigInt.cpp.o" "gcc" "src/CMakeFiles/cai.dir/support/BigInt.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/CMakeFiles/cai.dir/support/Rational.cpp.o" "gcc" "src/CMakeFiles/cai.dir/support/Rational.cpp.o.d"
+  "/root/repo/src/term/Atom.cpp" "src/CMakeFiles/cai.dir/term/Atom.cpp.o" "gcc" "src/CMakeFiles/cai.dir/term/Atom.cpp.o.d"
+  "/root/repo/src/term/Conjunction.cpp" "src/CMakeFiles/cai.dir/term/Conjunction.cpp.o" "gcc" "src/CMakeFiles/cai.dir/term/Conjunction.cpp.o.d"
+  "/root/repo/src/term/LinearExpr.cpp" "src/CMakeFiles/cai.dir/term/LinearExpr.cpp.o" "gcc" "src/CMakeFiles/cai.dir/term/LinearExpr.cpp.o.d"
+  "/root/repo/src/term/Parser.cpp" "src/CMakeFiles/cai.dir/term/Parser.cpp.o" "gcc" "src/CMakeFiles/cai.dir/term/Parser.cpp.o.d"
+  "/root/repo/src/term/Printer.cpp" "src/CMakeFiles/cai.dir/term/Printer.cpp.o" "gcc" "src/CMakeFiles/cai.dir/term/Printer.cpp.o.d"
+  "/root/repo/src/term/Term.cpp" "src/CMakeFiles/cai.dir/term/Term.cpp.o" "gcc" "src/CMakeFiles/cai.dir/term/Term.cpp.o.d"
+  "/root/repo/src/term/TermContext.cpp" "src/CMakeFiles/cai.dir/term/TermContext.cpp.o" "gcc" "src/CMakeFiles/cai.dir/term/TermContext.cpp.o.d"
+  "/root/repo/src/theory/Entailment.cpp" "src/CMakeFiles/cai.dir/theory/Entailment.cpp.o" "gcc" "src/CMakeFiles/cai.dir/theory/Entailment.cpp.o.d"
+  "/root/repo/src/theory/LogicalLattice.cpp" "src/CMakeFiles/cai.dir/theory/LogicalLattice.cpp.o" "gcc" "src/CMakeFiles/cai.dir/theory/LogicalLattice.cpp.o.d"
+  "/root/repo/src/theory/NelsonOppen.cpp" "src/CMakeFiles/cai.dir/theory/NelsonOppen.cpp.o" "gcc" "src/CMakeFiles/cai.dir/theory/NelsonOppen.cpp.o.d"
+  "/root/repo/src/theory/Purify.cpp" "src/CMakeFiles/cai.dir/theory/Purify.cpp.o" "gcc" "src/CMakeFiles/cai.dir/theory/Purify.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/cai.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/cai.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrays_test.dir/arrays_test.cpp.o"
+  "CMakeFiles/arrays_test.dir/arrays_test.cpp.o.d"
+  "arrays_test"
+  "arrays_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrays_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

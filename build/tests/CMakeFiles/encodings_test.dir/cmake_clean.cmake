@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encodings_test.dir/encodings_test.cpp.o"
+  "CMakeFiles/encodings_test.dir/encodings_test.cpp.o.d"
+  "encodings_test"
+  "encodings_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encodings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

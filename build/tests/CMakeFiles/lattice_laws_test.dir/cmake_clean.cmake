@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_laws_test.dir/lattice_laws_test.cpp.o"
+  "CMakeFiles/lattice_laws_test.dir/lattice_laws_test.cpp.o.d"
+  "lattice_laws_test"
+  "lattice_laws_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_laws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_test.dir/lists_test.cpp.o"
+  "CMakeFiles/lists_test.dir/lists_test.cpp.o.d"
+  "lists_test"
+  "lists_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parity_sign_test.dir/parity_sign_test.cpp.o"
+  "CMakeFiles/parity_sign_test.dir/parity_sign_test.cpp.o.d"
+  "parity_sign_test"
+  "parity_sign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parity_sign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_join_test.dir/product_join_test.cpp.o"
+  "CMakeFiles/product_join_test.dir/product_join_test.cpp.o.d"
+  "product_join_test"
+  "product_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

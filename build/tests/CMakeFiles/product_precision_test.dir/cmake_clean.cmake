@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_precision_test.dir/product_precision_test.cpp.o"
+  "CMakeFiles/product_precision_test.dir/product_precision_test.cpp.o.d"
+  "product_precision_test"
+  "product_precision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

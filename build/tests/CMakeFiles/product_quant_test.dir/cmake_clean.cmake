@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_quant_test.dir/product_quant_test.cpp.o"
+  "CMakeFiles/product_quant_test.dir/product_quant_test.cpp.o.d"
+  "product_quant_test"
+  "product_quant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purify_edge_test.dir/purify_edge_test.cpp.o"
+  "CMakeFiles/purify_edge_test.dir/purify_edge_test.cpp.o.d"
+  "purify_edge_test"
+  "purify_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purify_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_test.dir/uf_test.cpp.o"
+  "CMakeFiles/uf_test.dir/uf_test.cpp.o.d"
+  "uf_test"
+  "uf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

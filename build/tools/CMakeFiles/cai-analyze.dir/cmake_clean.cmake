@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cai-analyze.dir/cai-analyze.cpp.o"
+  "CMakeFiles/cai-analyze.dir/cai-analyze.cpp.o.d"
+  "cai-analyze"
+  "cai-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cai-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_fig1_logical "/root/repo/build/tools/cai-analyze" "--domain=logical:affine,uf" "/root/repo/tools/testdata/fig1.imp")
+set_tests_properties(tool_fig1_logical PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_nested_lists "/root/repo/build/tools/cai-analyze" "--domain=logical:(logical:affine,uf),lists" "/root/repo/tools/testdata/mccarthy_lists.imp")
+set_tests_properties(tool_nested_lists PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_memory_arrays "/root/repo/build/tools/cai-analyze" "--domain=logical:affine,arrays" "/root/repo/tools/testdata/memory.imp")
+set_tests_properties(tool_memory_arrays PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_counters_poly "/root/repo/build/tools/cai-analyze" "--domain=poly" "/root/repo/tools/testdata/counters.imp")
+set_tests_properties(tool_counters_poly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
