@@ -44,6 +44,7 @@ void BM_FixpointComponentsVsProduct(benchmark::State &State) {
 
   unsigned H1 = 0, H2 = 0, H = 0;
   size_t Aliens = 0;
+  AnalyzerStats LastStats;
   for (auto _ : State) {
     AnalysisResult R1 = Analyzer(LA).run(W.P);
     AnalysisResult R2 = Analyzer(UF).run(W.P);
@@ -51,6 +52,7 @@ void BM_FixpointComponentsVsProduct(benchmark::State &State) {
     H1 = R1.Stats.MaxNodeUpdates;
     H2 = R2.Stats.MaxNodeUpdates;
     H = R.Stats.MaxNodeUpdates;
+    LastStats = R.Stats;
     // Alien count of the deepest invariant the product computed.
     Aliens = 0;
     for (const Conjunction &Inv : R.Invariants)
@@ -64,6 +66,8 @@ void BM_FixpointComponentsVsProduct(benchmark::State &State) {
   State.counters["aliens"] = static_cast<double>(Aliens);
   // The Theorem 6 right-hand side, for eyeballing H_product <= bound.
   State.counters["thm6_bound"] = H1 + H2 + static_cast<double>(Aliens);
+  State.counters["cache_hit_rate"] = LastStats.cacheHitRate();
+  State.counters["sat_rounds"] = static_cast<double>(LastStats.SaturationRounds);
 }
 
 void BM_FixpointProductOnly(benchmark::State &State) {
@@ -73,8 +77,37 @@ void BM_FixpointProductOnly(benchmark::State &State) {
   LogicalProduct Logical(Ctx, LA, UF);
   Workload W = generateWorkload(Ctx, optionsFor(static_cast<int>(State.range(0))));
   unsigned Verified = 0;
+  AnalyzerStats LastStats;
   for (auto _ : State) {
     AnalysisResult R = Analyzer(Logical).run(W.P);
+    Verified = R.numVerified();
+    LastStats = R.Stats;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["verified"] = Verified;
+  State.counters["assertions"] = static_cast<double>(W.Kinds.size());
+  State.counters["cache_hit_rate"] = LastStats.cacheHitRate();
+  State.counters["transfer_hits"] =
+      static_cast<double>(LastStats.TransferCacheHits);
+  State.counters["wto_components"] =
+      static_cast<double>(LastStats.WtoComponents);
+}
+
+/// The ablation the E14 experiment tabulates: the same product fixpoint
+/// with all memo caches disabled.  Results are identical (the
+/// analyzer_cache_test property); the ratio to BM_FixpointProductOnly is
+/// the memoization speedup alone.
+void BM_FixpointProductNoMemo(benchmark::State &State) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, LA, UF);
+  Workload W = generateWorkload(Ctx, optionsFor(static_cast<int>(State.range(0))));
+  AnalyzerOptions Opts;
+  Opts.Memoize = false;
+  unsigned Verified = 0;
+  for (auto _ : State) {
+    AnalysisResult R = Analyzer(Logical, Opts).run(W.P);
     Verified = R.numVerified();
     benchmark::DoNotOptimize(R);
   }
@@ -88,6 +121,9 @@ BENCHMARK(BM_FixpointComponentsVsProduct)
     ->DenseRange(1, 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FixpointProductOnly)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FixpointProductNoMemo)
     ->DenseRange(1, 3)
     ->Unit(benchmark::kMillisecond);
 

@@ -51,13 +51,16 @@ template <unsigned Tier> void BM_ProductSweep(benchmark::State &State) {
 
   Workload W = generateWorkload(Ctx, optionsFor(State));
   unsigned Verified = 0;
+  AnalyzerStats LastStats;
   for (auto _ : State) {
     AnalysisResult R = Analyzer(Domain).run(W.P);
     Verified = R.numVerified();
+    LastStats = R.Stats;
     benchmark::DoNotOptimize(R);
   }
   State.counters["verified"] = Verified;
   State.counters["assertions"] = static_cast<double>(W.Kinds.size());
+  State.counters["cache_hit_rate"] = LastStats.cacheHitRate();
 }
 
 /// E13: the nested (affine >< uf) >< lists product on a program mixing all

@@ -2,9 +2,33 @@
 
 #include "analysis/Analyzer.h"
 
-#include <deque>
+#include "ir/WTO.h"
+#include "support/QueryCache.h"
+
+#include <queue>
 
 using namespace cai;
+
+namespace {
+
+/// Memoization key for one edge transfer: the edge index plus the input
+/// state.  Within a run the action of an edge is fixed, so (edge, input)
+/// determines the output.
+struct EdgeStateKey {
+  size_t EdgeIdx;
+  Conjunction In;
+  bool operator==(const EdgeStateKey &RHS) const {
+    return EdgeIdx == RHS.EdgeIdx && In == RHS.In;
+  }
+};
+struct EdgeStateHash {
+  size_t operator()(const EdgeStateKey &K) const {
+    return static_cast<size_t>(K.In.fingerprint() * 0x9e3779b97f4a7c15ull ^
+                               K.EdgeIdx);
+  }
+};
+
+} // namespace
 
 bool Analyzer::expressible(Term T) const {
   switch (T->kind()) {
@@ -54,13 +78,13 @@ Conjunction Analyzer::transfer(const Action &Act, const Conjunction &In,
       if (Known && AllArgs)
         Usable.add(A);
     }
-    return Lattice.meet(In, Usable);
+    return Lattice.meetCached(In, Usable);
   }
 
   case ActionKind::Assign:
   case ActionKind::Havoc: {
     ++Stats.Transfers;
-    // Figure 5(b): rename x to a fresh x0 in E, conjoin x = e[x0/x], then
+    // Figure 5(b): rename x to a shadow x0 in E, conjoin x = e[x0/x], then
     // existentially quantify x0.  The paper degrades out-of-signature
     // expressions to havoc (E1' := true); our domains instead treat
     // foreign subterms as opaque indeterminates -- every operation
@@ -69,8 +93,15 @@ Conjunction Analyzer::transfer(const Action &Act, const Conjunction &In,
     // stand-alone baselines, exactly as the published single-domain
     // analyses would: GVN keeps numerals as constants, Karr keeps F(y) as
     // an anonymous cell).
+    //
+    // The shadow variable is deterministic per assigned variable ('$'
+    // names are reserved for the library, so it cannot collide with a
+    // program variable, and quantification guarantees it never escapes
+    // the result).  A fresh variable per call would defeat transfer
+    // memoization: identical (action, input) pairs must build identical
+    // intermediate conjunctions.
     Term X = Act.Var;
-    Term X0 = Ctx.freshVar("x0");
+    Term X0 = Ctx.mkVar("$x0$" + X->varName());
     Substitution Rename;
     Rename.emplace(X, X0);
     Conjunction E = In.substitute(Ctx, Rename);
@@ -78,7 +109,7 @@ Conjunction Analyzer::transfer(const Action &Act, const Conjunction &In,
       Term Value = Ctx.substitute(Act.Value, Rename);
       E.add(Atom::mkEq(Ctx, X, Value));
     }
-    return Lattice.existQuant(E, {X0});
+    return Lattice.existQuantCached(E, {X0});
   }
   }
   assert(false && "unknown action kind");
@@ -92,24 +123,59 @@ AnalysisResult Analyzer::run(const Program &P) const {
     return Result;
   Result.Invariants[P.entry()] = Conjunction::top();
 
-  std::vector<bool> IsJoinPoint = P.joinPoints();
+  Lattice.setMemoization(Opts.Memoize);
+  LatticeStats StatsBefore = Lattice.statsSnapshot();
+
+  WTO Wto(P);
+  Result.Stats.WtoComponents = Wto.numComponents();
+
   std::vector<unsigned> Updates(P.numNodes(), 0);
 
-  std::deque<NodeId> Worklist;
+  // Priority worklist keyed by WTO position: always continue with the
+  // earliest pending node.  Inner loop bodies occupy a contiguous position
+  // range right after their head, so an inner component fully stabilizes
+  // before control returns to the enclosing one -- on nested loops this
+  // cuts node re-evaluations superlinearly versus the FIFO deque it
+  // replaces.
+  std::priority_queue<unsigned, std::vector<unsigned>, std::greater<unsigned>>
+      Heap;
   std::vector<bool> Queued(P.numNodes(), false);
-  Worklist.push_back(P.entry());
-  Queued[P.entry()] = true;
+  auto Enqueue = [&](NodeId N) {
+    if (!Queued[N]) {
+      Queued[N] = true;
+      Heap.push(Wto.position(N));
+    }
+  };
+  Enqueue(P.entry());
+
+  // Per-run transfer memo: (edge, input state) -> output state.  Pays off
+  // whenever a node is re-processed with an unchanged invariant (sibling
+  // contributions, narrowing passes).
+  QueryCache<EdgeStateKey, Conjunction, EdgeStateHash> TransferCache;
+  auto TransferCached = [&](size_t EdgeIdx, const Action &Act,
+                            const Conjunction &In) {
+    ++Result.Stats.EdgeEvals;
+    if (!Opts.Memoize)
+      return transfer(Act, In, Result.Stats);
+    EdgeStateKey K{EdgeIdx, In};
+    if (const Conjunction *Hit = TransferCache.lookup(K))
+      return *Hit;
+    Conjunction Out = transfer(Act, In, Result.Stats);
+    TransferCache.insert(std::move(K), Out);
+    return Out;
+  };
 
   const auto &Succs = P.successors();
-  while (!Worklist.empty()) {
-    NodeId N = Worklist.front();
-    Worklist.pop_front();
+  while (!Heap.empty()) {
+    unsigned Position = Heap.top();
+    Heap.pop();
+    NodeId N = Wto.order()[Position];
     Queued[N] = false;
     const Conjunction &State = Result.Invariants[N];
 
     for (size_t EdgeIdx : Succs[N]) {
       const Edge &E = P.edges()[EdgeIdx];
-      Conjunction Out = transfer(E.Act, State, Result.Stats);
+      Conjunction Out = TransferCached(EdgeIdx, E.Act, State);
       Conjunction &Target = Result.Invariants[E.To];
 
       Conjunction Next;
@@ -117,17 +183,18 @@ AnalysisResult Analyzer::run(const Program &P) const {
         Next = std::move(Out);
       } else if (Out.isBottom()) {
         continue; // Nothing new flows in.
-      } else if (Opts.SemanticConvergence && Lattice.entailsAll(Out, Target)) {
+      } else if (Opts.SemanticConvergence &&
+                 Lattice.entailsAllCached(Out, Target)) {
         // Fast path: the incoming state is already subsumed -- entailment
         // checks are far cheaper than the join they avoid.
         ++Result.Stats.EntailmentChecks;
         continue;
-      } else if (IsJoinPoint[E.To] && Updates[E.To] >= Opts.WideningDelay) {
+      } else if (Wto.isHead(E.To) && Updates[E.To] >= Opts.WideningDelay) {
         ++Result.Stats.Widenings;
-        Next = Lattice.widen(Target, Out);
+        Next = Lattice.widenCached(Target, Out);
       } else {
         ++Result.Stats.Joins;
-        Next = Lattice.join(Target, Out);
+        Next = Lattice.joinCached(Target, Out);
       }
 
       // Convergence check: cheap syntactic equality first, then mutual
@@ -135,8 +202,8 @@ AnalysisResult Analyzer::run(const Program &P) const {
       bool Same = Next == Target;
       if (!Same && Opts.SemanticConvergence && !Target.isBottom()) {
         ++Result.Stats.EntailmentChecks;
-        Same = Lattice.entailsAll(Target, Next) &&
-               Lattice.entailsAll(Next, Target);
+        Same = Lattice.entailsAllCached(Target, Next) &&
+               Lattice.entailsAllCached(Next, Target);
       }
       if (Same)
         continue;
@@ -150,10 +217,7 @@ AnalysisResult Analyzer::run(const Program &P) const {
         continue; // Stop propagating through this node.
       }
       Target = std::move(Next);
-      if (!Queued[E.To]) {
-        Worklist.push_back(E.To);
-        Queued[E.To] = true;
-      }
+      Enqueue(E.To);
     }
   }
 
@@ -164,21 +228,22 @@ AnalysisResult Analyzer::run(const Program &P) const {
   for (unsigned Pass = 0; Pass < Opts.NarrowingPasses; ++Pass) {
     std::vector<Conjunction> Inputs(P.numNodes(), Conjunction::bottom());
     Inputs[P.entry()] = Conjunction::top();
-    for (const Edge &E : P.edges()) {
-      Conjunction Out = transfer(E.Act, Result.Invariants[E.From],
-                                 Result.Stats);
+    for (size_t EdgeIdx = 0; EdgeIdx < P.edges().size(); ++EdgeIdx) {
+      const Edge &E = P.edges()[EdgeIdx];
+      Conjunction Out =
+          TransferCached(EdgeIdx, E.Act, Result.Invariants[E.From]);
       if (Out.isBottom())
         continue;
       if (Inputs[E.To].isBottom()) {
         Inputs[E.To] = std::move(Out);
       } else {
         ++Result.Stats.Joins;
-        Inputs[E.To] = Lattice.join(Inputs[E.To], Out);
+        Inputs[E.To] = Lattice.joinCached(Inputs[E.To], Out);
       }
     }
     bool Changed = false;
     for (NodeId N = 0; N < P.numNodes(); ++N) {
-      Conjunction Refined = Lattice.meet(Result.Invariants[N], Inputs[N]);
+      Conjunction Refined = Lattice.meetCached(Result.Invariants[N], Inputs[N]);
       if (Refined != Result.Invariants[N]) {
         Result.Invariants[N] = std::move(Refined);
         Changed = true;
@@ -192,9 +257,15 @@ AnalysisResult Analyzer::run(const Program &P) const {
     AssertionVerdict V;
     V.Label = A.Label;
     const Conjunction &Inv = Result.Invariants[A.Node];
-    V.Verified = Inv.isBottom() || Lattice.entails(Inv, A.Fact);
+    V.Verified = Inv.isBottom() || Lattice.entailsCached(Inv, A.Fact);
     ++Result.Stats.EntailmentChecks;
     Result.Assertions.push_back(std::move(V));
   }
+
+  LatticeStats Delta = Lattice.statsSnapshot() - StatsBefore;
+  Result.Stats.CacheHits = Delta.CacheHits;
+  Result.Stats.CacheMisses = Delta.CacheMisses;
+  Result.Stats.SaturationRounds = Delta.SaturationRounds;
+  Result.Stats.TransferCacheHits = TransferCache.counters().Hits;
   return Result;
 }

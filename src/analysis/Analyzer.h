@@ -5,8 +5,17 @@
 /// a flowchart program computing one lattice element per node, with the
 /// transfer functions of Figure 5 (join at confluence, strongest
 /// postcondition via existential quantification at assignments, meet with
-/// the branch fact at conditionals), delayed widening at join points, and
-/// assertion checking against the stabilized invariants.
+/// the branch fact at conditionals), and assertion checking against the
+/// stabilized invariants.
+///
+/// The worklist is scheduled by Bourdoncle's weak topological order
+/// (ir/WTO.h): pending nodes are processed in WTO position order, which
+/// stabilizes inner loops before their enclosing ones, and delayed
+/// widening is applied only at WTO component heads (every CFG cycle
+/// contains one, so termination is preserved while widening at strictly
+/// fewer points than the historical any-join-point rule).  Lattice
+/// operations and edge transfers are memoized across iterations -- see
+/// AnalyzerOptions::Memoize.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +45,12 @@ struct AnalyzerOptions {
   /// count; refinements need one pass per node on the chain from the
   /// refined loop head, and the loop stops early once stable.
   unsigned NarrowingPasses = 3;
+  /// Memoize lattice operations (join/meet/entailment/unsat/quantification,
+  /// keyed on canonical conjunction fingerprints) and edge transfers across
+  /// fixpoint iterations.  Analysis results are bit-for-bit identical with
+  /// memoization on or off (the cache-equivalence test enforces this); off
+  /// exists for that test and for measuring the speedup.
+  bool Memoize = true;
 };
 
 /// Counters the benchmarks report (Theorem 6 measures MaxNodeUpdates).
@@ -44,8 +59,28 @@ struct AnalyzerStats {
   unsigned long Widenings = 0;
   unsigned long Transfers = 0;
   unsigned long EntailmentChecks = 0;
+  /// Edge transfer-function evaluations requested by the fixpoint engine
+  /// (including ones answered by the transfer cache).
+  unsigned long EdgeEvals = 0;
+  /// Edge transfers answered by the per-run transfer cache.
+  unsigned long TransferCacheHits = 0;
+  /// Lattice-operation memo-cache hits/misses over the whole lattice tree
+  /// (products include their components), delta over this run.
+  unsigned long CacheHits = 0;
+  unsigned long CacheMisses = 0;
+  /// Nelson-Oppen equality-propagation rounds performed by product
+  /// lattices during this run.
+  unsigned long SaturationRounds = 0;
+  /// Number of WTO components (loops) in the analyzed CFG.
+  unsigned WtoComponents = 0;
   unsigned MaxNodeUpdates = 0;
   unsigned TotalNodeUpdates = 0;
+
+  /// Fraction of memoizable lattice queries answered from cache.
+  double cacheHitRate() const {
+    unsigned long Total = CacheHits + CacheMisses;
+    return Total == 0 ? 0.0 : static_cast<double>(CacheHits) / Total;
+  }
 };
 
 /// Verdict for one assertion.

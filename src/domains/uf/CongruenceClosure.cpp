@@ -6,7 +6,7 @@
 
 using namespace cai;
 
-unsigned CongruenceClosure::addTerm(Term T) {
+unsigned CongruenceClosure::addTermImpl(Term T) {
   auto It = NodeOf.find(T);
   if (It != NodeOf.end())
     return It->second;
@@ -14,7 +14,7 @@ unsigned CongruenceClosure::addTerm(Term T) {
   if (T->isApp()) {
     ArgNodes.reserve(T->args().size());
     for (Term Arg : T->args())
-      ArgNodes.push_back(addTerm(Arg));
+      ArgNodes.push_back(addTermImpl(Arg));
   }
   unsigned N = static_cast<unsigned>(Terms.size());
   Terms.push_back(T);
@@ -23,7 +23,13 @@ unsigned CongruenceClosure::addTerm(Term T) {
   NodeOf.emplace(T, N);
   // A new App node may be congruent to an existing one right away.
   if (T->isApp())
-    propagate();
+    Pending = true;
+  return N;
+}
+
+unsigned CongruenceClosure::addTerm(Term T) {
+  unsigned N = addTermImpl(T);
+  flush();
   return N;
 }
 
@@ -36,16 +42,51 @@ unsigned CongruenceClosure::find(unsigned N) const {
   return N;
 }
 
-void CongruenceClosure::merge(unsigned A, unsigned B) {
+bool CongruenceClosure::unionClasses(unsigned A, unsigned B) {
   unsigned RA = find(A), RB = find(B);
   if (RA == RB)
-    return;
+    return false;
   // Deterministic representative: the smaller node index wins.
   if (RB < RA)
     std::swap(RA, RB);
   Parent[RB] = RA;
+  return true;
+}
+
+void CongruenceClosure::merge(unsigned A, unsigned B) {
+  if (unionClasses(A, B))
+    Pending = true;
+  flush();
+}
+
+void CongruenceClosure::flush() {
+  if (!Pending)
+    return;
+  Pending = false;
   propagate();
 }
+
+namespace {
+/// Signature of an App node: symbol index plus the class representatives of
+/// its arguments.
+struct NodeSig {
+  uint32_t Symbol;
+  std::vector<unsigned> ArgReps;
+  bool operator==(const NodeSig &RHS) const {
+    return Symbol == RHS.Symbol && ArgReps == RHS.ArgReps;
+  }
+};
+struct NodeSigHash {
+  size_t operator()(const NodeSig &S) const {
+    uint64_t H = 0xcbf29ce484222325ull ^ S.Symbol;
+    for (unsigned R : S.ArgReps) {
+      H ^= R;
+      H *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+} // namespace
 
 void CongruenceClosure::propagate() {
   // Fixpoint: rebuild the signature table and union any two App nodes with
@@ -53,47 +94,50 @@ void CongruenceClosure::propagate() {
   // case but the E-graphs in this library are small; correctness and
   // determinism matter more here than asymptotics.
   bool Changed = true;
+  std::unordered_map<NodeSig, unsigned, NodeSigHash> SigTable;
   while (Changed) {
     Changed = false;
-    std::map<std::pair<uint32_t, std::vector<unsigned>>, unsigned> SigTable;
+    SigTable.clear();
     for (unsigned N = 0; N < Terms.size(); ++N) {
       if (!Terms[N]->isApp())
         continue;
-      std::vector<unsigned> Sig;
-      Sig.reserve(Args[N].size());
+      NodeSig Sig{symbolOf(N).index(), {}};
+      Sig.ArgReps.reserve(Args[N].size());
       for (unsigned Arg : Args[N])
-        Sig.push_back(find(Arg));
-      auto [It, Inserted] =
-          SigTable.emplace(std::make_pair(symbolOf(N).index(), std::move(Sig)),
-                           N);
+        Sig.ArgReps.push_back(find(Arg));
+      auto [It, Inserted] = SigTable.emplace(std::move(Sig), N);
       if (Inserted)
         continue;
-      unsigned RA = find(It->second), RB = find(N);
-      if (RA == RB)
-        continue;
-      if (RB < RA)
-        std::swap(RA, RB);
-      Parent[RB] = RA;
-      Changed = true;
+      Changed |= unionClasses(It->second, N);
     }
   }
 }
 
 void CongruenceClosure::addEquality(Term A, Term B) {
-  unsigned NA = addTerm(A), NB = addTerm(B);
-  merge(NA, NB);
+  unsigned NA = addTermImpl(A), NB = addTermImpl(B);
+  if (unionClasses(NA, NB))
+    Pending = true;
+  flush();
 }
 
 void CongruenceClosure::addConjunction(const Conjunction &E) {
   if (E.isBottom())
     return;
+  // Batch: load every equality, then restore congruence once.  The final
+  // partition is the congruence closure of the asserted equalities either
+  // way; deferring saves one signature-table fixpoint per atom.
   for (const Atom &A : E.atoms())
-    if (A.predicate() == Ctx.eqSymbol())
-      addEquality(A.lhs(), A.rhs());
+    if (A.predicate() == Ctx.eqSymbol()) {
+      unsigned NA = addTermImpl(A.lhs()), NB = addTermImpl(A.rhs());
+      if (unionClasses(NA, NB))
+        Pending = true;
+    }
+  flush();
 }
 
 bool CongruenceClosure::areEqual(Term A, Term B) {
-  unsigned NA = addTerm(A), NB = addTerm(B);
+  unsigned NA = addTermImpl(A), NB = addTermImpl(B);
+  flush();
   return find(NA) == find(NB);
 }
 

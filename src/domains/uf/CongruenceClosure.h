@@ -68,10 +68,21 @@ public:
   const TermContext &context() const { return Ctx; }
 
 private:
+  /// Adds \p T and its subterms without restoring congruence; sets Pending
+  /// when a new App node (which may complete a congruence) appears.
+  unsigned addTermImpl(Term T);
+  /// Merges two classes without restoring congruence; returns true if the
+  /// classes were distinct.  The representative is always the smallest node
+  /// index in the class, so the final partition is independent of the
+  /// order in which a batch of merges is applied.
+  bool unionClasses(unsigned A, unsigned B);
+  /// Runs the deferred propagate(), if any merges or App nodes are pending.
+  void flush();
   /// Restores congruence by fixpoint over the signature table.
   void propagate();
 
   const TermContext &Ctx;
+  bool Pending = false;
   std::vector<Term> Terms;                 // Node -> term.
   std::vector<std::vector<unsigned>> Args; // Node -> argument nodes.
   mutable std::vector<unsigned> Parent;    // Union-find.

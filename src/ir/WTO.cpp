@@ -1,0 +1,152 @@
+//===- ir/WTO.cpp - Weak topological order of a flowchart ------------------===//
+
+#include "ir/WTO.h"
+
+#include <algorithm>
+
+using namespace cai;
+
+namespace {
+
+/// One element of a (sub-)partition: a plain node, or a component with its
+/// head and body.
+struct Elem {
+  NodeId Node;
+  bool IsComponent;
+  std::vector<Elem> Body;
+};
+
+/// Bourdoncle's recursive construction.  Partitions are built by push_back
+/// and reversed once complete, which is equivalent to the paper's
+/// prepending (elements close in reverse topological order).
+struct Builder {
+  const Program &P;
+  const std::vector<std::vector<size_t>> &Succs;
+  std::vector<unsigned> DFN;
+  std::vector<NodeId> Stack;
+  unsigned Num = 0;
+
+  static constexpr unsigned Infinity = ~0u;
+
+  explicit Builder(const Program &Prog)
+      : P(Prog), Succs(Prog.successors()), DFN(Prog.numNodes(), 0) {}
+
+  unsigned visit(NodeId V, std::vector<Elem> &Partition) {
+    Stack.push_back(V);
+    DFN[V] = ++Num;
+    unsigned Head = DFN[V];
+    bool Loop = false;
+    for (size_t EI : Succs[V]) {
+      NodeId W = P.edges()[EI].To;
+      unsigned Min = DFN[W] == 0 ? visit(W, Partition) : DFN[W];
+      if (Min <= Head) {
+        Head = Min;
+        Loop = true;
+      }
+    }
+    if (Head == DFN[V]) {
+      DFN[V] = Infinity;
+      NodeId Element = Stack.back();
+      Stack.pop_back();
+      if (Loop) {
+        // Reset the component's nodes so the recursive sub-construction
+        // revisits them under this head.
+        while (Element != V) {
+          DFN[Element] = 0;
+          Element = Stack.back();
+          Stack.pop_back();
+        }
+        Partition.push_back(Elem{V, true, component(V)});
+      } else {
+        Partition.push_back(Elem{V, false, {}});
+      }
+    }
+    return Head;
+  }
+
+  std::vector<Elem> component(NodeId V) {
+    std::vector<Elem> Body;
+    for (size_t EI : Succs[V]) {
+      NodeId W = P.edges()[EI].To;
+      if (DFN[W] == 0)
+        visit(W, Body);
+    }
+    std::reverse(Body.begin(), Body.end());
+    return Body;
+  }
+};
+
+} // namespace
+
+WTO::WTO(const Program &P) {
+  unsigned N = P.numNodes();
+  Pos.assign(N, 0);
+  Head.assign(N, false);
+  Depth.assign(N, 0);
+  Linear.reserve(N);
+  ComponentEnd.assign(N, 0);
+  if (N == 0)
+    return;
+
+  Builder B(P);
+  std::vector<Elem> Top;
+  B.visit(P.entry(), Top);
+  std::reverse(Top.begin(), Top.end());
+  // Unreachable nodes become additional top-level roots appended after the
+  // reachable ordering, in id order, so every node has a deterministic
+  // position.
+  for (NodeId V = 0; V < N; ++V)
+    if (B.DFN[V] == 0) {
+      std::vector<Elem> Extra;
+      B.visit(V, Extra);
+      std::reverse(Extra.begin(), Extra.end());
+      for (Elem &E : Extra)
+        Top.push_back(std::move(E));
+    }
+
+  // Flatten the hierarchical partition into the linear order plus per-node
+  // head/depth annotations.
+  struct Flattener {
+    WTO &W;
+    void run(const std::vector<Elem> &Es, unsigned D) {
+      for (const Elem &E : Es) {
+        unsigned Start = static_cast<unsigned>(W.Linear.size());
+        W.Pos[E.Node] = Start;
+        // A head belongs to the component it opens.
+        W.Depth[E.Node] = E.IsComponent ? D + 1 : D;
+        W.Head[E.Node] = E.IsComponent;
+        W.Linear.push_back(E.Node);
+        if (E.IsComponent) {
+          ++W.Components;
+          run(E.Body, D + 1);
+        }
+        W.ComponentEnd[Start] = static_cast<unsigned>(W.Linear.size());
+      }
+    }
+  };
+  Flattener{*this}.run(Top, 0);
+}
+
+std::string WTO::toString() const {
+  std::string Out;
+  std::vector<unsigned> Ends;
+  for (unsigned I = 0; I < Linear.size(); ++I) {
+    while (!Ends.empty() && Ends.back() == I) {
+      Out += ')';
+      Ends.pop_back();
+    }
+    if (!Out.empty())
+      Out += ' ';
+    NodeId N = Linear[I];
+    if (Head[N]) {
+      Out += '(';
+      Ends.push_back(ComponentEnd[I]);
+    }
+    Out += std::to_string(N);
+  }
+  while (!Ends.empty()) {
+    Out += ')';
+    Ends.pop_back();
+  }
+  return Out;
+}

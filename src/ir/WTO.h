@@ -1,0 +1,72 @@
+//===- ir/WTO.h - Weak topological order of a flowchart ---------*- C++ -*-===//
+///
+/// \file
+/// Bourdoncle's weak topological order (WTO) over a Program's control-flow
+/// graph: a hierarchical decomposition into nested strongly-connected
+/// components, each headed by the node its back edges target.  The fixpoint
+/// engine schedules its worklist by WTO position (stabilizing inner loops
+/// before outer ones) and applies widening only at component heads -- every
+/// cycle of the CFG contains a head, so this is sufficient for termination
+/// while widening at strictly fewer points than the join-point heuristic it
+/// replaces.
+///
+/// Reference: F. Bourdoncle, "Efficient chaotic iteration strategies with
+/// widenings", FMPA 1993.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_IR_WTO_H
+#define CAI_IR_WTO_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace cai {
+
+/// The weak topological order of one Program's CFG.
+///
+/// Nodes unreachable from the entry are appended after the reachable
+/// ordering in ascending id order (they stay at bottom during analysis, so
+/// their position only needs to be deterministic).
+class WTO {
+public:
+  explicit WTO(const Program &P);
+
+  /// Position of \p N in the linearized order; lower positions are
+  /// scheduled first.
+  unsigned position(NodeId N) const { return Pos[N]; }
+
+  /// True if \p N heads a component (the target of a back edge); these are
+  /// the widening points.
+  bool isHead(NodeId N) const { return Head[N]; }
+
+  /// Component nesting depth of \p N (0 = top level).
+  unsigned depth(NodeId N) const { return Depth[N]; }
+
+  /// The linearized order (element i is the node at position i).
+  const std::vector<NodeId> &order() const { return Linear; }
+
+  /// Number of components (loops) found.
+  unsigned numComponents() const { return Components; }
+
+  /// Renders the hierarchical order Bourdoncle-style, e.g.
+  /// "0 1 (2 3 (4 5) 6) 7" -- parenthesized groups are components with
+  /// their head first.  Used by the unit tests on nested and irreducible
+  /// CFGs.
+  std::string toString() const;
+
+private:
+  std::vector<unsigned> Pos;
+  std::vector<bool> Head;
+  std::vector<unsigned> Depth;
+  std::vector<NodeId> Linear;
+  /// Position (in Linear) one past the end of the component headed by the
+  /// node at that position; equals position + 1 for non-heads.
+  std::vector<unsigned> ComponentEnd;
+  unsigned Components = 0;
+};
+
+} // namespace cai
+
+#endif // CAI_IR_WTO_H

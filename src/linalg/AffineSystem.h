@@ -188,7 +188,8 @@ template <typename F> bool AffineSystem<F>::entails(std::vector<F> Row) const {
       continue;
     F Factor = Row[Pivot];
     for (size_t C = 0; C <= NumVars; ++C)
-      Row[C] = Row[C] - Factor * Basis[C];
+      if (!Basis[C].isZero())
+        Row[C] = Row[C] - Factor * Basis[C];
   }
   for (const F &V : Row)
     if (!V.isZero())

@@ -72,17 +72,27 @@ public:
       if (Found == NumRows)
         continue;
       swapRows(PivotRow, Found);
-      // Scale the pivot row to make the pivot 1.
-      F Inv = F::one() / at(PivotRow, Col);
-      for (size_t C = Col; C < NumCols; ++C)
-        at(PivotRow, C) = at(PivotRow, C) * Inv;
+      // Scale the pivot row to make the pivot 1 (skipping zero entries and
+      // already-unit pivots: most entries of an echelonized row are zero,
+      // and each skipped field operation saves a gcd normalization).
+      if (!(at(PivotRow, Col) == F::one())) {
+        F Inv = F::one() / at(PivotRow, Col);
+        for (size_t C = Col; C < NumCols; ++C)
+          if (!at(PivotRow, C).isZero())
+            at(PivotRow, C) = at(PivotRow, C) * Inv;
+      }
       // Eliminate the column from every other row.
       for (size_t R = 0; R < NumRows; ++R) {
         if (R == PivotRow || at(R, Col).isZero())
           continue;
         F Factor = at(R, Col);
-        for (size_t C = Col; C < NumCols; ++C)
-          at(R, C) = at(R, C) - Factor * at(PivotRow, C);
+        bool Unit = Factor == F::one();
+        for (size_t C = Col; C < NumCols; ++C) {
+          const F &P = at(PivotRow, C);
+          if (P.isZero())
+            continue;
+          at(R, C) = Unit ? at(R, C) - P : at(R, C) - Factor * P;
+        }
       }
       Pivots.push_back(Col);
       ++PivotRow;

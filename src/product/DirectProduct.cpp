@@ -18,28 +18,28 @@ Conjunction DirectProduct::join(const Conjunction &A,
     return B;
   if (B.isBottom())
     return A;
-  return L1.join(A, B).meet(L2.join(A, B));
+  return L1.joinCached(A, B).meet(L2.joinCached(A, B));
 }
 
 Conjunction DirectProduct::existQuant(const Conjunction &E,
                                       const std::vector<Term> &Vars) const {
   if (E.isBottom())
     return E;
-  return L1.existQuant(E, Vars).meet(L2.existQuant(E, Vars));
+  return L1.existQuantCached(E, Vars).meet(L2.existQuantCached(E, Vars));
 }
 
 bool DirectProduct::entails(const Conjunction &E, const Atom &A) const {
-  return L1.entails(E, A) || L2.entails(E, A);
+  return L1.entailsCached(E, A) || L2.entailsCached(E, A);
 }
 
 bool DirectProduct::isUnsat(const Conjunction &E) const {
-  return L1.isUnsat(E) || L2.isUnsat(E);
+  return L1.isUnsatCached(E) || L2.isUnsatCached(E);
 }
 
 std::vector<std::pair<Term, Term>>
 DirectProduct::impliedVarEqualities(const Conjunction &E) const {
-  std::vector<std::pair<Term, Term>> Out = L1.impliedVarEqualities(E);
-  std::vector<std::pair<Term, Term>> Second = L2.impliedVarEqualities(E);
+  std::vector<std::pair<Term, Term>> Out = L1.impliedVarEqualitiesCached(E);
+  std::vector<std::pair<Term, Term>> Second = L2.impliedVarEqualitiesCached(E);
   Out.insert(Out.end(), Second.begin(), Second.end());
   std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
     return std::make_pair(A.first->id(), A.second->id()) <
@@ -63,5 +63,5 @@ Conjunction DirectProduct::widen(const Conjunction &Old,
     return New;
   if (New.isBottom())
     return Old;
-  return L1.widen(Old, New).meet(L2.widen(Old, New));
+  return L1.widenCached(Old, New).meet(L2.widenCached(Old, New));
 }

@@ -53,6 +53,18 @@ public:
   const LogicalLattice &first() const { return L1; }
   const LogicalLattice &second() const { return L2; }
 
+  void setMemoization(bool Enabled) const override {
+    LogicalLattice::setMemoization(Enabled);
+    L1.setMemoization(Enabled);
+    L2.setMemoization(Enabled);
+  }
+
+  void collectStats(LatticeStats &S) const override {
+    LogicalLattice::collectStats(S);
+    L1.collectStats(S);
+    L2.collectStats(S);
+  }
+
 private:
   const LogicalLattice &L1;
   const LogicalLattice &L2;

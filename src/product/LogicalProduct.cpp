@@ -2,10 +2,6 @@
 
 #include "product/LogicalProduct.h"
 
-#include "theory/Entailment.h"
-#include "theory/NelsonOppen.h"
-#include "theory/Purify.h"
-
 #include <algorithm>
 #include <set>
 
@@ -54,26 +50,57 @@ std::set<Term, TermIdLess> insideVars(const TermContext &Ctx,
 
 } // namespace
 
+std::shared_ptr<const LogicalProduct::SatEntry>
+LogicalProduct::purifySaturate(const Conjunction &E, bool AllowCache) const {
+  assert(!E.isBottom() && "purifySaturate on bottom");
+  if (AllowCache && memoizationEnabled())
+    if (const auto *Hit = SatCache.lookup(E))
+      return *Hit;
+  TermContext &Ctx = context();
+  auto Entry = std::make_shared<SatEntry>(Ctx, L1, L2);
+  for (const Atom &A : E.atoms()) {
+    auto [S, Pure] = Entry->Pur.purifyAtom(A);
+    Entry->Pur.addToSide(S, Pure);
+  }
+  Entry->P.FreshVars = Entry->Pur.freshVars();
+  Entry->P.Side1 = Entry->Pur.side1();
+  Entry->P.Side2 = Entry->Pur.side2();
+  Entry->P.Definitions = Entry->Pur.definitions();
+  Entry->Sat = noSaturate(Ctx, L1, L2, Entry->P.Side1, Entry->P.Side2);
+  SatRounds += Entry->Sat.Rounds;
+  if (AllowCache && memoizationEnabled())
+    SatCache.insert(E, Entry);
+  return Entry;
+}
+
 Conjunction LogicalProduct::combine(const Conjunction &A, const Conjunction &B,
                                     bool UseWiden) const {
   TermContext &Ctx = context();
-  if (A.isBottom() || isUnsat(A))
+  if (A.isBottom() || isUnsatCached(A))
     return B;
-  if (B.isBottom() || isUnsat(B))
+  if (B.isBottom() || isUnsatCached(B))
     return A;
 
-  // Lines 1-4 of Figure 6: purify and NO-saturate both inputs.
-  PurifyResult PL = purify(Ctx, L1, L2, A);
-  SaturationResult SL = noSaturate(Ctx, L1, L2, PL.Side1, PL.Side2);
-  PurifyResult PR = purify(Ctx, L1, L2, B);
-  SaturationResult SR = noSaturate(Ctx, L1, L2, PR.Side1, PR.Side2);
-  if (SL.Bottom)
+  // Lines 1-4 of Figure 6: purify and NO-saturate both inputs (memoized --
+  // re-joining a stable loop invariant against a new contribution reuses
+  // the invariant's saturation).  The two sides MUST carry disjoint
+  // purification names: the component joins drop each side's private
+  // fresh-variable facts precisely because the other side leaves them
+  // unconstrained.  Distinct conjunctions get distinct cache entries and
+  // hence disjoint names, but joining a conjunction with itself would
+  // reuse one entry for both sides, so the right side is purified fresh.
+  std::shared_ptr<const SatEntry> EL = purifySaturate(A);
+  std::shared_ptr<const SatEntry> ER =
+      A == B ? purifySaturate(B, /*AllowCache=*/false) : purifySaturate(B);
+  const PurifyResult &PL = EL->P;
+  const PurifyResult &PR = ER->P;
+  if (EL->Sat.Bottom)
     return B;
-  if (SR.Bottom)
+  if (ER->Sat.Bottom)
     return A;
 
-  Conjunction Left1 = SL.Side1, Left2 = SL.Side2;
-  Conjunction Right1 = SR.Side1, Right2 = SR.Side2;
+  Conjunction Left1 = EL->Sat.Side1, Left2 = EL->Sat.Side2;
+  Conjunction Right1 = ER->Sat.Side1, Right2 = ER->Sat.Side2;
 
   std::vector<Term> DummyVars;
   if (M == Mode::Logical) {
@@ -115,9 +142,12 @@ Conjunction LogicalProduct::combine(const Conjunction &A, const Conjunction &B,
     }
   }
 
-  // Lines 8-9: component-wise join (or widening, Section 4.3).
-  Conjunction E1 = UseWiden ? L1.widen(Left1, Right1) : L1.join(Left1, Right1);
-  Conjunction E2 = UseWiden ? L2.widen(Left2, Right2) : L2.join(Left2, Right2);
+  // Lines 8-9: component-wise join (or widening, Section 4.3), through the
+  // components' memoized entry points.
+  Conjunction E1 = UseWiden ? L1.widenCached(Left1, Right1)
+                            : L1.joinCached(Left1, Right1);
+  Conjunction E2 = UseWiden ? L2.widenCached(Left2, Right2)
+                            : L2.joinCached(Left2, Right2);
   Conjunction E = E1.meet(E2);
 
   // Line 10: eliminate the dummies with the product's own Q, which is what
@@ -184,9 +214,10 @@ Conjunction LogicalProduct::existQuant(const Conjunction &E,
   if (E.isBottom())
     return E;
 
-  // Lines 1-2 of Figure 7.
-  PurifyResult P = purify(Ctx, L1, L2, E);
-  SaturationResult Sat = noSaturate(Ctx, L1, L2, P.Side1, P.Side2);
+  // Lines 1-2 of Figure 7 (memoized).
+  std::shared_ptr<const SatEntry> Entry = purifySaturate(E);
+  const PurifyResult &P = Entry->P;
+  const SaturationResult &Sat = Entry->Sat;
   if (Sat.Bottom)
     return Conjunction::bottom();
 
@@ -203,8 +234,8 @@ Conjunction LogicalProduct::existQuant(const Conjunction &E,
     Q.Remaining = V1;
 
   // Lines 5-6: component quantification over the undefined variables.
-  Conjunction E12 = L1.existQuant(Sat.Side1, Q.Remaining);
-  Conjunction E22 = L2.existQuant(Sat.Side2, Q.Remaining);
+  Conjunction E12 = L1.existQuantCached(Sat.Side1, Q.Remaining);
+  Conjunction E22 = L2.existQuantCached(Sat.Side2, Q.Remaining);
 
   // Lines 7-8: back-substitute the definitions, producing mixed facts.
   E12 = backSubstitute(std::move(E12), Q.Defs);
@@ -215,11 +246,50 @@ Conjunction LogicalProduct::existQuant(const Conjunction &E,
 }
 
 bool LogicalProduct::entails(const Conjunction &E, const Atom &A) const {
-  return combinedEntails(context(), L1, L2, E, A);
+  TermContext &Ctx = context();
+  if (E.isBottom())
+    return true;
+  if (A.isTrivial(Ctx))
+    return true;
+
+  // Reuse E's memoized purification + saturation, then purify the queried
+  // fact with the *same* alien-term naming (the kept Purifier's tables) on
+  // top of the saturated sides.  Re-saturating from the saturated state
+  // converges in at most one extra exchange round, so the closure -- and
+  // hence the verdict -- is identical to the joint saturation
+  // combinedEntails performs, at a fraction of the repeated cost.
+  std::shared_ptr<const SatEntry> Entry = purifySaturate(E);
+  if (Entry->Sat.Bottom)
+    return true;
+  Purifier P = Entry->Pur;
+  P.side1() = Entry->Sat.Side1;
+  P.side2() = Entry->Sat.Side2;
+  auto [FSide, FPure] = P.purifyAtom(A);
+  if (FSide == Purifier::Side::Dropped)
+    return false; // Neither theory can even express the fact.
+
+  SaturationResult Sat = noSaturate(Ctx, L1, L2, P.side1(), P.side2());
+  SatRounds += Sat.Rounds;
+  if (Sat.Bottom)
+    return true;
+  switch (FSide) {
+  case Purifier::Side::One:
+    return L1.entailsCached(Sat.Side1, FPure);
+  case Purifier::Side::Two:
+    return L2.entailsCached(Sat.Side2, FPure);
+  case Purifier::Side::Both:
+    return L1.entailsCached(Sat.Side1, FPure) ||
+           L2.entailsCached(Sat.Side2, FPure);
+  case Purifier::Side::Dropped:
+    break;
+  }
+  return false;
 }
 
 bool LogicalProduct::isUnsat(const Conjunction &E) const {
-  return combinedIsUnsat(context(), L1, L2, E);
+  if (E.isBottom())
+    return true;
+  return purifySaturate(E)->Sat.Bottom;
 }
 
 std::vector<std::pair<Term, Term>>
@@ -227,9 +297,8 @@ LogicalProduct::impliedVarEqualities(const Conjunction &E) const {
   std::vector<std::pair<Term, Term>> Out;
   if (E.isBottom())
     return Out;
-  TermContext &Ctx = context();
-  PurifyResult P = purify(Ctx, L1, L2, E);
-  SaturationResult Sat = noSaturate(Ctx, L1, L2, P.Side1, P.Side2);
+  std::shared_ptr<const SatEntry> Entry = purifySaturate(E);
+  const SaturationResult &Sat = Entry->Sat;
   if (Sat.Bottom)
     return Out;
   // After saturation each side individually implies every shared variable
@@ -242,8 +311,8 @@ LogicalProduct::impliedVarEqualities(const Conjunction &E) const {
       if (InputVars.count(X) && InputVars.count(Y))
         Out.emplace_back(X, Y);
   };
-  Collect(L1.impliedVarEqualities(Sat.Side1));
-  Collect(L2.impliedVarEqualities(Sat.Side2));
+  Collect(L1.impliedVarEqualitiesCached(Sat.Side1));
+  Collect(L2.impliedVarEqualitiesCached(Sat.Side2));
   std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
     return std::make_pair(A.first->id(), A.second->id()) <
            std::make_pair(B.first->id(), B.second->id());
@@ -258,8 +327,9 @@ LogicalProduct::alternate(const Conjunction &E, Term Var,
   if (E.isBottom())
     return std::nullopt;
   TermContext &Ctx = context();
-  PurifyResult P = purify(Ctx, L1, L2, E);
-  SaturationResult Sat = noSaturate(Ctx, L1, L2, P.Side1, P.Side2);
+  std::shared_ptr<const SatEntry> Entry = purifySaturate(E);
+  const PurifyResult &P = Entry->P;
+  const SaturationResult &Sat = Entry->Sat;
   if (Sat.Bottom)
     return std::nullopt;
   // Eliminate Var, the avoided variables and the purification variables;

@@ -31,6 +31,10 @@
 #define CAI_PRODUCT_LOGICALPRODUCT_H
 
 #include "theory/LogicalLattice.h"
+#include "theory/NelsonOppen.h"
+#include "theory/Purify.h"
+
+#include <memory>
 
 namespace cai {
 
@@ -104,7 +108,44 @@ public:
   QSaturationResult qSaturate(const Conjunction &E1, const Conjunction &E2,
                               const std::vector<Term> &V1) const;
 
+  void setMemoization(bool Enabled) const override {
+    LogicalLattice::setMemoization(Enabled);
+    L1.setMemoization(Enabled);
+    L2.setMemoization(Enabled);
+  }
+
+  void collectStats(LatticeStats &S) const override {
+    LogicalLattice::collectStats(S);
+    S.SaturationRounds += SatRounds;
+    const QueryCacheCounters &C = SatCache.counters();
+    S.CacheHits += C.Hits;
+    S.CacheMisses += C.Misses;
+    L1.collectStats(S);
+    L2.collectStats(S);
+  }
+
 private:
+  /// One memoized purification + Nelson-Oppen saturation of a conjunction:
+  /// the hot prefix of every product operation (join, existQuant, entails,
+  /// isUnsat, impliedVarEqualities, alternate).  The fed Purifier is kept
+  /// so entailment queries can purify the queried fact with the same
+  /// alien-term naming as the cached sides.
+  struct SatEntry {
+    Purifier Pur;
+    PurifyResult P;
+    SaturationResult Sat;
+    explicit SatEntry(TermContext &Ctx, const LogicalLattice &L1,
+                      const LogicalLattice &L2)
+        : Pur(Ctx, L1, L2) {}
+  };
+
+  /// Returns the (possibly cached) purified + saturated form of \p E,
+  /// which must not be bottom.  \p AllowCache false forces a fresh
+  /// purification (new fresh-variable names) and leaves the cache
+  /// untouched; combine() needs that to keep its two sides' purification
+  /// names disjoint when joining a conjunction with itself.
+  std::shared_ptr<const SatEntry> purifySaturate(const Conjunction &E,
+                                                 bool AllowCache = true) const;
   /// Shared implementation of join and widen (Section 4.3: the widening is
   /// the join algorithm with component widenings).
   Conjunction combine(const Conjunction &A, const Conjunction &B,
@@ -120,6 +161,11 @@ private:
   const LogicalLattice &L2;
   Mode M;
   DummyPairs Pairs;
+
+  mutable QueryCache<Conjunction, std::shared_ptr<const SatEntry>,
+                     ConjunctionHash>
+      SatCache{1 << 12};
+  mutable unsigned long SatRounds = 0;
 };
 
 } // namespace cai

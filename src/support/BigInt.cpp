@@ -284,18 +284,15 @@ BigInt::Magnitude BigInt::divMagnitude(const Magnitude &A, const Magnitude &B,
   return Quot;
 }
 
-BigInt BigInt::operator-() const {
-  if (!IsBig) {
-    if (Small == INT64_MIN)
-      return fromInt128(-static_cast<__int128>(Small));
-    return BigInt(-Small);
-  }
+BigInt BigInt::negSlow() const {
+  if (!IsBig) // Only INT64_MIN reaches here from the inline operator.
+    return fromInt128(-static_cast<__int128>(Small));
   BigInt Result = *this;
   Result.Negative = !Result.Negative;
   return Result;
 }
 
-BigInt BigInt::operator+(const BigInt &RHS) const {
+BigInt BigInt::addSlow(const BigInt &RHS) const {
   if (!IsBig && !RHS.IsBig)
     return fromInt128(static_cast<__int128>(Small) + RHS.Small);
   Magnitude LM = magnitude(), RM = RHS.magnitude();
@@ -307,27 +304,23 @@ BigInt BigInt::operator+(const BigInt &RHS) const {
   return fromMagnitude(RN, subMagnitude(RM, LM));
 }
 
-BigInt BigInt::operator-(const BigInt &RHS) const {
+BigInt BigInt::subSlow(const BigInt &RHS) const {
   if (!IsBig && !RHS.IsBig)
     return fromInt128(static_cast<__int128>(Small) - RHS.Small);
   return *this + (-RHS);
 }
 
-BigInt BigInt::operator*(const BigInt &RHS) const {
+BigInt BigInt::mulSlow(const BigInt &RHS) const {
   if (!IsBig && !RHS.IsBig)
     return fromInt128(static_cast<__int128>(Small) * RHS.Small);
   return fromMagnitude(isNegative() != RHS.isNegative(),
                        mulMagnitude(magnitude(), RHS.magnitude()));
 }
 
-BigInt BigInt::operator/(const BigInt &RHS) const {
+BigInt BigInt::divSlow(const BigInt &RHS) const {
   assert(!RHS.isZero() && "division by zero");
-  if (!IsBig && !RHS.IsBig) {
-    // INT64_MIN / -1 is the only overflowing case.
-    if (Small == INT64_MIN && RHS.Small == -1)
-      return fromInt128(-static_cast<__int128>(INT64_MIN));
-    return BigInt(Small / RHS.Small);
-  }
+  if (!IsBig && !RHS.IsBig) // Only INT64_MIN / -1 reaches here inline.
+    return fromInt128(-static_cast<__int128>(INT64_MIN));
   Magnitude Rem;
   Magnitude Quot = divMagnitude(magnitude(), RHS.magnitude(), Rem);
   return fromMagnitude(isNegative() != RHS.isNegative(), std::move(Quot));
@@ -345,9 +338,7 @@ BigInt BigInt::operator%(const BigInt &RHS) const {
   return fromMagnitude(isNegative(), std::move(Rem));
 }
 
-bool BigInt::operator<(const BigInt &RHS) const {
-  if (!IsBig && !RHS.IsBig)
-    return Small < RHS.Small;
+bool BigInt::lessSlow(const BigInt &RHS) const {
   bool LN = isNegative(), RN = RHS.isNegative();
   if (LN != RN)
     return LN;
@@ -364,18 +355,9 @@ BigInt BigInt::abs() const {
   return *this;
 }
 
-BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
-  // Small fast path: plain Euclid on uint64.
-  if (!A.IsBig && !B.IsBig) {
-    uint64_t X = A.smallMagnitude(), Y = B.smallMagnitude();
-    while (Y) {
-      uint64_t R = X % Y;
-      X = Y;
-      Y = R;
-    }
-    // X <= max(|a|,|b|) <= 2^63 always fits back.
-    return fromInt128(static_cast<__int128>(X));
-  }
+BigInt BigInt::gcdSlow(const BigInt &A, const BigInt &B) {
+  if (!A.IsBig && !B.IsBig) // Inline Euclid landed exactly on 2^63.
+    return fromInt128(static_cast<__int128>(1) << 63);
   BigInt X = A.abs(), Y = B.abs();
   while (!Y.isZero()) {
     BigInt R = X % Y;

@@ -61,14 +61,44 @@ public:
   /// eagerly, so the big form never holds an int64-representable value.)
   bool fitsInt64() const { return !IsBig; }
 
-  BigInt operator-() const;
-  BigInt operator+(const BigInt &RHS) const;
-  BigInt operator-(const BigInt &RHS) const;
-  BigInt operator*(const BigInt &RHS) const;
+  // The four arithmetic operators run the small-small case inline (a single
+  // overflow-checked machine operation -- this is the inner loop of every
+  // rational Gauss-Jordan elimination) and fall back to the out-of-line
+  // slow path on promotion or overflow.
+  BigInt operator-() const {
+    if (!IsBig && Small != INT64_MIN)
+      return BigInt(-Small);
+    return negSlow();
+  }
+  BigInt operator+(const BigInt &RHS) const {
+    int64_t R;
+    if (!IsBig && !RHS.IsBig && !__builtin_add_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+    return addSlow(RHS);
+  }
+  BigInt operator-(const BigInt &RHS) const {
+    int64_t R;
+    if (!IsBig && !RHS.IsBig && !__builtin_sub_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+    return subSlow(RHS);
+  }
+  BigInt operator*(const BigInt &RHS) const {
+    int64_t R;
+    if (!IsBig && !RHS.IsBig && !__builtin_mul_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+    return mulSlow(RHS);
+  }
 
   /// Truncated division (C semantics: rounds toward zero).  Asserts on
   /// division by zero.
-  BigInt operator/(const BigInt &RHS) const;
+  BigInt operator/(const BigInt &RHS) const {
+    if (!IsBig && !RHS.IsBig &&
+        !(Small == INT64_MIN && RHS.Small == -1)) {
+      assert(RHS.Small != 0 && "division by zero");
+      return BigInt(Small / RHS.Small);
+    }
+    return divSlow(RHS);
+  }
 
   /// Remainder matching operator/ (same sign as the dividend).
   BigInt operator%(const BigInt &RHS) const;
@@ -86,7 +116,11 @@ public:
     return Negative == RHS.Negative && Limbs == RHS.Limbs;
   }
   bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
-  bool operator<(const BigInt &RHS) const;
+  bool operator<(const BigInt &RHS) const {
+    if (!IsBig && !RHS.IsBig)
+      return Small < RHS.Small;
+    return lessSlow(RHS);
+  }
   bool operator<=(const BigInt &RHS) const { return !(RHS < *this); }
   bool operator>(const BigInt &RHS) const { return RHS < *this; }
   bool operator>=(const BigInt &RHS) const { return !(*this < RHS); }
@@ -102,7 +136,20 @@ public:
   BigInt abs() const;
 
   /// Greatest common divisor of the absolute values; gcd(0, x) == |x|.
-  static BigInt gcd(const BigInt &A, const BigInt &B);
+  static BigInt gcd(const BigInt &A, const BigInt &B) {
+    if (!A.IsBig && !B.IsBig) {
+      uint64_t X = A.smallMagnitude(), Y = B.smallMagnitude();
+      while (Y) {
+        uint64_t R = X % Y;
+        X = Y;
+        Y = R;
+      }
+      // X <= max(|A|, |B|) <= 2^63; only 2^63 itself needs the big path.
+      if (X <= static_cast<uint64_t>(INT64_MAX))
+        return BigInt(static_cast<int64_t>(X));
+    }
+    return gcdSlow(A, B);
+  }
 
   /// Least common multiple of the absolute values; lcm(0, x) == 0.
   static BigInt lcm(const BigInt &A, const BigInt &B);
@@ -123,6 +170,16 @@ private:
   static BigInt fromMagnitude(bool Negative, Magnitude Limbs);
   /// Builds from a 128-bit signed intermediate (small-path overflow).
   static BigInt fromInt128(__int128 Value);
+
+  // Out-of-line continuations of the inline operators: big operands or
+  // small results that overflowed int64.
+  BigInt negSlow() const;
+  BigInt addSlow(const BigInt &RHS) const;
+  BigInt subSlow(const BigInt &RHS) const;
+  BigInt mulSlow(const BigInt &RHS) const;
+  BigInt divSlow(const BigInt &RHS) const;
+  bool lessSlow(const BigInt &RHS) const;
+  static BigInt gcdSlow(const BigInt &A, const BigInt &B);
 
   /// Magnitude of the small value (valid only when !IsBig).
   uint64_t smallMagnitude() const {

@@ -32,25 +32,53 @@ Rational Rational::operator-() const {
   return Result;
 }
 
-Rational Rational::operator+(const Rational &RHS) const {
-  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+Rational Rational::addSlow(const Rational &RHS, bool Negate) const {
+  // Knuth TAOCP 4.5.1: factor g = gcd(b, d) out of a/b +- c/d first; the
+  // final reduction then only needs a gcd against g, and all intermediate
+  // products are a factor g^2 smaller than the naive cross-multiplication.
+  const BigInt &A = Num, &B = Den, &C = RHS.Num, &D = RHS.Den;
+  BigInt G = BigInt::gcd(B, D);
+  if (G.isOne()) {
+    // Coprime denominators: the result is already in lowest terms.
+    Rational Out;
+    Out.Num = Negate ? A * D - C * B : A * D + C * B;
+    if (Out.Num.isZero())
+      return Out;
+    Out.Den = B * D;
+    return Out;
+  }
+  BigInt Bg = B / G, Dg = D / G;
+  BigInt T = Negate ? A * Dg - C * Bg : A * Dg + C * Bg;
+  if (T.isZero())
+    return Rational();
+  BigInt G2 = BigInt::gcd(T, G);
+  Rational Out;
+  if (G2.isOne()) {
+    Out.Num = std::move(T);
+    Out.Den = Bg * D;
+  } else {
+    Out.Num = T / G2;
+    Out.Den = Bg * (D / G2);
+  }
+  return Out;
 }
 
-Rational Rational::operator-(const Rational &RHS) const {
-  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
-}
-
-Rational Rational::operator*(const Rational &RHS) const {
-  return Rational(Num * RHS.Num, Den * RHS.Den);
+Rational Rational::mulSlow(const Rational &RHS) const {
+  if (isZero() || RHS.isZero())
+    return Rational();
+  BigInt G1 = BigInt::gcd(Num, RHS.Den);
+  BigInt G2 = BigInt::gcd(RHS.Num, Den);
+  Rational Out;
+  Out.Num = (G1.isOne() ? Num : Num / G1) * (G2.isOne() ? RHS.Num : RHS.Num / G2);
+  Out.Den = (G2.isOne() ? Den : Den / G2) * (G1.isOne() ? RHS.Den : RHS.Den / G1);
+  return Out;
 }
 
 Rational Rational::operator/(const Rational &RHS) const {
   assert(!RHS.isZero() && "rational division by zero");
-  return Rational(Num * RHS.Den, Den * RHS.Num);
-}
-
-bool Rational::operator<(const Rational &RHS) const {
-  return Num * RHS.Den < RHS.Num * Den;
+  if (Den.isOne() && RHS.Den.isOne() && RHS.Num.isOne())
+    return *this;
+  return *this * Rational(RHS.Den, RHS.Num); // Ctor renormalizes the sign.
 }
 
 Rational Rational::inverse() const {

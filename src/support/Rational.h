@@ -43,9 +43,25 @@ public:
   int sign() const { return Num.sign(); }
 
   Rational operator-() const;
-  Rational operator+(const Rational &RHS) const;
-  Rational operator-(const Rational &RHS) const;
-  Rational operator*(const Rational &RHS) const;
+  // Integer-integer cases (both denominators 1 -- the common case in the
+  // Gauss-Jordan inner loops) run inline without any gcd; everything else
+  // takes the out-of-line path, which reduces with Knuth's cross-gcd
+  // scheme so intermediate magnitudes stay small.
+  Rational operator+(const Rational &RHS) const {
+    if (Den.isOne() && RHS.Den.isOne())
+      return Rational(Num + RHS.Num);
+    return addSlow(RHS, /*Negate=*/false);
+  }
+  Rational operator-(const Rational &RHS) const {
+    if (Den.isOne() && RHS.Den.isOne())
+      return Rational(Num - RHS.Num);
+    return addSlow(RHS, /*Negate=*/true);
+  }
+  Rational operator*(const Rational &RHS) const {
+    if (Den.isOne() && RHS.Den.isOne())
+      return Rational(Num * RHS.Num);
+    return mulSlow(RHS);
+  }
   /// Asserts on division by zero.
   Rational operator/(const Rational &RHS) const;
 
@@ -58,7 +74,11 @@ public:
     return Num == RHS.Num && Den == RHS.Den;
   }
   bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
-  bool operator<(const Rational &RHS) const;
+  bool operator<(const Rational &RHS) const {
+    if (Den.isOne() && RHS.Den.isOne())
+      return Num < RHS.Num;
+    return Num * RHS.Den < RHS.Num * Den; // Denominators always positive.
+  }
   bool operator<=(const Rational &RHS) const { return !(RHS < *this); }
   bool operator>(const Rational &RHS) const { return RHS < *this; }
   bool operator>=(const Rational &RHS) const { return !(*this < RHS); }
@@ -80,6 +100,12 @@ public:
 
 private:
   void normalize();
+
+  /// Fraction addition (subtraction when \p Negate) with the denominators'
+  /// gcd factored out before the cross-multiplication.
+  Rational addSlow(const Rational &RHS, bool Negate) const;
+  /// Cross-gcd multiplication: the result is born in lowest terms.
+  Rational mulSlow(const Rational &RHS) const;
 
   BigInt Num;
   BigInt Den; // Always positive.

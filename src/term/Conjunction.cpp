@@ -21,6 +21,23 @@ void Conjunction::add(const Atom &A) {
   if (It != Items.end() && *It == A)
     return;
   Items.insert(It, A);
+  FpValid = false;
+}
+
+uint64_t Conjunction::fingerprint() const {
+  if (FpValid)
+    return Fp;
+  // FNV-1a over the bottom flag and the sorted atom hashes.  Atom::hash
+  // mixes the predicate index and hash-consed argument ids, so the result
+  // is canonical for one TermContext.
+  uint64_t H = Bottom ? 0x9e3779b97f4a7c15ull : 0xcbf29ce484222325ull;
+  for (const Atom &A : Items) {
+    H ^= static_cast<uint64_t>(A.hash());
+    H *= 0x100000001b3ull;
+  }
+  Fp = H;
+  FpValid = true;
+  return Fp;
 }
 
 Conjunction Conjunction::meet(const Conjunction &RHS) const {

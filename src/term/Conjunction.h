@@ -53,9 +53,22 @@ public:
 
   /// Syntactic equality (same sorted atom list, same bottom flag).
   bool operator==(const Conjunction &RHS) const {
-    return Bottom == RHS.Bottom && Items == RHS.Items;
+    if (Bottom != RHS.Bottom)
+      return false;
+    // The fingerprint is a cheap negative filter when both sides have one.
+    if (FpValid && RHS.FpValid && Fp != RHS.Fp)
+      return false;
+    return Items == RHS.Items;
   }
   bool operator!=(const Conjunction &RHS) const { return !(*this == RHS); }
+
+  /// A canonical 64-bit fingerprint of the conjunction's content, computed
+  /// lazily from the sorted atom list (whose hashes derive from hash-consed
+  /// term ids) and cached until the next mutation.  Two equal conjunctions
+  /// from the same TermContext always have equal fingerprints; the converse
+  /// holds modulo 64-bit collision, which is why memoization keys store the
+  /// full conjunction and use the fingerprint only for bucketing.
+  uint64_t fingerprint() const;
 
   /// Applies a substitution to every atom.
   Conjunction substitute(TermContext &Ctx, const Substitution &Subst) const;
@@ -69,6 +82,16 @@ public:
 private:
   bool Bottom = false;
   std::vector<Atom> Items;
+  // Lazily computed fingerprint cache (see fingerprint()).
+  mutable uint64_t Fp = 0;
+  mutable bool FpValid = false;
+};
+
+/// Hash functor for memoization keys; buckets by fingerprint.
+struct ConjunctionHash {
+  size_t operator()(const Conjunction &C) const {
+    return static_cast<size_t>(C.fingerprint());
+  }
 };
 
 } // namespace cai

@@ -33,9 +33,126 @@ LogicalLattice::alternateBatch(const Conjunction &E,
 Conjunction LogicalLattice::meet(const Conjunction &A,
                                  const Conjunction &B) const {
   Conjunction Result = A.meet(B);
-  if (!Result.isBottom() && isUnsat(Result))
+  if (!Result.isBottom() && isUnsatCached(Result))
     return Conjunction::bottom();
   return Result;
+}
+
+Conjunction LogicalLattice::joinCached(const Conjunction &A,
+                                       const Conjunction &B) const {
+  if (!MemoEnabled)
+    return join(A, B);
+  detail::ConjPairKey K{A, B};
+  if (const Conjunction *Hit = JoinCache.lookup(K))
+    return *Hit;
+  Conjunction R = join(A, B);
+  JoinCache.insert(std::move(K), R);
+  return R;
+}
+
+Conjunction LogicalLattice::widenCached(const Conjunction &Old,
+                                        const Conjunction &New) const {
+  if (!MemoEnabled)
+    return widen(Old, New);
+  detail::ConjPairKey K{Old, New};
+  if (const Conjunction *Hit = WidenCache.lookup(K))
+    return *Hit;
+  Conjunction R = widen(Old, New);
+  WidenCache.insert(std::move(K), R);
+  return R;
+}
+
+Conjunction LogicalLattice::meetCached(const Conjunction &A,
+                                       const Conjunction &B) const {
+  if (!MemoEnabled)
+    return meet(A, B);
+  detail::ConjPairKey K{A, B};
+  if (const Conjunction *Hit = MeetCache.lookup(K))
+    return *Hit;
+  Conjunction R = meet(A, B);
+  MeetCache.insert(std::move(K), R);
+  return R;
+}
+
+Conjunction
+LogicalLattice::existQuantCached(const Conjunction &E,
+                                 const std::vector<Term> &Vars) const {
+  if (!MemoEnabled)
+    return existQuant(E, Vars);
+  detail::QuantKey K{E, Vars};
+  if (const Conjunction *Hit = QuantCache.lookup(K))
+    return *Hit;
+  Conjunction R = existQuant(E, Vars);
+  QuantCache.insert(std::move(K), R);
+  return R;
+}
+
+bool LogicalLattice::entailsCached(const Conjunction &E, const Atom &A) const {
+  if (!MemoEnabled)
+    return entails(E, A);
+  detail::ConjAtomKey K{E, A};
+  if (const bool *Hit = EntailCache.lookup(K))
+    return *Hit;
+  bool R = entails(E, A);
+  EntailCache.insert(std::move(K), R);
+  return R;
+}
+
+bool LogicalLattice::isUnsatCached(const Conjunction &E) const {
+  if (!MemoEnabled)
+    return isUnsat(E);
+  if (const bool *Hit = UnsatCache.lookup(E))
+    return *Hit;
+  bool R = isUnsat(E);
+  UnsatCache.insert(E, R);
+  return R;
+}
+
+bool LogicalLattice::entailsAllCached(const Conjunction &E,
+                                      const Conjunction &C) const {
+  if (!MemoEnabled)
+    return entailsAll(E, C);
+  detail::ConjPairKey K{E, C};
+  if (const bool *Hit = EntailAllCache.lookup(K))
+    return *Hit;
+  // Recompute through the per-atom cache so partially overlapping queries
+  // (same E, different C sharing atoms) still share work.
+  bool R;
+  if (E.isBottom())
+    R = true;
+  else if (C.isBottom())
+    R = isUnsatCached(E);
+  else {
+    R = true;
+    for (const Atom &A : C.atoms())
+      if (!entailsCached(E, A)) {
+        R = false;
+        break;
+      }
+  }
+  EntailAllCache.insert(std::move(K), R);
+  return R;
+}
+
+std::vector<std::pair<Term, Term>>
+LogicalLattice::impliedVarEqualitiesCached(const Conjunction &E) const {
+  if (!MemoEnabled)
+    return impliedVarEqualities(E);
+  if (const auto *Hit = VarEqCache.lookup(E))
+    return *Hit;
+  std::vector<std::pair<Term, Term>> R = impliedVarEqualities(E);
+  VarEqCache.insert(E, R);
+  return R;
+}
+
+void LogicalLattice::collectStats(LatticeStats &S) const {
+  for (const QueryCacheCounters &C :
+       {JoinCache.counters(), WidenCache.counters(), MeetCache.counters(),
+        EntailAllCache.counters(), EntailCache.counters(),
+        UnsatCache.counters(), QuantCache.counters(), VarEqCache.counters()}) {
+    S.CacheHits += C.Hits;
+    S.CacheMisses += C.Misses;
+  }
 }
 
 bool LogicalLattice::entailsAll(const Conjunction &E,

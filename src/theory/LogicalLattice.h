@@ -19,6 +19,7 @@
 #ifndef CAI_THEORY_LOGICALLATTICE_H
 #define CAI_THEORY_LOGICALLATTICE_H
 
+#include "support/QueryCache.h"
 #include "term/Conjunction.h"
 
 #include <optional>
@@ -26,6 +27,76 @@
 #include <utility>
 
 namespace cai {
+
+/// Aggregated memoization / combination counters of one lattice tree
+/// (a product recurses into its components).  The analyzer snapshots these
+/// before and after a run and reports the delta.
+struct LatticeStats {
+  unsigned long CacheHits = 0;
+  unsigned long CacheMisses = 0;
+  unsigned long SaturationRounds = 0;
+
+  LatticeStats operator-(const LatticeStats &RHS) const {
+    LatticeStats D;
+    D.CacheHits = CacheHits - RHS.CacheHits;
+    D.CacheMisses = CacheMisses - RHS.CacheMisses;
+    D.SaturationRounds = SaturationRounds - RHS.SaturationRounds;
+    return D;
+  }
+};
+
+namespace detail {
+
+/// Memoization key for binary conjunction operations (join, widen, meet,
+/// mutual entailment).  Stores both operands in full; the hash buckets by
+/// fingerprint and equality is exact, so collisions are harmless.
+struct ConjPairKey {
+  Conjunction A, B;
+  bool operator==(const ConjPairKey &RHS) const {
+    return A == RHS.A && B == RHS.B;
+  }
+};
+struct ConjPairHash {
+  size_t operator()(const ConjPairKey &K) const {
+    return static_cast<size_t>(K.A.fingerprint() * 0x9e3779b97f4a7c15ull ^
+                               K.B.fingerprint());
+  }
+};
+
+/// Memoization key for per-atom entailment queries.
+struct ConjAtomKey {
+  Conjunction E;
+  Atom A;
+  bool operator==(const ConjAtomKey &RHS) const {
+    return A == RHS.A && E == RHS.E;
+  }
+};
+struct ConjAtomHash {
+  size_t operator()(const ConjAtomKey &K) const {
+    return static_cast<size_t>(K.E.fingerprint() * 0x9e3779b97f4a7c15ull ^
+                               K.A.hash());
+  }
+};
+
+/// Memoization key for existential quantification (conjunction + the
+/// id-ordered variable list being eliminated).
+struct QuantKey {
+  Conjunction E;
+  std::vector<Term> Vars;
+  bool operator==(const QuantKey &RHS) const {
+    return Vars == RHS.Vars && E == RHS.E;
+  }
+};
+struct QuantHash {
+  size_t operator()(const QuantKey &K) const {
+    uint64_t H = K.E.fingerprint();
+    for (Term V : K.Vars)
+      H = H * 0x100000001b3ull ^ V->id();
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace detail
 
 /// An abstract domain over conjunctions of atomic facts.
 ///
@@ -112,9 +183,64 @@ public:
   bool equivalent(const Conjunction &A, const Conjunction &B) const;
 
   /// @}
+  /// \name Memoized entry points
+  ///
+  /// Non-virtual wrappers over the virtual operations above that cache
+  /// results keyed on the operands' canonical fingerprints.  The fixpoint
+  /// engine and the product combinators route their calls through these;
+  /// identical queries across fixpoint iterations become O(1) lookups.
+  /// With memoization disabled (setMemoization(false)) every wrapper
+  /// forwards to the virtual operation unconditionally -- the
+  /// cache-equivalence test asserts bit-for-bit identical analysis results
+  /// either way.
+  /// @{
+
+  Conjunction joinCached(const Conjunction &A, const Conjunction &B) const;
+  Conjunction widenCached(const Conjunction &Old, const Conjunction &New) const;
+  Conjunction meetCached(const Conjunction &A, const Conjunction &B) const;
+  Conjunction existQuantCached(const Conjunction &E,
+                               const std::vector<Term> &Vars) const;
+  bool entailsCached(const Conjunction &E, const Atom &A) const;
+  bool isUnsatCached(const Conjunction &E) const;
+  bool entailsAllCached(const Conjunction &E, const Conjunction &C) const;
+  std::vector<std::pair<Term, Term>>
+  impliedVarEqualitiesCached(const Conjunction &E) const;
+
+  /// Enables or disables memoization for this lattice; products propagate
+  /// to their components.  Const because products hold const component
+  /// references and the caches are observation-invisible (mutable).
+  virtual void setMemoization(bool Enabled) const { MemoEnabled = Enabled; }
+  bool memoizationEnabled() const { return MemoEnabled; }
+
+  /// Accumulates this lattice's counters into \p S; products recurse into
+  /// their components.
+  virtual void collectStats(LatticeStats &S) const;
+
+  /// Snapshot convenience for delta reporting.
+  LatticeStats statsSnapshot() const {
+    LatticeStats S;
+    collectStats(S);
+    return S;
+  }
+
+  /// @}
 
 private:
   TermContext &Ctx;
+
+  mutable bool MemoEnabled = true;
+  mutable QueryCache<detail::ConjPairKey, Conjunction, detail::ConjPairHash>
+      JoinCache, WidenCache, MeetCache;
+  mutable QueryCache<detail::ConjPairKey, bool, detail::ConjPairHash>
+      EntailAllCache;
+  mutable QueryCache<detail::ConjAtomKey, bool, detail::ConjAtomHash>
+      EntailCache;
+  mutable QueryCache<Conjunction, bool, ConjunctionHash> UnsatCache;
+  mutable QueryCache<detail::QuantKey, Conjunction, detail::QuantHash>
+      QuantCache;
+  mutable QueryCache<Conjunction, std::vector<std::pair<Term, Term>>,
+                     ConjunctionHash>
+      VarEqCache;
 };
 
 } // namespace cai

@@ -18,10 +18,23 @@ public:
       Parent.emplace(V, V);
       return V;
     }
-    if (It->second == V)
-      return V;
-    Term Root = find(It->second);
-    It->second = Root;
+    // Iterative two-pass find with full path compression: the scaling
+    // workloads produce equality chains long enough that the recursive
+    // version risked exhausting the stack.
+    Term Root = It->second;
+    while (true) {
+      Term Next = Parent.find(Root)->second;
+      if (Next == Root)
+        break;
+      Root = Next;
+    }
+    Term Cur = V;
+    while (Cur != Root) {
+      auto CurIt = Parent.find(Cur);
+      Term Next = CurIt->second;
+      CurIt->second = Root;
+      Cur = Next;
+    }
     return Root;
   }
 
@@ -47,7 +60,8 @@ SaturationResult cai::noSaturate(TermContext &Ctx, const LogicalLattice &L1,
                                  const LogicalLattice &L2, Conjunction E1,
                                  Conjunction E2) {
   SaturationResult Result;
-  if (E1.isBottom() || E2.isBottom() || L1.isUnsat(E1) || L2.isUnsat(E2)) {
+  if (E1.isBottom() || E2.isBottom() || L1.isUnsatCached(E1) ||
+      L2.isUnsatCached(E2)) {
     Result.Bottom = true;
     Result.Side1 = Conjunction::bottom();
     Result.Side2 = Conjunction::bottom();
@@ -68,7 +82,8 @@ SaturationResult cai::noSaturate(TermContext &Ctx, const LogicalLattice &L1,
       Conjunction &SrcE = SideIdx == 0 ? E1 : E2;
       Conjunction &DstE = SideIdx == 0 ? E2 : E1;
 
-      std::vector<std::pair<Term, Term>> Eqs = Src.impliedVarEqualities(SrcE);
+      std::vector<std::pair<Term, Term>> Eqs =
+          Src.impliedVarEqualitiesCached(SrcE);
       bool Forwarded = false;
       for (const auto &[X, Y] : Eqs) {
         // Forward only merges of previously-distinct classes; equalities
@@ -84,7 +99,7 @@ SaturationResult cai::noSaturate(TermContext &Ctx, const LogicalLattice &L1,
       }
       if (Forwarded) {
         Changed = true;
-        if (Dst.isUnsat(DstE)) {
+        if (Dst.isUnsatCached(DstE)) {
           Result.Bottom = true;
           Result.Side1 = Conjunction::bottom();
           Result.Side2 = Conjunction::bottom();

@@ -1,0 +1,110 @@
+//===- tests/analyzer_cache_test.cpp - Cache-equivalence property test ----===//
+///
+/// \file
+/// The correctness bar for the memoized fixpoint engine: analysis results
+/// (per-node invariants and assertion verdicts) must be bit-for-bit
+/// identical with memoization on and off.  Runs randomized Workloads
+/// programs under every product construction and the stand-alone domains,
+/// comparing the two runs conjunction-by-conjunction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "product/DirectProduct.h"
+#include "product/LogicalProduct.h"
+#include "term/Printer.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace cai;
+
+namespace {
+
+/// Runs \p L over \p P twice -- memoization on and off -- and requires
+/// identical invariants, verdicts and convergence.
+void expectCacheEquivalent(const LogicalLattice &L, const Program &P,
+                           const std::string &What) {
+  AnalyzerOptions On, Off;
+  On.Memoize = true;
+  Off.Memoize = false;
+  AnalysisResult RO = Analyzer(L, On).run(P);
+  AnalysisResult RF = Analyzer(L, Off).run(P);
+
+  EXPECT_EQ(RO.Converged, RF.Converged) << What;
+  ASSERT_EQ(RO.Invariants.size(), RF.Invariants.size()) << What;
+  for (size_t N = 0; N < RO.Invariants.size(); ++N)
+    EXPECT_TRUE(RO.Invariants[N] == RF.Invariants[N])
+        << What << ": invariant differs at node " << N << "\n  memo: "
+        << toString(L.context(), RO.Invariants[N]) << "\n  none: "
+        << toString(L.context(), RF.Invariants[N]);
+  ASSERT_EQ(RO.Assertions.size(), RF.Assertions.size()) << What;
+  for (size_t I = 0; I < RO.Assertions.size(); ++I)
+    EXPECT_EQ(RO.Assertions[I].Verified, RF.Assertions[I].Verified)
+        << What << ": verdict differs for " << RO.Assertions[I].Label;
+  // The memoized run must actually have exercised the caches (otherwise
+  // this test proves nothing).
+  EXPECT_GT(RO.Stats.CacheHits + RO.Stats.CacheMisses, 0u) << What;
+  EXPECT_EQ(RF.Stats.CacheHits, 0u) << What;
+}
+
+TEST(AnalyzerCacheTest, RandomizedWorkloadsUnderEveryProduct) {
+  for (unsigned Seed : {7u, 23u, 101u}) {
+    TermContext Ctx;
+    AffineDomain Affine(Ctx);
+    UFDomain UF(Ctx);
+    DirectProduct Direct(Ctx, Affine, UF);
+    LogicalProduct Reduced(Ctx, Affine, UF, LogicalProduct::Mode::Reduced);
+    LogicalProduct Logical(Ctx, Affine, UF);
+
+    WorkloadOptions Opts;
+    Opts.Seed = Seed;
+    Opts.AffineTracks = Opts.UFTracks = 1;
+    Opts.ReducedTracks = Opts.MixedTracks = 1;
+    Opts.Branches = 1;
+    Opts.NoiseVars = 1;
+    Workload W = generateWorkload(Ctx, Opts);
+
+    std::string Tag = "seed " + std::to_string(Seed) + " ";
+    expectCacheEquivalent(Affine, W.P, Tag + "affine");
+    expectCacheEquivalent(UF, W.P, Tag + "uf");
+    expectCacheEquivalent(Direct, W.P, Tag + "direct");
+    expectCacheEquivalent(Reduced, W.P, Tag + "reduced");
+    expectCacheEquivalent(Logical, W.P, Tag + "logical");
+  }
+}
+
+TEST(AnalyzerCacheTest, LoopFreeWorkload) {
+  TermContext Ctx;
+  AffineDomain Affine(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, Affine, UF);
+
+  WorkloadOptions Opts;
+  Opts.Seed = 5;
+  Opts.Loop = false;
+  Workload W = generateWorkload(Ctx, Opts);
+  expectCacheEquivalent(Logical, W.P, "loop-free logical");
+}
+
+TEST(AnalyzerCacheTest, MemoizedRunReportsHits) {
+  // Within a single run the narrowing passes re-evaluate stabilized edges,
+  // so the transfer cache must report hits on any looping workload.
+  TermContext Ctx;
+  AffineDomain Affine(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, Affine, UF);
+
+  WorkloadOptions Opts;
+  Opts.Seed = 23;
+  Workload W = generateWorkload(Ctx, Opts);
+  AnalysisResult R = Analyzer(Logical).run(W.P);
+  EXPECT_GT(R.Stats.TransferCacheHits, 0u);
+  EXPECT_GT(R.Stats.CacheHits, 0u);
+  EXPECT_GT(R.Stats.cacheHitRate(), 0.0);
+  EXPECT_GT(R.Stats.SaturationRounds, 0u);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+//===- tests/wto_test.cpp - Weak topological order unit tests -------------===//
+///
+/// \file
+/// Bourdoncle WTO construction on straight-line, nested-loop and
+/// irreducible CFGs: the hierarchical decomposition, head/widening points,
+/// nesting depths, and the scheduling invariants the fixpoint engine
+/// relies on (a component occupies a contiguous position range right
+/// after its head; every cycle contains a head).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/WTO.h"
+
+#include <gtest/gtest.h>
+
+using namespace cai;
+
+namespace {
+
+Action skip() { return Action::skip(); }
+
+/// Builds a program with the given edges over \p N nodes, entry 0.
+Program makeCFG(unsigned N, std::initializer_list<std::pair<NodeId, NodeId>> Edges) {
+  Program P;
+  for (unsigned I = 0; I < N; ++I)
+    P.addNode();
+  P.setEntry(0);
+  for (auto [From, To] : Edges)
+    P.addEdge(From, To, skip());
+  return P;
+}
+
+TEST(WTOTest, StraightLine) {
+  // 0 -> 1 -> 2 -> 3: no loops, order is the topological one.
+  Program P = makeCFG(4, {{0, 1}, {1, 2}, {2, 3}});
+  WTO W(P);
+  EXPECT_EQ(W.toString(), "0 1 2 3");
+  EXPECT_EQ(W.numComponents(), 0u);
+  for (NodeId N = 0; N < 4; ++N) {
+    EXPECT_FALSE(W.isHead(N));
+    EXPECT_EQ(W.depth(N), 0u);
+    EXPECT_EQ(W.position(N), N);
+  }
+}
+
+TEST(WTOTest, Diamond) {
+  // Branch and re-join, still acyclic: both arms precede the join.
+  Program P = makeCFG(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  WTO W(P);
+  EXPECT_EQ(W.numComponents(), 0u);
+  EXPECT_LT(W.position(0), W.position(1));
+  EXPECT_LT(W.position(0), W.position(2));
+  EXPECT_LT(W.position(1), W.position(3));
+  EXPECT_LT(W.position(2), W.position(3));
+  EXPECT_FALSE(W.isHead(3)); // A join point, but not a widening point.
+}
+
+TEST(WTOTest, SimpleLoop) {
+  // 0 -> 1 -> 2 -> 1, 2 -> 3: one component headed by 1.
+  Program P = makeCFG(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  WTO W(P);
+  EXPECT_EQ(W.toString(), "0 (1 2) 3");
+  EXPECT_EQ(W.numComponents(), 1u);
+  EXPECT_TRUE(W.isHead(1));
+  EXPECT_FALSE(W.isHead(0));
+  EXPECT_FALSE(W.isHead(2));
+  EXPECT_FALSE(W.isHead(3));
+  EXPECT_EQ(W.depth(1), 1u);
+  EXPECT_EQ(W.depth(2), 1u);
+  EXPECT_EQ(W.depth(3), 0u);
+}
+
+TEST(WTOTest, NestedLoops) {
+  // 0 -> 1 -> 2 -> 3 -> 2 (inner), 3 -> 1 (outer), 3 -> 4.
+  Program P = makeCFG(5, {{0, 1}, {1, 2}, {2, 3}, {3, 2}, {3, 1}, {3, 4}});
+  WTO W(P);
+  EXPECT_EQ(W.toString(), "0 (1 (2 3)) 4");
+  EXPECT_EQ(W.numComponents(), 2u);
+  EXPECT_TRUE(W.isHead(1));
+  EXPECT_TRUE(W.isHead(2));
+  EXPECT_EQ(W.depth(1), 1u);
+  EXPECT_EQ(W.depth(2), 2u);
+  EXPECT_EQ(W.depth(3), 2u);
+  // The inner component is positioned inside the outer one.
+  EXPECT_LT(W.position(1), W.position(2));
+  EXPECT_LT(W.position(2), W.position(3));
+  EXPECT_LT(W.position(3), W.position(4));
+}
+
+TEST(WTOTest, IrreducibleCFG) {
+  // The classic irreducible loop: two entries (1 and 2) into the cycle
+  // 1 <-> 2.  0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1, 1 -> 3.
+  Program P = makeCFG(4, {{0, 1}, {0, 2}, {1, 2}, {2, 1}, {1, 3}});
+  WTO W(P);
+  // Bourdoncle's algorithm handles irreducible graphs: the cycle becomes
+  // one component; whichever node the DFS reaches first heads it.
+  EXPECT_EQ(W.numComponents(), 1u);
+  EXPECT_TRUE(W.isHead(1) || W.isHead(2));
+  // Every cycle must contain a head -- the termination argument for
+  // widening only at heads.
+  EXPECT_TRUE(W.isHead(1) || W.isHead(2));
+  EXPECT_EQ(W.depth(1), 1u);
+  EXPECT_EQ(W.depth(2), 1u);
+  EXPECT_EQ(W.depth(0), 0u);
+  EXPECT_EQ(W.depth(3), 0u);
+}
+
+TEST(WTOTest, SelfLoop) {
+  Program P = makeCFG(3, {{0, 1}, {1, 1}, {1, 2}});
+  WTO W(P);
+  EXPECT_EQ(W.toString(), "0 (1) 2");
+  EXPECT_EQ(W.numComponents(), 1u);
+  EXPECT_TRUE(W.isHead(1));
+}
+
+TEST(WTOTest, UnreachableNodesAppended) {
+  // Node 3 unreachable from entry: it still gets a deterministic position.
+  Program P = makeCFG(4, {{0, 1}, {1, 2}});
+  WTO W(P);
+  EXPECT_EQ(W.order().size(), 4u);
+  EXPECT_EQ(W.position(3), 3u);
+}
+
+TEST(WTOTest, EveryCycleHasAHead) {
+  // Randomized-ish stress over a fixed family: ring of size K with chords.
+  for (unsigned K = 2; K <= 6; ++K) {
+    Program P;
+    for (unsigned I = 0; I < K; ++I)
+      P.addNode();
+    P.setEntry(0);
+    for (unsigned I = 0; I < K; ++I)
+      P.addEdge(I, (I + 1) % K, skip());
+    P.addEdge(0, K / 2, skip()); // A chord.
+    WTO W(P);
+    unsigned Heads = 0;
+    for (NodeId N = 0; N < K; ++N)
+      Heads += W.isHead(N);
+    EXPECT_GE(Heads, 1u) << "ring size " << K;
+    // Positions are a permutation.
+    std::vector<bool> Seen(K, false);
+    for (NodeId N = 0; N < K; ++N) {
+      ASSERT_LT(W.position(N), K);
+      EXPECT_FALSE(Seen[W.position(N)]);
+      Seen[W.position(N)] = true;
+    }
+  }
+}
+
+} // namespace

@@ -16,6 +16,10 @@
 ///   --encode=comm     apply the Section 5.1 commutative encoding first
 ///   --encode=arity    apply the Section 5.2 arity-reduction encoding
 ///   --widening-delay=N
+///   --stats           print fixpoint-engine counters (edge evaluations,
+///                     memo-cache hit rates, saturation rounds, WTO shape)
+///   --no-memo         disable lattice-operation and transfer memoization
+///                     (results are identical either way; for measurement)
 ///
 /// Exit code: 0 if every assertion verified, 1 otherwise, 2 on errors.
 ///
@@ -163,9 +167,9 @@ struct DomainFactory {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: cai-analyze [--domain=<spec>] [--invariants]\n"
+      "usage: cai-analyze [--domain=<spec>] [--invariants] [--stats]\n"
       "                   [--encode=comm|arity] [--widening-delay=N]\n"
-      "                   <program.imp>\n"
+      "                   [--no-memo] <program.imp>\n"
       "domain specs: affine poly uf parity sign lists arrays\n"
       "              direct:<a>,<b>  reduced:<a>,<b>  logical:<a>,<b>\n"
       "              nested: logical:(logical:affine,uf),lists\n");
@@ -178,6 +182,7 @@ int main(int Argc, char **Argv) {
   std::string Encode;
   std::string Path;
   bool ShowInvariants = false;
+  bool ShowStats = false;
   AnalyzerOptions Opts;
 
   for (int I = 1; I < Argc; ++I) {
@@ -189,7 +194,18 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("--encode=", 0) == 0) {
       Encode = Arg.substr(9);
     } else if (Arg.rfind("--widening-delay=", 0) == 0) {
-      Opts.WideningDelay = static_cast<unsigned>(std::stoul(Arg.substr(17)));
+      std::string Value = Arg.substr(17);
+      if (Value.empty() ||
+          Value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "error: --widening-delay expects a number, got '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      Opts.WideningDelay = static_cast<unsigned>(std::stoul(Value));
+    } else if (Arg == "--stats") {
+      ShowStats = true;
+    } else if (Arg == "--no-memo") {
+      Opts.Memoize = false;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -263,6 +279,17 @@ int main(int Argc, char **Argv) {
               "max %u updates/node\n",
               R.Stats.Joins, R.Stats.Widenings, R.Stats.Transfers,
               R.Stats.MaxNodeUpdates);
+  if (ShowStats) {
+    std::printf("engine:     %u WTO components, %lu edge evals "
+                "(%lu answered by transfer cache), %lu entailment checks\n",
+                R.Stats.WtoComponents, R.Stats.EdgeEvals,
+                R.Stats.TransferCacheHits, R.Stats.EntailmentChecks);
+    std::printf("memo:       %s, %lu hits / %lu misses (%.1f%% hit rate), "
+                "%lu saturation rounds\n",
+                Opts.Memoize ? "on" : "off", R.Stats.CacheHits,
+                R.Stats.CacheMisses, 100.0 * R.Stats.cacheHitRate(),
+                R.Stats.SaturationRounds);
+  }
 
   if (ShowInvariants) {
     std::printf("\ninvariants:\n");
