@@ -14,6 +14,7 @@
 #include "analysis/Analyzer.h"
 #include "domains/affine/AffineDomain.h"
 #include "domains/uf/UFDomain.h"
+#include "obs/Trace.h"
 #include "product/LogicalProduct.h"
 #include "theory/Purify.h"
 #include "workloads/Workloads.h"
@@ -115,6 +116,46 @@ void BM_FixpointProductNoMemo(benchmark::State &State) {
   State.counters["assertions"] = static_cast<double>(W.Kinds.size());
 }
 
+/// E15 ablation, middle rung: the full instrumentation path runs but the
+/// Discard sink buffers nothing -- the delta to BM_FixpointProductOnly is
+/// the probe cost (clock reads + branch), the delta to
+/// BM_FixpointProductTraced is the JSON-buffer cost.
+void BM_FixpointProductNullTrace(benchmark::State &State) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, LA, UF);
+  Workload W = generateWorkload(Ctx, optionsFor(static_cast<int>(State.range(0))));
+  obs::Tracer Tracer(obs::Tracer::Sink::Discard);
+  obs::Tracer::install(&Tracer);
+  for (auto _ : State) {
+    AnalysisResult R = Analyzer(Logical).run(W.P);
+    benchmark::DoNotOptimize(R);
+  }
+  obs::Tracer::install(nullptr);
+}
+
+/// E15 ablation, top rung: full buffered tracing, events kept in memory
+/// (cleared per iteration so the buffer does not grow across iterations).
+void BM_FixpointProductTraced(benchmark::State &State) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, LA, UF);
+  Workload W = generateWorkload(Ctx, optionsFor(static_cast<int>(State.range(0))));
+  obs::Tracer Tracer;
+  obs::Tracer::install(&Tracer);
+  size_t Events = 0;
+  for (auto _ : State) {
+    Tracer.clear();
+    AnalysisResult R = Analyzer(Logical).run(W.P);
+    Events = Tracer.numEvents();
+    benchmark::DoNotOptimize(R);
+  }
+  obs::Tracer::install(nullptr);
+  State.counters["trace_events"] = static_cast<double>(Events);
+}
+
 } // namespace
 
 BENCHMARK(BM_FixpointComponentsVsProduct)
@@ -124,6 +165,12 @@ BENCHMARK(BM_FixpointProductOnly)
     ->DenseRange(1, 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FixpointProductNoMemo)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FixpointProductNullTrace)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FixpointProductTraced)
     ->DenseRange(1, 3)
     ->Unit(benchmark::kMillisecond);
 

@@ -3,6 +3,9 @@
 #include "analysis/Analyzer.h"
 
 #include "ir/WTO.h"
+#include "obs/Metrics.h"
+#include "obs/Provenance.h"
+#include "obs/Trace.h"
 #include "support/QueryCache.h"
 
 #include <queue>
@@ -117,6 +120,10 @@ Conjunction Analyzer::transfer(const Action &Act, const Conjunction &In,
 }
 
 AnalysisResult Analyzer::run(const Program &P) const {
+  CAI_TRACE_SPAN_ARGS("analyzer.run", "analyzer",
+                      {"domain", Lattice.name()},
+                      {"nodes", std::to_string(P.numNodes())});
+  CAI_METRIC_TIME("analyzer.run_us");
   AnalysisResult Result;
   Result.Invariants.assign(P.numNodes(), Conjunction::bottom());
   if (P.numNodes() == 0)
@@ -154,6 +161,7 @@ AnalysisResult Analyzer::run(const Program &P) const {
   QueryCache<EdgeStateKey, Conjunction, EdgeStateHash> TransferCache;
   auto TransferCached = [&](size_t EdgeIdx, const Action &Act,
                             const Conjunction &In) {
+    CAI_TRACE_SPAN("edge.transfer", "transfer");
     ++Result.Stats.EdgeEvals;
     if (!Opts.Memoize)
       return transfer(Act, In, Result.Stats);
@@ -171,6 +179,12 @@ AnalysisResult Analyzer::run(const Program &P) const {
     Heap.pop();
     NodeId N = Wto.order()[Position];
     Queued[N] = false;
+    // One span per worklist step; component-head steps are the WTO
+    // component iterations the cost model cares about.
+    CAI_TRACE_SPAN_ARGS(Wto.isHead(N) ? "wto.component-iteration"
+                                      : "wto.node",
+                        "wto", {"node", std::to_string(N)},
+                        {"depth", std::to_string(Wto.depth(N))});
     const Conjunction &State = Result.Invariants[N];
 
     for (size_t EdgeIdx : Succs[N]) {
@@ -191,10 +205,18 @@ AnalysisResult Analyzer::run(const Program &P) const {
         continue;
       } else if (Wto.isHead(E.To) && Updates[E.To] >= Opts.WideningDelay) {
         ++Result.Stats.Widenings;
+        CAI_TRACE_SPAN("lattice.widen", "lattice");
+        obs::ProvenanceScope PS(E.To, Updates[E.To] + 1,
+                                obs::ProvenanceRecorder::Step::Widen);
         Next = Lattice.widenCached(Target, Out);
+        obs::diffStep(Lattice, Target, &Out, Next);
       } else {
         ++Result.Stats.Joins;
+        CAI_TRACE_SPAN("lattice.join", "lattice");
+        obs::ProvenanceScope PS(E.To, Updates[E.To] + 1,
+                                obs::ProvenanceRecorder::Step::Join);
         Next = Lattice.joinCached(Target, Out);
+        obs::diffStep(Lattice, Target, &Out, Next);
       }
 
       // Convergence check: cheap syntactic equality first, then mutual
@@ -226,6 +248,8 @@ AnalysisResult Analyzer::run(const Program &P) const {
   // operands over-approximate the concrete states at the node, so the meet
   // does too; this recovers constraints the widening threw away.
   for (unsigned Pass = 0; Pass < Opts.NarrowingPasses; ++Pass) {
+    CAI_TRACE_SPAN_ARGS("analyzer.narrowing-pass", "analyzer",
+                        {"pass", std::to_string(Pass)});
     std::vector<Conjunction> Inputs(P.numNodes(), Conjunction::bottom());
     Inputs[P.entry()] = Conjunction::top();
     for (size_t EdgeIdx = 0; EdgeIdx < P.edges().size(); ++EdgeIdx) {
@@ -253,13 +277,16 @@ AnalysisResult Analyzer::run(const Program &P) const {
       break;
   }
 
-  for (const Assertion &A : P.assertions()) {
-    AssertionVerdict V;
-    V.Label = A.Label;
-    const Conjunction &Inv = Result.Invariants[A.Node];
-    V.Verified = Inv.isBottom() || Lattice.entailsCached(Inv, A.Fact);
-    ++Result.Stats.EntailmentChecks;
-    Result.Assertions.push_back(std::move(V));
+  {
+    CAI_TRACE_SPAN("analyzer.check-assertions", "analyzer");
+    for (const Assertion &A : P.assertions()) {
+      AssertionVerdict V;
+      V.Label = A.Label;
+      const Conjunction &Inv = Result.Invariants[A.Node];
+      V.Verified = Inv.isBottom() || Lattice.entailsCached(Inv, A.Fact);
+      ++Result.Stats.EntailmentChecks;
+      Result.Assertions.push_back(std::move(V));
+    }
   }
 
   LatticeStats Delta = Lattice.statsSnapshot() - StatsBefore;
@@ -267,5 +294,27 @@ AnalysisResult Analyzer::run(const Program &P) const {
   Result.Stats.CacheMisses = Delta.CacheMisses;
   Result.Stats.SaturationRounds = Delta.SaturationRounds;
   Result.Stats.TransferCacheHits = TransferCache.counters().Hits;
+
+  // Publish the run's counters into the global metrics registry -- the
+  // machine-readable export every driver (--metrics-out, the benches, the
+  // CI gate) reads.  AnalyzerStats stays the per-run snapshot API.
+  CAI_METRIC_INC("analyzer.runs");
+  CAI_METRIC_ADD("analyzer.joins", Result.Stats.Joins);
+  CAI_METRIC_ADD("analyzer.widenings", Result.Stats.Widenings);
+  CAI_METRIC_ADD("analyzer.transfers", Result.Stats.Transfers);
+  CAI_METRIC_ADD("analyzer.edge_evals", Result.Stats.EdgeEvals);
+  CAI_METRIC_ADD("analyzer.entailment_checks", Result.Stats.EntailmentChecks);
+  CAI_METRIC_ADD("analyzer.node_updates", Result.Stats.TotalNodeUpdates);
+  CAI_METRIC_ADD("analyzer.transfer_cache.hits",
+                 Result.Stats.TransferCacheHits);
+  CAI_METRIC_ADD("lattice.cache.hits", Delta.CacheHits);
+  CAI_METRIC_ADD("lattice.cache.misses", Delta.CacheMisses);
+  CAI_METRIC_ADD("lattice.saturation_rounds", Delta.SaturationRounds);
+#ifndef CAI_DISABLE_OBS
+  obs::MetricsRegistry::global().gauge("analyzer.wto_components")
+      .set(Result.Stats.WtoComponents);
+  obs::MetricsRegistry::global().gauge("analyzer.max_node_updates")
+      .set(Result.Stats.MaxNodeUpdates);
+#endif
   return Result;
 }

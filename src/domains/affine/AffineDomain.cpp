@@ -2,6 +2,9 @@
 
 #include "domains/affine/AffineDomain.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 using namespace cai;
 
 void AffineDomain::Env::add(Term T) {
@@ -86,6 +89,8 @@ Conjunction AffineDomain::fromSystem(const AffineSystem<Rational> &S,
 
 Conjunction AffineDomain::join(const Conjunction &A,
                                const Conjunction &B) const {
+  CAI_TRACE_SPAN("affine.join", "domain");
+  CAI_METRIC_INC("domain.affine.joins");
   if (A.isBottom() || isUnsat(A))
     return B;
   if (B.isBottom() || isUnsat(B))

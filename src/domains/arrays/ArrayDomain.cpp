@@ -2,6 +2,9 @@
 
 #include "domains/arrays/ArrayDomain.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include "domains/uf/UFJoin.h"
 
 #include <algorithm>
@@ -57,6 +60,8 @@ CongruenceClosure ArrayDomain::closureOf(const Conjunction &E) const {
 
 Conjunction ArrayDomain::join(const Conjunction &A,
                               const Conjunction &B) const {
+  CAI_TRACE_SPAN("arrays.join", "domain");
+  CAI_METRIC_INC("domain.arrays.joins");
   if (A.isBottom())
     return B;
   if (B.isBottom())

@@ -2,6 +2,9 @@
 
 #include "domains/lists/ListDomain.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include "domains/uf/UFJoin.h"
 
 #include <algorithm>
@@ -60,6 +63,8 @@ CongruenceClosure ListDomain::closureOf(const Conjunction &E) const {
 }
 
 Conjunction ListDomain::join(const Conjunction &A, const Conjunction &B) const {
+  CAI_TRACE_SPAN("lists.join", "domain");
+  CAI_METRIC_INC("domain.lists.joins");
   if (A.isBottom())
     return B;
   if (B.isBottom())

@@ -2,6 +2,9 @@
 
 #include "domains/parity/ParityDomain.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 using namespace cai;
 
 void ParityDomain::Env::add(Term T) {
@@ -144,6 +147,8 @@ Conjunction ParityDomain::fromState(const State &S, const Env &Env) const {
 
 Conjunction ParityDomain::join(const Conjunction &A,
                                const Conjunction &B) const {
+  CAI_TRACE_SPAN("parity.join", "domain");
+  CAI_METRIC_INC("domain.parity.joins");
   if (A.isBottom() || isUnsat(A))
     return B;
   if (B.isBottom() || isUnsat(B))

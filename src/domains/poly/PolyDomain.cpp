@@ -2,6 +2,9 @@
 
 #include "domains/poly/PolyDomain.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include "linalg/AffineSystem.h"
 
 using namespace cai;
@@ -144,6 +147,8 @@ Conjunction PolyDomain::fromPoly(const Polyhedron &P, const Env &Env) const {
 }
 
 Conjunction PolyDomain::join(const Conjunction &A, const Conjunction &B) const {
+  CAI_TRACE_SPAN("poly.join", "domain");
+  CAI_METRIC_INC("domain.poly.joins");
   if (A.isBottom() || isUnsat(A))
     return B;
   if (B.isBottom() || isUnsat(B))
@@ -309,6 +314,8 @@ PolyDomain::alternateBatch(const Conjunction &E,
 
 Conjunction PolyDomain::widen(const Conjunction &Old,
                               const Conjunction &New) const {
+  CAI_TRACE_SPAN("poly.widen", "domain");
+  CAI_METRIC_INC("domain.poly.widenings");
   if (Old.isBottom())
     return New;
   if (New.isBottom())

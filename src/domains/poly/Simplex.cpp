@@ -12,6 +12,9 @@
 
 #include "domains/poly/Simplex.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <cassert>
 
 using namespace cai;
@@ -134,6 +137,7 @@ public:
       }
       if (Leave == rows())
         return false; // Unbounded.
+      CAI_METRIC_INC("simplex.pivots");
       pivot(Leave, Enter);
     }
   }
@@ -211,6 +215,9 @@ LPResult cai::maximize(const std::vector<LinearConstraint> &Constraints,
                        const std::vector<Rational> &Objective,
                        size_t NumVars) {
   assert(Objective.size() == NumVars && "objective dimension mismatch");
+  CAI_TRACE_SPAN("simplex.maximize", "simplex");
+  CAI_METRIC_INC("simplex.solves");
+  CAI_METRIC_TIME("simplex.solve_us");
 
   // Unconstrained: any nonzero objective is unbounded.
   if (Constraints.empty()) {

@@ -2,6 +2,9 @@
 
 #include "domains/sign/SignDomain.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 using namespace cai;
 
 std::optional<Atom> SignDomain::lowerAtom(const Atom &A) const {
@@ -48,6 +51,8 @@ Conjunction SignDomain::raise(const Conjunction &P) const {
 
 Conjunction SignDomain::join(const Conjunction &A,
                              const Conjunction &B) const {
+  CAI_TRACE_SPAN("sign.join", "domain");
+  CAI_METRIC_INC("domain.sign.joins");
   if (A.isBottom() || isUnsat(A))
     return B;
   if (B.isBottom() || isUnsat(B))

@@ -2,6 +2,9 @@
 
 #include "domains/uf/CongruenceClosure.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <map>
 
 using namespace cai;
@@ -93,6 +96,9 @@ void CongruenceClosure::propagate() {
   // identical (symbol, class-of-args) signatures.  Quadratic in the worst
   // case but the E-graphs in this library are small; correctness and
   // determinism matter more here than asymptotics.
+  CAI_TRACE_SPAN("cc.propagate", "uf");
+  CAI_METRIC_INC("congruence_closure.propagations");
+  CAI_METRIC_TIME("congruence_closure.propagate_us");
   bool Changed = true;
   std::unordered_map<NodeSig, unsigned, NodeSigHash> SigTable;
   while (Changed) {

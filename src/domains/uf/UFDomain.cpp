@@ -2,6 +2,9 @@
 
 #include "domains/uf/UFDomain.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include "domains/uf/CongruenceClosure.h"
 #include "domains/uf/UFJoin.h"
 
@@ -10,6 +13,8 @@
 using namespace cai;
 
 Conjunction UFDomain::join(const Conjunction &A, const Conjunction &B) const {
+  CAI_TRACE_SPAN("uf.join", "domain");
+  CAI_METRIC_INC("domain.uf.joins");
   if (A.isBottom())
     return B;
   if (B.isBottom())

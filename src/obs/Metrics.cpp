@@ -1,0 +1,152 @@
+//===- obs/Metrics.cpp - Hierarchical metrics registry ---------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace cai;
+using namespace cai::obs;
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *R = new MetricsRegistry(); // Leaked; see header.
+  return *R;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::counterValues() const {
+  std::map<std::string, uint64_t> Out;
+  for (const auto &[Name, C] : Counters)
+    Out.emplace(Name, C.value());
+  return Out;
+}
+
+void MetricsRegistry::reset() {
+  for (auto &[Name, C] : Counters)
+    C = Counter();
+  for (auto &[Name, G] : Gauges)
+    G = Gauge();
+  for (auto &[Name, H] : Histograms)
+    H = Histogram();
+}
+
+namespace {
+
+void writeEscaped(std::ostream &OS, const std::string &S) {
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\')
+      OS << '\\';
+    OS << Ch;
+  }
+}
+
+/// A flattened metric ready for nesting: path segments plus a rendered
+/// JSON value.
+struct Flat {
+  std::vector<std::string> Path;
+  std::string Json;
+};
+
+std::vector<std::string> splitDots(const std::string &Name) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (true) {
+    size_t Dot = Name.find('.', Pos);
+    if (Dot == std::string::npos) {
+      Out.push_back(Name.substr(Pos));
+      return Out;
+    }
+    Out.push_back(Name.substr(Pos, Dot - Pos));
+    Pos = Dot + 1;
+  }
+}
+
+/// Emits the [Begin, End) range of sorted flattened metrics as nested JSON
+/// objects, recursing on the path segment at \p Level.
+void writeNested(std::ostream &OS, const std::vector<Flat> &Flats,
+                 size_t Begin, size_t End, size_t Level) {
+  OS << "{";
+  bool First = true;
+  size_t I = Begin;
+  while (I < End) {
+    const std::string &Seg = Flats[I].Path[Level];
+    size_t J = I;
+    while (J < End && Flats[J].Path.size() > Level &&
+           Flats[J].Path[Level] == Seg)
+      ++J;
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"";
+    writeEscaped(OS, Seg);
+    OS << "\":";
+    if (J == I + 1 && Flats[I].Path.size() == Level + 1) {
+      OS << Flats[I].Json;
+    } else {
+      // All entries in [I, J) share the segment; leaves whose path ends
+      // here would collide with the subtree, so the flattener suffixes
+      // them (see below) -- recurse unconditionally.
+      writeNested(OS, Flats, I, J, Level + 1);
+    }
+    I = J;
+  }
+  OS << "}";
+}
+
+std::string renderDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+void MetricsRegistry::writeJson(std::ostream &OS) const {
+  std::vector<Flat> Flats;
+  auto Add = [&](const std::string &Name, std::string Json) {
+    Flats.push_back({splitDots(Name), std::move(Json)});
+  };
+  for (const auto &[Name, C] : Counters)
+    Add(Name, std::to_string(C.value()));
+  for (const auto &[Name, G] : Gauges)
+    Add(Name, renderDouble(G.value()));
+  for (const auto &[Name, H] : Histograms) {
+    std::string J = "{\"count\":" + std::to_string(H.count()) +
+                    ",\"sum_us\":" + renderDouble(H.sum()) +
+                    ",\"min_us\":" + renderDouble(H.min()) +
+                    ",\"max_us\":" + renderDouble(H.max()) +
+                    ",\"mean_us\":" + renderDouble(H.mean()) + "}";
+    Add(Name, std::move(J));
+  }
+  // Sort by path; a leaf that is also an interior node ("a.b" next to
+  // "a.b.c") would produce a duplicate key, so suffix the leaf segment.
+  std::sort(Flats.begin(), Flats.end(),
+            [](const Flat &A, const Flat &B) { return A.Path < B.Path; });
+  for (size_t I = 0; I + 1 < Flats.size(); ++I) {
+    const auto &P = Flats[I].Path, &Q = Flats[I + 1].Path;
+    if (P.size() < Q.size() &&
+        std::equal(P.begin(), P.end(), Q.begin()))
+      Flats[I].Path.back() += "$value";
+  }
+  std::sort(Flats.begin(), Flats.end(),
+            [](const Flat &A, const Flat &B) { return A.Path < B.Path; });
+  writeNested(OS, Flats, 0, Flats.size(), 0);
+  OS << "\n";
+}
+
+void MetricsRegistry::writeText(std::ostream &OS,
+                                const std::string &Prefix) const {
+  // std::map iteration is sorted, so the output is deterministic across
+  // runs by construction.
+  for (const auto &[Name, C] : Counters)
+    if (Name.rfind(Prefix, 0) == 0)
+      OS << Name << " = " << C.value() << "\n";
+  for (const auto &[Name, G] : Gauges)
+    if (Name.rfind(Prefix, 0) == 0)
+      OS << Name << " = " << renderDouble(G.value()) << "\n";
+  for (const auto &[Name, H] : Histograms)
+    if (Name.rfind(Prefix, 0) == 0)
+      OS << Name << " = {count " << H.count() << ", mean "
+         << renderDouble(H.mean()) << "us, max " << renderDouble(H.max())
+         << "us}\n";
+}

@@ -1,0 +1,181 @@
+//===- obs/Metrics.h - Hierarchical metrics registry -------------*- C++ -*-===//
+///
+/// \file
+/// A process-wide registry of named counters, gauges, and time histograms
+/// -- the single export point for every statistic the analyzer, the
+/// product combinators, the decision procedures and the caches produce.
+/// Names are dotted paths ("simplex.solves", "analyzer.joins"); the JSON
+/// export nests on the dots and the text export emits one sorted
+/// "name = value" line per metric, so two identical runs print
+/// byte-identical output (the --stats determinism test relies on this).
+///
+/// Hot-path discipline: a counter increment is one pointer-stable
+/// reference obtained once (function-local static at the probe site) plus
+/// a 64-bit add -- no lookup, no lock (one analysis per thread, same
+/// contract as QueryCache).  Time histograms cost a clock read per sample
+/// and are therefore gated behind enableTiming(), which cai-analyze turns
+/// on with --metrics-out.  -DCAI_DISABLE_OBS compiles the probe macros out
+/// entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_OBS_METRICS_H
+#define CAI_OBS_METRICS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace cai {
+namespace obs {
+
+/// A monotonically increasing 64-bit counter.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V += N; }
+  uint64_t value() const { return V; }
+
+private:
+  uint64_t V = 0;
+};
+
+/// A last-value-wins metric (e.g. "wto.components" of the latest run).
+class Gauge {
+public:
+  void set(double X) { V = X; }
+  double value() const { return V; }
+
+private:
+  double V = 0;
+};
+
+/// A time histogram over exponential (power-of-two microsecond) buckets,
+/// plus count/sum/min/max.  Bucket I counts samples in [2^I, 2^(I+1)) us,
+/// bucket 0 includes everything below 1 us.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 32;
+
+  void record(double Us) {
+    ++Count;
+    Sum += Us;
+    if (Count == 1 || Us < MinV)
+      MinV = Us;
+    if (Count == 1 || Us > MaxV)
+      MaxV = Us;
+    unsigned B = 0;
+    while (B + 1 < NumBuckets && Us >= static_cast<double>(1ull << (B + 1)))
+      ++B;
+    ++Buckets[B];
+  }
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double min() const { return MinV; }
+  double max() const { return MaxV; }
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+  uint64_t bucket(unsigned I) const { return Buckets[I]; }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0, MinV = 0, MaxV = 0;
+  uint64_t Buckets[NumBuckets] = {};
+};
+
+/// The registry.  References returned by counter()/gauge()/histogram() are
+/// stable for the process lifetime (backed by std::map nodes on a leaked
+/// singleton), which is what lets probe sites cache them in local statics.
+class MetricsRegistry {
+public:
+  /// The process-wide registry (never destroyed, so probe sites cached in
+  /// static locals stay valid during shutdown).
+  static MetricsRegistry &global();
+
+  Counter &counter(const std::string &Name) { return Counters[Name]; }
+  Gauge &gauge(const std::string &Name) { return Gauges[Name]; }
+  Histogram &histogram(const std::string &Name) { return Histograms[Name]; }
+
+  /// Whether ScopedTimer samples are recorded (clock reads cost ~20ns
+  /// each; off by default).
+  bool timingEnabled() const { return Timing; }
+  void enableTiming(bool On = true) { Timing = On; }
+
+  /// Snapshot of every counter value, for before/after deltas in tests.
+  std::map<std::string, uint64_t> counterValues() const;
+
+  /// Hierarchical JSON: dotted names become nested objects, sorted keys.
+  void writeJson(std::ostream &OS) const;
+
+  /// One sorted "name = value" line per metric (the --stats backend).
+  void writeText(std::ostream &OS, const std::string &Prefix = "") const;
+
+  /// Zeroes every metric (counters keep their registration).  Tests only;
+  /// probe-site references remain valid.
+  void reset();
+
+private:
+  bool Timing = false;
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+/// RAII timer recording its scope's duration (microseconds) into a
+/// histogram when timing is enabled.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram &H)
+      : H(MetricsRegistry::global().timingEnabled() ? &H : nullptr) {
+    if (this->H)
+      Start = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (H)
+      H->record(std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count());
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  Histogram *H;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace obs
+} // namespace cai
+
+#ifdef CAI_DISABLE_OBS
+#define CAI_METRIC_INC(Name)
+#define CAI_METRIC_ADD(Name, N)
+#define CAI_METRIC_TIME(Name)
+#else
+#ifndef CAI_OBS_CONCAT
+#define CAI_OBS_CONCAT_(A, B) A##B
+#define CAI_OBS_CONCAT(A, B) CAI_OBS_CONCAT_(A, B)
+#endif
+/// Bumps the named counter; the registry lookup happens once per site.
+#define CAI_METRIC_INC(Name)                                                   \
+  do {                                                                         \
+    static ::cai::obs::Counter &CaiC =                                         \
+        ::cai::obs::MetricsRegistry::global().counter(Name);                   \
+    CaiC.inc();                                                                \
+  } while (0)
+#define CAI_METRIC_ADD(Name, N)                                                \
+  do {                                                                         \
+    static ::cai::obs::Counter &CaiC =                                         \
+        ::cai::obs::MetricsRegistry::global().counter(Name);                   \
+    CaiC.inc(static_cast<uint64_t>(N));                                        \
+  } while (0)
+/// Times the rest of the enclosing scope into the named histogram.
+#define CAI_METRIC_TIME(Name)                                                  \
+  static ::cai::obs::Histogram &CAI_OBS_CONCAT(CaiH_, __LINE__) =              \
+      ::cai::obs::MetricsRegistry::global().histogram(Name);                   \
+  ::cai::obs::ScopedTimer CAI_OBS_CONCAT(CaiTimer_, __LINE__)(                 \
+      CAI_OBS_CONCAT(CaiH_, __LINE__))
+#endif
+
+#endif // CAI_OBS_METRICS_H

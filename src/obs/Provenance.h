@@ -1,0 +1,128 @@
+//===- obs/Provenance.h - Precision-loss provenance --------------*- C++ -*-===//
+///
+/// \file
+/// Records, per program point, which lattice step (join, widening,
+/// narrowing meet, a component join/widening inside a product, or the
+/// dummy-variable quantification of Figure 6 line 10) discarded each
+/// conjunct, and which component domain of the product was responsible.
+/// `cai-analyze --explain` replays this record for a failed assertion: the
+/// answer to "why did the product not verify this?" is the exact step
+/// where the needed fact died.
+///
+/// The recorder is installed process-wide like the tracer (null when off,
+/// one branch per probe site).  The fixpoint engine stamps a context
+/// (node, update ordinal, step kind) before each lattice step; the product
+/// combinators, running inside that step, attach component-level detail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_OBS_PROVENANCE_H
+#define CAI_OBS_PROVENANCE_H
+
+#include "term/Conjunction.h"
+
+#include <string>
+#include <vector>
+
+namespace cai {
+
+class LogicalLattice;
+
+namespace obs {
+
+/// Records precision-loss events for one analysis run.
+class ProvenanceRecorder {
+public:
+  /// The lattice step that discarded a conjunct.
+  enum class Step : uint8_t {
+    Join,           ///< Confluence join at a node.
+    Widen,          ///< Widening at a WTO component head.
+    Narrow,         ///< Narrowing meet (rare: meets only refine).
+    ComponentJoin,  ///< A component domain's join inside a product combine.
+    ComponentWiden, ///< A component domain's widening inside a product.
+    Quantification, ///< Dummy elimination (Figure 6 line 10) lost the fact.
+  };
+
+  /// Program-point context the fixpoint engine stamps around each step.
+  struct Context {
+    unsigned Node = 0;   ///< CFG node whose state the step updates.
+    unsigned Update = 0; ///< Update ordinal of that node (1-based).
+    Step Kind = Step::Join;
+    bool Valid = false;
+  };
+
+  /// One discarded conjunct.
+  struct LossEvent {
+    Step Kind;
+    unsigned Node;
+    unsigned Update;
+    Atom Lost;
+    std::string Domain; ///< Responsible (innermost) component domain.
+    unsigned SaturationRounds; ///< Nelson-Oppen rounds inside the step.
+  };
+
+  static ProvenanceRecorder *active() { return Active; }
+  /// Installs \p R process-wide (nullptr disables recording); the caller
+  /// keeps ownership.
+  static void install(ProvenanceRecorder *R) { Active = R; }
+
+  void setContext(Context C) { Cur = C; }
+  void clearContext() { Cur = Context(); }
+  const Context &context() const { return Cur; }
+
+  void record(LossEvent E) { Events.push_back(std::move(E)); }
+
+  /// True if a loss of \p A at the current context was already recorded
+  /// (the product combinator records before the engine's generic diff).
+  bool recorded(const Atom &A) const;
+
+  const std::vector<LossEvent> &events() const { return Events; }
+  void clear() { Events.clear(); }
+
+  static const char *stepName(Step S);
+
+  /// One human-readable line per event.
+  std::string describe(const TermContext &Ctx, const LossEvent &E) const;
+
+  /// Renders every loss relevant to \p Fact (sharing a variable with it),
+  /// most relevant node (\p Node) first; falls back to the full record
+  /// when nothing matches.  Returns "" when the record is empty.
+  std::string explain(const TermContext &Ctx, unsigned Node,
+                      const Atom &Fact) const;
+
+private:
+  Context Cur;
+  std::vector<LossEvent> Events;
+  static ProvenanceRecorder *Active;
+};
+
+/// RAII context stamp for one engine-level lattice step.
+class ProvenanceScope {
+public:
+  ProvenanceScope(unsigned Node, unsigned Update, ProvenanceRecorder::Step S)
+      : R(ProvenanceRecorder::active()) {
+    if (R)
+      R->setContext({Node, Update, S, true});
+  }
+  ~ProvenanceScope() {
+    if (R)
+      R->clearContext();
+  }
+  ProvenanceScope(const ProvenanceScope &) = delete;
+  ProvenanceScope &operator=(const ProvenanceScope &) = delete;
+
+private:
+  ProvenanceRecorder *R;
+};
+
+/// Diffs one lattice step: every atom of \p Before (and \p Incoming, when
+/// non-null) no longer entailed by \p After is recorded against the
+/// current context, attributed with LogicalLattice::attributeAtom.  Called
+/// by the fixpoint engine when a recorder is active.
+void diffStep(const LogicalLattice &L, const Conjunction &Before,
+              const Conjunction *Incoming, const Conjunction &After);
+
+} // namespace obs
+} // namespace cai
+
+#endif // CAI_OBS_PROVENANCE_H

@@ -1,0 +1,95 @@
+//===- obs/Trace.cpp - Scoped event tracing --------------------------------===//
+
+#include "obs/Trace.h"
+
+using namespace cai;
+using namespace cai::obs;
+
+Tracer *Tracer::Active = nullptr;
+
+namespace {
+
+/// Escapes a string for a JSON string literal.
+void writeEscaped(std::ostream &OS, const char *S) {
+  for (; *S; ++S) {
+    unsigned char C = static_cast<unsigned char>(*S);
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << static_cast<char>(C);
+      }
+    }
+  }
+}
+
+} // namespace
+
+void Tracer::writeJson(std::ostream &OS) const {
+  // The begin events whose matching end has not been recorded yet; they
+  // are closed at MaxTs below so partial traces still load.
+  unsigned Open = 0;
+  uint64_t MaxTs = 0;
+  OS << "{\"traceEvents\":[";
+  bool First = true;
+  for (const Event &E : Events) {
+    if (!First)
+      OS << ",";
+    First = false;
+    MaxTs = E.TsUs > MaxTs ? E.TsUs : MaxTs;
+    OS << "{\"ph\":\"" << E.Ph << "\",\"pid\":1,\"tid\":1,\"ts\":" << E.TsUs;
+    if (E.Ph == 'E') {
+      if (Open)
+        --Open;
+      OS << "}";
+      continue;
+    }
+    if (E.Ph == 'B')
+      ++Open;
+    OS << ",\"name\":\"";
+    writeEscaped(OS, E.Name);
+    OS << "\",\"cat\":\"";
+    writeEscaped(OS, E.Cat ? E.Cat : "cai");
+    OS << "\"";
+    if (E.Ph == 'i')
+      OS << ",\"s\":\"t\"";
+    if (E.Ph == 'C') {
+      OS << ",\"args\":{\"value\":" << E.Value << "}";
+    } else if (!E.Args.empty()) {
+      OS << ",\"args\":{";
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        if (I)
+          OS << ",";
+        OS << "\"";
+        writeEscaped(OS, E.Args[I].Key);
+        OS << "\":\"";
+        writeEscaped(OS, E.Args[I].Value.c_str());
+        OS << "\"";
+      }
+      OS << "}";
+    }
+    OS << "}";
+  }
+  for (; Open > 0; --Open) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":" << MaxTs << "}";
+  }
+  OS << "],\"displayTimeUnit\":\"ms\"}\n";
+}

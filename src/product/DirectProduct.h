@@ -53,6 +53,10 @@ public:
   const LogicalLattice &first() const { return L1; }
   const LogicalLattice &second() const { return L2; }
 
+  std::string attributeAtom(const Atom &A) const override {
+    return attributeProductAtom(context(), L1, L2, A, name());
+  }
+
   void setMemoization(bool Enabled) const override {
     LogicalLattice::setMemoization(Enabled);
     L1.setMemoization(Enabled);

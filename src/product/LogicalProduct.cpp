@@ -2,6 +2,10 @@
 
 #include "product/LogicalProduct.h"
 
+#include "obs/Metrics.h"
+#include "obs/Provenance.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <set>
 
@@ -54,8 +58,12 @@ std::shared_ptr<const LogicalProduct::SatEntry>
 LogicalProduct::purifySaturate(const Conjunction &E, bool AllowCache) const {
   assert(!E.isBottom() && "purifySaturate on bottom");
   if (AllowCache && memoizationEnabled())
-    if (const auto *Hit = SatCache.lookup(E))
+    if (const auto *Hit = SatCache.lookup(E)) {
+      CAI_METRIC_INC("product.purify_saturate.cache_hits");
       return *Hit;
+    }
+  CAI_TRACE_SPAN("product.purify-saturate", "product");
+  CAI_METRIC_INC("product.purify_saturate.misses");
   TermContext &Ctx = context();
   auto Entry = std::make_shared<SatEntry>(Ctx, L1, L2);
   for (const Atom &A : E.atoms()) {
@@ -75,6 +83,7 @@ LogicalProduct::purifySaturate(const Conjunction &E, bool AllowCache) const {
 
 Conjunction LogicalProduct::combine(const Conjunction &A, const Conjunction &B,
                                     bool UseWiden) const {
+  CAI_TRACE_SPAN(UseWiden ? "product.widen" : "product.join", "product");
   TermContext &Ctx = context();
   if (A.isBottom() || isUnsatCached(A))
     return B;
@@ -154,7 +163,72 @@ Conjunction LogicalProduct::combine(const Conjunction &A, const Conjunction &B,
   // materializes mixed facts such as u = F(v + 1).
   if (!DummyVars.empty())
     E = existQuant(E, DummyVars);
-  return E.simplified(Ctx);
+  Conjunction Result = E.simplified(Ctx);
+
+  // Precision provenance: attribute each input conjunct the combine lost
+  // to the component step that dropped it.  Runs only under --explain.
+  if (obs::ProvenanceRecorder::active())
+    recordCombineLosses(A, *EL, B, *ER, E1, E2, Result, UseWiden);
+  return Result;
+}
+
+/// For every atom of an input side no longer entailed by \p Result,
+/// records whether the owning component's join/widening dropped its pure
+/// form (blaming that component domain) or the component kept it and the
+/// dummy-elimination quantification lost it on the way back.
+void LogicalProduct::recordCombineLosses(const Conjunction &A,
+                                         const SatEntry &EL,
+                                         const Conjunction &B,
+                                         const SatEntry &ER,
+                                         const Conjunction &E1,
+                                         const Conjunction &E2,
+                                         const Conjunction &Result,
+                                         bool UseWiden) const {
+  obs::ProvenanceRecorder *R = obs::ProvenanceRecorder::active();
+  if (!R || !R->context().Valid)
+    return;
+  using Step = obs::ProvenanceRecorder::Step;
+  unsigned Rounds = EL.Sat.Rounds + ER.Sat.Rounds;
+  auto CheckSide = [&](const Conjunction &Input, const SatEntry &Entry) {
+    for (const Atom &At : Input.atoms()) {
+      if (At.isTrivial(context()) || R->recorded(At) ||
+          (!Result.isBottom() && entailsCached(Result, At)))
+        continue;
+      // Re-purify the lost atom with the same alien naming as this side's
+      // saturated conjunctions, so the component results can be queried.
+      Purifier P = Entry.Pur;
+      auto [Side, Pure] = P.purifyAtom(At);
+      obs::ProvenanceRecorder::LossEvent Ev;
+      Ev.Kind = UseWiden ? Step::ComponentWiden : Step::ComponentJoin;
+      Ev.Node = R->context().Node;
+      Ev.Update = R->context().Update;
+      Ev.Lost = At;
+      Ev.SaturationRounds = Rounds;
+      bool Lost1 = (Side == Purifier::Side::One ||
+                    Side == Purifier::Side::Both) &&
+                   !L1.entailsCached(E1, Pure);
+      bool Lost2 = (Side == Purifier::Side::Two ||
+                    Side == Purifier::Side::Both) &&
+                   !L2.entailsCached(E2, Pure);
+      if (Lost1 && !Lost2)
+        Ev.Domain = L1.attributeAtom(Pure);
+      else if (Lost2 && !Lost1)
+        Ev.Domain = L2.attributeAtom(Pure);
+      else if (Lost1 && Lost2)
+        Ev.Domain = name();
+      else if (Side == Purifier::Side::Dropped) {
+        Ev.Domain = name();
+      } else {
+        // Both component results still entail the pure form; the loss
+        // happened rebuilding the mixed fact (Figure 6 line 10).
+        Ev.Kind = Step::Quantification;
+        Ev.Domain = name();
+      }
+      R->record(std::move(Ev));
+    }
+  };
+  CheckSide(A, EL);
+  CheckSide(B, ER);
 }
 
 Conjunction LogicalProduct::join(const Conjunction &A,
@@ -210,6 +284,7 @@ Conjunction LogicalProduct::backSubstitute(
 
 Conjunction LogicalProduct::existQuant(const Conjunction &E,
                                        const std::vector<Term> &Vars) const {
+  CAI_TRACE_SPAN("product.exist-quant", "product");
   TermContext &Ctx = context();
   if (E.isBottom())
     return E;

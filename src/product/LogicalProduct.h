@@ -114,6 +114,10 @@ public:
     L2.setMemoization(Enabled);
   }
 
+  std::string attributeAtom(const Atom &A) const override {
+    return attributeProductAtom(context(), L1, L2, A, name());
+  }
+
   void collectStats(LatticeStats &S) const override {
     LogicalLattice::collectStats(S);
     S.SaturationRounds += SatRounds;
@@ -150,6 +154,14 @@ private:
   /// the join algorithm with component widenings).
   Conjunction combine(const Conjunction &A, const Conjunction &B,
                       bool UseWiden) const;
+
+  /// Precision provenance for one combine (active only under --explain):
+  /// attributes every input conjunct lost in \p Result to the component
+  /// join/widening that dropped it, or to the dummy elimination.
+  void recordCombineLosses(const Conjunction &A, const SatEntry &EL,
+                           const Conjunction &B, const SatEntry &ER,
+                           const Conjunction &E1, const Conjunction &E2,
+                           const Conjunction &Result, bool UseWiden) const;
 
   /// Applies the accumulated definitions in reverse removal order so
   /// chained definitions resolve (Section 4.2).

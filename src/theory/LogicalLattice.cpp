@@ -171,3 +171,53 @@ bool LogicalLattice::equivalent(const Conjunction &A,
                                 const Conjunction &B) const {
   return entailsAll(A, B) && entailsAll(B, A);
 }
+
+namespace {
+
+/// Counts the symbols of \p T that \p L's theory owns (numerals and
+/// arithmetic applications count against ownsNumerals) alongside the total
+/// symbol count.  Variables are free in every theory and not counted.
+void tallyOwnership(const TermContext &Ctx, const LogicalLattice &L, Term T,
+                    unsigned &Owned, unsigned &Total) {
+  switch (T->kind()) {
+  case TermKind::Variable:
+    return;
+  case TermKind::Number:
+    ++Total;
+    Owned += L.ownsNumerals();
+    return;
+  case TermKind::App:
+    break;
+  }
+  ++Total;
+  Owned += Ctx.info(T->symbol()).Arithmetic ? L.ownsNumerals()
+                                            : L.ownsFunction(T->symbol());
+  for (Term Arg : T->args())
+    tallyOwnership(Ctx, L, Arg, Owned, Total);
+}
+
+} // namespace
+
+std::string cai::attributeProductAtom(const TermContext &Ctx,
+                                      const LogicalLattice &L1,
+                                      const LogicalLattice &L2, const Atom &A,
+                                      const std::string &SharedName) {
+  unsigned Total = 0, Owned1 = 0, Owned2 = 0;
+  if (!A.isEq(Ctx)) {
+    ++Total;
+    Owned1 += L1.ownsPredicate(A.predicate());
+    Owned2 += L2.ownsPredicate(A.predicate());
+  }
+  for (Term Arg : A.args()) {
+    unsigned Ignored = 0;
+    tallyOwnership(Ctx, L1, Arg, Owned1, Ignored);
+    tallyOwnership(Ctx, L2, Arg, Owned2, Total);
+  }
+  if (Total == 0)
+    return SharedName; // Pure variable equality: shared by every theory.
+  if (Owned1 == Total && Owned2 < Total)
+    return L1.attributeAtom(A);
+  if (Owned2 == Total && Owned1 < Total)
+    return L2.attributeAtom(A);
+  return SharedName;
+}

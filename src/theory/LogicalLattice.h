@@ -216,6 +216,15 @@ public:
   /// their components.
   virtual void collectStats(LatticeStats &S) const;
 
+  /// Name of the innermost component domain responsible for the atom \p A
+  /// -- the one whose theory owns A's predicate and function symbols.
+  /// Leaves return name(); products dispatch on symbol ownership and
+  /// recurse, answering name() for genuinely mixed or purely-shared
+  /// (equality-only) facts.  The precision-provenance recorder
+  /// (obs/Provenance.h) uses this to attribute a dropped conjunct to the
+  /// domain that failed to keep it.
+  virtual std::string attributeAtom(const Atom &) const { return name(); }
+
   /// Snapshot convenience for delta reporting.
   LatticeStats statsSnapshot() const {
     LatticeStats S;
@@ -242,6 +251,15 @@ private:
                      ConjunctionHash>
       VarEqCache;
 };
+
+/// Shared attributeAtom implementation for the product combinators: tallies
+/// which component theory owns the atom's predicate and function symbols
+/// and recurses into the sole owner, or returns \p SharedName for mixed
+/// facts and pure variable equalities (which belong to every theory).
+std::string attributeProductAtom(const TermContext &Ctx,
+                                 const LogicalLattice &L1,
+                                 const LogicalLattice &L2, const Atom &A,
+                                 const std::string &SharedName);
 
 } // namespace cai
 

@@ -2,6 +2,9 @@
 
 #include "theory/NelsonOppen.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <unordered_map>
 
 using namespace cai;
@@ -59,6 +62,9 @@ private:
 SaturationResult cai::noSaturate(TermContext &Ctx, const LogicalLattice &L1,
                                  const LogicalLattice &L2, Conjunction E1,
                                  Conjunction E2) {
+  CAI_TRACE_SPAN("no.saturate", "saturation");
+  CAI_METRIC_INC("nelson_oppen.saturations");
+  CAI_METRIC_TIME("nelson_oppen.saturate_us");
   SaturationResult Result;
   if (E1.isBottom() || E2.isBottom() || L1.isUnsatCached(E1) ||
       L2.isUnsatCached(E2)) {
@@ -75,6 +81,8 @@ SaturationResult cai::noSaturate(TermContext &Ctx, const LogicalLattice &L1,
   while (Changed) {
     Changed = false;
     ++Result.Rounds;
+    CAI_TRACE_SPAN("no.round", "saturation");
+    CAI_METRIC_INC("nelson_oppen.rounds");
 
     for (int SideIdx = 0; SideIdx < 2; ++SideIdx) {
       const LogicalLattice &Src = SideIdx == 0 ? L1 : L2;

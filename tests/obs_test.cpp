@@ -1,0 +1,417 @@
+//===- tests/obs_test.cpp - The observability layer ------------------------===//
+///
+/// \file
+/// Tests for obs/: the trace JSON artifact is structurally valid and its
+/// spans nest; the metrics registry agrees with the analyzer's own
+/// counters; tracing does not perturb analysis results; and the
+/// precision-provenance recorder pins a failed assertion to the exact
+/// lattice step that dropped the needed fact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Provenance.h"
+#include "obs/Trace.h"
+
+#include "analysis/Analyzer.h"
+#include "domains/affine/AffineDomain.h"
+#include "domains/poly/PolyDomain.h"
+#include "domains/uf/UFDomain.h"
+#include "ir/ProgramParser.h"
+#include "product/LogicalProduct.h"
+#include "term/Printer.h"
+
+#include "TestUtil.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+using namespace cai;
+
+namespace {
+
+/// A minimal recursive-descent JSON validator: accepts exactly the JSON
+/// grammar (objects, arrays, strings with escapes, numbers, true/false/
+/// null).  Enough to assert the trace artifact would load in a real
+/// viewer without depending on one.
+class JsonValidator {
+public:
+  explicit JsonValidator(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    return value() && (skipWs(), Pos == S.size());
+  }
+
+private:
+  bool value() {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}')
+      return ++Pos, true;
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return Pos < S.size() && S[Pos] == '}' ? (++Pos, true) : false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']')
+      return ++Pos, true;
+    while (true) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return Pos < S.size() && S[Pos] == ']' ? (++Pos, true) : false;
+    }
+  }
+
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    return Pos < S.size() ? (++Pos, true) : false;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && (std::isdigit(S[Pos]) || S[Pos] == '.' ||
+                              S[Pos] == 'e' || S[Pos] == 'E' ||
+                              S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (S.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+size_t countOccurrences(const std::string &Haystack, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t Pos = Haystack.find(Needle); Pos != std::string::npos;
+       Pos = Haystack.find(Needle, Pos + Needle.size()))
+    ++N;
+  return N;
+}
+
+class ObsTest : public ::testing::Test {
+protected:
+  Program parse(const std::string &Source) {
+    std::string Error;
+    std::optional<Program> P = parseProgram(Ctx, Source, &Error);
+    EXPECT_TRUE(P) << Error;
+    return P ? *P : Program();
+  }
+
+  ~ObsTest() override {
+    // Never leak a process-global installation into the next test.
+    obs::Tracer::install(nullptr);
+    obs::ProvenanceRecorder::install(nullptr);
+  }
+
+  /// A loop plus a branch: exercises joins, widening, transfers, and the
+  /// WTO component span.
+  static constexpr const char *LoopSource =
+      "x := 0; y := F(x);"
+      "while (x <= 20) { x := x + 1; }"
+      "if (*) { z := 1; } else { z := 2; }"
+      "assert(x = 21); assert(y = F(0));";
+
+  TermContext Ctx;
+  AffineDomain Affine{Ctx};
+  PolyDomain Poly{Ctx};
+  UFDomain UF{Ctx};
+  LogicalProduct Product{Ctx, Affine, UF, LogicalProduct::Mode::Logical};
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Trace artifact
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, TraceJsonIsWellFormedAndSpansNest) {
+  obs::Tracer Tracer;
+  obs::Tracer::install(&Tracer);
+  AnalysisResult R = Analyzer(Product).run(parse(LoopSource));
+  obs::Tracer::install(nullptr);
+
+  EXPECT_TRUE(R.Converged);
+  EXPECT_GT(Tracer.numEvents(), 10u);
+  // Every span opened by the run was closed by its RAII guard.
+  EXPECT_EQ(Tracer.depth(), 0u);
+
+  std::ostringstream OS;
+  Tracer.writeJson(OS);
+  std::string Json = OS.str();
+
+  EXPECT_TRUE(JsonValidator(Json).valid()) << Json.substr(0, 200);
+
+  // trace_event essentials a viewer needs.
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(Json.find("\"pid\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ts\""), std::string::npos);
+
+  // Balanced duration events: every "B" has its "E".
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"B\""),
+            countOccurrences(Json, "\"ph\":\"E\""));
+
+  // The spans the cost model cares about all fired, and nest under the
+  // run-level span (analyzer.run is first).
+  EXPECT_NE(Json.find("\"name\":\"analyzer.run\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"wto.component-iteration\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"edge.transfer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"product.join\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"no.saturate\""), std::string::npos);
+  size_t FirstB = Json.find("\"ph\":\"B\"");
+  size_t RunSpan = Json.find("\"name\":\"analyzer.run\"");
+  EXPECT_NE(FirstB, std::string::npos);
+  // analyzer.run is the outermost span: its B event is the first event.
+  EXPECT_LT(RunSpan, Json.find("\"ph\":\"B\"", FirstB + 1));
+}
+
+TEST_F(ObsTest, WriteJsonClosesUnfinishedSpans) {
+  obs::Tracer Tracer;
+  Tracer.begin("outer", "t");
+  Tracer.begin("inner", "t");
+  Tracer.end();
+  // "outer" still open: the writer must close it so the artifact loads.
+  std::ostringstream OS;
+  Tracer.writeJson(OS);
+  std::string Json = OS.str();
+  EXPECT_TRUE(JsonValidator(Json).valid());
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"B\""),
+            countOccurrences(Json, "\"ph\":\"E\""));
+}
+
+TEST_F(ObsTest, DiscardSinkBuffersNothing) {
+  obs::Tracer Tracer(obs::Tracer::Sink::Discard);
+  obs::Tracer::install(&Tracer);
+  Analyzer(Product).run(parse(LoopSource));
+  obs::Tracer::install(nullptr);
+  EXPECT_EQ(Tracer.numEvents(), 0u);
+  EXPECT_EQ(Tracer.depth(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, RegistryCountersMatchAnalyzerStats) {
+  // Early widening so the widening counter provably moves on this program.
+  AnalyzerOptions O;
+  O.WideningDelay = 1;
+  auto Before = obs::MetricsRegistry::global().counterValues();
+  AnalysisResult R = Analyzer(Product, O).run(parse(LoopSource));
+  auto After = obs::MetricsRegistry::global().counterValues();
+
+  auto Delta = [&](const std::string &Name) -> uint64_t {
+    auto B = Before.find(Name);
+    auto A = After.find(Name);
+    return (A == After.end() ? 0 : A->second) -
+           (B == Before.end() ? 0 : B->second);
+  };
+
+  EXPECT_EQ(Delta("analyzer.runs"), 1u);
+  EXPECT_EQ(Delta("analyzer.joins"), R.Stats.Joins);
+  EXPECT_EQ(Delta("analyzer.widenings"), R.Stats.Widenings);
+  EXPECT_EQ(Delta("analyzer.transfers"), R.Stats.Transfers);
+  EXPECT_EQ(Delta("analyzer.edge_evals"), R.Stats.EdgeEvals);
+  EXPECT_EQ(Delta("analyzer.entailment_checks"), R.Stats.EntailmentChecks);
+  EXPECT_EQ(Delta("analyzer.node_updates"), R.Stats.TotalNodeUpdates);
+  EXPECT_EQ(Delta("analyzer.transfer_cache.hits"), R.Stats.TransferCacheHits);
+  EXPECT_EQ(Delta("lattice.cache.hits"), R.Stats.CacheHits);
+  EXPECT_EQ(Delta("lattice.cache.misses"), R.Stats.CacheMisses);
+  EXPECT_EQ(Delta("lattice.saturation_rounds"), R.Stats.SaturationRounds);
+  // The engine exercised a loop, so the interesting counters moved.
+  EXPECT_GT(R.Stats.Joins, 0u);
+  EXPECT_GT(R.Stats.Widenings, 0u);
+}
+
+TEST_F(ObsTest, MetricsJsonIsWellFormed) {
+  // Touch a histogram and a gauge so every metric kind is exported.
+  obs::MetricsRegistry::global().histogram("obs_test.hist").record(3.5);
+  obs::MetricsRegistry::global().gauge("obs_test.gauge").set(2.5);
+  Analyzer(Product).run(parse(LoopSource));
+  std::ostringstream OS;
+  obs::MetricsRegistry::global().writeJson(OS);
+  EXPECT_TRUE(JsonValidator(OS.str()).valid()) << OS.str().substr(0, 200);
+}
+
+TEST_F(ObsTest, TextExportIsSortedAndRepeatable) {
+  Analyzer(Product).run(parse(LoopSource));
+  std::ostringstream A, B;
+  obs::MetricsRegistry::global().writeText(A);
+  obs::MetricsRegistry::global().writeText(B);
+  EXPECT_EQ(A.str(), B.str());
+  EXPECT_NE(A.str().find("analyzer.joins = "), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing does not perturb results
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, TracerOnOffResultsIdentical) {
+  Program P = parse(LoopSource);
+
+  AnalysisResult Plain = Analyzer(Product).run(P);
+
+  obs::Tracer Buffered;
+  obs::Tracer::install(&Buffered);
+  AnalysisResult Traced = Analyzer(Product).run(P);
+  obs::Tracer::install(nullptr);
+
+  obs::Tracer Null(obs::Tracer::Sink::Discard);
+  obs::Tracer::install(&Null);
+  AnalysisResult NullTraced = Analyzer(Product).run(P);
+  obs::Tracer::install(nullptr);
+
+  for (const AnalysisResult *R : {&Traced, &NullTraced}) {
+    ASSERT_EQ(R->Invariants.size(), Plain.Invariants.size());
+    for (size_t I = 0; I < Plain.Invariants.size(); ++I)
+      EXPECT_EQ(R->Invariants[I], Plain.Invariants[I]) << "node " << I;
+    ASSERT_EQ(R->Assertions.size(), Plain.Assertions.size());
+    for (size_t I = 0; I < Plain.Assertions.size(); ++I)
+      EXPECT_EQ(R->Assertions[I].Verified, Plain.Assertions[I].Verified);
+    EXPECT_EQ(R->Converged, Plain.Converged);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Precision provenance
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, ExplainNamesTheJoinThatDroppedTheFact) {
+  // x = 2 holds on the then-branch and dies at the confluence join.
+  Program P = parse("if (*) { x := 2; } else { x := 3; } assert(x = 2);");
+
+  obs::ProvenanceRecorder Recorder;
+  obs::ProvenanceRecorder::install(&Recorder);
+  AnalysisResult R = Analyzer(Product).run(P);
+  obs::ProvenanceRecorder::install(nullptr);
+
+  ASSERT_EQ(R.Assertions.size(), 1u);
+  EXPECT_FALSE(R.Assertions[0].Verified);
+
+  // Some step recorded the loss of the x = 2 conjunct.
+  bool FoundLoss = false;
+  for (const auto &E : Recorder.events()) {
+    std::string Atom = toString(Ctx, E.Lost);
+    if (Atom.find("2") != std::string::npos &&
+        Atom.find("x") != std::string::npos &&
+        (E.Kind == obs::ProvenanceRecorder::Step::Join ||
+         E.Kind == obs::ProvenanceRecorder::Step::ComponentJoin))
+      FoundLoss = true;
+  }
+  EXPECT_TRUE(FoundLoss);
+
+  const Assertion &A = P.assertions()[0];
+  std::string Text = Recorder.explain(Ctx, A.Node, A.Fact);
+  ASSERT_FALSE(Text.empty());
+  EXPECT_NE(Text.find("join"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("dropped"), std::string::npos) << Text;
+  // The responsible component domain is named.
+  EXPECT_NE(Text.find("domain:"), std::string::npos) << Text;
+}
+
+TEST_F(ObsTest, ExplainNamesTheWideningThatDroppedTheBound) {
+  // y <= 3 survives the first joins and dies at the widening step (the
+  // loop has no exit test, so narrowing cannot recover the bound).
+  Program P = parse("y := 0; while (*) { y := y + 1; } assert(y <= 3);");
+
+  obs::ProvenanceRecorder Recorder;
+  obs::ProvenanceRecorder::install(&Recorder);
+  AnalysisResult R = Analyzer(Poly).run(P);
+  obs::ProvenanceRecorder::install(nullptr);
+
+  ASSERT_EQ(R.Assertions.size(), 1u);
+  EXPECT_FALSE(R.Assertions[0].Verified);
+
+  bool WidenLoss = false;
+  for (const auto &E : Recorder.events())
+    if (E.Kind == obs::ProvenanceRecorder::Step::Widen ||
+        E.Kind == obs::ProvenanceRecorder::Step::ComponentWiden)
+      WidenLoss = true;
+  EXPECT_TRUE(WidenLoss);
+
+  const Assertion &A = P.assertions()[0];
+  std::string Text = Recorder.explain(Ctx, A.Node, A.Fact);
+  EXPECT_NE(Text.find("widening"), std::string::npos) << Text;
+}
+
+TEST_F(ObsTest, NoRecorderNoCost) {
+  // With no recorder installed the engine must not record anything (and
+  // results are the baseline -- covered by TracerOnOffResultsIdentical).
+  EXPECT_EQ(obs::ProvenanceRecorder::active(), nullptr);
+  Program P = parse("x := 1; assert(x = 1);");
+  AnalysisResult R = Analyzer(Product).run(P);
+  EXPECT_TRUE(R.Assertions[0].Verified);
+}

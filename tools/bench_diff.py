@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare two google-benchmark JSON files.
+
+    bench_diff.py baseline.json current.json [--threshold 0.20] [--calibrate]
+
+Compares per-benchmark real_time of `current` against `baseline` and fails
+(exit 1) if any benchmark regressed by more than the threshold (default
+20%).  Benchmarks present in only one file are reported but never fail the
+gate (they are new or retired, not regressed).
+
+Cross-machine noise: the checked-in baseline (BENCH_fixpoint.json) was
+recorded on a different machine than CI runs on.  `--calibrate` rescales
+the baseline by the *median* ratio current/baseline across all shared
+benchmarks before applying the threshold, so a uniformly slower (or
+faster) machine cancels out and only benchmarks that regressed *relative
+to the rest of the suite* trip the gate.  A real regression in a few
+benchmarks barely moves the median; a regression in every benchmark at
+once is indistinguishable from a slow machine, which is the price of a
+checked-in cross-machine baseline.
+
+CI override: a PR that intentionally trades speed for a feature applies
+the `perf-regression-ok` label, which skips this gate (see
+.github/workflows/ci.yml) and should say why in the PR description.
+
+    bench_diff.py --self-test
+
+runs the built-in unit test: a synthetic 25% single-benchmark regression
+must fail the gate (with and without --calibrate) and a uniform 2x
+machine slowdown must pass under --calibrate.  Exits 0 when the self-test
+passes.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_times(path):
+    """name -> real_time, aggregate entries (mean/median/stddev) skipped."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    return times
+
+
+def compare(baseline, current, threshold, calibrate, out=sys.stdout):
+    """Returns the list of regressed benchmark names."""
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("bench_diff: no shared benchmarks; nothing to gate", file=out)
+        return []
+
+    scale = 1.0
+    if calibrate:
+        scale = statistics.median(current[n] / baseline[n] for n in shared
+                                  if baseline[n] > 0)
+        print(f"bench_diff: calibration scale {scale:.3f} "
+              f"(median current/baseline over {len(shared)} benchmarks)",
+              file=out)
+
+    regressed = []
+    for name in shared:
+        base = baseline[name] * scale
+        cur = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSED"
+            regressed.append(name)
+        print(f"  {name:<50} {base:10.3f} -> {cur:10.3f}  "
+              f"({(ratio - 1.0) * 100.0:+6.1f}%)  {status}", file=out)
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<50} (new, not gated)", file=out)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {name:<50} (retired, not gated)", file=out)
+    return regressed
+
+
+def self_test():
+    names = [f"BM_Synthetic/{i}" for i in range(8)]
+    baseline = {n: 100.0 + 10.0 * i for i, n in enumerate(names)}
+
+    import io
+
+    # (a) One benchmark 25% slower must trip the 20% gate.
+    regression = dict(baseline)
+    regression[names[3]] *= 1.25
+    for calibrate in (False, True):
+        bad = compare(baseline, regression, 0.20, calibrate, out=io.StringIO())
+        assert bad == [names[3]], (calibrate, bad)
+
+    # (b) A uniformly 2x slower machine passes with --calibrate and would
+    # (correctly, for a same-machine comparison) fail without it.
+    slow = {n: t * 2.0 for n, t in baseline.items()}
+    assert compare(baseline, slow, 0.20, True, out=io.StringIO()) == []
+    assert len(compare(baseline, slow, 0.20, False, out=io.StringIO())) == len(names)
+
+    # (c) 25% regression still caught on the 2x-slower machine under
+    # calibration.
+    slow_regressed = dict(slow)
+    slow_regressed[names[5]] *= 1.25
+    bad = compare(baseline, slow_regressed, 0.20, True, out=io.StringIO())
+    assert bad == [names[5]], bad
+
+    # (d) Within-threshold noise passes.
+    noisy = {n: t * (1.0 + 0.02 * (i % 5)) for i, (n, t) in
+             enumerate(baseline.items())}
+    assert compare(baseline, noisy, 0.20, False, out=io.StringIO()) == []
+
+    print("bench_diff: self-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", nargs="?", help="baseline benchmark JSON")
+    ap.add_argument("current", nargs="?", help="current benchmark JSON")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="fractional regression that fails the gate "
+                         "(default 0.20 = 20%%)")
+    ap.add_argument("--calibrate", action="store_true",
+                    help="rescale baseline by the median current/baseline "
+                         "ratio (cross-machine comparison)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in unit test and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("baseline and current JSON files are required")
+
+    regressed = compare(load_times(args.baseline), load_times(args.current),
+                        args.threshold, args.calibrate)
+    if regressed:
+        print(f"bench_diff: FAIL -- {len(regressed)} benchmark(s) regressed "
+              f"more than {args.threshold * 100:.0f}%: {', '.join(regressed)}")
+        print("bench_diff: if intentional, apply the 'perf-regression-ok' "
+              "label to the PR and justify it in the description")
+        return 1
+    print("bench_diff: PASS -- no benchmark regressed more than "
+          f"{args.threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,24 @@
 ///   --widening-delay=N
 ///   --stats           print fixpoint-engine counters (edge evaluations,
 ///                     memo-cache hit rates, saturation rounds, WTO shape)
+///                     plus every metric in the registry, sorted, so two
+///                     identical runs print byte-identical output
 ///   --no-memo         disable lattice-operation and transfer memoization
 ///                     (results are identical either way; for measurement)
+///   --trace-out=FILE  record the run as Chrome trace_event JSON (load the
+///                     file in chrome://tracing or https://ui.perfetto.dev)
+///   --metrics-out=FILE
+///                     write the metrics registry as nested JSON; also
+///                     enables the per-phase time histograms
+///   --explain[=SEL]   record precision-loss provenance and, for each
+///                     failed assertion (or just the one whose label or
+///                     node number matches SEL), print the exact lattice
+///                     step -- join, widening, component join/widening,
+///                     quantification -- that discarded the needed facts,
+///                     and which component domain dropped them
 ///
-/// Exit code: 0 if every assertion verified, 1 otherwise, 2 on errors.
+/// Exit code: 0 if every assertion verified and the fixpoint converged,
+/// 1 otherwise, 2 on usage/parse errors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +49,9 @@
 #include "domains/uf/UFDomain.h"
 #include "encodings/Encodings.h"
 #include "ir/ProgramParser.h"
+#include "obs/Metrics.h"
+#include "obs/Provenance.h"
+#include "obs/Trace.h"
 #include "product/DirectProduct.h"
 #include "product/LogicalProduct.h"
 #include "term/Printer.h"
@@ -169,10 +186,14 @@ void usage() {
       stderr,
       "usage: cai-analyze [--domain=<spec>] [--invariants] [--stats]\n"
       "                   [--encode=comm|arity] [--widening-delay=N]\n"
-      "                   [--no-memo] <program.imp>\n"
+      "                   [--no-memo] [--trace-out=FILE] [--metrics-out=FILE]\n"
+      "                   [--explain[=<label|node>]] <program.imp>\n"
       "domain specs: affine poly uf parity sign lists arrays\n"
       "              direct:<a>,<b>  reduced:<a>,<b>  logical:<a>,<b>\n"
-      "              nested: logical:(logical:affine,uf),lists\n");
+      "              nested: logical:(logical:affine,uf),lists\n"
+      "exit codes:   0 all assertions verified and fixpoint converged\n"
+      "              1 some assertion failed or fixpoint did not converge\n"
+      "              2 usage, parse, or I/O error\n");
 }
 
 } // namespace
@@ -181,8 +202,12 @@ int main(int Argc, char **Argv) {
   std::string DomainSpec = "logical:poly,uf";
   std::string Encode;
   std::string Path;
+  std::string TraceOut;
+  std::string MetricsOut;
+  std::string ExplainSel;
   bool ShowInvariants = false;
   bool ShowStats = false;
+  bool Explain = false;
   AnalyzerOptions Opts;
 
   for (int I = 1; I < Argc; ++I) {
@@ -193,6 +218,23 @@ int main(int Argc, char **Argv) {
       ShowInvariants = true;
     } else if (Arg.rfind("--encode=", 0) == 0) {
       Encode = Arg.substr(9);
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Arg.substr(12);
+      if (TraceOut.empty()) {
+        std::fprintf(stderr, "error: --trace-out expects a file name\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOut = Arg.substr(14);
+      if (MetricsOut.empty()) {
+        std::fprintf(stderr, "error: --metrics-out expects a file name\n");
+        return 2;
+      }
+    } else if (Arg == "--explain") {
+      Explain = true;
+    } else if (Arg.rfind("--explain=", 0) == 0) {
+      Explain = true;
+      ExplainSel = Arg.substr(10);
     } else if (Arg.rfind("--widening-delay=", 0) == 0) {
       std::string Value = Arg.substr(17);
       if (Value.empty() ||
@@ -271,7 +313,39 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Observability setup: tracer, timing histograms, provenance recorder.
+  obs::Tracer Tracer;
+  if (!TraceOut.empty())
+    obs::Tracer::install(&Tracer);
+  if (!MetricsOut.empty())
+    obs::MetricsRegistry::global().enableTiming(true);
+  obs::ProvenanceRecorder Recorder;
+  if (Explain)
+    obs::ProvenanceRecorder::install(&Recorder);
+
   AnalysisResult R = Analyzer(*Domain, Opts).run(Analyzed);
+
+  obs::Tracer::install(nullptr);
+  obs::ProvenanceRecorder::install(nullptr);
+
+  if (!TraceOut.empty()) {
+    std::ofstream TOut(TraceOut);
+    if (!TOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", TraceOut.c_str());
+      return 2;
+    }
+    Tracer.writeJson(TOut);
+    std::fprintf(stderr, "trace:      %zu events -> %s\n", Tracer.numEvents(),
+                 TraceOut.c_str());
+  }
+  if (!MetricsOut.empty()) {
+    std::ofstream MOut(MetricsOut);
+    if (!MOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", MetricsOut.c_str());
+      return 2;
+    }
+    obs::MetricsRegistry::global().writeJson(MOut);
+  }
 
   std::printf("domain:     %s\n", Domain->name().c_str());
   std::printf("converged:  %s\n", R.Converged ? "yes" : "no");
@@ -289,6 +363,15 @@ int main(int Argc, char **Argv) {
                 Opts.Memoize ? "on" : "off", R.Stats.CacheHits,
                 R.Stats.CacheMisses, 100.0 * R.Stats.cacheHitRate(),
                 R.Stats.SaturationRounds);
+    // Every registered metric, one sorted "name = value" line each: the
+    // map-backed registry makes two identical runs print byte-identical
+    // blocks (tool_stats_deterministic relies on this).
+    std::printf("metrics:\n");
+    std::ostringstream Lines;
+    obs::MetricsRegistry::global().writeText(Lines);
+    std::istringstream In(Lines.str());
+    for (std::string Line; std::getline(In, Line);)
+      std::printf("  %s\n", Line.c_str());
   }
 
   if (ShowInvariants) {
@@ -305,8 +388,48 @@ int main(int Argc, char **Argv) {
                 R.Assertions[I].Verified ? "VERIFIED" : "not-verified",
                 toString(Ctx, A.Fact).c_str());
   }
+
+  if (Explain) {
+    // Matches either the assertion label or the cutpoint (node number).
+    auto Selected = [&](const Assertion &A) {
+      return ExplainSel.empty() || ExplainSel == A.Label ||
+             ExplainSel == std::to_string(A.Node);
+    };
+    std::printf("\nprecision-loss provenance (%zu events recorded):\n",
+                Recorder.events().size());
+    bool Any = false;
+    for (size_t I = 0; I < R.Assertions.size(); ++I) {
+      const Assertion &A = Analyzed.assertions()[I];
+      if (R.Assertions[I].Verified || !Selected(A))
+        continue;
+      Any = true;
+      std::printf("  %s (node %u): %s\n", A.Label.c_str(), A.Node,
+                  toString(Ctx, A.Fact).c_str());
+      std::string Text = Recorder.explain(Ctx, A.Node, A.Fact);
+      if (Text.empty()) {
+        std::printf("    no lattice step dropped a related fact -- the "
+                    "domain never established it\n");
+        continue;
+      }
+      std::istringstream In(Text);
+      for (std::string Line; std::getline(In, Line);)
+        std::printf("    %s\n", Line.c_str());
+    }
+    if (!Any)
+      std::printf("  %s\n", ExplainSel.empty()
+                                ? "every assertion verified"
+                                : "no failed assertion matches the selector");
+  }
+
   unsigned Verified = R.numVerified();
   std::printf("\n%u/%zu assertions verified\n", Verified,
               R.Assertions.size());
+  if (!R.Converged) {
+    // A truncated fixpoint means the invariants may under-approximate
+    // reachable states, so even an all-VERIFIED report is not trustworthy.
+    std::fprintf(stderr, "error: fixpoint did not converge "
+                         "(MaxUpdatesPerNode exceeded); verdicts unsound\n");
+    return 1;
+  }
   return Verified == R.Assertions.size() ? 0 : 1;
 }

@@ -1,0 +1,19 @@
+# Runs TOOL with ARGS twice and fails unless both runs print
+# byte-identical stdout (the --stats determinism contract).
+#
+#   cmake -DTOOL=... -DARGS=... -P check_deterministic.cmake
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${ARG_LIST} OUTPUT_VARIABLE OUT1
+                RESULT_VARIABLE RC1 ERROR_QUIET)
+execute_process(COMMAND ${TOOL} ${ARG_LIST} OUTPUT_VARIABLE OUT2
+                RESULT_VARIABLE RC2 ERROR_QUIET)
+if(NOT RC1 STREQUAL RC2)
+  message(FATAL_ERROR "exit codes differ across runs: ${RC1} vs ${RC2}")
+endif()
+if(NOT OUT1 STREQUAL OUT2)
+  message(FATAL_ERROR "output differs across identical runs:\n"
+                      "--- run 1 ---\n${OUT1}\n--- run 2 ---\n${OUT2}")
+endif()
+if(OUT1 STREQUAL "")
+  message(FATAL_ERROR "tool printed nothing; determinism check is vacuous")
+endif()

@@ -1,0 +1,14 @@
+# Runs TOOL with ARGS (a ;-list) and fails unless the exit code is
+# EXPECTED.  ctest's PASS_REGULAR_EXPRESSION cannot see exit codes other
+# than 0, so the exit-code contract tests go through this script:
+#
+#   cmake -DTOOL=... -DARGS=... -DEXPECTED=2 -P check_exit.cmake
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${ARG_LIST}
+                RESULT_VARIABLE RC
+                OUTPUT_VARIABLE OUT
+                ERROR_VARIABLE ERR)
+if(NOT RC EQUAL ${EXPECTED})
+  message(FATAL_ERROR "expected exit ${EXPECTED}, got '${RC}'\n"
+                      "stdout:\n${OUT}\nstderr:\n${ERR}")
+endif()
