@@ -13,7 +13,10 @@
 
 #include "analysis/Analyzer.h"
 #include "domains/affine/AffineDomain.h"
+#include "domains/poly/LPCache.h"
+#include "domains/poly/PolyDomain.h"
 #include "domains/uf/UFDomain.h"
+#include "ir/ProgramParser.h"
 #include "obs/Trace.h"
 #include "product/LogicalProduct.h"
 #include "theory/Purify.h"
@@ -156,6 +159,112 @@ void BM_FixpointProductTraced(benchmark::State &State) {
   State.counters["trace_events"] = static_cast<double>(Events);
 }
 
+/// The LP workload the fixpoint engine actually generates: the same small
+/// constraint systems re-queried with the same objectives on every
+/// iteration.  A deterministic batch of (system, objective) pairs is
+/// replayed each benchmark iteration; the Cached twin answers repeats out
+/// of the SimplexCache, the Uncached twin re-solves every query.  Their
+/// ratio is the memoization speedup on the simplex layer alone.
+std::vector<std::pair<std::vector<LinearConstraint>, std::vector<Rational>>>
+simplexQueryBatch(size_t NumVars, size_t Systems, size_t Objectives) {
+  std::vector<std::pair<std::vector<LinearConstraint>, std::vector<Rational>>>
+      Batch;
+  for (size_t S = 0; S < Systems; ++S) {
+    // A bounded box with a few skewed faces, varied per system.
+    std::vector<LinearConstraint> Rows;
+    for (size_t V = 0; V < NumVars; ++V) {
+      LinearConstraint Up, Down;
+      Up.Coeffs.assign(NumVars, Rational());
+      Down.Coeffs.assign(NumVars, Rational());
+      Up.Coeffs[V] = Rational(1);
+      Up.Rhs = Rational(static_cast<long>(10 + S + V));
+      Down.Coeffs[V] = Rational(-1);
+      Down.Rhs = Rational(static_cast<long>(S));
+      Rows.push_back(Up);
+      Rows.push_back(Down);
+    }
+    LinearConstraint Skew;
+    Skew.Coeffs.assign(NumVars, Rational(1));
+    Skew.Coeffs[0] = Rational(static_cast<long>(1 + S % 3));
+    Skew.Rhs = Rational(static_cast<long>(12 + 2 * S));
+    Rows.push_back(Skew);
+    for (size_t O = 0; O < Objectives; ++O) {
+      std::vector<Rational> Objective(NumVars);
+      for (size_t V = 0; V < NumVars; ++V)
+        Objective[V] = Rational(static_cast<long>((O + V) % 3) - 1);
+      Batch.emplace_back(Rows, Objective);
+    }
+  }
+  return Batch;
+}
+
+void BM_SimplexUncached(benchmark::State &State) {
+  auto Batch = simplexQueryBatch(4, 8, 6);
+  SimplexCache::Scope Disabled(nullptr);
+  for (auto _ : State) {
+    for (const auto &[Rows, Objective] : Batch) {
+      LPResult R = maximize(Rows, Objective, 4);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  State.counters["queries"] = static_cast<double>(Batch.size());
+}
+
+void BM_SimplexCached(benchmark::State &State) {
+  auto Batch = simplexQueryBatch(4, 8, 6);
+  SimplexCache Cache;
+  SimplexCache::Scope Installed(&Cache);
+  for (auto _ : State) {
+    for (const auto &[Rows, Objective] : Batch) {
+      LPResult R = maximize(Rows, Objective, 4);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  State.counters["queries"] = static_cast<double>(Batch.size());
+  const QueryCacheCounters &C = Cache.counters();
+  State.counters["hit_rate"] =
+      C.Hits + C.Misses ? static_cast<double>(C.Hits) / (C.Hits + C.Misses)
+                        : 0.0;
+}
+
+/// End-to-end rung for the tentpole: Figure 1 under poly >< uf, the
+/// configuration whose convergence the LP cache, warm-started solver and
+/// equality-aware widening bought.  Arg(1) keeps it inside the CI
+/// regression gate's `/1` filter.
+void BM_FixpointPolyUF(benchmark::State &State) {
+  const char *Figure1 = R"(
+    a1 := 0;  a2 := 0;
+    b1 := 1;  b2 := F(1);
+    c1 := 2;  c2 := 2;
+    d1 := 3;  d2 := F(4);
+    while (*) {
+      a1 := a1 + 1;        a2 := a2 + 2;
+      b1 := F(b1);         b2 := F(b2);
+      c1 := F(2*c1 - c2);  c2 := F(c2);
+      d1 := F(1 + d1);     d2 := F(d2 + 1);
+    }
+    assert(a2 = 2*a1);
+    assert(b2 = F(b1));
+    assert(c2 = c1);
+    assert(d2 = F(d1 + 1));
+  )";
+  TermContext Ctx;
+  std::optional<Program> P = parseProgram(Ctx, Figure1);
+  PolyDomain Poly(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, Poly, UF);
+  unsigned Verified = 0;
+  AnalyzerStats LastStats;
+  for (auto _ : State) {
+    AnalysisResult R = Analyzer(Logical).run(*P);
+    Verified = R.numVerified();
+    LastStats = R.Stats;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["verified"] = Verified;
+  State.counters["cache_hit_rate"] = LastStats.cacheHitRate();
+}
+
 } // namespace
 
 BENCHMARK(BM_FixpointComponentsVsProduct)
@@ -173,5 +282,8 @@ BENCHMARK(BM_FixpointProductNullTrace)
 BENCHMARK(BM_FixpointProductTraced)
     ->DenseRange(1, 3)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimplexUncached)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimplexCached)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FixpointPolyUF)->Arg(1)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

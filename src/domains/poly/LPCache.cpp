@@ -1,0 +1,46 @@
+//===- domains/poly/LPCache.cpp - Memoized simplex queries -----------------===//
+
+#include "domains/poly/LPCache.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+
+using namespace cai;
+
+bool cai::rowLexLess(const LinearConstraint &A, const LinearConstraint &B) {
+  if (A.Coeffs != B.Coeffs) {
+    for (size_t I = 0; I < A.Coeffs.size() && I < B.Coeffs.size(); ++I)
+      if (A.Coeffs[I] != B.Coeffs[I])
+        return A.Coeffs[I] < B.Coeffs[I];
+    return A.Coeffs.size() < B.Coeffs.size();
+  }
+  return A.Rhs < B.Rhs;
+}
+
+std::vector<LinearConstraint>
+cai::canonicalRows(std::vector<LinearConstraint> Rows) {
+  std::sort(Rows.begin(), Rows.end(), rowLexLess);
+  return Rows;
+}
+
+uint64_t LPKey::fingerprint() const {
+  uint64_t H = hashRange(Objective.begin(), Objective.end());
+  for (const LinearConstraint &R : Rows) {
+    H = hashCombine(H, hashRange(R.Coeffs.begin(), R.Coeffs.end()));
+    H = hashCombine(H, R.Rhs.hash());
+  }
+  return H;
+}
+
+/// One analysis per thread (the QueryCache contract), so a plain static
+/// suffices; sharded analyses would make this thread_local.
+static SimplexCache *ActiveCache = nullptr;
+
+SimplexCache *SimplexCache::active() { return ActiveCache; }
+
+SimplexCache::Scope::Scope(SimplexCache *C) : Prev(ActiveCache) {
+  ActiveCache = C;
+}
+
+SimplexCache::Scope::~Scope() { ActiveCache = Prev; }

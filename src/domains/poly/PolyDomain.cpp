@@ -146,9 +146,58 @@ Conjunction PolyDomain::fromPoly(const Polyhedron &P, const Env &Env) const {
   return Out;
 }
 
+Conjunction PolyDomain::fromRowsVerbatim(const Polyhedron &P,
+                                         const Env &Env) const {
+  if (P.isEmpty())
+    return Conjunction::bottom();
+  TermContext &Ctx = context();
+  const std::vector<LinearConstraint> &Rows = P.constraints();
+  auto BuildExpr = [&](const LinearConstraint &C) {
+    LinearExpr L;
+    for (size_t I = 0; I < Env.Columns.size(); ++I)
+      if (!C.Coeffs[I].isZero())
+        L.addTerm(Env.Columns[I], C.Coeffs[I]);
+    return L;
+  };
+  auto IsNegation = [](const LinearConstraint &A, const LinearConstraint &B) {
+    if (A.Rhs != -B.Rhs)
+      return false;
+    for (size_t I = 0; I < A.Coeffs.size(); ++I)
+      if (A.Coeffs[I] != -B.Coeffs[I])
+        return false;
+    return true;
+  };
+  Conjunction Out;
+  std::vector<bool> Consumed(Rows.size(), false);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    if (Consumed[I])
+      continue;
+    size_t Mirror = Rows.size();
+    for (size_t J = I + 1; J < Rows.size() && Mirror == Rows.size(); ++J)
+      if (!Consumed[J] && IsNegation(Rows[I], Rows[J]))
+        Mirror = J;
+    if (Mirror != Rows.size()) {
+      Consumed[Mirror] = true;
+      // Sign-normalize like fromPoly so both directions render identically.
+      LinearExpr Lhs = BuildExpr(Rows[I]);
+      LinearExpr Rhs(Rows[I].Rhs);
+      LinearExpr Diff = Lhs - Rhs;
+      Rational Scale = Diff.normalizeIntegral(/*NormalizeSign=*/true);
+      Lhs = Lhs.scaled(Scale);
+      Rhs = Rhs.scaled(Scale);
+      Out.add(Atom::mkEq(Ctx, Lhs.toTerm(Ctx), Rhs.toTerm(Ctx)));
+      continue;
+    }
+    LinearExpr L = BuildExpr(Rows[I]);
+    Out.add(Atom::mkLe(Ctx, L.toTerm(Ctx), Ctx.mkNum(Rows[I].Rhs)));
+  }
+  return Out;
+}
+
 Conjunction PolyDomain::join(const Conjunction &A, const Conjunction &B) const {
   CAI_TRACE_SPAN("poly.join", "domain");
   CAI_METRIC_INC("domain.poly.joins");
+  SimplexCache::Scope LPScope = lpScope();
   if (A.isBottom() || isUnsat(A))
     return B;
   if (B.isBottom() || isUnsat(B))
@@ -163,6 +212,7 @@ Conjunction PolyDomain::existQuant(const Conjunction &E,
                                    const std::vector<Term> &Vars) const {
   if (E.isBottom())
     return E;
+  SimplexCache::Scope LPScope = lpScope();
   Env Env;
   Env.addIndeterminates(context(), E);
   std::vector<bool> Mask(Env.Columns.size(), false);
@@ -180,6 +230,7 @@ bool PolyDomain::entails(const Conjunction &E, const Atom &A) const {
     return true;
   if (A.isTrivial(context()))
     return true;
+  SimplexCache::Scope LPScope = lpScope();
   Env Env;
   Env.addIndeterminates(context(), E);
   Env.addIndeterminates(context(), A);
@@ -194,6 +245,7 @@ bool PolyDomain::entails(const Conjunction &E, const Atom &A) const {
 bool PolyDomain::isUnsat(const Conjunction &E) const {
   if (E.isBottom())
     return true;
+  SimplexCache::Scope LPScope = lpScope();
   Env Env;
   Env.addIndeterminates(context(), E);
   return toPoly(E, Env).isEmpty();
@@ -204,6 +256,7 @@ PolyDomain::impliedVarEqualities(const Conjunction &E) const {
   std::vector<std::pair<Term, Term>> Out;
   if (E.isBottom())
     return Out;
+  SimplexCache::Scope LPScope = lpScope();
   Env Env;
   Env.addIndeterminates(context(), E);
   Polyhedron P = toPoly(E, Env);
@@ -234,6 +287,7 @@ PolyDomain::alternate(const Conjunction &E, Term Var,
                       const std::vector<Term> &Avoid) const {
   if (E.isBottom())
     return std::nullopt;
+  SimplexCache::Scope LPScope = lpScope();
   Env Env;
   Env.addIndeterminates(context(), E);
   auto VarIt = Env.Index.find(Var);
@@ -278,6 +332,7 @@ PolyDomain::alternateBatch(const Conjunction &E,
   std::vector<std::pair<Term, Term>> Out;
   if (E.isBottom())
     return Out;
+  SimplexCache::Scope LPScope = lpScope();
   Env Env;
   Env.addIndeterminates(context(), E);
   std::vector<bool> Mask(Env.Columns.size(), false);
@@ -316,6 +371,7 @@ Conjunction PolyDomain::widen(const Conjunction &Old,
                               const Conjunction &New) const {
   CAI_TRACE_SPAN("poly.widen", "domain");
   CAI_METRIC_INC("domain.poly.widenings");
+  SimplexCache::Scope LPScope = lpScope();
   if (Old.isBottom())
     return New;
   if (New.isBottom())
@@ -323,5 +379,11 @@ Conjunction PolyDomain::widen(const Conjunction &Old,
   Env Env;
   Env.addIndeterminates(context(), Old);
   Env.addIndeterminates(context(), New);
-  return fromPoly(toPoly(Old, Env).widen(toPoly(New, Env)), Env);
+  return fromRowsVerbatim(toPoly(Old, Env).widen(toPoly(New, Env)), Env);
+}
+
+void PolyDomain::collectStats(LatticeStats &S) const {
+  LogicalLattice::collectStats(S);
+  S.CacheHits += LPCache.counters().Hits;
+  S.CacheMisses += LPCache.counters().Misses;
 }

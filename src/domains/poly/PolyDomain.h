@@ -13,6 +13,7 @@
 #ifndef CAI_DOMAINS_POLY_POLYDOMAIN_H
 #define CAI_DOMAINS_POLY_POLYDOMAIN_H
 
+#include "domains/poly/LPCache.h"
 #include "domains/poly/Polyhedron.h"
 #include "term/LinearExpr.h"
 #include "theory/LogicalLattice.h"
@@ -49,7 +50,24 @@ public:
   Conjunction widen(const Conjunction &Old,
                     const Conjunction &New) const override;
 
+  /// Adds the LP memo cache's counters on top of the lattice-level ones.
+  void collectStats(LatticeStats &S) const override;
+
 private:
+  /// LP memo shared by every simplex query issued under this domain's
+  /// operations (installed per-operation via SimplexCache::Scope, so the
+  /// solver layer stays free of domain back-references).  Mutable for the
+  /// same reason the LogicalLattice caches are: memoization is
+  /// observation-invisible.
+  mutable SimplexCache LPCache;
+
+  /// Installs LPCache for one domain operation, or hard-disables LP
+  /// memoization when the lattice runs with memoization off (the
+  /// cache-equivalence contract: --no-memo must not consult any cache).
+  SimplexCache::Scope lpScope() const {
+    return SimplexCache::Scope(memoizationEnabled() ? &LPCache : nullptr);
+  }
+
   /// Term <-> column mapping (same opaque-indeterminate discipline as the
   /// affine domain).
   struct Env {
@@ -62,6 +80,13 @@ private:
 
   Polyhedron toPoly(const Conjunction &E, const Env &Env) const;
   Conjunction fromPoly(const Polyhedron &P, const Env &Env) const;
+  /// Emits \p P's rows verbatim (equality pairs as one equality atom), with
+  /// no redundancy elimination.  Widening results go through this: the CH78
+  /// operator keeps syntactic rows of the older operand, so canonicalizing
+  /// a widened state can discard the very faces (for example 0 <= x made
+  /// redundant by a transient equality) that the next widening round needs
+  /// to see to keep them stable.
+  Conjunction fromRowsVerbatim(const Polyhedron &P, const Env &Env) const;
   /// (Coeffs, Rhs, IsEquality) for a linear atom, or nullopt.
   std::optional<std::tuple<std::vector<Rational>, Rational, bool>>
   rowOf(const Atom &A, const Env &Env) const;

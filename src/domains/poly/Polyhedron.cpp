@@ -2,11 +2,25 @@
 
 #include "domains/poly/Polyhedron.h"
 
+#include "domains/poly/LPCache.h"
+#include "linalg/AffineSystem.h"
+#include "obs/Metrics.h"
+#include "support/Hash.h"
+
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <set>
+#include <unordered_map>
 
 using namespace cai;
+
+/// Process-wide row cap (one analysis per process; cai-analyze sets it from
+/// --poly-max-rows before running).
+static size_t RowCap = DefaultPolyRowCap;
+
+size_t cai::polyRowCap() { return RowCap; }
+void cai::setPolyRowCap(size_t Cap) { RowCap = Cap; }
 
 bool Polyhedron::normalizeRow(LinearConstraint &C) const {
   // Scale so coefficients are integral with gcd 1 (positive scale only,
@@ -77,65 +91,199 @@ bool Polyhedron::entailsEq(const std::vector<Rational> &Coeffs,
   return entailsLe(Neg, -Rhs);
 }
 
+bool Polyhedron::eliminateByEquality(std::vector<TrackedRow> &Work,
+                                     size_t Col) const {
+  // An equality shows up as a row plus its exact negation (addEq produces
+  // that shape, and normalizeRow keeps both sides in the same scale).  Find
+  // one with a nonzero coefficient at Col; hash rows so the negation lookup
+  // is not a quadratic scan.
+  auto RowHash = [](const LinearConstraint &C) {
+    return hashCombine(hashRange(C.Coeffs.begin(), C.Coeffs.end()),
+                       C.Rhs.hash());
+  };
+  std::unordered_map<uint64_t, std::vector<size_t>> ByHash;
+  ByHash.reserve(Work.size());
+  for (size_t I = 0; I < Work.size(); ++I)
+    ByHash[RowHash(Work[I].C)].push_back(I);
+
+  size_t EqI = Work.size(), EqJ = Work.size();
+  LinearConstraint Negated;
+  for (size_t I = 0; I < Work.size() && EqI == Work.size(); ++I) {
+    if (Work[I].C.Coeffs[Col].isZero())
+      continue;
+    Negated.Coeffs.resize(NumVars);
+    for (size_t K = 0; K < NumVars; ++K)
+      Negated.Coeffs[K] = -Work[I].C.Coeffs[K];
+    Negated.Rhs = -Work[I].C.Rhs;
+    auto It = ByHash.find(RowHash(Negated));
+    if (It == ByHash.end())
+      continue;
+    for (size_t J : It->second)
+      if (J != I && Work[J].C == Negated) {
+        EqI = I;
+        EqJ = J;
+        break;
+      }
+  }
+  if (EqI == Work.size())
+    return false;
+
+  // E . x = E.Rhs holds on the whole polyhedron: substitute it into every
+  // other row to zero out Col, then drop the pair.  Exact Gaussian step --
+  // the row count only shrinks.
+  const LinearConstraint E = Work[EqI].C; // Copy: Work is edited below.
+  const Rational &Pivot = E.Coeffs[Col];
+  std::vector<TrackedRow> Next;
+  Next.reserve(Work.size() - 2);
+  for (size_t I = 0; I < Work.size(); ++I) {
+    if (I == EqI || I == EqJ)
+      continue;
+    TrackedRow R = std::move(Work[I]);
+    LinearConstraint &C = R.C;
+    if (!C.Coeffs[Col].isZero()) {
+      Rational F = C.Coeffs[Col] / Pivot;
+      for (size_t K = 0; K < NumVars; ++K)
+        C.Coeffs[K] -= F * E.Coeffs[K];
+      C.Rhs -= F * E.Rhs;
+      if (normalizeRow(C)) {
+        bool AllZero = true;
+        for (const Rational &Coef : C.Coeffs)
+          AllZero &= Coef.isZero();
+        if (AllZero)
+          continue; // Trivially true after substitution.
+      }
+      // Rows failing normalizeRow are infeasibility witnesses: keep them.
+    }
+    Next.push_back(std::move(R));
+  }
+  Work = std::move(Next);
+  return true;
+}
+
 Polyhedron Polyhedron::project(const std::vector<bool> &Eliminate) const {
   assert(Eliminate.size() == NumVars && "eliminate mask size mismatch");
-  std::vector<LinearConstraint> Work = Rows;
+  std::vector<TrackedRow> Work;
+  Work.reserve(Rows.size());
+  for (const LinearConstraint &C : Rows)
+    Work.push_back({C, 0});
 
-  auto Dedupe = [](std::vector<LinearConstraint> &Rs) {
+  // Kohler's acceleration: any FM-derived row whose derivation uses more
+  // than k+1 rows of the system tracking started from (k = FM steps since
+  // then) is redundant in the k-th projection, and the essential
+  // inequality it subsumes is re-derived elsewhere with a smaller history
+  // (FM enumerates every pairing), so skipping it is exact.  Equality
+  // substitution materializes only one derivation per row, so tracking
+  // restarts from the post-substitution system instead of threading
+  // histories through it.
+  bool TrackHist = false;
+  size_t FMSteps = 0;
+  auto ResetHist = [&](std::vector<TrackedRow> &Rs) {
+    TrackHist = Rs.size() <= 64;
+    FMSteps = 0;
+    if (TrackHist)
+      for (size_t I = 0; I < Rs.size(); ++I)
+        Rs[I].Hist = uint64_t(1) << I;
+  };
+  ResetHist(Work);
+
+  auto Dedupe = [](std::vector<TrackedRow> &Rs) {
     std::sort(Rs.begin(), Rs.end(),
-              [](const LinearConstraint &A, const LinearConstraint &B) {
-                if (A.Coeffs != B.Coeffs) {
-                  // Lexicographic on coefficients.
-                  for (size_t I = 0; I < A.Coeffs.size(); ++I)
-                    if (A.Coeffs[I] != B.Coeffs[I])
-                      return A.Coeffs[I] < B.Coeffs[I];
-                }
-                return A.Rhs < B.Rhs;
+              [](const TrackedRow &A, const TrackedRow &B) {
+                if (rowLexLess(A.C, B.C))
+                  return true;
+                if (rowLexLess(B.C, A.C))
+                  return false;
+                // Exact duplicates: surface the cheapest derivation, the
+                // copy Kohler's criterion is entitled to keep.
+                return std::popcount(A.Hist) < std::popcount(B.Hist);
               });
     // Among parallel rows keep only the tightest.
-    std::vector<LinearConstraint> Out;
-    for (LinearConstraint &C : Rs)
-      if (Out.empty() || Out.back().Coeffs != C.Coeffs)
-        Out.push_back(std::move(C));
+    std::vector<TrackedRow> Out;
+    for (TrackedRow &R : Rs)
+      if (Out.empty() || Out.back().C.Coeffs != R.C.Coeffs)
+        Out.push_back(std::move(R));
     Rs = std::move(Out);
+  };
+
+  // Termination backstop: when FM growth blows an intermediate system past
+  // the cap, drop the densest rows (a sound over-approximation -- fewer
+  // constraints is a larger polyhedron).  Bounds-like sparse rows survive.
+  auto Havoc = [](std::vector<TrackedRow> &Rs) {
+    size_t Cap = polyRowCap();
+    if (Cap == 0 || Rs.size() <= Cap)
+      return;
+    std::vector<size_t> NonZeros(Rs.size());
+    for (size_t I = 0; I < Rs.size(); ++I)
+      for (const Rational &Coef : Rs[I].C.Coeffs)
+        NonZeros[I] += !Coef.isZero();
+    std::vector<size_t> Order(Rs.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return NonZeros[A] < NonZeros[B];
+    });
+    std::vector<TrackedRow> Kept;
+    Kept.reserve(Cap);
+    for (size_t I = 0; I < Cap; ++I)
+      Kept.push_back(std::move(Rs[Order[I]]));
+    CAI_METRIC_INC("poly.havoc.events");
+    CAI_METRIC_ADD("poly.havoc.rows_dropped", Rs.size() - Cap);
+    Rs = std::move(Kept);
   };
 
   for (size_t Col = 0; Col < NumVars; ++Col) {
     if (!Eliminate[Col])
       continue;
-    std::vector<LinearConstraint> Zero, Pos, Neg;
-    for (LinearConstraint &C : Work) {
-      int S = C.Coeffs[Col].sign();
-      (S == 0 ? Zero : S > 0 ? Pos : Neg).push_back(std::move(C));
+    // Exact, growth-free elimination first: the lifted hull systems are
+    // mostly equality pairs, and substituting them out is what keeps the
+    // quadratic FM cascade from ever starting.  One successful substitution
+    // zeroes the column in every remaining row.
+    if (eliminateByEquality(Work, Col)) {
+      Dedupe(Work);
+      ResetHist(Work);
+      continue;
     }
-    std::vector<LinearConstraint> Next = std::move(Zero);
-    for (const LinearConstraint &P : Pos) {
-      for (const LinearConstraint &N : Neg) {
+    std::vector<TrackedRow> Zero, Pos, Neg;
+    for (TrackedRow &R : Work) {
+      int S = R.C.Coeffs[Col].sign();
+      (S == 0 ? Zero : S > 0 ? Pos : Neg).push_back(std::move(R));
+    }
+    std::vector<TrackedRow> Next = std::move(Zero);
+    for (const TrackedRow &P : Pos) {
+      for (const TrackedRow &N : Neg) {
+        uint64_t Hist = P.Hist | N.Hist;
+        if (TrackHist &&
+            static_cast<size_t>(std::popcount(Hist)) > FMSteps + 2)
+          continue; // Kohler: redundant in the post-step projection.
         // Combine so the column cancels: P/p + N/(-n).
-        Rational Pc = P.Coeffs[Col];
-        Rational Nc = -N.Coeffs[Col];
+        Rational Pc = P.C.Coeffs[Col];
+        Rational Nc = -N.C.Coeffs[Col];
         LinearConstraint C;
         C.Coeffs.resize(NumVars);
         for (size_t I = 0; I < NumVars; ++I)
-          C.Coeffs[I] = P.Coeffs[I] / Pc + N.Coeffs[I] / Nc;
-        C.Rhs = P.Rhs / Pc + N.Rhs / Nc;
+          C.Coeffs[I] = P.C.Coeffs[I] / Pc + N.C.Coeffs[I] / Nc;
+        C.Rhs = P.C.Rhs / Pc + N.C.Rhs / Nc;
         if (normalizeRow(C)) {
           bool AllZero = true;
           for (const Rational &Coef : C.Coeffs)
             AllZero &= Coef.isZero();
           if (!AllZero)
-            Next.push_back(std::move(C));
+            Next.push_back({std::move(C), Hist});
         } else {
-          Next.push_back(std::move(C)); // Infeasibility witness.
+          Next.push_back({std::move(C), Hist}); // Infeasibility witness.
         }
       }
     }
     Dedupe(Next);
+    Havoc(Next);
     Work = std::move(Next);
+    ++FMSteps;
   }
 
   Polyhedron Out(NumVars);
-  Out.Rows = std::move(Work);
+  Out.Rows.reserve(Work.size());
+  for (TrackedRow &R : Work)
+    Out.Rows.push_back(std::move(R.C));
   return Out.minimized();
 }
 
@@ -189,12 +337,15 @@ Polyhedron Polyhedron::hull(const Polyhedron &A, const Polyhedron &B) {
 }
 
 std::vector<LinearConstraint> Polyhedron::affineHull() const {
+  // One LP per row against the same system: the pinned solver pays phase 1
+  // once and warm-starts every objective after the first.
   std::vector<LinearConstraint> Eqs;
+  SimplexSolver Solver(Rows, NumVars);
   for (const LinearConstraint &C : Rows) {
     std::vector<Rational> Neg(C.Coeffs.size());
     for (size_t I = 0; I < C.Coeffs.size(); ++I)
       Neg[I] = -C.Coeffs[I];
-    LPResult R = maximize(Rows, Neg, NumVars);
+    LPResult R = Solver.maximize(Neg);
     if (R.Status == LPStatus::Optimal && R.Value == -C.Rhs)
       Eqs.push_back(C);
   }
@@ -228,8 +379,39 @@ Polyhedron Polyhedron::widen(const Polyhedron &Newer) const {
   if (Newer.isEmpty())
     return *this;
   Polyhedron Out(NumVars);
-  for (const LinearConstraint &C : Rows)
-    if (Newer.entailsLe(C.Coeffs, C.Rhs))
+  // Every kept row is one entailment LP over the same Newer system:
+  // warm-start them all off a single phase 1.
+  SimplexSolver Entails(Newer.Rows, NumVars);
+  for (const LinearConstraint &C : Rows) {
+    LPResult R = Entails.maximize(C.Coeffs);
+    if (R.Status == LPStatus::Infeasible ||
+        (R.Status == LPStatus::Optimal && R.Value <= C.Rhs))
       Out.Rows.push_back(C);
+  }
+  // Equality-aware refinement.  CH78 keeps only syntactic rows of the old
+  // polyhedron, so an equality implied by its rows without being written
+  // as one -- p = x + 1 from {u = p, u = x + 1} -- is lost even when the
+  // newer operand satisfies it too.  The equalities valid on an operand
+  // span exactly its affine hull, so the equalities valid on both are the
+  // affine join; keep them all.  Termination is preserved: the common
+  // equality rank can only decrease along a widening sequence (at most
+  // NumVars + 1 times), and once it is stable these canonical rows are
+  // already rows of the old operand that CH78 itself keeps.
+  AffineSystem<Rational> EqOld(NumVars), EqNew(NumVars);
+  for (const LinearConstraint &C : affineHull()) {
+    std::vector<Rational> Row = C.Coeffs;
+    Row.push_back(C.Rhs);
+    EqOld.addRow(std::move(Row));
+  }
+  for (const LinearConstraint &C : Newer.affineHull()) {
+    std::vector<Rational> Row = C.Coeffs;
+    Row.push_back(C.Rhs);
+    EqNew.addRow(std::move(Row));
+  }
+  AffineSystem<Rational> Common = AffineSystem<Rational>::join(EqOld, EqNew);
+  for (const std::vector<Rational> &Row : Common.rows()) {
+    std::vector<Rational> Coeffs(Row.begin(), Row.begin() + NumVars);
+    Out.addEq(Coeffs, Row[NumVars]);
+  }
   return Out;
 }

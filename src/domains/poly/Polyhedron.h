@@ -19,6 +19,19 @@
 
 namespace cai {
 
+/// Row-count cap for derived constraint systems: when Fourier-Motzkin
+/// projection grows an intermediate system past the cap, the weakest
+/// excess rows are havocked (dropped), which soundly over-approximates
+/// the projection.  This is the termination backstop behind
+/// `cai-analyze --poly-max-rows`; 0 disables the cap.  Metric-counted as
+/// poly.havoc.events / poly.havoc.rows_dropped.
+size_t polyRowCap();
+void setPolyRowCap(size_t Cap);
+
+/// The built-in default cap (also what --poly-max-rows=0 documents as
+/// "unlimited" deviates from).
+constexpr size_t DefaultPolyRowCap = 2048;
+
 /// A polyhedron {x : C x <= d} over a fixed number of columns.
 class Polyhedron {
 public:
@@ -66,6 +79,23 @@ private:
   /// check) and drops trivial rows; returns false if a trivially
   /// unsatisfiable row (0 <= negative) was found.
   bool normalizeRow(LinearConstraint &C) const;
+
+  /// A working row of project(): the constraint plus the set of source
+  /// rows it was derived from (bit I = row I of the system Kohler
+  /// tracking last started from), the input to Kohler's redundancy
+  /// criterion in the Fourier-Motzkin loop.
+  struct TrackedRow {
+    LinearConstraint C;
+    uint64_t Hist = 0;
+  };
+
+  /// If \p Work contains an equality pair (a row and its exact negation)
+  /// with a nonzero coefficient at \p Col, eliminates the column exactly
+  /// by Gaussian substitution -- no Fourier-Motzkin row growth -- and
+  /// returns true.  This is the path that keeps the lifted convex-hull
+  /// systems (mostly equality pairs) from exploding.  Histories are left
+  /// stale; project() resets Kohler tracking after every substitution.
+  bool eliminateByEquality(std::vector<TrackedRow> &Work, size_t Col) const;
 
   size_t NumVars;
   std::vector<LinearConstraint> Rows;

@@ -12,10 +12,12 @@
 
 #include "domains/poly/Simplex.h"
 
+#include "domains/poly/LPCache.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <cassert>
+#include <optional>
 
 using namespace cai;
 
@@ -209,25 +211,25 @@ private:
   Rational ObjectiveConstant;
 };
 
-} // namespace
+/// Unconstrained system: any nonzero objective is unbounded.
+LPResult unconstrainedResult(const std::vector<Rational> &Objective,
+                             size_t NumVars) {
+  bool Zero = true;
+  for (const Rational &C : Objective)
+    Zero &= C.isZero();
+  if (Zero)
+    return {LPStatus::Optimal, Rational(), std::vector<Rational>(NumVars)};
+  return {LPStatus::Unbounded, Rational(), {}};
+}
 
-LPResult cai::maximize(const std::vector<LinearConstraint> &Constraints,
-                       const std::vector<Rational> &Objective,
-                       size_t NumVars) {
-  assert(Objective.size() == NumVars && "objective dimension mismatch");
-  CAI_TRACE_SPAN("simplex.maximize", "simplex");
+/// One full two-phase solve, no cache.
+LPResult solveFresh(const std::vector<LinearConstraint> &Constraints,
+                    const std::vector<Rational> &Objective, size_t NumVars) {
   CAI_METRIC_INC("simplex.solves");
   CAI_METRIC_TIME("simplex.solve_us");
 
-  // Unconstrained: any nonzero objective is unbounded.
-  if (Constraints.empty()) {
-    bool Zero = true;
-    for (const Rational &C : Objective)
-      Zero &= C.isZero();
-    if (Zero)
-      return {LPStatus::Optimal, Rational(), std::vector<Rational>(NumVars)};
-    return {LPStatus::Unbounded, Rational(), {}};
-  }
+  if (Constraints.empty())
+    return unconstrainedResult(Objective, NumVars);
 
   Tableau Tab(Constraints, NumVars, /*WithArtificial=*/true);
 
@@ -249,8 +251,122 @@ LPResult cai::maximize(const std::vector<LinearConstraint> &Constraints,
   return {LPStatus::Optimal, Tab.objectiveValue(), Tab.point(NumVars)};
 }
 
+} // namespace
+
+LPResult cai::maximize(const std::vector<LinearConstraint> &Constraints,
+                       const std::vector<Rational> &Objective,
+                       size_t NumVars) {
+  assert(Objective.size() == NumVars && "objective dimension mismatch");
+  CAI_TRACE_SPAN("simplex.maximize", "simplex");
+
+  SimplexCache *Cache = SimplexCache::active();
+  if (!Cache)
+    return solveFresh(Constraints, Objective, NumVars);
+
+  LPKey Key{canonicalRows(Constraints), Objective};
+  if (const LPResult *Hit = Cache->lookup(Key)) {
+    CAI_METRIC_INC("simplex.cache.hits");
+    return *Hit;
+  }
+  CAI_METRIC_INC("simplex.cache.misses");
+  LPResult R = solveFresh(Constraints, Objective, NumVars);
+  Cache->insert(Key, R);
+  return R;
+}
+
 bool cai::isFeasible(const std::vector<LinearConstraint> &Constraints,
                      size_t NumVars) {
   std::vector<Rational> Zero(NumVars);
   return maximize(Constraints, Zero, NumVars).Status != LPStatus::Infeasible;
+}
+
+//===----------------------------------------------------------------------===//
+// SimplexSolver: one system, many objectives.
+//===----------------------------------------------------------------------===//
+
+struct SimplexSolver::Impl {
+  std::vector<LinearConstraint> Constraints;
+  size_t NumVars;
+  /// Canonical rows for cache keys, built on first cached query.
+  std::optional<std::vector<LinearConstraint>> KeyRows;
+  /// The pinned tableau; engaged after the first actual solve of a
+  /// non-empty feasible system.
+  std::optional<Tableau> Tab;
+  bool Prepared = false;   ///< Phase 1 has run (or was not needed).
+  bool Infeasible = false; ///< Phase 1 proved the system empty.
+  bool SolvedOnce = false; ///< A phase-2 basis exists to warm-start from.
+
+  Impl(std::vector<LinearConstraint> Constraints, size_t NumVars)
+      : Constraints(std::move(Constraints)), NumVars(NumVars) {}
+
+  /// Phase 1, run once per system.
+  void prepare() {
+    Prepared = true;
+    if (Constraints.empty())
+      return;
+    Tab.emplace(Constraints, NumVars, /*WithArtificial=*/true);
+    if (Tab->anyNegativeRhs()) {
+      Tab->setPhase1Objective();
+      Tab->enterArtificial();
+      bool Bounded = Tab->optimize();
+      assert(Bounded && "phase-1 objective is bounded by construction");
+      (void)Bounded;
+      if (!Tab->objectiveValue().isZero()) {
+        Infeasible = true;
+        return;
+      }
+      Tab->evictArtificial();
+    }
+    Tab->freezeArtificial();
+  }
+
+  LPResult solve(const std::vector<Rational> &Objective) {
+    CAI_METRIC_INC("simplex.solves");
+    CAI_METRIC_TIME("simplex.solve_us");
+    if (!Prepared)
+      prepare();
+    if (Constraints.empty())
+      return unconstrainedResult(Objective, NumVars);
+    if (Infeasible)
+      return {LPStatus::Infeasible, Rational(), {}};
+    if (SolvedOnce) {
+      // Re-enter phase 2 from the previous optimal basis: the basis stays
+      // primal feasible under any objective change, so no phase 1 rerun.
+      CAI_METRIC_INC("simplex.warmstart");
+    }
+    SolvedOnce = true;
+    Tab->setObjective(Objective);
+    if (!Tab->optimize())
+      return {LPStatus::Unbounded, Rational(), {}};
+    return {LPStatus::Optimal, Tab->objectiveValue(), Tab->point(NumVars)};
+  }
+};
+
+SimplexSolver::SimplexSolver(std::vector<LinearConstraint> Constraints,
+                             size_t NumVars)
+    : I(std::make_unique<Impl>(std::move(Constraints), NumVars)) {}
+
+SimplexSolver::~SimplexSolver() = default;
+SimplexSolver::SimplexSolver(SimplexSolver &&) noexcept = default;
+SimplexSolver &SimplexSolver::operator=(SimplexSolver &&) noexcept = default;
+
+LPResult SimplexSolver::maximize(const std::vector<Rational> &Objective) {
+  assert(Objective.size() == I->NumVars && "objective dimension mismatch");
+  CAI_TRACE_SPAN("simplex.maximize", "simplex");
+
+  SimplexCache *Cache = SimplexCache::active();
+  if (!Cache)
+    return I->solve(Objective);
+
+  if (!I->KeyRows)
+    I->KeyRows = canonicalRows(I->Constraints);
+  LPKey Key{*I->KeyRows, Objective};
+  if (const LPResult *Hit = Cache->lookup(Key)) {
+    CAI_METRIC_INC("simplex.cache.hits");
+    return *Hit;
+  }
+  CAI_METRIC_INC("simplex.cache.misses");
+  LPResult R = I->solve(Objective);
+  Cache->insert(Key, R);
+  return R;
 }

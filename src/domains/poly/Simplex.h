@@ -14,6 +14,7 @@
 
 #include "support/Rational.h"
 
+#include <memory>
 #include <vector>
 
 namespace cai {
@@ -36,17 +37,49 @@ struct LPResult {
 struct LinearConstraint {
   std::vector<Rational> Coeffs;
   Rational Rhs;
+
+  bool operator==(const LinearConstraint &RHS) const {
+    return Rhs == RHS.Rhs && Coeffs == RHS.Coeffs;
+  }
+  bool operator!=(const LinearConstraint &RHS) const {
+    return !(*this == RHS);
+  }
 };
 
 /// Maximizes Objective . x subject to the constraints (all variables free).
 /// \p NumVars fixes the dimension; every constraint and the objective must
-/// have exactly that many coefficients.
+/// have exactly that many coefficients.  Consults the installed
+/// SimplexCache (see LPCache.h) before solving.
 LPResult maximize(const std::vector<LinearConstraint> &Constraints,
                   const std::vector<Rational> &Objective, size_t NumVars);
 
 /// Convenience: is the constraint system satisfiable?
 bool isFeasible(const std::vector<LinearConstraint> &Constraints,
                 size_t NumVars);
+
+/// A simplex instance pinned to one constraint system, for call sites that
+/// query many objectives against it (the affine hull asks one LP per row;
+/// the CH78 widening one entailment per kept constraint).  Phase 1 runs
+/// once; every subsequent maximize re-enters phase 2 from the previous
+/// optimal basis (objective changes never disturb primal feasibility), so
+/// the N-objective loop pays N phase-2 re-optimizations instead of N full
+/// two-phase solves.  Results are identical to cai::maximize on the same
+/// system -- the poly fuzzer's warm-start oracle asserts this.
+class SimplexSolver {
+public:
+  SimplexSolver(std::vector<LinearConstraint> Constraints, size_t NumVars);
+  ~SimplexSolver();
+  SimplexSolver(SimplexSolver &&) noexcept;
+  SimplexSolver &operator=(SimplexSolver &&) noexcept;
+
+  /// Maximizes \p Objective over the pinned system, warm-starting from the
+  /// previous solve's basis.  Consults the installed SimplexCache first.
+  LPResult maximize(const std::vector<Rational> &Objective);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 } // namespace cai
 

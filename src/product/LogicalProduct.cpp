@@ -55,10 +55,11 @@ std::set<Term, TermIdLess> insideVars(const TermContext &Ctx,
 } // namespace
 
 std::shared_ptr<const LogicalProduct::SatEntry>
-LogicalProduct::purifySaturate(const Conjunction &E, bool AllowCache) const {
+LogicalProduct::purifySaturate(const Conjunction &E, bool UseAltCache) const {
   assert(!E.isBottom() && "purifySaturate on bottom");
-  if (AllowCache && memoizationEnabled())
-    if (const auto *Hit = SatCache.lookup(E)) {
+  auto &Cache = UseAltCache ? SatCacheAlt : SatCache;
+  if (memoizationEnabled())
+    if (const auto *Hit = Cache.lookup(E)) {
       CAI_METRIC_INC("product.purify_saturate.cache_hits");
       return *Hit;
     }
@@ -76,8 +77,8 @@ LogicalProduct::purifySaturate(const Conjunction &E, bool AllowCache) const {
   Entry->P.Definitions = Entry->Pur.definitions();
   Entry->Sat = noSaturate(Ctx, L1, L2, Entry->P.Side1, Entry->P.Side2);
   SatRounds += Entry->Sat.Rounds;
-  if (AllowCache && memoizationEnabled())
-    SatCache.insert(E, Entry);
+  if (memoizationEnabled())
+    Cache.insert(E, Entry);
   return Entry;
 }
 
@@ -96,11 +97,11 @@ Conjunction LogicalProduct::combine(const Conjunction &A, const Conjunction &B,
   // purification names: the component joins drop each side's private
   // fresh-variable facts precisely because the other side leaves them
   // unconstrained.  Distinct conjunctions get distinct cache entries and
-  // hence disjoint names, but joining a conjunction with itself would
-  // reuse one entry for both sides, so the right side is purified fresh.
+  // hence disjoint names; joining a conjunction with itself routes the
+  // right side through the independent alternate cache, so a repeated
+  // self-join re-purifies nothing while the names stay disjoint.
   std::shared_ptr<const SatEntry> EL = purifySaturate(A);
-  std::shared_ptr<const SatEntry> ER =
-      A == B ? purifySaturate(B, /*AllowCache=*/false) : purifySaturate(B);
+  std::shared_ptr<const SatEntry> ER = purifySaturate(B, /*UseAltCache=*/A == B);
   const PurifyResult &PL = EL->P;
   const PurifyResult &PR = ER->P;
   if (EL->Sat.Bottom)

@@ -121,9 +121,11 @@ public:
   void collectStats(LatticeStats &S) const override {
     LogicalLattice::collectStats(S);
     S.SaturationRounds += SatRounds;
-    const QueryCacheCounters &C = SatCache.counters();
-    S.CacheHits += C.Hits;
-    S.CacheMisses += C.Misses;
+    for (const QueryCacheCounters &C :
+         {SatCache.counters(), SatCacheAlt.counters()}) {
+      S.CacheHits += C.Hits;
+      S.CacheMisses += C.Misses;
+    }
     L1.collectStats(S);
     L2.collectStats(S);
   }
@@ -144,12 +146,14 @@ private:
   };
 
   /// Returns the (possibly cached) purified + saturated form of \p E,
-  /// which must not be bottom.  \p AllowCache false forces a fresh
-  /// purification (new fresh-variable names) and leaves the cache
-  /// untouched; combine() needs that to keep its two sides' purification
-  /// names disjoint when joining a conjunction with itself.
-  std::shared_ptr<const SatEntry> purifySaturate(const Conjunction &E,
-                                                 bool AllowCache = true) const;
+  /// which must not be bottom.  \p UseAltCache selects the second,
+  /// independently-named cache: combine() sends its right-hand side there
+  /// when joining a conjunction with itself, so both sides are memoized
+  /// yet carry disjoint purification names (every SatEntry allocates
+  /// globally fresh variables, so entries from the two caches can never
+  /// collide).
+  std::shared_ptr<const SatEntry>
+  purifySaturate(const Conjunction &E, bool UseAltCache = false) const;
   /// Shared implementation of join and widen (Section 4.3: the widening is
   /// the join algorithm with component widenings).
   Conjunction combine(const Conjunction &A, const Conjunction &B,
@@ -177,6 +181,11 @@ private:
   mutable QueryCache<Conjunction, std::shared_ptr<const SatEntry>,
                      ConjunctionHash>
       SatCache{1 << 12};
+  /// Self-join alternate: caches the right-hand-side purification of
+  /// join(E, E) under E's key, with names disjoint from SatCache's entry.
+  mutable QueryCache<Conjunction, std::shared_ptr<const SatEntry>,
+                     ConjunctionHash>
+      SatCacheAlt{1 << 12};
   mutable unsigned long SatRounds = 0;
 };
 

@@ -1,0 +1,37 @@
+//===- support/Hash.h - Hash-combination helpers ----------------*- C++ -*-===//
+///
+/// \file
+/// Small fingerprinting helpers shared by the memoization key types
+/// (conjunction fingerprints, LP constraint-system fingerprints).  The
+/// mixing constants are the usual Fibonacci / FNV ones; none of this is
+/// cryptographic -- QueryCache stores keys in full and compares with
+/// operator==, so the hash only buys bucketing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_SUPPORT_HASH_H
+#define CAI_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cai {
+
+/// Mixes \p V into the running hash \p H (boost::hash_combine's recipe
+/// widened to 64 bits).
+inline uint64_t hashCombine(uint64_t H, uint64_t V) {
+  return H ^ (V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2));
+}
+
+/// Folds a range of hashable elements (anything with a hash() member) into
+/// one fingerprint.  Order-sensitive, so callers canonicalize first.
+template <typename Iter> uint64_t hashRange(Iter First, Iter Last) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (; First != Last; ++First)
+    H = hashCombine(H, First->hash());
+  return H;
+}
+
+} // namespace cai
+
+#endif // CAI_SUPPORT_HASH_H

@@ -11,13 +11,20 @@
 
 #include "analysis/Analyzer.h"
 #include "domains/affine/AffineDomain.h"
+#include "domains/poly/PolyDomain.h"
 #include "domains/uf/UFDomain.h"
+#include "ir/ProgramParser.h"
 #include "product/DirectProduct.h"
 #include "product/LogicalProduct.h"
 #include "term/Printer.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 using namespace cai;
 
@@ -105,6 +112,46 @@ TEST(AnalyzerCacheTest, MemoizedRunReportsHits) {
   EXPECT_GT(R.Stats.CacheHits, 0u);
   EXPECT_GT(R.Stats.cacheHitRate(), 0.0);
   EXPECT_GT(R.Stats.SaturationRounds, 0u);
+}
+
+TEST(AnalyzerCacheTest, DifferentialPolyOverTestdata) {
+  // The differential half of the tentpole's correctness bar: with the LP
+  // memo cache and simplex warm-start in the query path, every checked-in
+  // analyzer input must still produce bit-identical invariants and
+  // verdicts with memoization on and off, under the polyhedra domain
+  // alone and under both logical products that embed it.
+  namespace fs = std::filesystem;
+  std::vector<fs::path> Files;
+  for (const auto &Entry : fs::directory_iterator(CAI_TESTDATA_DIR))
+    if (Entry.path().extension() == ".imp")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  ASSERT_FALSE(Files.empty()) << "no .imp files under " << CAI_TESTDATA_DIR;
+
+  enum class Spec { Poly, PolyUF, PolyAffine };
+  for (const fs::path &File : Files) {
+    std::ifstream In(File);
+    ASSERT_TRUE(In) << File;
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    for (Spec S : {Spec::Poly, Spec::PolyUF, Spec::PolyAffine}) {
+      TermContext Ctx;
+      std::string ParseError;
+      std::optional<Program> P = parseProgram(Ctx, Buffer.str(), &ParseError);
+      ASSERT_TRUE(P) << File << ": " << ParseError;
+
+      PolyDomain Poly(Ctx);
+      UFDomain UF(Ctx);
+      AffineDomain Affine(Ctx);
+      LogicalProduct PolyUF(Ctx, Poly, UF);
+      LogicalProduct PolyAffine(Ctx, Poly, Affine);
+      const LogicalLattice *L = S == Spec::Poly ? (const LogicalLattice *)&Poly
+                                : S == Spec::PolyUF ? &PolyUF
+                                                    : &PolyAffine;
+      expectCacheEquivalent(*L, *P,
+                            File.filename().string() + " " + L->name());
+    }
+  }
 }
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include "domains/affine/AffineDomain.h"
 #include "domains/uf/UFDomain.h"
+#include "obs/Metrics.h"
 #include "product/DirectProduct.h"
 #include "product/LogicalProduct.h"
 
@@ -139,6 +140,34 @@ TEST_F(ProductJoinTest, JoinIdempotentUpToEquivalence) {
   Conjunction J = Logical.join(E, E);
   EXPECT_TRUE(Logical.entailsAll(E, J));
   EXPECT_TRUE(Logical.entailsAll(J, E));
+}
+
+TEST_F(ProductJoinTest, SelfJoinRepurificationIsCached) {
+  // A self-join must purify its right side with names disjoint from the
+  // left, but that second purification is memoized too (in the alternate
+  // cache): repeating join(E, E) must not re-purify either side.  The
+  // conjunction is kept alien-free so the pruned dummy-pair set is empty --
+  // dummy elimination purifies a freshly-named intermediate on every join,
+  // which would mask the side caches this test is about.
+  Conjunction E = C(Ctx, "x = y + 1 && y = 2 && z = x + y");
+  Conjunction First = Logical.join(E, E);
+
+  auto Before = obs::MetricsRegistry::global().counterValues();
+  Conjunction Second = Logical.join(E, E);
+  auto After = obs::MetricsRegistry::global().counterValues();
+
+  auto Delta = [&](const std::string &Name) -> uint64_t {
+    auto B = Before.find(Name);
+    auto A = After.find(Name);
+    return (A == After.end() ? 0 : A->second) -
+           (B == Before.end() ? 0 : B->second);
+  };
+  EXPECT_EQ(Delta("product.purify_saturate.misses"), 0u);
+  EXPECT_GE(Delta("product.purify_saturate.cache_hits"), 2u);
+
+  // And the cached repeat computes the same element.
+  EXPECT_TRUE(Logical.entailsAll(First, Second));
+  EXPECT_TRUE(Logical.entailsAll(Second, First));
 }
 
 TEST_F(ProductJoinTest, ProductVEAndAlternate) {

@@ -16,6 +16,10 @@
 ///   --encode=comm     apply the Section 5.1 commutative encoding first
 ///   --encode=arity    apply the Section 5.2 arity-reduction encoding
 ///   --widening-delay=N
+///   --poly-max-rows=N cap on intermediate constraint-system rows in the
+///                     polyhedra domain; excess rows are havocked (sound
+///                     over-approximation, counted as poly.havoc.*).
+///                     0 = unlimited, default 2048
 ///   --stats           print fixpoint-engine counters (edge evaluations,
 ///                     memo-cache hit rates, saturation rounds, WTO shape)
 ///                     plus every metric in the registry, sorted, so two
@@ -186,7 +190,8 @@ void usage() {
       stderr,
       "usage: cai-analyze [--domain=<spec>] [--invariants] [--stats]\n"
       "                   [--encode=comm|arity] [--widening-delay=N]\n"
-      "                   [--no-memo] [--trace-out=FILE] [--metrics-out=FILE]\n"
+      "                   [--poly-max-rows=N] [--no-memo]\n"
+      "                   [--trace-out=FILE] [--metrics-out=FILE]\n"
       "                   [--explain[=<label|node>]] <program.imp>\n"
       "domain specs: affine poly uf parity sign lists arrays\n"
       "              direct:<a>,<b>  reduced:<a>,<b>  logical:<a>,<b>\n"
@@ -244,6 +249,16 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.WideningDelay = static_cast<unsigned>(std::stoul(Value));
+    } else if (Arg.rfind("--poly-max-rows=", 0) == 0) {
+      std::string Value = Arg.substr(16);
+      if (Value.empty() ||
+          Value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --poly-max-rows expects a number, got '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      setPolyRowCap(std::stoul(Value));
     } else if (Arg == "--stats") {
       ShowStats = true;
     } else if (Arg == "--no-memo") {
