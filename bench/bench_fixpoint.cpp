@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
+#include "check/CheckedLattice.h"
 #include "domains/affine/AffineDomain.h"
 #include "domains/poly/LPCache.h"
 #include "domains/poly/PolyDomain.h"
@@ -117,6 +118,29 @@ void BM_FixpointProductNoMemo(benchmark::State &State) {
   }
   State.counters["verified"] = Verified;
   State.counters["assertions"] = static_cast<double>(W.Kinds.size());
+}
+
+/// E16: the soundness self-audit decorator compiled in but switched off.
+/// Same workload as BM_FixpointProductOnly with every lattice call routed
+/// through check::CheckedLattice while checking is disabled -- the delta
+/// between the two rungs is the cost of the extra virtual dispatch plus
+/// one flag test per operation, which EXPERIMENTS.md bounds at 2%.
+void BM_FixpointCheckedOff(benchmark::State &State) {
+  TermContext Ctx;
+  AffineDomain LA(Ctx);
+  UFDomain UF(Ctx);
+  LogicalProduct Logical(Ctx, LA, UF);
+  check::CheckedLattice Checked(Logical);
+  Checked.setChecking(false);
+  Workload W = generateWorkload(Ctx, optionsFor(static_cast<int>(State.range(0))));
+  unsigned Verified = 0;
+  for (auto _ : State) {
+    AnalysisResult R = Analyzer(Checked).run(W.P);
+    Verified = R.numVerified();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["verified"] = Verified;
+  State.counters["checks_run"] = static_cast<double>(Checked.checksRun());
 }
 
 /// E15 ablation, middle rung: the full instrumentation path runs but the
@@ -274,6 +298,9 @@ BENCHMARK(BM_FixpointProductOnly)
     ->DenseRange(1, 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FixpointProductNoMemo)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FixpointCheckedOff)
     ->DenseRange(1, 3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FixpointProductNullTrace)

@@ -1,0 +1,233 @@
+//===- interp/ConcreteInterp.cpp - Reference concrete interpreter ----------===//
+
+#include "interp/ConcreteInterp.h"
+
+#include "term/Printer.h"
+
+using namespace cai;
+using namespace cai::interp;
+
+ConcreteModel::ConcreteModel(TermContext &Ctx, uint64_t Seed)
+    : Ctx(Ctx), Rng(Seed ^ 0xa5a5a5a55a5a5a5aull) {}
+
+Rational ConcreteModel::freshOpaque() {
+  // 40 random bits offset far above ordinary program arithmetic.  Staying
+  // in int64 range keeps BigInt on its small-value fast path.
+  int64_t Base = int64_t(1) << 44;
+  return Rational(Base + static_cast<int64_t>(Rng.next() >> 24));
+}
+
+Rational ConcreteModel::apply(Symbol S, const std::vector<Rational> &Args) {
+  AppKey K{S.index(), Args};
+  auto It = FnTable.find(K);
+  if (It != FnTable.end())
+    return It->second;
+  Rational V = freshOpaque();
+  FnTable.emplace(std::move(K), V);
+  return V;
+}
+
+Rational ConcreteModel::evalTerm(Term T, const Env &E, bool &Ok) {
+  switch (T->kind()) {
+  case TermKind::Variable: {
+    auto It = E.find(T);
+    if (It == E.end()) {
+      Ok = false;
+      return Rational();
+    }
+    return It->second;
+  }
+  case TermKind::Number:
+    return T->number();
+  case TermKind::App:
+    break;
+  }
+
+  std::vector<Rational> Args;
+  Args.reserve(T->args().size());
+  for (Term Arg : T->args())
+    Args.push_back(evalTerm(Arg, E, Ok));
+  if (!Ok)
+    return Rational();
+
+  Symbol S = T->symbol();
+  if (S == Ctx.addSymbol()) {
+    Rational Sum;
+    for (const Rational &A : Args)
+      Sum += A;
+    return Sum;
+  }
+  if (S == Ctx.mulSymbol()) {
+    Rational Prod = Rational::one();
+    for (const Rational &A : Args)
+      Prod *= A;
+    return Prod;
+  }
+
+  const SymbolInfo &Info = Ctx.info(S);
+  if (Info.Name == "cons" && Args.size() == 2) {
+    std::pair<Rational, Rational> Parts{Args[0], Args[1]};
+    auto It = PairByParts.find(Parts);
+    if (It != PairByParts.end())
+      return It->second;
+    Rational Addr = freshOpaque();
+    PairByParts.emplace(Parts, Addr);
+    PartsByAddr.emplace(Addr, Parts);
+    return Addr;
+  }
+  if ((Info.Name == "car" || Info.Name == "cdr") && Args.size() == 1) {
+    auto It = PartsByAddr.find(Args[0]);
+    if (It != PartsByAddr.end())
+      return Info.Name == "car" ? It->second.first : It->second.second;
+    return apply(S, Args); // Projection of a non-pair: uninterpreted.
+  }
+  if (Info.Name == "update" && Args.size() == 3) {
+    AppKey K{S.index(), Args};
+    auto It = UpdateByParts.find(K);
+    if (It != UpdateByParts.end())
+      return It->second;
+    Rational Addr = freshOpaque();
+    UpdateByParts.emplace(std::move(K), Addr);
+    ArrayByAddr.emplace(Addr, ArrayNode{Args[0], Args[1], Args[2]});
+    return Addr;
+  }
+  if (Info.Name == "select" && Args.size() == 2) {
+    // Walk the overlay chain; equal index hits the written value, distinct
+    // indices fall through to the base array.
+    Rational Arr = Args[0];
+    while (true) {
+      auto It = ArrayByAddr.find(Arr);
+      if (It == ArrayByAddr.end())
+        return apply(S, {Arr, Args[1]});
+      if (It->second.Index == Args[1])
+        return It->second.Value;
+      Arr = It->second.Base;
+    }
+  }
+  return apply(S, Args);
+}
+
+bool ConcreteModel::evalAtom(const Atom &A, const Env &E, bool &Ok) {
+  std::vector<Rational> Args;
+  Args.reserve(A.args().size());
+  for (Term Arg : A.args())
+    Args.push_back(evalTerm(Arg, E, Ok));
+  if (!Ok)
+    return false;
+
+  Symbol P = A.predicate();
+  if (P == Ctx.eqSymbol())
+    return Args[0] == Args[1];
+  if (P == Ctx.leSymbol())
+    return Args[0] <= Args[1];
+
+  const SymbolInfo &Info = Ctx.info(P);
+  auto IsEvenInteger = [](const Rational &V) {
+    if (!V.isInteger())
+      return false;
+    const BigInt &N = V.numerator();
+    return (N / BigInt(2)) * BigInt(2) == N;
+  };
+  if (Info.Name == "even" && Args.size() == 1)
+    return IsEvenInteger(Args[0]);
+  if (Info.Name == "odd" && Args.size() == 1)
+    return Args[0].isInteger() && !IsEvenInteger(Args[0]);
+  // The sign theory's integer semantics: positive(t) iff t >= 1,
+  // negative(t) iff t <= -1 (see domains/sign/SignDomain.h).
+  if (Info.Name == "positive" && Args.size() == 1)
+    return Rational(1) <= Args[0];
+  if (Info.Name == "negative" && Args.size() == 1)
+    return Args[0] <= Rational(-1);
+
+  // Foreign predicate: a random-but-consistent valuation is a model too.
+  AppKey K{P.index(), Args};
+  auto It = PredTable.find(K);
+  if (It != PredTable.end())
+    return It->second;
+  bool V = (Rng.next() & 1) != 0;
+  PredTable.emplace(std::move(K), V);
+  return V;
+}
+
+bool ConcreteModel::evalCond(const Conjunction &C, const Env &E, bool &Ok) {
+  if (C.isBottom())
+    return false;
+  for (const Atom &A : C.atoms())
+    if (!evalAtom(A, E, Ok))
+      return false;
+  return true;
+}
+
+unsigned cai::interp::runTrace(TermContext &Ctx, const Program &P,
+                               uint64_t Seed, const TraceOptions &Opts,
+                               const TraceVisitor &Visit) {
+  if (P.numNodes() == 0)
+    return 0;
+  // Two independent streams: the model samples fresh valuations, the
+  // walker resolves havocs and branch choices.  Interleaving one stream
+  // between them would make a havoc value depend on how many F-terms were
+  // evaluated before it -- needlessly fragile replay.
+  ConcreteModel Model(Ctx, Seed);
+  SplitMix64 Walk(Seed ^ 0x1234567890abcdefull);
+
+  Env E;
+  for (Term V : P.variables())
+    E.emplace(V, Rational(Walk.intIn(Opts.HavocLo, Opts.HavocHi)));
+
+  NodeId N = P.entry();
+  unsigned Visits = 1;
+  if (!Visit(N, E, Model))
+    return Visits;
+
+  const auto &Succs = P.successors();
+  std::vector<size_t> Takeable;
+  for (unsigned Step = 0; Step < Opts.MaxSteps; ++Step) {
+    Takeable.clear();
+    for (size_t EdgeIdx : Succs[N]) {
+      const Action &Act = P.edges()[EdgeIdx].Act;
+      if (Act.Kind == ActionKind::Assume) {
+        bool Ok = true;
+        if (!Model.evalCond(Act.Cond, E, Ok) || !Ok)
+          continue;
+      }
+      Takeable.push_back(EdgeIdx);
+    }
+    if (Takeable.empty())
+      break; // Exit node, or every branch's assumption is false.
+
+    const Edge &Chosen = P.edges()[Takeable[Walk.below(Takeable.size())]];
+    switch (Chosen.Act.Kind) {
+    case ActionKind::Skip:
+    case ActionKind::Assume:
+      break;
+    case ActionKind::Assign: {
+      bool Ok = true;
+      Rational V = Model.evalTerm(Chosen.Act.Value, E, Ok);
+      // Program variables are all initialized at entry, so Ok can only be
+      // cleared by a malformed Program built outside the parser; degrade
+      // to havoc, which over-approximates any assignment.
+      E[Chosen.Act.Var] =
+          Ok ? V : Rational(Walk.intIn(Opts.HavocLo, Opts.HavocHi));
+      break;
+    }
+    case ActionKind::Havoc:
+      E[Chosen.Act.Var] = Rational(Walk.intIn(Opts.HavocLo, Opts.HavocHi));
+      break;
+    }
+    N = Chosen.To;
+    ++Visits;
+    if (!Visit(N, E, Model))
+      break;
+  }
+  return Visits;
+}
+
+std::string cai::interp::toString(const TermContext &Ctx, const Env &E) {
+  std::string Out;
+  for (const auto &[Var, Val] : E) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += cai::toString(Ctx, Var) + " = " + Val.toString();
+  }
+  return Out;
+}

@@ -1,0 +1,150 @@
+//===- interp/ConcreteInterp.h - Reference concrete interpreter -*- C++ -*-===//
+///
+/// \file
+/// A reference concrete interpreter for the flowchart IR, the ground truth
+/// the soundness oracle (interp/Oracle.h) compares abstract fixpoints
+/// against.  A run is one random walk over the CFG under exact
+/// Rational/BigInt semantics: havocs and non-deterministic branches are
+/// resolved by a seeded RNG, and every theory symbol is interpreted by a
+/// concrete first-order model built lazily per trace:
+///
+///   * arithmetic (+, scale)  -- exact rational arithmetic;
+///   * uninterpreted functions -- a memoized fresh-value table, so F is a
+///     genuine function (equal arguments, equal result) with no accidental
+///     structure beyond what congruence demands;
+///   * lists                   -- cons allocates an interned pair address,
+///     car/cdr project it, satisfying car(cons(x,y)) = x exactly;
+///   * arrays                  -- update allocates an overlay node,
+///     select walks the overlay chain, satisfying read-over-write;
+///   * theory predicates       -- even/odd/positive/negative evaluate with
+///     the integer semantics the domains assume (positive(t) iff t >= 1),
+///     foreign predicates get a memoized random-but-consistent valuation.
+///
+/// Every interpretation above is a legitimate model of the respective
+/// theory, so any state reached concretely must satisfy every fact a sound
+/// analysis attaches to its node -- which is exactly what the oracle
+/// asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_INTERP_CONCRETEINTERP_H
+#define CAI_INTERP_CONCRETEINTERP_H
+
+#include "ir/Program.h"
+
+#include <functional>
+#include <map>
+
+namespace cai {
+namespace interp {
+
+/// SplitMix64: a tiny, platform-independent, seeded PRNG.  Deterministic
+/// replay from the seed is the whole point (violations must reproduce), so
+/// no std::random_device / implementation-defined distributions here.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : X(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (X += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N); N must be nonzero.
+  uint64_t below(uint64_t N) { return next() % N; }
+
+  /// Uniform in [Lo, Hi] (inclusive).
+  int64_t intIn(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+private:
+  uint64_t X;
+};
+
+/// A concrete environment: one exact value per program variable.
+using Env = std::map<Term, Rational, TermIdLess>;
+
+/// The lazily-built concrete model for one trace (function/list/array/
+/// predicate valuations).  All values live in Q; structured values (pairs,
+/// arrays) are represented by allocated "address" numerals kept in a range
+/// far outside ordinary program arithmetic.
+class ConcreteModel {
+public:
+  ConcreteModel(TermContext &Ctx, uint64_t Seed);
+
+  /// Evaluates \p T under \p E.  A term mentioning a variable with no
+  /// binding clears \p Ok (and the value is meaningless); \p Ok is never
+  /// set back to true, so one flag can thread through a whole conjunction.
+  Rational evalTerm(Term T, const Env &E, bool &Ok);
+
+  /// Truth of one atomic fact under \p E; \p Ok as for evalTerm.
+  bool evalAtom(const Atom &A, const Env &E, bool &Ok);
+
+  /// Truth of a conjunction (bottom is false, top is true).
+  bool evalCond(const Conjunction &C, const Env &E, bool &Ok);
+
+private:
+  /// The memoized uninterpreted-function fallback: fresh value per
+  /// distinct (symbol, arguments) application.
+  Rational apply(Symbol S, const std::vector<Rational> &Args);
+
+  /// A fresh value from the address range (also used for opaque function
+  /// results so distinct applications collide with ordinary arithmetic
+  /// values only with negligible probability -- and even a collision is
+  /// still a legitimate model, just a less discriminating one).
+  Rational freshOpaque();
+
+  TermContext &Ctx;
+  SplitMix64 Rng;
+
+  using AppKey = std::pair<uint32_t, std::vector<Rational>>;
+  std::map<AppKey, Rational> FnTable;   ///< Uninterpreted applications.
+  std::map<AppKey, bool> PredTable;     ///< Foreign predicate valuations.
+
+  // Lists: cons interning plus the inverse projection.
+  std::map<std::pair<Rational, Rational>, Rational> PairByParts;
+  std::map<Rational, std::pair<Rational, Rational>> PartsByAddr;
+
+  // Arrays: update overlays, walked by select.
+  struct ArrayNode {
+    Rational Base, Index, Value;
+  };
+  std::map<AppKey, Rational> UpdateByParts;
+  std::map<Rational, ArrayNode> ArrayByAddr;
+};
+
+/// Shape of one concrete replay.
+struct TraceOptions {
+  unsigned MaxSteps = 256;  ///< Edge-step budget per trace.
+  int64_t HavocLo = -8;     ///< Havoc values are integers in
+  int64_t HavocHi = 8;      ///< [HavocLo, HavocHi].
+};
+
+/// Called at the entry node and after every edge step; return false to
+/// stop the trace early.  The model is the trace's own: facts about
+/// uninterpreted applications must be judged under the exact valuation the
+/// execution used, so the oracle evaluates through this reference, never
+/// through a second model.
+using TraceVisitor = std::function<bool(NodeId, const Env &, ConcreteModel &)>;
+
+/// Replays one random walk over \p P: initializes every program variable
+/// with a random integer (the concrete counterpart of the entry invariant
+/// "top"), then repeatedly picks a uniformly random *takeable* outgoing
+/// edge (an assume edge is takeable iff its condition holds in the current
+/// state and model) until the walk blocks, exceeds the step budget, or the
+/// visitor stops it.  Deterministic in \p Seed.  Returns the number of
+/// node visits (>= 1 for a nonempty program).
+unsigned runTrace(TermContext &Ctx, const Program &P, uint64_t Seed,
+                  const TraceOptions &Opts, const TraceVisitor &Visit);
+
+/// Renders an environment as "x = 3, y = -1/2" (id-ordered, so output is
+/// deterministic).
+std::string toString(const TermContext &Ctx, const Env &E);
+
+} // namespace interp
+} // namespace cai
+
+#endif // CAI_INTERP_CONCRETEINTERP_H

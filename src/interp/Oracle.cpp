@@ -1,0 +1,106 @@
+//===- interp/Oracle.cpp - The differential soundness oracle ---------------===//
+
+#include "interp/Oracle.h"
+
+#include "obs/Metrics.h"
+#include "term/Printer.h"
+
+#include <set>
+
+using namespace cai;
+using namespace cai::interp;
+
+std::string cai::interp::describe(const TermContext &Ctx,
+                                  const OracleViolation &V) {
+  std::string Out = "soundness violation at node " + std::to_string(V.Node) +
+                    " (trace " + std::to_string(V.Trace) + ", seed " +
+                    std::to_string(V.Seed) + ")\n";
+  switch (V.K) {
+  case OracleViolation::Kind::FalsifiedAtom:
+    Out += "  invariant conjunct falsified: " + toString(Ctx, V.Fact) +
+           "   [domain: " + V.Domain + "]\n";
+    break;
+  case OracleViolation::Kind::UnboundVariable:
+    Out += "  invariant mentions a variable no concrete state binds "
+           "(leaked by quantification): " +
+           toString(Ctx, V.Fact) + "   [domain: " + V.Domain + "]\n";
+    break;
+  case OracleViolation::Kind::BottomReachable:
+    Out += "  node is concretely reachable but its invariant is bottom\n";
+    break;
+  }
+  Out += "  concrete state: " + V.State;
+  return Out;
+}
+
+OracleReport cai::interp::checkSoundness(TermContext &Ctx, const Program &P,
+                                         const AnalysisResult &R,
+                                         const LogicalLattice &L,
+                                         const OracleOptions &Opts) {
+  OracleReport Report;
+  // Dedup: a broken invariant conjunct falsifies on every trace; one
+  // report per (node, atom) keeps the output readable.  ~0 marks the
+  // bottom-reachable kind, which carries no atom.
+  std::set<std::pair<NodeId, size_t>> Seen;
+
+  TraceOptions TO;
+  TO.MaxSteps = Opts.MaxSteps;
+  TO.HavocLo = Opts.HavocLo;
+  TO.HavocHi = Opts.HavocHi;
+
+  for (unsigned T = 0; T < Opts.Traces; ++T) {
+    ++Report.Traces;
+    // Fresh seed per trace: distinct function valuations, havoc values and
+    // branch resolutions each replay.
+    uint64_t Seed = Opts.Seed * 0x9e3779b97f4a7c15ull + T + 1;
+
+    auto Visit = [&](NodeId N, const Env &E, ConcreteModel &Model) -> bool {
+      ++Report.StatesChecked;
+      const Conjunction &Inv = R.Invariants[N];
+      if (Inv.isBottom()) {
+        if (Seen.emplace(N, ~size_t(0)).second) {
+          OracleViolation V;
+          V.K = OracleViolation::Kind::BottomReachable;
+          V.Trace = T;
+          V.Seed = Seed;
+          V.Node = N;
+          V.State = toString(Ctx, E);
+          Report.Violations.push_back(std::move(V));
+        }
+        return Report.Violations.size() < Opts.MaxViolations;
+      }
+      for (const Atom &A : Inv.atoms()) {
+        ++Report.AtomsChecked;
+        bool Ok = true;
+        bool Holds = Model.evalAtom(A, E, Ok);
+        if (Ok && Holds)
+          continue;
+        if (!Seen.emplace(N, A.hash()).second)
+          continue;
+        OracleViolation V;
+        V.K = Ok ? OracleViolation::Kind::FalsifiedAtom
+                 : OracleViolation::Kind::UnboundVariable;
+        V.Trace = T;
+        V.Seed = Seed;
+        V.Node = N;
+        V.Fact = A;
+        V.Domain = L.attributeAtom(A);
+        V.State = toString(Ctx, E);
+        Report.Violations.push_back(std::move(V));
+        if (Report.Violations.size() >= Opts.MaxViolations)
+          return false;
+      }
+      return true;
+    };
+
+    runTrace(Ctx, P, Seed, TO, Visit);
+    if (Report.Violations.size() >= Opts.MaxViolations)
+      break;
+  }
+
+  CAI_METRIC_ADD("check.oracle.traces", Report.Traces);
+  CAI_METRIC_ADD("check.oracle.states", Report.StatesChecked);
+  CAI_METRIC_ADD("check.oracle.atoms", Report.AtomsChecked);
+  CAI_METRIC_ADD("check.oracle.violations", Report.Violations.size());
+  return Report;
+}

@@ -1,0 +1,83 @@
+//===- interp/Oracle.h - The differential soundness oracle ------*- C++ -*-===//
+///
+/// \file
+/// The end-to-end soundness check behind `cai-analyze --check=oracle`:
+/// replay the analyzed program N times under the reference concrete
+/// interpreter (interp/ConcreteInterp.h) and assert that every concretely
+/// reached state satisfies the abstract fixpoint invariant at its node --
+/// the over-approximation guarantee of the paper's Theorems 3-5, checked
+/// against real executions instead of algebraic laws on synthetic inputs.
+///
+/// Three violation kinds are distinguished: a concrete state falsifying an
+/// invariant conjunct (an unsound transfer/join/widen/cache somewhere), an
+/// invariant mentioning a variable that no concrete state binds (a
+/// quantification that leaked an internal variable), and a concretely
+/// reachable node whose invariant is bottom (dropped reachability).  Each
+/// violation names the responsible component domain via
+/// LogicalLattice::attributeAtom and carries the full concrete state and
+/// trace seed, so it replays deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_INTERP_ORACLE_H
+#define CAI_INTERP_ORACLE_H
+
+#include "analysis/Analyzer.h"
+#include "interp/ConcreteInterp.h"
+
+namespace cai {
+namespace interp {
+
+/// Budget and seeding for one oracle sweep.
+struct OracleOptions {
+  uint64_t Seed = 1;        ///< Base seed; trace t runs with a mix of both.
+  unsigned Traces = 32;     ///< Concrete replays.
+  unsigned MaxSteps = 256;  ///< Edge-step budget per replay.
+  unsigned MaxViolations = 8; ///< Stop collecting past this many.
+  int64_t HavocLo = -8, HavocHi = 8; ///< Havoc value range.
+};
+
+/// One soundness violation.
+struct OracleViolation {
+  enum class Kind : uint8_t {
+    FalsifiedAtom,   ///< State reaches Node but falsifies Fact.
+    UnboundVariable, ///< Fact mentions a variable outside the program.
+    BottomReachable, ///< Node reached concretely, invariant is bottom.
+  };
+  Kind K = Kind::FalsifiedAtom;
+  unsigned Trace = 0; ///< Trace ordinal (seed derives from it).
+  uint64_t Seed = 0;  ///< Exact runTrace seed for replay.
+  NodeId Node = 0;
+  Atom Fact;          ///< Valid for FalsifiedAtom/UnboundVariable.
+  std::string Domain; ///< attributeAtom of the responsible component.
+  std::string State;  ///< Rendered concrete environment.
+};
+
+/// The sweep's tally.
+struct OracleReport {
+  unsigned Traces = 0;
+  unsigned long StatesChecked = 0;
+  unsigned long AtomsChecked = 0;
+  std::vector<OracleViolation> Violations;
+
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Renders one violation (multi-line, human-readable).
+std::string describe(const TermContext &Ctx, const OracleViolation &V);
+
+/// Replays \p P under Opts.Traces seeded random walks and checks every
+/// visited (node, state) pair against \p R's invariants.  \p L is used
+/// only to attribute a falsified conjunct to its component domain.
+///
+/// Precondition: \p R must come from a converged run of the analyzer over
+/// exactly \p P (a truncated fixpoint under-approximates by design, so the
+/// oracle would report meaningless violations).
+OracleReport checkSoundness(TermContext &Ctx, const Program &P,
+                            const AnalysisResult &R, const LogicalLattice &L,
+                            const OracleOptions &Opts = {});
+
+} // namespace interp
+} // namespace cai
+
+#endif // CAI_INTERP_ORACLE_H

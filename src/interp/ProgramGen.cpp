@@ -1,0 +1,192 @@
+//===- interp/ProgramGen.cpp - Seeded random .imp generator ----------------===//
+
+#include "interp/ProgramGen.h"
+
+#include "interp/ConcreteInterp.h"
+
+using namespace cai;
+using namespace cai::interp;
+
+namespace {
+
+class Generator {
+public:
+  explicit Generator(const GenOptions &Opts)
+      : Opts(Opts), Rng(Opts.Seed ^ 0x632be59bd9b4e019ull) {}
+
+  std::string run() {
+    Out += "// generated: seed " + std::to_string(Opts.Seed) + "\n";
+    // A couple of deterministic initializations so the analyzer has
+    // non-trivial facts from the start; the rest stay havocked (the
+    // concrete runner initializes every variable anyway).
+    for (unsigned I = 0; I < Opts.Vars; ++I)
+      if (Rng.below(2) == 0)
+        line(var(I) + " := " + std::to_string(Rng.intIn(-4, 6)) + ";");
+      else
+        line(var(I) + " := *;");
+    statements(Opts.MaxStmts, 0);
+    // End with one assertion-shaped fact per program so the entailment
+    // path runs too (its verdict is irrelevant to the oracle).
+    line("assert(" + atom() + ");");
+    return std::move(Out);
+  }
+
+private:
+  std::string var(unsigned I) { return std::string(1, char('a' + I % 26)); }
+  std::string anyVar() { return var(unsigned(Rng.below(Opts.Vars))); }
+  std::string num(int64_t Lo, int64_t Hi) {
+    return std::to_string(Rng.intIn(Lo, Hi));
+  }
+
+  void line(const std::string &S) {
+    Out.append(Indent, ' ');
+    Out += S;
+    Out += '\n';
+  }
+
+  /// "base + c" with the sign folded into the operator ("base - 2"), since
+  /// the term grammar only allows a leading minus at expression start.
+  std::string plusConst(const std::string &Base, int64_t C) {
+    if (C < 0)
+      return Base + " - " + std::to_string(-C);
+    return Base + " + " + std::to_string(C);
+  }
+
+  std::string expr() {
+    switch (Rng.below(Opts.Functions ? 8 : 5)) {
+    case 0:
+      return num(-4, 8);
+    case 1:
+      return anyVar();
+    case 2:
+      return plusConst(anyVar(), Rng.intIn(-3, 3));
+    case 3:
+      return anyVar() + " + " + anyVar();
+    case 4:
+      return num(1, 3) + "*" + anyVar() + " - " + anyVar();
+    case 5:
+      return "F(" + anyVar() + ")";
+    case 6:
+      return "F(" + plusConst(anyVar(), Rng.intIn(-2, 2)) + ")";
+    default:
+      return "G(" + anyVar() + ", " + anyVar() + ")";
+    }
+  }
+
+  std::string atom() {
+    switch (Rng.below(Opts.TheoryPreds ? 7 : 5)) {
+    case 0:
+      return anyVar() + " <= " + num(-2, 10);
+    case 1:
+      return num(-4, 4) + " <= " + anyVar();
+    case 2:
+      return anyVar() + " <= " + anyVar();
+    case 3:
+      return anyVar() + " = " + num(-4, 8);
+    case 4:
+      return anyVar() + " = " + anyVar();
+    case 5:
+      return "even(" + anyVar() + ")";
+    default:
+      return "positive(" + anyVar() + ")";
+    }
+  }
+
+  std::string cond() {
+    uint64_t K = Rng.below(6);
+    if (K < 2)
+      return "*";
+    if (K < 5)
+      return atom();
+    return "!(" + atom() + ")";
+  }
+
+  void statements(unsigned Budget, unsigned Depth) {
+    while (Budget > 0) {
+      unsigned Used = statement(Budget, Depth);
+      Budget -= Used > Budget ? Budget : Used;
+    }
+  }
+
+  /// Emits one statement; returns how much budget it consumed (compound
+  /// statements charge for their bodies).
+  unsigned statement(unsigned Budget, unsigned Depth) {
+    bool CanNest = Depth < Opts.MaxDepth && Budget >= 3;
+    switch (Rng.below(CanNest ? 10 : 6)) {
+    case 0:
+    case 1:
+    case 2:
+      line(anyVar() + " := " + expr() + ";");
+      return 1;
+    case 3:
+      line(anyVar() + " := *;");
+      return 1;
+    case 4:
+      line("assume(" + atom() + ");");
+      return 1;
+    case 5:
+      line("assert(" + atom() + ");");
+      return 1;
+    case 6:
+    case 7: { // if, sometimes with else
+      unsigned Body = 1 + unsigned(Rng.below(Budget - 2));
+      bool Else = Rng.below(2) == 0;
+      unsigned ElseBody = Else && Budget - Body > 1
+                              ? 1 + unsigned(Rng.below(Budget - Body - 1))
+                              : 0;
+      line("if (" + cond() + ") {");
+      Indent += 2;
+      statements(Body, Depth + 1);
+      Indent -= 2;
+      if (ElseBody > 0) {
+        line("} else {");
+        Indent += 2;
+        statements(ElseBody, Depth + 1);
+        Indent -= 2;
+      }
+      line("}");
+      return 1 + Body + ElseBody;
+    }
+    default: { // while
+      if (Loops >= Opts.MaxLoops) {
+        line(anyVar() + " := " + expr() + ";");
+        return 1;
+      }
+      ++Loops;
+      unsigned Body = 1 + unsigned(Rng.below(Budget - 2));
+      // Half the loops are the canonical counted shape (bounded counter,
+      // increment first in the body) so narrowing has exits to refine; the
+      // rest run on a random condition.
+      if (Rng.below(2) == 0) {
+        std::string V = anyVar();
+        std::string Bound = num(2, 8);
+        line(V + " := 0;");
+        line("while (" + V + " <= " + Bound + ") {");
+        Indent += 2;
+        line(V + " := " + V + " + 1;");
+        statements(Body, Depth + 1);
+        Indent -= 2;
+      } else {
+        line("while (" + cond() + ") {");
+        Indent += 2;
+        statements(Body, Depth + 1);
+        Indent -= 2;
+      }
+      line("}");
+      return 2 + Body;
+    }
+    }
+  }
+
+  const GenOptions &Opts;
+  SplitMix64 Rng;
+  std::string Out;
+  unsigned Indent = 0;
+  unsigned Loops = 0;
+};
+
+} // namespace
+
+std::string cai::interp::generateProgram(const GenOptions &Opts) {
+  return Generator(Opts).run();
+}

@@ -9,20 +9,44 @@ using namespace cai;
 
 namespace {
 
-/// Strips // comments so the shared Lexer does not need to know about them.
+/// Blanks // comments with spaces so the shared Lexer does not need to
+/// know about them.  Blanking (rather than deleting) keeps every byte
+/// offset identical to the original source, so lexer error positions can
+/// be mapped back to a line and column.
 std::string stripComments(std::string_view Source) {
-  std::string Out;
-  Out.reserve(Source.size());
-  for (size_t I = 0; I < Source.size();) {
-    if (Source[I] == '/' && I + 1 < Source.size() && Source[I + 1] == '/') {
-      while (I < Source.size() && Source[I] != '\n')
-        ++I;
+  std::string Out(Source);
+  for (size_t I = 0; I < Out.size();) {
+    if (Out[I] == '/' && I + 1 < Out.size() && Out[I + 1] == '/') {
+      while (I < Out.size() && Out[I] != '\n')
+        Out[I++] = ' ';
       continue;
     }
-    Out.push_back(Source[I]);
     ++I;
   }
   return Out;
+}
+
+/// Rewrites a trailing " at offset N" (the shared lexer's error format)
+/// into " at line L, column C" (both 1-based) against the original source.
+std::string withLineInfo(std::string Message, std::string_view Source) {
+  const std::string Marker = " at offset ";
+  size_t Pos = Message.rfind(Marker);
+  if (Pos == std::string::npos ||
+      Message.find_first_not_of("0123456789", Pos + Marker.size()) !=
+          std::string::npos)
+    return Message;
+  size_t Offset = std::stoul(Message.substr(Pos + Marker.size()));
+  size_t Line = 1, Col = 1;
+  for (size_t I = 0; I < Offset && I < Source.size(); ++I) {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+  }
+  return Message.substr(0, Pos) + " at line " + std::to_string(Line) +
+         ", column " + std::to_string(Col);
 }
 
 class StatementParser {
@@ -216,7 +240,7 @@ std::optional<Program> cai::parseProgram(TermContext &Ctx,
   StatementParser SP(Ctx, Lex, B, Err);
   if (!SP.parseStatements(/*InsideBlock=*/false)) {
     if (Error)
-      *Error = Err.empty() ? "parse error" : Err;
+      *Error = Err.empty() ? "parse error" : withLineInfo(std::move(Err), Source);
     return std::nullopt;
   }
   return B.take();

@@ -29,7 +29,8 @@
 namespace cai {
 
 /// Parses a mini-language program.  On failure returns std::nullopt and
-/// sets \p Error to a message with a byte offset.
+/// sets \p Error to a diagnostic ending in "at line L, column C" (1-based,
+/// relative to \p Source including comments).
 std::optional<Program> parseProgram(TermContext &Ctx, std::string_view Source,
                                     std::string *Error = nullptr);
 

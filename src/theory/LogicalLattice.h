@@ -174,7 +174,9 @@ public:
                             const Conjunction &New) const;
 
   /// Greatest lower bound M_L: conjunction, with bottom detection.
-  Conjunction meet(const Conjunction &A, const Conjunction &B) const;
+  /// Virtual so decorators (check/CheckedLattice.h) can intercept it; the
+  /// default is right for every concrete domain.
+  virtual Conjunction meet(const Conjunction &A, const Conjunction &B) const;
 
   /// Convenience: E entails every atom of \p C.
   bool entailsAll(const Conjunction &E, const Conjunction &C) const;

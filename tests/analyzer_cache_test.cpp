@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
+#include "check/CheckedLattice.h"
 #include "domains/affine/AffineDomain.h"
 #include "domains/poly/PolyDomain.h"
 #include "domains/uf/UFDomain.h"
@@ -150,6 +151,62 @@ TEST(AnalyzerCacheTest, DifferentialPolyOverTestdata) {
                                                     : &PolyAffine;
       expectCacheEquivalent(*L, *P,
                             File.filename().string() + " " + L->name());
+    }
+  }
+}
+
+TEST(AnalyzerCacheTest, DifferentialTestdataUnderContractChecks) {
+  // The memo-on/off differential again, this time with the online
+  // lattice-contract checker wrapped around each domain: both runs must
+  // still agree bit-for-bit, the decorator must be semantically invisible,
+  // and no run may violate a contract.  Routing the checked operations
+  // through the inner lattice's cached entry points means a stale memo
+  // entry would surface here as a violation.
+  namespace fs = std::filesystem;
+  std::vector<fs::path> Files;
+  for (const auto &Entry : fs::directory_iterator(CAI_TESTDATA_DIR))
+    if (Entry.path().extension() == ".imp")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  ASSERT_FALSE(Files.empty());
+
+  enum class Spec { Poly, PolyUF, PolyAffine };
+  for (const fs::path &File : Files) {
+    std::ifstream In(File);
+    ASSERT_TRUE(In) << File;
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    for (Spec S : {Spec::Poly, Spec::PolyUF, Spec::PolyAffine}) {
+      TermContext Ctx;
+      std::string ParseError;
+      std::optional<Program> P = parseProgram(Ctx, Buffer.str(), &ParseError);
+      ASSERT_TRUE(P) << File << ": " << ParseError;
+
+      PolyDomain Poly(Ctx);
+      UFDomain UF(Ctx);
+      AffineDomain Affine(Ctx);
+      LogicalProduct PolyUF(Ctx, Poly, UF);
+      LogicalProduct PolyAffine(Ctx, Poly, Affine);
+      const LogicalLattice *L = S == Spec::Poly ? (const LogicalLattice *)&Poly
+                                : S == Spec::PolyUF ? &PolyUF
+                                                    : &PolyAffine;
+      check::CheckedLattice Checked(*L);
+      std::string What =
+          File.filename().string() + " checked " + L->name();
+      expectCacheEquivalent(Checked, *P, What);
+      EXPECT_TRUE(Checked.violations().empty())
+          << What << ": " << (Checked.violations().empty()
+                                  ? std::string()
+                                  : Checked.describe(Checked.violations()[0]));
+      EXPECT_GT(Checked.checksRun(), 0u) << What;
+
+      // And the decorator must not change the answer.
+      AnalysisResult Plain = Analyzer(*L).run(*P);
+      AnalysisResult Audited = Analyzer(Checked).run(*P);
+      ASSERT_EQ(Plain.Invariants.size(), Audited.Invariants.size()) << What;
+      for (size_t N = 0; N < Plain.Invariants.size(); ++N)
+        EXPECT_TRUE(Plain.Invariants[N] == Audited.Invariants[N])
+            << What << " node " << N;
     }
   }
 }

@@ -1,0 +1,119 @@
+//===- tests/parser_errors_test.cpp - Front-end error-path tests ----------===//
+///
+/// \file
+/// Malformed mini-language input must produce a diagnostic that names the
+/// line and column of the offending token -- never a crash, hang, or
+/// silent empty program.  Covers the classic breakages (unterminated
+/// blocks, statements that start with no statement token, half-written
+/// atoms) plus the comment/offset interaction: comments are blanked, not
+/// deleted, so positions count the original source bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cai;
+
+namespace {
+
+/// Expects \p Source to fail with a message containing \p Fragment and a
+/// "line L, column C" location.
+void expectError(const std::string &Source, const std::string &Fragment,
+                 unsigned Line) {
+  TermContext Ctx;
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, Source, &Error);
+  EXPECT_FALSE(P) << "parse unexpectedly succeeded for:\n" << Source;
+  EXPECT_NE(Error.find(Fragment), std::string::npos)
+      << "diagnostic '" << Error << "' lacks '" << Fragment << "'";
+  std::string Loc = " at line " + std::to_string(Line) + ",";
+  EXPECT_NE(Error.find(Loc), std::string::npos)
+      << "diagnostic '" << Error << "' lacks '" << Loc << "'";
+}
+
+TEST(ParserErrorsTest, UnterminatedLoop) {
+  expectError("x := 0;\n"
+              "while (x <= 3) {\n"
+              "  x := x + 1;\n",
+              "unexpected end of input", 4);
+}
+
+TEST(ParserErrorsTest, UnterminatedIf) {
+  expectError("if (*) {\n"
+              "  x := 1;\n",
+              "unexpected end of input", 3);
+}
+
+TEST(ParserErrorsTest, UnknownStatement) {
+  expectError("x := 1;\n"
+              "123;\n",
+              "expected a statement", 2);
+}
+
+TEST(ParserErrorsTest, StrayCloseBrace) {
+  expectError("x := 1;\n"
+              "}\n",
+              "unexpected '}'", 2);
+}
+
+TEST(ParserErrorsTest, BadAtomInAssume) {
+  expectError("x := 1;\n"
+              "assume(x <= );\n",
+              "expected a term", 2);
+}
+
+TEST(ParserErrorsTest, BadAtomInCondition) {
+  expectError("while (x !! 3) {\n"
+              "}\n",
+              "expected a relational operator", 1);
+}
+
+TEST(ParserErrorsTest, MissingAssignOperator) {
+  expectError("x = 1;\n", "expected ':='", 1);
+}
+
+TEST(ParserErrorsTest, MissingSemicolon) {
+  expectError("x := 1\n"
+              "y := 2;\n",
+              "expected ';'", 2);
+}
+
+TEST(ParserErrorsTest, CommentsDoNotShiftPositions) {
+  // The error is on line 3; the two comment lines above it must not skew
+  // the reported position (comments are blanked, not removed).
+  expectError("// a comment\n"
+              "// another comment\n"
+              "x := ;\n",
+              "expected a term", 3);
+}
+
+TEST(ParserErrorsTest, ColumnIsAccurate) {
+  TermContext Ctx;
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx, "x := 1;\ny := @;\n", &Error);
+  ASSERT_FALSE(P);
+  // '@' is byte 6 of line 2 (1-based column 6).
+  EXPECT_NE(Error.find("line 2, column 6"), std::string::npos) << Error;
+}
+
+TEST(ParserErrorsTest, ValidProgramStillParses) {
+  // Guard against over-eager rejection: the happy path with comments,
+  // nesting and every statement form.
+  TermContext Ctx;
+  std::string Error;
+  std::optional<Program> P = parseProgram(Ctx,
+                                          "// leading comment\n"
+                                          "x := 0; // trailing comment\n"
+                                          "while (x <= 3) {\n"
+                                          "  if (*) { x := x + 1; }\n"
+                                          "  else { x := x + 2; }\n"
+                                          "}\n"
+                                          "assume(0 <= x);\n"
+                                          "assert(x <= 5);\n",
+                                          &Error);
+  EXPECT_TRUE(P) << Error;
+}
+
+} // namespace

@@ -37,13 +37,33 @@
 ///                     step -- join, widening, component join/widening,
 ///                     quantification -- that discarded the needed facts,
 ///                     and which component domain dropped them
+///   --check[=MODE]    soundness self-audit (docs/SOUNDNESS.md); MODE is
+///                     contracts -- wrap the domain in the online
+///                       lattice-contract checker: every join/widen/meet/
+///                       existQuant during the analysis is verified as an
+///                       upper/lower bound via the domain's own entailment,
+///                       violations attributed to the exact engine step;
+///                     oracle -- after a converged run, replay the program
+///                       concretely under exact rational semantics and
+///                       assert every reached state satisfies the fixpoint
+///                       invariant at its node;
+///                     all (the default) -- both
+///   --check-traces=N  concrete replays for the oracle (default 32)
+///   --check-seed=N    base RNG seed for the oracle replays (default 1)
+///   --test-break-join[=N]
+///                     testing hook: deliberately break the domain's join
+///                     (return the left operand) from the N-th call onward
+///                     so the checker's detection path can be exercised
 ///
 /// Exit code: 0 if every assertion verified and the fixpoint converged,
-/// 1 otherwise, 2 on usage/parse errors.
+/// 1 otherwise, 2 on usage/parse errors, 3 if --check found a soundness
+/// or contract violation.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
+#include "check/CheckedLattice.h"
+#include "check/FaultInjection.h"
 #include "domains/affine/AffineDomain.h"
 #include "domains/arrays/ArrayDomain.h"
 #include "domains/lists/ListDomain.h"
@@ -52,6 +72,7 @@
 #include "domains/sign/SignDomain.h"
 #include "domains/uf/UFDomain.h"
 #include "encodings/Encodings.h"
+#include "interp/Oracle.h"
 #include "ir/ProgramParser.h"
 #include "obs/Metrics.h"
 #include "obs/Provenance.h"
@@ -192,13 +213,17 @@ void usage() {
       "                   [--encode=comm|arity] [--widening-delay=N]\n"
       "                   [--poly-max-rows=N] [--no-memo]\n"
       "                   [--trace-out=FILE] [--metrics-out=FILE]\n"
-      "                   [--explain[=<label|node>]] <program.imp>\n"
+      "                   [--explain[=<label|node>]]\n"
+      "                   [--check[=oracle|contracts|all]] [--check-traces=N]\n"
+      "                   [--check-seed=N] [--test-break-join[=N]]\n"
+      "                   <program.imp>\n"
       "domain specs: affine poly uf parity sign lists arrays\n"
       "              direct:<a>,<b>  reduced:<a>,<b>  logical:<a>,<b>\n"
       "              nested: logical:(logical:affine,uf),lists\n"
       "exit codes:   0 all assertions verified and fixpoint converged\n"
       "              1 some assertion failed or fixpoint did not converge\n"
-      "              2 usage, parse, or I/O error\n");
+      "              2 usage, parse, or I/O error\n"
+      "              3 --check found a soundness or contract violation\n");
 }
 
 } // namespace
@@ -213,6 +238,11 @@ int main(int Argc, char **Argv) {
   bool ShowInvariants = false;
   bool ShowStats = false;
   bool Explain = false;
+  bool CheckContracts = false;
+  bool CheckOracle = false;
+  bool BreakJoin = false;
+  unsigned BreakJoinFrom = 0;
+  interp::OracleOptions OracleOpts;
   AnalyzerOptions Opts;
 
   for (int I = 1; I < Argc; ++I) {
@@ -240,6 +270,47 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("--explain=", 0) == 0) {
       Explain = true;
       ExplainSel = Arg.substr(10);
+    } else if (Arg == "--check" || Arg == "--check=all") {
+      CheckContracts = CheckOracle = true;
+    } else if (Arg == "--check=contracts") {
+      CheckContracts = true;
+    } else if (Arg == "--check=oracle") {
+      CheckOracle = true;
+    } else if (Arg.rfind("--check=", 0) == 0) {
+      std::fprintf(stderr, "error: unknown --check mode '%s'\n",
+                   Arg.substr(8).c_str());
+      return 2;
+    } else if (Arg.rfind("--check-traces=", 0) == 0) {
+      std::string Value = Arg.substr(15);
+      if (Value.empty() ||
+          Value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "error: --check-traces expects a number, got '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      OracleOpts.Traces = static_cast<unsigned>(std::stoul(Value));
+    } else if (Arg.rfind("--check-seed=", 0) == 0) {
+      std::string Value = Arg.substr(13);
+      if (Value.empty() ||
+          Value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "error: --check-seed expects a number, got '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      OracleOpts.Seed = std::stoull(Value);
+    } else if (Arg == "--test-break-join") {
+      BreakJoin = true;
+    } else if (Arg.rfind("--test-break-join=", 0) == 0) {
+      std::string Value = Arg.substr(18);
+      if (Value.empty() ||
+          Value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --test-break-join expects a number, got '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      BreakJoin = true;
+      BreakJoinFrom = static_cast<unsigned>(std::stoul(Value));
     } else if (Arg.rfind("--widening-delay=", 0) == 0) {
       std::string Value = Arg.substr(17);
       if (Value.empty() ||
@@ -309,6 +380,18 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Decorator stack: Checked(Broken(Domain)).  The fault-injection layer
+  // sits inside so the checker convicts it like any other buggy domain.
+  if (BreakJoin)
+    Domain = Factory.keep(
+        std::make_unique<check::BrokenJoinLattice>(*Domain, BreakJoinFrom));
+  check::CheckedLattice *Checker = nullptr;
+  if (CheckContracts) {
+    auto Checked = std::make_unique<check::CheckedLattice>(*Domain);
+    Checker = Checked.get();
+    Domain = Factory.keep(std::move(Checked));
+  }
+
   std::string ParseError;
   std::optional<Program> P = parseProgram(Ctx, Buffer.str(), &ParseError);
   if (!P) {
@@ -335,7 +418,9 @@ int main(int Argc, char **Argv) {
   if (!MetricsOut.empty())
     obs::MetricsRegistry::global().enableTiming(true);
   obs::ProvenanceRecorder Recorder;
-  if (Explain)
+  // The contract checker reads the recorder's engine-step context to
+  // attribute violations, so checking implies recording.
+  if (Explain || CheckContracts)
     obs::ProvenanceRecorder::install(&Recorder);
 
   AnalysisResult R = Analyzer(*Domain, Opts).run(Analyzed);
@@ -436,9 +521,40 @@ int main(int Argc, char **Argv) {
                                 : "no failed assertion matches the selector");
   }
 
+  bool CheckViolated = false;
+  if (Checker) {
+    std::printf("\ncontracts:  %lu entailment probes, %zu violations\n",
+                Checker->checksRun(), Checker->violations().size());
+    for (const check::CheckViolation &V : Checker->violations())
+      std::fprintf(stderr, "%s\n", Checker->describe(V).c_str());
+    CheckViolated |= !Checker->violations().empty();
+  }
+  if (CheckOracle) {
+    if (!R.Converged) {
+      std::fprintf(stderr,
+                   "check: oracle skipped -- fixpoint did not converge, so "
+                   "the invariants under-approximate by construction\n");
+    } else {
+      interp::OracleReport Rep =
+          interp::checkSoundness(Ctx, Analyzed, R, *Domain, OracleOpts);
+      std::printf("oracle:     %u traces, %lu states, %lu invariant atoms "
+                  "checked, %zu violations\n",
+                  Rep.Traces, Rep.StatesChecked, Rep.AtomsChecked,
+                  Rep.Violations.size());
+      for (const interp::OracleViolation &V : Rep.Violations)
+        std::fprintf(stderr, "%s\n", interp::describe(Ctx, V).c_str());
+      CheckViolated |= !Rep.ok();
+    }
+  }
+
   unsigned Verified = R.numVerified();
   std::printf("\n%u/%zu assertions verified\n", Verified,
               R.Assertions.size());
+  if (CheckViolated) {
+    std::fprintf(stderr, "error: soundness self-audit failed (see "
+                         "violations above)\n");
+    return 3;
+  }
   if (!R.Converged) {
     // A truncated fixpoint means the invariants may under-approximate
     // reachable states, so even an all-VERIFIED report is not trustworthy.

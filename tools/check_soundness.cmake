@@ -1,0 +1,17 @@
+# Runs TOOL with ARGS (a ;-list) under the soundness self-audit and fails
+# on any audit-relevant exit code.  Exit 0 (all verified) and exit 1 (an
+# assertion legitimately not verified, or e.g. explain_loss.imp's
+# intentionally false assertions) are both fine -- the audit's verdict is
+# the absence of exit 3 (check violation) and exit 2 (the tool failed to
+# run at all):
+#
+#   cmake -DTOOL=... -DARGS=... -P check_soundness.cmake
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${ARG_LIST}
+                RESULT_VARIABLE RC
+                OUTPUT_VARIABLE OUT
+                ERROR_VARIABLE ERR)
+if(RC GREATER_EQUAL 2)
+  message(FATAL_ERROR "soundness audit failed (exit ${RC})\n"
+                      "stdout:\n${OUT}\nstderr:\n${ERR}")
+endif()
