@@ -25,6 +25,9 @@
 #include "ir/Program.h"
 #include "theory/LogicalLattice.h"
 
+#include <atomic>
+#include <chrono>
+
 namespace cai {
 
 /// Tuning knobs for one analysis run.
@@ -51,6 +54,17 @@ struct AnalyzerOptions {
   /// memoization on or off (the cache-equivalence test enforces this); off
   /// exists for that test and for measuring the speedup.
   bool Memoize = true;
+  /// Cooperative cancellation: when non-null and set, the fixpoint loop
+  /// stops at its next step boundary and the run returns with
+  /// Cancelled = true (Converged = false, every assertion unverified).
+  /// The analysis service points every worker's jobs at a shared shutdown
+  /// flag; nothing is ever killed mid-lattice-operation.
+  const std::atomic<bool> *CancelFlag = nullptr;
+  /// Cooperative deadline: a non-epoch value makes the fixpoint loop
+  /// check the clock at each step boundary and cancel the run once the
+  /// deadline passes (same reporting as CancelFlag).  Drives the per-job
+  /// timeout of the service and `cai-analyze --timeout-ms`.
+  std::chrono::steady_clock::time_point Deadline{};
 };
 
 /// Counters the benchmarks report (Theorem 6 measures MaxNodeUpdates).
@@ -95,6 +109,10 @@ struct AnalysisResult {
   std::vector<AssertionVerdict> Assertions;
   AnalyzerStats Stats;
   bool Converged = true;
+  /// True when the run was stopped by AnalyzerOptions::CancelFlag or
+  /// Deadline before stabilizing.  Implies Converged == false; the
+  /// invariants computed so far under-approximate and must not be trusted.
+  bool Cancelled = false;
 
   unsigned numVerified() const {
     unsigned N = 0;

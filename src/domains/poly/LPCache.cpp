@@ -33,9 +33,9 @@ uint64_t LPKey::fingerprint() const {
   return H;
 }
 
-/// One analysis per thread (the QueryCache contract), so a plain static
-/// suffices; sharded analyses would make this thread_local.
-static SimplexCache *ActiveCache = nullptr;
+/// One analysis per thread (the QueryCache contract); thread_local so the
+/// analysis service's sharded workers each scope their own cache.
+static thread_local SimplexCache *ActiveCache = nullptr;
 
 SimplexCache *SimplexCache::active() { return ActiveCache; }
 

@@ -17,7 +17,7 @@ using namespace cai;
 
 /// Process-wide row cap (one analysis per process; cai-analyze sets it from
 /// --poly-max-rows before running).
-static size_t RowCap = DefaultPolyRowCap;
+static thread_local size_t RowCap = DefaultPolyRowCap;
 
 size_t cai::polyRowCap() { return RowCap; }
 void cai::setPolyRowCap(size_t Cap) { RowCap = Cap; }

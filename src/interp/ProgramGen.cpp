@@ -65,12 +65,31 @@ private:
     case 4:
       return num(1, 3) + "*" + anyVar() + " - " + anyVar();
     case 5:
-      return "F(" + anyVar() + ")";
+      return "F(" + fnArg(1) + ")";
     case 6:
       return "F(" + plusConst(anyVar(), Rng.intIn(-2, 2)) + ")";
     default:
-      return "G(" + anyVar() + ", " + anyVar() + ")";
+      return "G(" + fnArg(1) + ", " + fnArg(1) + ")";
     }
+  }
+
+  /// An argument of a function application already \p Depth levels deep:
+  /// while the MaxFnDepth budget lasts it may be another application
+  /// (yielding compositions like F(G(a, b)) and deeper towers), after
+  /// that a scalar.
+  std::string fnArg(unsigned Depth) {
+    if (Depth < Opts.MaxFnDepth) {
+      switch (Rng.below(4)) {
+      case 0:
+        return "F(" + fnArg(Depth + 1) + ")";
+      case 1:
+        return "G(" + fnArg(Depth + 1) + ", " + fnArg(Depth + 1) + ")";
+      default:
+        break; // Fall through to a scalar: towers stay sparse.
+      }
+    }
+    return Rng.below(3) == 0 ? plusConst(anyVar(), Rng.intIn(-2, 2))
+                             : anyVar();
   }
 
   std::string atom() {

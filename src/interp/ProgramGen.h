@@ -34,6 +34,12 @@ struct GenOptions {
   unsigned MaxLoops = 2;  ///< Total while loops per program.
   bool Functions = true;  ///< Allow F(...)/G(...,...) applications.
   bool TheoryPreds = true; ///< Allow even/positive atoms.
+  /// Nesting budget for function applications: 1 keeps arguments scalar
+  /// (F(x), G(x, y)); 2 allows one composition level (F(G(a, b))); higher
+  /// values build deeper towers.  Composed terms are the shapes the UF
+  /// congruence machinery and the arity-reduction encoding care about, and
+  /// the service's batch corpus generates them at depth 3.
+  unsigned MaxFnDepth = 1;
 };
 
 /// Generates one program, deterministic in \p Opts (notably Seed).  The

@@ -14,6 +14,25 @@ MetricsRegistry &MetricsRegistry::global() {
   return *R;
 }
 
+/// The per-thread override; null means "use global()".
+static thread_local MetricsRegistry *CurrentRegistry = nullptr;
+
+MetricsRegistry &MetricsRegistry::current() {
+  return CurrentRegistry ? *CurrentRegistry : global();
+}
+
+void MetricsRegistry::install(MetricsRegistry *R) { CurrentRegistry = R; }
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry &Shard) {
+  assertOwned();
+  for (const auto &[Name, C] : Shard.Counters)
+    Counters[Name].inc(C.value());
+  for (const auto &[Name, G] : Shard.Gauges)
+    Gauges[Name].set(G.value());
+  for (const auto &[Name, H] : Shard.Histograms)
+    Histograms[Name].merge(H);
+}
+
 std::map<std::string, uint64_t> MetricsRegistry::counterValues() const {
   std::map<std::string, uint64_t> Out;
   for (const auto &[Name, C] : Counters)

@@ -10,23 +10,34 @@
 /// byte-identical output (the --stats determinism test relies on this).
 ///
 /// Hot-path discipline: a counter increment is one pointer-stable
-/// reference obtained once (function-local static at the probe site) plus
-/// a 64-bit add -- no lookup, no lock (one analysis per thread, same
-/// contract as QueryCache).  Time histograms cost a clock read per sample
-/// and are therefore gated behind enableTiming(), which cai-analyze turns
-/// on with --metrics-out.  -DCAI_DISABLE_OBS compiles the probe macros out
-/// entirely.
+/// reference cached per probe site and thread (a thread_local local,
+/// revalidated against the thread's installed registry by one pointer
+/// compare) plus a 64-bit add -- no lookup, no lock (one analysis per
+/// thread, same contract as QueryCache).  Time histograms cost a clock
+/// read per sample and are therefore gated behind enableTiming(), which
+/// cai-analyze turns on with --metrics-out.  -DCAI_DISABLE_OBS compiles
+/// the probe macros out entirely.
+///
+/// Sharding: probes resolve through MetricsRegistry::current(), which is
+/// the registry installed on the calling thread (install()) or the
+/// process-wide global() when none is.  The analysis service gives every
+/// worker its own shard registry and merges them deterministically on
+/// export (mergeFrom: counters and histograms sum, gauges last-shard
+/// wins).  Each registry asserts, in builds with assertions (all of
+/// ours), that mutation happens only on the thread that owns it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CAI_OBS_METRICS_H
 #define CAI_OBS_METRICS_H
 
+#include <cassert>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
+#include <thread>
 
 namespace cai {
 namespace obs {
@@ -78,6 +89,21 @@ public:
   double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
   uint64_t bucket(unsigned I) const { return Buckets[I]; }
 
+  /// Folds \p RHS into this histogram: counts, sums and buckets add,
+  /// min/max combine.  The shard-merge primitive.
+  void merge(const Histogram &RHS) {
+    if (RHS.Count == 0)
+      return;
+    if (Count == 0 || RHS.MinV < MinV)
+      MinV = RHS.MinV;
+    if (Count == 0 || RHS.MaxV > MaxV)
+      MaxV = RHS.MaxV;
+    Count += RHS.Count;
+    Sum += RHS.Sum;
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      Buckets[I] += RHS.Buckets[I];
+  }
+
 private:
   uint64_t Count = 0;
   double Sum = 0, MinV = 0, MaxV = 0;
@@ -89,13 +115,44 @@ private:
 /// singleton), which is what lets probe sites cache them in local statics.
 class MetricsRegistry {
 public:
+  MetricsRegistry() : Owner(std::this_thread::get_id()) {}
+
   /// The process-wide registry (never destroyed, so probe sites cached in
   /// static locals stay valid during shutdown).
   static MetricsRegistry &global();
 
-  Counter &counter(const std::string &Name) { return Counters[Name]; }
-  Gauge &gauge(const std::string &Name) { return Gauges[Name]; }
-  Histogram &histogram(const std::string &Name) { return Histograms[Name]; }
+  /// The registry probes on the calling thread resolve to: the one
+  /// installed with install() on this thread, else global().
+  static MetricsRegistry &current();
+
+  /// Installs \p R as the calling thread's registry (nullptr reverts to
+  /// global()).  The caller keeps ownership.  Service workers install
+  /// their shard registry once, at thread start, before any probe runs.
+  static void install(MetricsRegistry *R);
+
+  /// Rebinds the ownership assertion to the calling thread; a scheduler
+  /// constructs shard registries up front and each worker adopts its own.
+  void adoptByCurrentThread() { Owner = std::this_thread::get_id(); }
+
+  Counter &counter(const std::string &Name) {
+    assertOwned();
+    return Counters[Name];
+  }
+  Gauge &gauge(const std::string &Name) {
+    assertOwned();
+    return Gauges[Name];
+  }
+  Histogram &histogram(const std::string &Name) {
+    assertOwned();
+    return Histograms[Name];
+  }
+
+  /// Folds \p Shard into this registry: counters and histogram contents
+  /// sum; gauges take the incoming value (so merging shards in index
+  /// order makes the last-writing shard win deterministically).  Reads
+  /// \p Shard without asserting its ownership -- callers merge after the
+  /// shard's worker has been joined.
+  void mergeFrom(const MetricsRegistry &Shard);
 
   /// Whether ScopedTimer samples are recorded (clock reads cost ~20ns
   /// each; off by default).
@@ -116,18 +173,54 @@ public:
   void reset();
 
 private:
+  /// Mutating a registry from a thread that does not own it corrupts the
+  /// std::map undetectably; fail loudly instead.
+  void assertOwned() const {
+    assert(Owner == std::this_thread::get_id() &&
+           "MetricsRegistry mutated from a thread other than its owner; "
+           "shard registries must be installed/adopted per worker thread");
+  }
+
   bool Timing = false;
+  std::thread::id Owner;
   std::map<std::string, Counter> Counters;
   std::map<std::string, Gauge> Gauges;
   std::map<std::string, Histogram> Histograms;
 };
+
+namespace detail {
+
+/// Per-site, per-thread probe caching: revalidates the cached reference
+/// with one pointer compare so installing a different registry on this
+/// thread (or never installing one) always resolves correctly.
+inline Counter &currentCounter(MetricsRegistry *&Cached, Counter *&C,
+                               const char *Name) {
+  MetricsRegistry &Cur = MetricsRegistry::current();
+  if (&Cur != Cached) {
+    Cached = &Cur;
+    C = &Cur.counter(Name);
+  }
+  return *C;
+}
+
+inline Histogram &currentHistogram(MetricsRegistry *&Cached, Histogram *&H,
+                                   const char *Name) {
+  MetricsRegistry &Cur = MetricsRegistry::current();
+  if (&Cur != Cached) {
+    Cached = &Cur;
+    H = &Cur.histogram(Name);
+  }
+  return *H;
+}
+
+} // namespace detail
 
 /// RAII timer recording its scope's duration (microseconds) into a
 /// histogram when timing is enabled.
 class ScopedTimer {
 public:
   explicit ScopedTimer(Histogram &H)
-      : H(MetricsRegistry::global().timingEnabled() ? &H : nullptr) {
+      : H(MetricsRegistry::current().timingEnabled() ? &H : nullptr) {
     if (this->H)
       Start = std::chrono::steady_clock::now();
   }
@@ -157,25 +250,33 @@ private:
 #define CAI_OBS_CONCAT_(A, B) A##B
 #define CAI_OBS_CONCAT(A, B) CAI_OBS_CONCAT_(A, B)
 #endif
-/// Bumps the named counter; the registry lookup happens once per site.
+/// Bumps the named counter in the calling thread's registry; the registry
+/// lookup happens once per site per thread (plus one pointer compare per
+/// hit to revalidate against the installed registry).
 #define CAI_METRIC_INC(Name)                                                   \
   do {                                                                         \
-    static ::cai::obs::Counter &CaiC =                                         \
-        ::cai::obs::MetricsRegistry::global().counter(Name);                   \
-    CaiC.inc();                                                                \
+    static thread_local ::cai::obs::MetricsRegistry *CaiR = nullptr;           \
+    static thread_local ::cai::obs::Counter *CaiC = nullptr;                   \
+    ::cai::obs::detail::currentCounter(CaiR, CaiC, Name).inc();                \
   } while (0)
 #define CAI_METRIC_ADD(Name, N)                                                \
   do {                                                                         \
-    static ::cai::obs::Counter &CaiC =                                         \
-        ::cai::obs::MetricsRegistry::global().counter(Name);                   \
-    CaiC.inc(static_cast<uint64_t>(N));                                        \
+    static thread_local ::cai::obs::MetricsRegistry *CaiR = nullptr;           \
+    static thread_local ::cai::obs::Counter *CaiC = nullptr;                   \
+    ::cai::obs::detail::currentCounter(CaiR, CaiC, Name)                       \
+        .inc(static_cast<uint64_t>(N));                                        \
   } while (0)
 /// Times the rest of the enclosing scope into the named histogram.
 #define CAI_METRIC_TIME(Name)                                                  \
-  static ::cai::obs::Histogram &CAI_OBS_CONCAT(CaiH_, __LINE__) =              \
-      ::cai::obs::MetricsRegistry::global().histogram(Name);                   \
+  static thread_local ::cai::obs::MetricsRegistry *CAI_OBS_CONCAT(             \
+      CaiMR_, __LINE__) = nullptr;                                             \
+  static thread_local ::cai::obs::Histogram *CAI_OBS_CONCAT(CaiHP_,            \
+                                                            __LINE__) =       \
+      nullptr;                                                                 \
   ::cai::obs::ScopedTimer CAI_OBS_CONCAT(CaiTimer_, __LINE__)(                 \
-      CAI_OBS_CONCAT(CaiH_, __LINE__))
+      ::cai::obs::detail::currentHistogram(                                    \
+          CAI_OBS_CONCAT(CaiMR_, __LINE__), CAI_OBS_CONCAT(CaiHP_, __LINE__), \
+          Name))
 #endif
 
 #endif // CAI_OBS_METRICS_H

@@ -11,7 +11,7 @@
 using namespace cai;
 using namespace cai::obs;
 
-ProvenanceRecorder *ProvenanceRecorder::Active = nullptr;
+thread_local ProvenanceRecorder *ProvenanceRecorder::Active = nullptr;
 
 const char *ProvenanceRecorder::stepName(Step S) {
   switch (S) {

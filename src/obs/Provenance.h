@@ -62,8 +62,8 @@ public:
   };
 
   static ProvenanceRecorder *active() { return Active; }
-  /// Installs \p R process-wide (nullptr disables recording); the caller
-  /// keeps ownership.
+  /// Installs \p R on the calling thread (nullptr disables recording);
+  /// the caller keeps ownership.
   static void install(ProvenanceRecorder *R) { Active = R; }
 
   void setContext(Context C) { Cur = C; }
@@ -93,7 +93,7 @@ public:
 private:
   Context Cur;
   std::vector<LossEvent> Events;
-  static ProvenanceRecorder *Active;
+  static thread_local ProvenanceRecorder *Active;
 };
 
 /// RAII context stamp for one engine-level lattice step.

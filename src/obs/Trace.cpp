@@ -5,7 +5,7 @@
 using namespace cai;
 using namespace cai::obs;
 
-Tracer *Tracer::Active = nullptr;
+thread_local Tracer *Tracer::Active = nullptr;
 
 namespace {
 
@@ -40,19 +40,18 @@ void writeEscaped(std::ostream &OS, const char *S) {
 
 } // namespace
 
-void Tracer::writeJson(std::ostream &OS) const {
+void Tracer::writeEvents(std::ostream &OS, unsigned Tid, bool &First) const {
   // The begin events whose matching end has not been recorded yet; they
   // are closed at MaxTs below so partial traces still load.
   unsigned Open = 0;
   uint64_t MaxTs = 0;
-  OS << "{\"traceEvents\":[";
-  bool First = true;
   for (const Event &E : Events) {
     if (!First)
       OS << ",";
     First = false;
     MaxTs = E.TsUs > MaxTs ? E.TsUs : MaxTs;
-    OS << "{\"ph\":\"" << E.Ph << "\",\"pid\":1,\"tid\":1,\"ts\":" << E.TsUs;
+    OS << "{\"ph\":\"" << E.Ph << "\",\"pid\":1,\"tid\":" << Tid
+       << ",\"ts\":" << E.TsUs;
     if (E.Ph == 'E') {
       if (Open)
         --Open;
@@ -89,7 +88,24 @@ void Tracer::writeJson(std::ostream &OS) const {
     if (!First)
       OS << ",";
     First = false;
-    OS << "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":" << MaxTs << "}";
+    OS << "{\"ph\":\"E\",\"pid\":1,\"tid\":" << Tid << ",\"ts\":" << MaxTs
+       << "}";
   }
+}
+
+void Tracer::writeJson(std::ostream &OS) const {
+  OS << "{\"traceEvents\":[";
+  bool First = true;
+  writeEvents(OS, 1, First);
+  OS << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::writeMergedJson(std::ostream &OS,
+                             const std::vector<const Tracer *> &Shards) {
+  OS << "{\"traceEvents\":[";
+  bool First = true;
+  for (size_t I = 0; I < Shards.size(); ++I)
+    if (Shards[I])
+      Shards[I]->writeEvents(OS, static_cast<unsigned>(I + 1), First);
   OS << "],\"displayTimeUnit\":\"ms\"}\n";
 }

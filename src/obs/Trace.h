@@ -20,17 +20,24 @@
 ///
 /// The tracer is deliberately not thread-safe: one analysis runs on one
 /// thread (see QueryCache.h for the same contract), and sharded analyses
-/// get a tracer per shard.
+/// get a tracer per shard.  Installation is therefore thread-local --
+/// every worker of the analysis service installs its own shard tracer --
+/// and each tracer asserts (debug builds keep assertions on) that all
+/// recording happens on the thread that adopted it.  Shards share an
+/// epoch and are merged deterministically on export by writeMergedJson,
+/// which maps shard index I to trace thread id I+1.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CAI_OBS_TRACE_H
 #define CAI_OBS_TRACE_H
 
+#include <cassert>
 #include <chrono>
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -52,31 +59,49 @@ public:
     Discard, ///< Run the probes, keep nothing (the E15 null sink).
   };
 
-  explicit Tracer(Sink S = Sink::Buffer) : Mode(S) {
+  explicit Tracer(Sink S = Sink::Buffer)
+      : Mode(S), Owner(std::this_thread::get_id()) {
     Start = std::chrono::steady_clock::now();
   }
+  /// Shard constructor: timestamps are relative to the shared \p Epoch so
+  /// merged shard timelines align.
+  Tracer(Sink S, std::chrono::steady_clock::time_point Epoch)
+      : Mode(S), Start(Epoch), Owner(std::this_thread::get_id()) {}
 
-  /// The installed tracer, or nullptr when tracing is off.  Every probe
-  /// site checks this once; the macros below do it for you.
+  /// The tracer installed on the calling thread, or nullptr when tracing
+  /// is off.  Every probe site checks this once; the macros below do it
+  /// for you.
   static Tracer *active() { return Active; }
 
-  /// Installs \p T as the process-wide tracer (nullptr disables tracing).
-  /// The caller keeps ownership and must uninstall before destroying it.
+  /// Installs \p T as the calling thread's tracer (nullptr disables
+  /// tracing on this thread).  The caller keeps ownership and must
+  /// uninstall before destroying it.
   static void install(Tracer *T) { Active = T; }
 
+  /// Rebinds the ownership assertion to the calling thread.  A scheduler
+  /// constructs shard tracers up front, then each worker adopts its shard
+  /// before installing it.  Only legal while no span is open.
+  void adoptByCurrentThread() {
+    assert(Depth == 0 && "cannot adopt a tracer with open spans");
+    Owner = std::this_thread::get_id();
+  }
+
   void begin(const char *Name, const char *Cat) {
+    assertOwned();
     ++Depth;
     if (Mode == Sink::Discard)
       return;
     Events.push_back({'B', Name, Cat, nowUs(), {}, 0});
   }
   void begin(const char *Name, const char *Cat, std::vector<TraceArg> Args) {
+    assertOwned();
     ++Depth;
     if (Mode == Sink::Discard)
       return;
     Events.push_back({'B', Name, Cat, nowUs(), std::move(Args), 0});
   }
   void end() {
+    assertOwned();
     if (Depth == 0)
       return; // Unbalanced end; keep the buffer well-formed.
     --Depth;
@@ -86,11 +111,13 @@ public:
   }
   void instant(const char *Name, const char *Cat,
                std::vector<TraceArg> Args = {}) {
+    assertOwned();
     if (Mode == Sink::Discard)
       return;
     Events.push_back({'i', Name, Cat, nowUs(), std::move(Args), 0});
   }
   void counter(const char *Name, const char *Cat, double Value) {
+    assertOwned();
     if (Mode == Sink::Discard)
       return;
     Events.push_back({'C', Name, Cat, nowUs(), {}, Value});
@@ -100,6 +127,7 @@ public:
   /// Current span nesting depth (open B events); 0 when balanced.
   unsigned depth() const { return Depth; }
   void clear() {
+    assertOwned();
     Events.clear();
     Depth = 0;
     Start = std::chrono::steady_clock::now();
@@ -109,6 +137,14 @@ public:
   /// ({"traceEvents": [...], "displayTimeUnit": "ms"}).  Unclosed spans
   /// are closed at the final timestamp so the artifact always loads.
   void writeJson(std::ostream &OS) const;
+
+  /// Merges \p Shards into one Chrome trace_event JSON object: shard I's
+  /// events carry "tid" I+1, so the viewer renders one lane per shard.
+  /// The shard order is the caller's vector order, making the merged
+  /// artifact deterministic for a fixed shard assignment.  Callers must
+  /// have joined the shard threads first (this reads the buffers).
+  static void writeMergedJson(std::ostream &OS,
+                              const std::vector<const Tracer *> &Shards);
 
 private:
   struct Event {
@@ -127,11 +163,26 @@ private:
             .count());
   }
 
+  /// Cross-thread use of one shard corrupts the span nesting silently;
+  /// fail loudly instead (assertions stay on in this project's optimized
+  /// builds, see the top-level CMakeLists).
+  void assertOwned() const {
+    assert(Owner == std::this_thread::get_id() &&
+           "Tracer used from a thread other than its owner; shard tracers "
+           "must be adopted (adoptByCurrentThread) before use");
+  }
+
+  /// Emits this tracer's events (plus synthetic closers for unfinished
+  /// spans) into an open traceEvents array; \p First tracks the comma
+  /// state across shards.
+  void writeEvents(std::ostream &OS, unsigned Tid, bool &First) const;
+
   Sink Mode;
   unsigned Depth = 0;
   std::vector<Event> Events;
   std::chrono::steady_clock::time_point Start;
-  static Tracer *Active;
+  std::thread::id Owner;
+  static thread_local Tracer *Active;
 };
 
 /// RAII span: opens on construction if a tracer is installed, closes on

@@ -1,0 +1,97 @@
+//===- service/Fingerprint.cpp - Canonical job fingerprints ----------------===//
+
+#include "service/Fingerprint.h"
+
+#include <cstdio>
+
+using namespace cai;
+using namespace cai::service;
+
+std::string cai::service::canonicalProgramText(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  std::string Line;
+  auto Flush = [&] {
+    // Blank `//` comments (the mini-language has no string literals, so
+    // the scan cannot misfire inside one), then drop trailing blanks.
+    size_t Comment = Line.find("//");
+    if (Comment != std::string::npos)
+      Line.resize(Comment);
+    size_t End = Line.find_last_not_of(" \t");
+    Line.resize(End == std::string::npos ? 0 : End + 1);
+    // Lines that canonicalize to nothing (blank or comment-only) are
+    // dropped entirely -- they cannot affect the parse.
+    if (!Line.empty()) {
+      Out += Line;
+      Out += '\n';
+    }
+    Line.clear();
+  };
+  for (char C : Text) {
+    if (C == '\r')
+      continue;
+    if (C == '\n') {
+      Flush();
+      continue;
+    }
+    Line += C;
+  }
+  if (!Line.empty())
+    Flush();
+  return Out;
+}
+
+namespace {
+
+/// FNV-1a 64, the same recipe the obs fingerprints use; cache keys are
+/// compared in full so the hash only has to spread, not resist collisions
+/// adversarially.
+class Fnv {
+public:
+  explicit Fnv(uint64_t Seed) : H(Seed) {}
+  void bytes(const std::string &S) {
+    for (unsigned char C : S)
+      byte(C);
+    // Length-delimit so ("ab","c") never collides with ("a","bc").
+    word(S.size());
+  }
+  void word(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<unsigned char>(V >> (I * 8)));
+  }
+  uint64_t value() const { return H; }
+
+private:
+  void byte(unsigned char C) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  uint64_t H;
+};
+
+uint64_t hashKey(const JobSpec &Spec, const std::string &Canon,
+                 uint64_t Seed) {
+  Fnv F(Seed);
+  F.bytes(Canon);
+  F.bytes(Spec.Opts.DomainSpec);
+  F.bytes(Spec.Opts.Encode);
+  F.word(Spec.Opts.WideningDelay);
+  F.word(Spec.Opts.NarrowingPasses);
+  F.word(Spec.Opts.SemanticConvergence ? 1 : 0);
+  F.word(Spec.Opts.Memoize ? 1 : 0);
+  F.word(static_cast<uint64_t>(Spec.Opts.PolyMaxRows));
+  return F.value();
+}
+
+} // namespace
+
+std::string cai::service::fingerprintJob(const JobSpec &Spec) {
+  std::string Canon = canonicalProgramText(Spec.ProgramText);
+  uint64_t Lo = hashKey(Spec, Canon, 0xcbf29ce484222325ull);
+  uint64_t Hi = hashKey(Spec, Canon, 0x9e3779b97f4a7c15ull);
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}

@@ -1,0 +1,41 @@
+//===- service/Fingerprint.h - Canonical job fingerprints -------*- C++ -*-===//
+///
+/// \file
+/// The ResultCache key: a 128-bit hex fingerprint over everything that
+/// determines a job's result -- the program text, the domain spec, the
+/// encode scheme, and the analyzer options that change invariants or
+/// reported stats.  Two submissions with equal fingerprints are the same
+/// analysis by construction, so a warm cache may answer the second from
+/// memory.
+///
+/// The fingerprint is *canonical* in the sense that semantically inert
+/// presentation differences are normalized away before hashing: line
+/// endings (CRLF -> LF), trailing horizontal whitespace, blank and
+/// comment-only lines, and `//` comments (the parser blanks them too, see
+/// ProgramParser).  Differences
+/// that could change the analysis -- any other byte of the program, any
+/// option in the key -- always produce distinct fingerprints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_SERVICE_FINGERPRINT_H
+#define CAI_SERVICE_FINGERPRINT_H
+
+#include "service/Job.h"
+
+#include <string>
+
+namespace cai {
+namespace service {
+
+/// The canonicalized program text the fingerprint hashes (exposed for
+/// tests).
+std::string canonicalProgramText(const std::string &Text);
+
+/// 32 hex characters, deterministic across processes and platforms.
+std::string fingerprintJob(const JobSpec &Spec);
+
+} // namespace service
+} // namespace cai
+
+#endif // CAI_SERVICE_FINGERPRINT_H

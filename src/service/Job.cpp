@@ -1,0 +1,23 @@
+//===- service/Job.cpp - Analysis job specs and results --------------------===//
+
+#include "service/Job.h"
+
+const char *cai::service::statusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Verified:
+    return "verified";
+  case JobStatus::AssertionsFailed:
+    return "assertions-failed";
+  case JobStatus::NotConverged:
+    return "not-converged";
+  case JobStatus::ParseError:
+    return "parse-error";
+  case JobStatus::BadDomain:
+    return "bad-domain";
+  case JobStatus::Timeout:
+    return "timeout";
+  case JobStatus::Error:
+    return "error";
+  }
+  return "error";
+}

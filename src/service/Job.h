@@ -1,0 +1,113 @@
+//===- service/Job.h - Analysis job specs and results -----------*- C++ -*-===//
+///
+/// \file
+/// The unit of work of the analysis service: one (program text, domain
+/// spec, options) triple in, one structured result out.  Jobs are fully
+/// isolated -- each gets its own TermContext, domain instances and caches
+/// on the worker that runs it -- so a batch's results are independent of
+/// worker count and scheduling order (the batch determinism test runs
+/// `--jobs 8` against `--jobs 1` and asserts byte-identical output).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_SERVICE_JOB_H
+#define CAI_SERVICE_JOB_H
+
+#include "analysis/Analyzer.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cai {
+namespace service {
+
+/// Per-job analysis options.  Everything that can change the analysis
+/// *result* participates in the cache fingerprint (service/Fingerprint.h);
+/// TimeoutMs and TestCrash do not, because their outcomes are never
+/// cached.
+struct JobOptions {
+  std::string DomainSpec = "logical:poly,uf";
+  /// "" (none), "comm" (Section 5.1) or "arity" (Section 5.2).
+  std::string Encode;
+  unsigned WideningDelay = 4;
+  unsigned NarrowingPasses = 3;
+  bool SemanticConvergence = true;
+  bool Memoize = true;
+  /// Polyhedra row cap; SIZE_MAX keeps the build-wide default, 0 means
+  /// unlimited (mirrors cai-analyze --poly-max-rows).
+  size_t PolyMaxRows = SIZE_MAX;
+  /// Per-job deadline in milliseconds; 0 = none.  Enforced cooperatively
+  /// by the fixpoint engine (AnalyzerOptions::Deadline): the job reports
+  /// JobStatus::Timeout, the process is never killed.
+  uint64_t TimeoutMs = 0;
+  /// Test hook: the worker throws before analyzing, exercising the
+  /// crash-isolation path (the service's analogue of --test-break-join).
+  bool TestCrash = false;
+};
+
+/// One submitted analysis.
+struct JobSpec {
+  /// Caller-chosen id, echoed on the result; batch results sort by it.
+  uint64_t Id = 0;
+  /// Display name (file path, manifest name, or gen/NNNN).
+  std::string Name;
+  std::string ProgramText;
+  JobOptions Opts;
+};
+
+/// How a job ended.  Every path is a structured per-job outcome -- a
+/// worker converts thrown errors into JobStatus::Error rather than letting
+/// one bad job take down the batch.
+enum class JobStatus : uint8_t {
+  Verified,         ///< Converged, every assertion verified.
+  AssertionsFailed, ///< Converged, at least one assertion not verified.
+  NotConverged,     ///< MaxUpdatesPerNode exceeded; verdicts unsound.
+  ParseError,       ///< Program text did not parse.
+  BadDomain,        ///< Domain spec or encode option did not parse.
+  Timeout,          ///< Cooperative deadline hit (JobOptions::TimeoutMs).
+  Error,            ///< The job threw; message in JobResult::Error.
+};
+
+/// Stable wire name for a status ("verified", "parse-error", ...).
+const char *statusName(JobStatus S);
+
+/// True when \p S counts as a verification success for the batch exit
+/// code (`cai-batch` exits non-zero if any job's status fails this).
+inline bool jobVerified(JobStatus S) { return S == JobStatus::Verified; }
+
+/// True when a result with status \p S is deterministic and complete, and
+/// therefore admissible to the ResultCache.  Timeouts and crashes are
+/// excluded (a retry could succeed); parse and spec errors are excluded
+/// as cheap to recompute.
+inline bool jobCacheable(JobStatus S) {
+  return S == JobStatus::Verified || S == JobStatus::AssertionsFailed ||
+         S == JobStatus::NotConverged;
+}
+
+/// Everything one job produces.
+struct JobResult {
+  uint64_t Id = 0;
+  std::string Name;
+  JobStatus Status = JobStatus::Error;
+  /// Canonical job fingerprint (hex), the ResultCache key.
+  std::string Fingerprint;
+  /// The built lattice's display name ("poly >< uf"), empty on errors.
+  std::string Domain;
+  /// Diagnostic for ParseError/BadDomain/Error.
+  std::string Error;
+  std::vector<AssertionVerdict> Assertions;
+  unsigned NumVerified = 0;
+  AnalyzerStats Stats;
+  /// Served from the ResultCache (Stats/assertions replay the original
+  /// run's).
+  bool CacheHit = false;
+  /// Wall time this job took on its worker; informational only and
+  /// deliberately absent from the deterministic wire serialization.
+  double DurationMs = 0;
+};
+
+} // namespace service
+} // namespace cai
+
+#endif // CAI_SERVICE_JOB_H

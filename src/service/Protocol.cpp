@@ -1,0 +1,181 @@
+//===- service/Protocol.cpp - JSON-lines wire protocol ---------------------===//
+
+#include "service/Protocol.h"
+
+#include <sstream>
+
+using namespace cai;
+using namespace cai::service;
+
+bool cai::service::jobOptionsFromJson(const Json &Obj, JobOptions &Opts,
+                                      std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (const Json *Domain = Obj.get("domain")) {
+    if (!Domain->isString())
+      return Fail("\"domain\" must be a string");
+    Opts.DomainSpec = Domain->asString();
+  }
+  const Json *Options = Obj.get("options");
+  if (!Options)
+    return true;
+  if (!Options->isObject())
+    return Fail("\"options\" must be an object");
+  for (const auto &[Key, V] : Options->fields()) {
+    if (Key == "encode") {
+      if (!V.isString())
+        return Fail("option \"encode\" must be a string");
+      Opts.Encode = V.asString();
+    } else if (Key == "widening_delay") {
+      if (!V.isNumber())
+        return Fail("option \"widening_delay\" must be a number");
+      Opts.WideningDelay = static_cast<unsigned>(V.asInt());
+    } else if (Key == "narrowing_passes") {
+      if (!V.isNumber())
+        return Fail("option \"narrowing_passes\" must be a number");
+      Opts.NarrowingPasses = static_cast<unsigned>(V.asInt());
+    } else if (Key == "semantic_convergence") {
+      if (!V.isBool())
+        return Fail("option \"semantic_convergence\" must be a boolean");
+      Opts.SemanticConvergence = V.asBool();
+    } else if (Key == "memoize") {
+      if (!V.isBool())
+        return Fail("option \"memoize\" must be a boolean");
+      Opts.Memoize = V.asBool();
+    } else if (Key == "poly_max_rows") {
+      if (!V.isNumber() || V.asInt() < 0)
+        return Fail("option \"poly_max_rows\" must be a non-negative number");
+      Opts.PolyMaxRows = static_cast<size_t>(V.asInt());
+    } else if (Key == "timeout_ms") {
+      if (!V.isNumber() || V.asInt() < 0)
+        return Fail("option \"timeout_ms\" must be a non-negative number");
+      Opts.TimeoutMs = static_cast<uint64_t>(V.asInt());
+    } else if (Key == "test_crash") {
+      if (!V.isBool())
+        return Fail("option \"test_crash\" must be a boolean");
+      Opts.TestCrash = V.asBool();
+    } else {
+      return Fail("unknown option \"" + Key + "\"");
+    }
+  }
+  return true;
+}
+
+std::optional<Request>
+cai::service::parseRequest(const std::string &Line, uint64_t DefaultId,
+                           std::string *Error) {
+  std::optional<Json> J = Json::parse(Line, Error);
+  if (!J)
+    return std::nullopt;
+  auto Fail = [&](const std::string &Msg) -> std::optional<Request> {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+  if (!J->isObject())
+    return Fail("request must be a JSON object");
+
+  Request Req;
+  if (const Json *Cmd = J->get("cmd")) {
+    if (!Cmd->isString())
+      return Fail("\"cmd\" must be a string");
+    if (Cmd->asString() == "stats")
+      Req.Command = Request::Kind::Stats;
+    else if (Cmd->asString() == "shutdown")
+      Req.Command = Request::Kind::Shutdown;
+    else
+      return Fail("unknown cmd \"" + Cmd->asString() + "\"");
+    return Req;
+  }
+
+  Req.Command = Request::Kind::Analyze;
+  Req.Spec.Id = DefaultId;
+  if (const Json *Id = J->get("id")) {
+    if (!Id->isNumber() || Id->asInt() < 0)
+      return Fail("\"id\" must be a non-negative number");
+    Req.Spec.Id = static_cast<uint64_t>(Id->asInt());
+  }
+  if (const Json *Name = J->get("name")) {
+    if (!Name->isString())
+      return Fail("\"name\" must be a string");
+    Req.Spec.Name = Name->asString();
+  }
+  const Json *Program = J->get("program");
+  const Json *ProgramFile = J->get("program_file");
+  if (Program && ProgramFile)
+    return Fail("give either \"program\" or \"program_file\", not both");
+  if (Program) {
+    if (!Program->isString())
+      return Fail("\"program\" must be a string");
+    Req.Spec.ProgramText = Program->asString();
+  } else if (ProgramFile) {
+    if (!ProgramFile->isString())
+      return Fail("\"program_file\" must be a string");
+    Req.ProgramFile = ProgramFile->asString();
+    if (Req.Spec.Name.empty())
+      Req.Spec.Name = Req.ProgramFile;
+  } else {
+    return Fail("request needs \"program\" or \"program_file\"");
+  }
+  if (!jobOptionsFromJson(*J, Req.Spec.Opts, Error))
+    return std::nullopt;
+  return Req;
+}
+
+std::string cai::service::resultToJsonLine(const JobResult &R) {
+  Json Line = Json::object();
+  Line.set("id", Json::integer(static_cast<int64_t>(R.Id)));
+  Line.set("name", Json::str(R.Name));
+  Line.set("fingerprint", Json::str(R.Fingerprint));
+  Line.set("status", Json::str(statusName(R.Status)));
+  Line.set("domain", Json::str(R.Domain));
+  Line.set("cached", Json::boolean(R.CacheHit));
+  Line.set("verified", Json::integer(R.NumVerified));
+  Json Asserts = Json::array();
+  for (const AssertionVerdict &V : R.Assertions) {
+    Json A = Json::object();
+    A.set("label", Json::str(V.Label));
+    A.set("verified", Json::boolean(V.Verified));
+    Asserts.push(std::move(A));
+  }
+  Line.set("assertions", std::move(Asserts));
+  Json Stats = Json::object();
+  Stats.set("joins", Json::integer(static_cast<int64_t>(R.Stats.Joins)));
+  Stats.set("widenings",
+            Json::integer(static_cast<int64_t>(R.Stats.Widenings)));
+  Stats.set("transfers",
+            Json::integer(static_cast<int64_t>(R.Stats.Transfers)));
+  Stats.set("max_node_updates", Json::integer(R.Stats.MaxNodeUpdates));
+  Line.set("stats", std::move(Stats));
+  Line.set("error", Json::str(R.Error));
+  return Line.dump();
+}
+
+std::string cai::service::statsToJsonLine(const ResultCacheStats &CS,
+                                          unsigned Workers,
+                                          uint64_t JobsCompleted) {
+  Json Line = Json::object();
+  Line.set("stats", Json::boolean(true));
+  Line.set("workers", Json::integer(Workers));
+  Line.set("jobs_completed", Json::integer(static_cast<int64_t>(JobsCompleted)));
+  Json Cache = Json::object();
+  Cache.set("hits", Json::integer(static_cast<int64_t>(CS.Hits)));
+  Cache.set("misses", Json::integer(static_cast<int64_t>(CS.Misses)));
+  Cache.set("insertions", Json::integer(static_cast<int64_t>(CS.Insertions)));
+  Cache.set("evictions", Json::integer(static_cast<int64_t>(CS.Evictions)));
+  Cache.set("entries", Json::integer(static_cast<int64_t>(CS.Entries)));
+  Cache.set("bytes", Json::integer(static_cast<int64_t>(CS.Bytes)));
+  Cache.set("byte_budget", Json::integer(static_cast<int64_t>(CS.ByteBudget)));
+  // Tenths of a percent as an integer: deterministic without touching
+  // double formatting.
+  uint64_t Lookups = CS.Hits + CS.Misses;
+  Cache.set("hit_rate_permille",
+            Json::integer(Lookups == 0 ? 0
+                                       : static_cast<int64_t>(
+                                             (CS.Hits * 1000) / Lookups)));
+  Line.set("cache", std::move(Cache));
+  return Line.dump();
+}

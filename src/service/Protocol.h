@@ -1,0 +1,74 @@
+//===- service/Protocol.h - JSON-lines wire protocol ------------*- C++ -*-===//
+///
+/// \file
+/// The analysis service's wire format, shared by `cai-serve` (requests and
+/// responses over stdin/stdout) and `cai-batch` (manifest entries in,
+/// result lines out).  One JSON object per line; responses emit fields in
+/// a fixed order and carry no timing, so a batch's output is byte-stable
+/// across worker counts and runs (the `--jobs 8` vs `--jobs 1` determinism
+/// test compares the bytes).
+///
+/// Request lines (cai-serve):
+///   {"id":1,"name":"fig1","program":"x := 0; ...","domain":"logical:poly,uf",
+///    "options":{"encode":"comm","widening_delay":4,"timeout_ms":500}}
+///   {"cmd":"stats"}
+///   {"cmd":"shutdown"}
+///
+/// Manifest entries (cai-batch --manifest) use the same shape minus "id"
+/// (ids are assigned by position) and may name a file instead of inline
+/// text: {"program_file":"examples/fig1.imp", ...}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_SERVICE_PROTOCOL_H
+#define CAI_SERVICE_PROTOCOL_H
+
+#include "service/Job.h"
+#include "service/Json.h"
+#include "service/ResultCache.h"
+
+#include <optional>
+#include <string>
+
+namespace cai {
+namespace service {
+
+/// One parsed request line.
+struct Request {
+  enum class Kind : uint8_t {
+    Analyze,  ///< Submit the job in Spec (after resolving ProgramFile).
+    Stats,    ///< {"cmd":"stats"} -- report scheduler/cache statistics.
+    Shutdown, ///< {"cmd":"shutdown"} -- drain and exit.
+  };
+
+  Kind Command = Kind::Analyze;
+  JobSpec Spec;
+  /// Non-empty when the request named a file ("program_file") instead of
+  /// inline text; the caller resolves it into Spec.ProgramText (the
+  /// protocol layer does no I/O).
+  std::string ProgramFile;
+};
+
+/// Applies the "domain" and "options" fields of \p Obj onto \p Opts.
+/// Unknown option keys are errors (they are more likely typos than
+/// intentions).  Returns false and sets \p Error on failure.
+bool jobOptionsFromJson(const Json &Obj, JobOptions &Opts, std::string *Error);
+
+/// Parses one request line.  \p DefaultId is used when the object carries
+/// no "id" (cai-serve numbers requests by arrival).  Returns std::nullopt
+/// and sets \p Error on malformed input.
+std::optional<Request> parseRequest(const std::string &Line,
+                                    uint64_t DefaultId, std::string *Error);
+
+/// Serializes \p R as one deterministic JSON result line (no newline):
+/// fixed field order, no timing fields.
+std::string resultToJsonLine(const JobResult &R);
+
+/// Serializes service statistics as one JSON line (no newline).
+std::string statsToJsonLine(const ResultCacheStats &CS, unsigned Workers,
+                            uint64_t JobsCompleted);
+
+} // namespace service
+} // namespace cai
+
+#endif // CAI_SERVICE_PROTOCOL_H

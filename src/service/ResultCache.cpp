@@ -1,0 +1,67 @@
+//===- service/ResultCache.cpp - LRU cache of analysis results -------------===//
+
+#include "service/ResultCache.h"
+
+using namespace cai;
+using namespace cai::service;
+
+size_t ResultCache::costOf(const std::string &Fingerprint,
+                           const JobResult &R) {
+  size_t Cost = sizeof(Entry) + sizeof(JobResult) + Fingerprint.size() +
+                R.Name.size() + R.Fingerprint.size() + R.Domain.size() +
+                R.Error.size();
+  for (const AssertionVerdict &V : R.Assertions)
+    Cost += sizeof(AssertionVerdict) + V.Label.size();
+  return Cost;
+}
+
+std::shared_ptr<const JobResult>
+ResultCache::lookup(const std::string &Fingerprint) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Fingerprint);
+  if (It == Map.end()) {
+    ++S.Misses;
+    return nullptr;
+  }
+  ++S.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second); // Promote to MRU.
+  return It->second->Result;
+}
+
+void ResultCache::insert(const std::string &Fingerprint,
+                         std::shared_ptr<const JobResult> Result) {
+  if (!Result)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Budget == 0)
+    return;
+  auto It = Map.find(Fingerprint);
+  if (It != Map.end()) {
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  size_t Cost = costOf(Fingerprint, *Result);
+  if (Cost > Budget) {
+    ++S.Evictions; // The entry itself: too large to ever reside.
+    return;
+  }
+  while (S.Bytes + Cost > Budget && !Lru.empty()) {
+    Entry &Victim = Lru.back();
+    S.Bytes -= Victim.Cost;
+    Map.erase(Victim.Fingerprint);
+    Lru.pop_back();
+    ++S.Evictions;
+  }
+  Lru.push_front(Entry{Fingerprint, std::move(Result), Cost});
+  Map.emplace(Fingerprint, Lru.begin());
+  S.Bytes += Cost;
+  ++S.Insertions;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ResultCacheStats Out = S;
+  Out.Entries = Lru.size();
+  Out.ByteBudget = Budget;
+  return Out;
+}

@@ -1,0 +1,299 @@
+//===- service/Scheduler.cpp - Sharded analysis worker pool ----------------===//
+
+#include "service/Scheduler.h"
+
+#include "analysis/Analyzer.h"
+#include "domains/poly/Polyhedron.h"
+#include "encodings/Encodings.h"
+#include "ir/ProgramParser.h"
+#include "service/DomainFactory.h"
+#include "service/Fingerprint.h"
+#include "term/TermContext.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+using namespace cai;
+using namespace cai::service;
+
+namespace {
+
+/// Scopes the polyhedra row cap (a thread-local, so per-worker) to one job.
+/// PolyMaxRows == SIZE_MAX keeps the build-wide default.
+struct RowCapScope {
+  explicit RowCapScope(size_t Cap) : Prev(polyRowCap()) {
+    if (Cap != SIZE_MAX)
+      setPolyRowCap(Cap);
+  }
+  ~RowCapScope() { setPolyRowCap(Prev); }
+  size_t Prev;
+};
+
+/// Per-status counter in the calling worker's shard registry.  The name is
+/// dynamic, so this bypasses the per-site probe cache; once per job is
+/// cheap.
+void bumpStatusCounter(JobStatus S) {
+  obs::MetricsRegistry::current()
+      .counter(std::string("service.jobs.status.") + statusName(S))
+      .inc();
+}
+
+} // namespace
+
+JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
+                                            const std::atomic<bool> *Cancel) {
+  JobResult R;
+  R.Id = Spec.Id;
+  R.Name = Spec.Name;
+  R.Fingerprint = fingerprintJob(Spec);
+  auto Begin = std::chrono::steady_clock::now();
+  try {
+    if (Spec.Opts.TestCrash)
+      throw std::runtime_error("deliberate crash (TestCrash test hook)");
+
+    if (!Spec.Opts.Encode.empty() && Spec.Opts.Encode != "comm" &&
+        Spec.Opts.Encode != "arity") {
+      R.Status = JobStatus::BadDomain;
+      R.Error = "unknown encode '" + Spec.Opts.Encode + "'";
+      return R;
+    }
+
+    // Everything below is built fresh per job: the term context, the
+    // domain tree (with its memoization state), and the program.  No
+    // state outlives the job, so results cannot depend on which worker
+    // ran it or what ran before.
+    TermContext Ctx;
+    // Pre-intern the theory predicates so the parser recognizes them even
+    // if the chosen domains do not mention them (mirrors cai-analyze).
+    Ctx.getPredicate("even", 1);
+    Ctx.getPredicate("odd", 1);
+    Ctx.getPredicate("positive", 1);
+    Ctx.getPredicate("negative", 1);
+
+    DomainFactory Factory(Ctx);
+    LogicalLattice *Domain = Factory.build(Spec.Opts.DomainSpec);
+    if (!Domain) {
+      R.Status = JobStatus::BadDomain;
+      R.Error = Factory.error();
+      return R;
+    }
+    R.Domain = Domain->name();
+
+    std::string ParseError;
+    std::optional<Program> P =
+        parseProgram(Ctx, Spec.ProgramText, &ParseError);
+    if (!P) {
+      R.Status = JobStatus::ParseError;
+      R.Error = ParseError;
+      return R;
+    }
+
+    Program Analyzed = *P;
+    if (Spec.Opts.Encode == "comm") {
+      TermEncoder Enc(Ctx, TermEncoder::Scheme::Commutative);
+      Analyzed = Enc.encode(Analyzed);
+    } else if (Spec.Opts.Encode == "arity") {
+      TermEncoder Enc(Ctx, TermEncoder::Scheme::ArityReduction);
+      Analyzed = Enc.encode(Analyzed);
+    }
+
+    AnalyzerOptions AOpts;
+    AOpts.WideningDelay = Spec.Opts.WideningDelay;
+    AOpts.NarrowingPasses = Spec.Opts.NarrowingPasses;
+    AOpts.SemanticConvergence = Spec.Opts.SemanticConvergence;
+    AOpts.Memoize = Spec.Opts.Memoize;
+    AOpts.CancelFlag = Cancel;
+    const bool HasDeadline = Spec.Opts.TimeoutMs != 0;
+    if (HasDeadline)
+      AOpts.Deadline =
+          Begin + std::chrono::milliseconds(Spec.Opts.TimeoutMs);
+
+    RowCapScope CapScope(Spec.Opts.PolyMaxRows);
+    AnalysisResult AR = Analyzer(*Domain, AOpts).run(Analyzed);
+
+    R.Assertions = AR.Assertions;
+    R.NumVerified = AR.numVerified();
+    R.Stats = AR.Stats;
+    if (AR.Cancelled) {
+      if (HasDeadline && std::chrono::steady_clock::now() >= AOpts.Deadline) {
+        R.Status = JobStatus::Timeout;
+        R.Error = "deadline of " + std::to_string(Spec.Opts.TimeoutMs) +
+                  " ms exceeded";
+      } else {
+        R.Status = JobStatus::Error;
+        R.Error = "cancelled";
+      }
+    } else if (!AR.Converged) {
+      R.Status = JobStatus::NotConverged;
+      R.Error = "fixpoint did not converge (MaxUpdatesPerNode exceeded)";
+    } else if (R.NumVerified == R.Assertions.size()) {
+      R.Status = JobStatus::Verified;
+    } else {
+      R.Status = JobStatus::AssertionsFailed;
+    }
+  } catch (const std::exception &E) {
+    R.Status = JobStatus::Error;
+    R.Error = E.what();
+  } catch (...) {
+    R.Status = JobStatus::Error;
+    R.Error = "unknown exception";
+  }
+  R.DurationMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - Begin)
+                     .count();
+  return R;
+}
+
+AnalysisScheduler::AnalysisScheduler(SchedulerOptions O)
+    : Opts(O), Cache(O.CacheBytes) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  // One epoch for every shard tracer so the merged timelines align.
+  auto Epoch = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I < Opts.Workers; ++I) {
+    auto Sh = std::make_unique<Shard>();
+    Sh->Registry.enableTiming(Opts.Timing);
+    if (Opts.CollectTraces)
+      Sh->Trace =
+          std::make_unique<obs::Tracer>(obs::Tracer::Sink::Buffer, Epoch);
+    Shards.push_back(std::move(Sh));
+  }
+  Threads.reserve(Opts.Workers);
+  for (unsigned I = 0; I < Opts.Workers; ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+AnalysisScheduler::~AnalysisScheduler() {
+  size_t Dropped = 0;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Stopping = true;
+    Dropped = Queue.size();
+    Queue.clear();
+  }
+  // Jobs already running see the flag at their next fixpoint step.
+  CancelAll.store(true, std::memory_order_relaxed);
+  QueueCv.notify_all();
+  if (Dropped != 0) {
+    std::lock_guard<std::mutex> Lock(ResultsMu);
+    Pending -= Dropped;
+    IdleCv.notify_all();
+  }
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void AnalysisScheduler::onResult(ResultCallback CB) {
+  std::lock_guard<std::mutex> Lock(ResultsMu);
+  Callback = std::move(CB);
+}
+
+void AnalysisScheduler::submit(JobSpec Spec) {
+  {
+    std::lock_guard<std::mutex> Lock(ResultsMu);
+    ++Pending;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    assert(!Stopping && "submit() on a stopping scheduler");
+    Queue.push_back(std::move(Spec));
+  }
+  QueueCv.notify_one();
+}
+
+void AnalysisScheduler::waitIdle() {
+  std::unique_lock<std::mutex> Lock(ResultsMu);
+  IdleCv.wait(Lock, [&] { return Pending == 0; });
+}
+
+std::vector<JobResult> AnalysisScheduler::takeResults() {
+  std::vector<JobResult> Out;
+  {
+    std::lock_guard<std::mutex> Lock(ResultsMu);
+    Out.swap(Results);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const JobResult &A, const JobResult &B) { return A.Id < B.Id; });
+  return Out;
+}
+
+void AnalysisScheduler::writeMergedTrace(std::ostream &OS) const {
+  std::vector<const obs::Tracer *> Ts;
+  Ts.reserve(Shards.size());
+  for (const std::unique_ptr<Shard> &Sh : Shards)
+    Ts.push_back(Sh->Trace.get());
+  obs::Tracer::writeMergedJson(OS, Ts);
+}
+
+void AnalysisScheduler::mergeMetricsInto(obs::MetricsRegistry &Into) const {
+  for (const std::unique_ptr<Shard> &Sh : Shards)
+    Into.mergeFrom(Sh->Registry);
+  ResultCacheStats CS = Cache.stats();
+  Into.counter("service.cache.hits").inc(CS.Hits);
+  Into.counter("service.cache.misses").inc(CS.Misses);
+  Into.counter("service.cache.insertions").inc(CS.Insertions);
+  Into.counter("service.cache.evictions").inc(CS.Evictions);
+  Into.gauge("service.cache.entries").set(static_cast<double>(CS.Entries));
+  Into.gauge("service.cache.bytes").set(static_cast<double>(CS.Bytes));
+}
+
+JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec) {
+  // TestCrash jobs bypass the cache entirely: the hook exists to exercise
+  // the crash path, and crashes are not cacheable anyway.
+  if (!Spec.Opts.TestCrash) {
+    std::string FP = fingerprintJob(Spec);
+    if (std::shared_ptr<const JobResult> Hit = Cache.lookup(FP)) {
+      CAI_METRIC_INC("service.jobs.cache_hits");
+      JobResult R = *Hit;
+      R.Id = Spec.Id;
+      R.Name = Spec.Name;
+      R.CacheHit = true;
+      R.DurationMs = 0;
+      return R;
+    }
+    JobResult R = runJobIsolated(Spec, &CancelAll);
+    CAI_METRIC_INC("service.jobs.completed");
+    bumpStatusCounter(R.Status);
+    if (jobCacheable(R.Status))
+      Cache.insert(FP, std::make_shared<const JobResult>(R));
+    return R;
+  }
+  JobResult R = runJobIsolated(Spec, &CancelAll);
+  CAI_METRIC_INC("service.jobs.completed");
+  bumpStatusCounter(R.Status);
+  return R;
+}
+
+void AnalysisScheduler::workerMain(unsigned Index) {
+  Shard &Sh = *Shards[Index];
+  // Claim the shard observability for this thread before any probe runs.
+  Sh.Registry.adoptByCurrentThread();
+  obs::MetricsRegistry::install(&Sh.Registry);
+  if (Sh.Trace) {
+    Sh.Trace->adoptByCurrentThread();
+    obs::Tracer::install(Sh.Trace.get());
+  }
+  for (;;) {
+    JobSpec Spec;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        break; // Stopping, and nothing left to drain.
+      Spec = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    JobResult R = executeOrServe(Spec);
+    {
+      std::lock_guard<std::mutex> Lock(ResultsMu);
+      if (Callback)
+        Callback(R);
+      Results.push_back(std::move(R));
+      --Pending;
+    }
+    IdleCv.notify_all();
+  }
+  obs::Tracer::install(nullptr);
+  obs::MetricsRegistry::install(nullptr);
+}

@@ -1,0 +1,136 @@
+//===- service/Scheduler.h - Sharded analysis worker pool -------*- C++ -*-===//
+///
+/// \file
+/// The analysis service's engine: a fixed pool of worker threads fanning
+/// (program, domain-spec, options) jobs out of one queue.  Isolation is
+/// the design center --
+///
+///  * every job builds its own TermContext, domain tree and caches, so
+///    results are bit-identical regardless of worker count or scheduling
+///    order (the batch determinism test enforces this);
+///  * every worker owns a shard Tracer and MetricsRegistry, installed
+///    thread-locally at thread start; shards are merged deterministically
+///    (shard index order) on export, closing the ROADMAP's "per-shard
+///    tracers merged on export" item;
+///  * a job that throws becomes a structured JobStatus::Error result, a
+///    job that overruns its deadline becomes JobStatus::Timeout via the
+///    fixpoint engine's cooperative cancellation -- one bad job never
+///    takes down the batch or the process;
+///  * completed results are published to a shared LRU ResultCache keyed
+///    by canonical job fingerprint, so repeated submissions are served
+///    from memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_SERVICE_SCHEDULER_H
+#define CAI_SERVICE_SCHEDULER_H
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "service/Job.h"
+#include "service/ResultCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cai {
+namespace service {
+
+struct SchedulerOptions {
+  /// Worker threads; 0 is clamped to 1.
+  unsigned Workers = 1;
+  /// ResultCache byte budget; 0 disables caching.
+  size_t CacheBytes = 64ull << 20;
+  /// Record trace spans into per-worker shard tracers (writeMergedTrace).
+  bool CollectTraces = false;
+  /// Enable time histograms in the shard registries.
+  bool Timing = false;
+};
+
+class AnalysisScheduler {
+public:
+  /// Called on the completing worker's thread, one call at a time (the
+  /// scheduler serializes callers); keep it cheap and do not re-enter the
+  /// scheduler from inside it.
+  using ResultCallback = std::function<void(const JobResult &)>;
+
+  explicit AnalysisScheduler(SchedulerOptions Opts = {});
+  /// Discards unstarted jobs, cooperatively cancels running ones, joins.
+  ~AnalysisScheduler();
+
+  AnalysisScheduler(const AnalysisScheduler &) = delete;
+  AnalysisScheduler &operator=(const AnalysisScheduler &) = delete;
+
+  /// Streams results as they complete (cai-serve); optional.
+  void onResult(ResultCallback CB);
+
+  void submit(JobSpec Spec);
+
+  /// Blocks until every submitted job has produced a result.
+  void waitIdle();
+
+  /// Moves out the accumulated results, sorted by job id.
+  std::vector<JobResult> takeResults();
+
+  unsigned numWorkers() const { return unsigned(Shards.size()); }
+  ResultCacheStats cacheStats() const { return Cache.stats(); }
+
+  /// Merged Chrome trace_event JSON across shards (tid = shard index + 1).
+  /// Only meaningful while idle; empty unless CollectTraces.
+  void writeMergedTrace(std::ostream &OS) const;
+
+  /// Folds every shard registry (in shard index order) plus the cache
+  /// counters (service.cache.*) into \p Into.  Only meaningful while
+  /// idle.  The merged counters equal the per-shard sums by construction
+  /// (obs_test/service_test pin this).
+  void mergeMetricsInto(obs::MetricsRegistry &Into) const;
+
+  /// Runs one job in full isolation on the calling thread: fingerprint,
+  /// parse, build domain, analyze under \p Cancel, convert any throw into
+  /// a structured error result.  The workers and the single-shot tools'
+  /// testing paths share this.
+  static JobResult runJobIsolated(const JobSpec &Spec,
+                                  const std::atomic<bool> *Cancel);
+
+private:
+  struct Shard {
+    obs::MetricsRegistry Registry;
+    std::unique_ptr<obs::Tracer> Trace; ///< Null unless CollectTraces.
+  };
+
+  void workerMain(unsigned Index);
+  /// Cache lookup, else runJobIsolated + cache publish.
+  JobResult executeOrServe(const JobSpec &Spec);
+
+  SchedulerOptions Opts;
+  ResultCache Cache;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<JobSpec> Queue;
+  bool Stopping = false;
+
+  /// Set at shutdown; every running job's AnalyzerOptions::CancelFlag
+  /// points here.
+  std::atomic<bool> CancelAll{false};
+
+  std::mutex ResultsMu;
+  std::condition_variable IdleCv;
+  std::vector<JobResult> Results;
+  ResultCallback Callback;
+  size_t Pending = 0; ///< Submitted but not yet resulted (under ResultsMu).
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace service
+} // namespace cai
+
+#endif // CAI_SERVICE_SCHEDULER_H

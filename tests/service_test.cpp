@@ -1,0 +1,469 @@
+//===- tests/service_test.cpp - Analysis service unit tests ----------------===//
+//
+// The service subsystem end to end at the library level: canonical
+// fingerprints, the byte-budget LRU result cache, the wire protocol, the
+// sharded scheduler (determinism across worker counts, crash isolation,
+// cooperative timeout/cancellation), and the deterministic shard merge of
+// tracers and metrics registries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ProgramGen.h"
+#include "ir/ProgramParser.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "service/Fingerprint.h"
+#include "service/Protocol.h"
+#include "service/ResultCache.h"
+#include "service/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+using namespace cai;
+using namespace cai::service;
+
+namespace {
+
+JobSpec specOf(std::string Program, std::string Domain = "logical:affine,uf") {
+  JobSpec S;
+  S.ProgramText = std::move(Program);
+  S.Opts.DomainSpec = std::move(Domain);
+  return S;
+}
+
+// --- Fingerprints --------------------------------------------------------
+
+TEST(Fingerprint, CanonicalizationIgnoresPresentation) {
+  JobSpec A = specOf("x := 1;\ny := x + 1;\n");
+  JobSpec B = specOf("x := 1;   \r\ny := x + 1; // comment\r\n\n");
+  EXPECT_EQ(canonicalProgramText(A.ProgramText),
+            canonicalProgramText("x := 1;\n// preamble\n\ny := x + 1;\n\n"));
+  EXPECT_EQ(fingerprintJob(A), fingerprintJob(B));
+  EXPECT_EQ(fingerprintJob(A).size(), 32u);
+}
+
+TEST(Fingerprint, DistinguishesProgramAndOptions) {
+  JobSpec Base = specOf("x := 1;\n");
+  JobSpec OtherText = specOf("x := 2;\n");
+  EXPECT_NE(fingerprintJob(Base), fingerprintJob(OtherText));
+
+  JobSpec OtherDomain = Base;
+  OtherDomain.Opts.DomainSpec = "poly";
+  EXPECT_NE(fingerprintJob(Base), fingerprintJob(OtherDomain));
+
+  JobSpec OtherDelay = Base;
+  OtherDelay.Opts.WideningDelay += 1;
+  EXPECT_NE(fingerprintJob(Base), fingerprintJob(OtherDelay));
+
+  JobSpec OtherEncode = Base;
+  OtherEncode.Opts.Encode = "comm";
+  EXPECT_NE(fingerprintJob(Base), fingerprintJob(OtherEncode));
+
+  // Timeout is excluded by design: a timeout changes the outcome, never
+  // the analysis, and timed-out results are not cached.
+  JobSpec OtherTimeout = Base;
+  OtherTimeout.Opts.TimeoutMs = 123;
+  EXPECT_EQ(fingerprintJob(Base), fingerprintJob(OtherTimeout));
+}
+
+TEST(Fingerprint, IdAndNameDoNotParticipate) {
+  JobSpec A = specOf("x := 1;\n");
+  JobSpec B = A;
+  B.Id = 42;
+  B.Name = "elsewhere.imp";
+  EXPECT_EQ(fingerprintJob(A), fingerprintJob(B));
+}
+
+// --- ResultCache ---------------------------------------------------------
+
+std::shared_ptr<const JobResult> resultNamed(const std::string &Name) {
+  JobResult R;
+  R.Name = Name;
+  R.Status = JobStatus::Verified;
+  return std::make_shared<const JobResult>(std::move(R));
+}
+
+TEST(ResultCache, HitMissAndPromotion) {
+  ResultCache Cache(1 << 20);
+  EXPECT_EQ(Cache.lookup("a"), nullptr);
+  Cache.insert("a", resultNamed("a"));
+  auto Hit = Cache.lookup("a");
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Name, "a");
+  ResultCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Insertions, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_DOUBLE_EQ(S.hitRate(), 0.5);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  auto A = resultNamed("a"), B = resultNamed("b"), C = resultNamed("c");
+  size_t One = ResultCache::costOf("k", *A);
+  // Room for exactly two entries.
+  ResultCache Cache(2 * One + One / 2);
+  Cache.insert("a", A);
+  Cache.insert("b", B);
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  EXPECT_NE(Cache.lookup("a"), nullptr);
+  Cache.insert("c", C);
+  EXPECT_NE(Cache.lookup("a"), nullptr);
+  EXPECT_EQ(Cache.lookup("b"), nullptr);
+  EXPECT_NE(Cache.lookup("c"), nullptr);
+  ResultCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_LE(S.Bytes, S.ByteBudget);
+}
+
+TEST(ResultCache, OversizedEntryRejectedAndZeroBudgetDisables) {
+  auto R = resultNamed("big");
+  ResultCache Tiny(1);
+  Tiny.insert("k", R);
+  EXPECT_EQ(Tiny.lookup("k"), nullptr);
+  EXPECT_EQ(Tiny.stats().Evictions, 1u);
+
+  ResultCache Off(0);
+  Off.insert("k", R);
+  EXPECT_EQ(Off.lookup("k"), nullptr);
+  EXPECT_EQ(Off.stats().Entries, 0u);
+}
+
+TEST(ResultCache, EvictionKeepsHeldResultsAlive) {
+  auto A = resultNamed("a");
+  ResultCache Cache(ResultCache::costOf("a", *A) + 8);
+  Cache.insert("a", A);
+  std::shared_ptr<const JobResult> Held = Cache.lookup("a");
+  Cache.insert("b", resultNamed("b")); // Evicts "a".
+  EXPECT_EQ(Cache.lookup("a"), nullptr);
+  ASSERT_NE(Held, nullptr);
+  EXPECT_EQ(Held->Name, "a"); // The shared_ptr outlives the eviction.
+}
+
+// --- Protocol ------------------------------------------------------------
+
+TEST(Protocol, ParsesAnalyzeRequestWithOptions) {
+  std::string Error;
+  auto Req = parseRequest(
+      R"({"id":7,"name":"n","program":"x := 1;","domain":"poly",)"
+      R"("options":{"encode":"comm","widening_delay":2,"timeout_ms":50,)"
+      R"("memoize":false,"poly_max_rows":0}})",
+      0, &Error);
+  ASSERT_TRUE(Req.has_value()) << Error;
+  EXPECT_EQ(Req->Command, Request::Kind::Analyze);
+  EXPECT_EQ(Req->Spec.Id, 7u);
+  EXPECT_EQ(Req->Spec.Name, "n");
+  EXPECT_EQ(Req->Spec.ProgramText, "x := 1;");
+  EXPECT_EQ(Req->Spec.Opts.DomainSpec, "poly");
+  EXPECT_EQ(Req->Spec.Opts.Encode, "comm");
+  EXPECT_EQ(Req->Spec.Opts.WideningDelay, 2u);
+  EXPECT_EQ(Req->Spec.Opts.TimeoutMs, 50u);
+  EXPECT_FALSE(Req->Spec.Opts.Memoize);
+  EXPECT_EQ(Req->Spec.Opts.PolyMaxRows, 0u);
+}
+
+TEST(Protocol, CommandsAndErrors) {
+  std::string Error;
+  EXPECT_EQ(parseRequest(R"({"cmd":"stats"})", 0, &Error)->Command,
+            Request::Kind::Stats);
+  EXPECT_EQ(parseRequest(R"({"cmd":"shutdown"})", 0, &Error)->Command,
+            Request::Kind::Shutdown);
+  EXPECT_FALSE(parseRequest("not json", 0, &Error).has_value());
+  EXPECT_FALSE(parseRequest(R"({"cmd":"nosuch"})", 0, &Error).has_value());
+  EXPECT_FALSE(parseRequest(R"({"id":1})", 0, &Error).has_value());
+  EXPECT_FALSE(
+      parseRequest(R"({"program":"x;","options":{"typo_knob":1}})", 0, &Error)
+          .has_value());
+  EXPECT_NE(Error.find("typo_knob"), std::string::npos);
+}
+
+TEST(Protocol, ResultLineIsStableAndTimingFree) {
+  JobResult R;
+  R.Id = 3;
+  R.Name = "p.imp";
+  R.Status = JobStatus::Verified;
+  R.Fingerprint = "00ff";
+  R.Domain = "affine >< uf";
+  R.NumVerified = 1;
+  R.Assertions.push_back({"a1", true});
+  R.Stats.Joins = 2;
+  R.DurationMs = 123.456; // Must not appear in the line.
+  std::string Line = resultToJsonLine(R);
+  EXPECT_EQ(Line,
+            R"({"id":3,"name":"p.imp","fingerprint":"00ff",)"
+            R"("status":"verified","domain":"affine >< uf","cached":false,)"
+            R"("verified":1,"assertions":[{"label":"a1","verified":true}],)"
+            R"("stats":{"joins":2,"widenings":0,"transfers":0,)"
+            R"("max_node_updates":0},"error":""})");
+  EXPECT_EQ(Line.find("123"), std::string::npos);
+}
+
+// --- ProgramGen nested composition ---------------------------------------
+
+TEST(ProgramGen, NestedCompositionAppearsAndParses) {
+  bool SawNested = false;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    interp::GenOptions GO;
+    GO.Seed = Seed;
+    GO.MaxFnDepth = 3;
+    std::string Text = interp::generateProgram(GO);
+    SawNested |= Text.find("F(F(") != std::string::npos ||
+                 Text.find("F(G(") != std::string::npos ||
+                 Text.find("G(F(") != std::string::npos ||
+                 Text.find("G(G(") != std::string::npos;
+    TermContext Ctx;
+    Ctx.getPredicate("even", 1);
+    Ctx.getPredicate("odd", 1);
+    Ctx.getPredicate("positive", 1);
+    Ctx.getPredicate("negative", 1);
+    std::string Error;
+    EXPECT_TRUE(parseProgram(Ctx, Text, &Error).has_value())
+        << "seed " << Seed << ": " << Error << "\n"
+        << Text;
+  }
+  EXPECT_TRUE(SawNested)
+      << "MaxFnDepth=3 never produced a composed application in 30 seeds";
+}
+
+// --- Scheduler -----------------------------------------------------------
+
+std::vector<JobSpec> generatedBatch(unsigned N) {
+  std::vector<JobSpec> Batch;
+  for (unsigned K = 0; K < N; ++K) {
+    interp::GenOptions GO;
+    GO.Seed = 1000 + K;
+    GO.MaxFnDepth = 2;
+    JobSpec S;
+    S.Id = K;
+    S.Name = "gen/" + std::to_string(K);
+    S.ProgramText = interp::generateProgram(GO);
+    S.Opts.DomainSpec = "logical:affine,uf";
+    Batch.push_back(std::move(S));
+  }
+  return Batch;
+}
+
+std::vector<std::string> runBatch(const std::vector<JobSpec> &Batch,
+                                  unsigned Workers) {
+  SchedulerOptions SO;
+  SO.Workers = Workers;
+  AnalysisScheduler Scheduler(SO);
+  for (const JobSpec &S : Batch)
+    Scheduler.submit(S);
+  Scheduler.waitIdle();
+  std::vector<std::string> Lines;
+  for (const JobResult &R : Scheduler.takeResults())
+    Lines.push_back(resultToJsonLine(R));
+  return Lines;
+}
+
+TEST(Scheduler, ResultsIndependentOfWorkerCount) {
+  std::vector<JobSpec> Batch = generatedBatch(12);
+  std::vector<std::string> One = runBatch(Batch, 1);
+  std::vector<std::string> Four = runBatch(Batch, 4);
+  ASSERT_EQ(One.size(), Batch.size());
+  EXPECT_EQ(One, Four);
+}
+
+TEST(Scheduler, CrashIsolationTurnsThrowIntoStructuredFailure) {
+  SchedulerOptions SO;
+  SO.Workers = 2;
+  AnalysisScheduler Scheduler(SO);
+  JobSpec Good = specOf("x := 1;\nassert(x = 1);\n");
+  Good.Id = 0;
+  JobSpec Crash = specOf("x := 1;\n");
+  Crash.Id = 1;
+  Crash.Opts.TestCrash = true;
+  Scheduler.submit(Good);
+  Scheduler.submit(Crash);
+  Scheduler.waitIdle();
+  std::vector<JobResult> Results = Scheduler.takeResults();
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_EQ(Results[0].Status, JobStatus::Verified);
+  EXPECT_EQ(Results[1].Status, JobStatus::Error);
+  EXPECT_NE(Results[1].Error.find("TestCrash"), std::string::npos);
+}
+
+TEST(Scheduler, PerJobStatuses) {
+  SchedulerOptions SO;
+  AnalysisScheduler Scheduler(SO);
+  JobSpec Parse = specOf("while (");
+  Parse.Id = 0;
+  JobSpec Domain = specOf("x := 1;\n", "nosuch");
+  Domain.Id = 1;
+  JobSpec Encode = specOf("x := 1;\n");
+  Encode.Id = 2;
+  Encode.Opts.Encode = "bogus";
+  Scheduler.submit(Parse);
+  Scheduler.submit(Domain);
+  Scheduler.submit(Encode);
+  Scheduler.waitIdle();
+  std::vector<JobResult> Results = Scheduler.takeResults();
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_EQ(Results[0].Status, JobStatus::ParseError);
+  EXPECT_EQ(Results[1].Status, JobStatus::BadDomain);
+  EXPECT_EQ(Results[2].Status, JobStatus::BadDomain);
+}
+
+TEST(Scheduler, TimeoutReportsCleanlyWithoutKillingAnything) {
+  // fig1-style poly,uf work takes tens of milliseconds at least; a 1 ms
+  // deadline reliably fires at an early fixpoint step boundary.
+  interp::GenOptions GO;
+  GO.Seed = 5;
+  GO.MaxStmts = 20;
+  JobSpec S = specOf(interp::generateProgram(GO), "logical:poly,uf");
+  S.Opts.TimeoutMs = 1;
+  JobResult R = AnalysisScheduler::runJobIsolated(S, nullptr);
+  EXPECT_EQ(R.Status, JobStatus::Timeout);
+  EXPECT_NE(R.Error.find("deadline"), std::string::npos);
+  EXPECT_FALSE(jobCacheable(R.Status));
+}
+
+TEST(Scheduler, CancellationFlagStopsTheRun) {
+  std::atomic<bool> Cancel{true}; // Pre-set: cancels at the first step.
+  JobSpec S = specOf("x := 0;\nwhile (x <= 9) {\n  x := x + 1;\n}\n"
+                     "assert(x <= 10);\n",
+                     "logical:poly,uf");
+  JobResult R = AnalysisScheduler::runJobIsolated(S, &Cancel);
+  EXPECT_EQ(R.Status, JobStatus::Error);
+  EXPECT_EQ(R.Error, "cancelled");
+}
+
+TEST(Scheduler, WarmCacheServesRepeats) {
+  SchedulerOptions SO;
+  SO.Workers = 2;
+  AnalysisScheduler Scheduler(SO);
+  std::vector<JobSpec> Batch = generatedBatch(8);
+  for (const JobSpec &S : Batch)
+    Scheduler.submit(S);
+  Scheduler.waitIdle();
+  for (JobSpec S : Batch) {
+    S.Id += Batch.size();
+    Scheduler.submit(std::move(S));
+  }
+  Scheduler.waitIdle();
+  std::vector<JobResult> Results = Scheduler.takeResults();
+  ASSERT_EQ(Results.size(), 2 * Batch.size());
+  unsigned Cached = 0;
+  for (const JobResult &R : Results)
+    Cached += R.CacheHit;
+  EXPECT_EQ(Cached, Batch.size()); // Pass 2 entirely from cache.
+  // First-pass and second-pass outcomes agree apart from id and the
+  // cached flag.
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    EXPECT_EQ(Results[I].Status, Results[I + Batch.size()].Status);
+    EXPECT_EQ(Results[I].Fingerprint, Results[I + Batch.size()].Fingerprint);
+    EXPECT_EQ(Results[I].NumVerified, Results[I + Batch.size()].NumVerified);
+  }
+  ResultCacheStats S = Scheduler.cacheStats();
+  EXPECT_GE(S.hitRate(), 0.5);
+  EXPECT_EQ(S.Hits, Batch.size());
+}
+
+// --- Shard merge ---------------------------------------------------------
+
+TEST(ShardMerge, MergedMetricsEqualShardSums) {
+  obs::MetricsRegistry A, B;
+  A.counter("service.x").inc(3);
+  B.counter("service.x").inc(4);
+  A.counter("only.a").inc(1);
+  B.gauge("g").set(7);
+  A.histogram("h").record(2.0);
+  B.histogram("h").record(8.0);
+  obs::MetricsRegistry Merged;
+  Merged.mergeFrom(A);
+  Merged.mergeFrom(B);
+  EXPECT_EQ(Merged.counter("service.x").value(), 7u);
+  EXPECT_EQ(Merged.counter("only.a").value(), 1u);
+  EXPECT_DOUBLE_EQ(Merged.gauge("g").value(), 7.0);
+  EXPECT_EQ(Merged.histogram("h").count(), 2u);
+  EXPECT_DOUBLE_EQ(Merged.histogram("h").sum(), 10.0);
+  EXPECT_DOUBLE_EQ(Merged.histogram("h").min(), 2.0);
+  EXPECT_DOUBLE_EQ(Merged.histogram("h").max(), 8.0);
+}
+
+TEST(ShardMerge, SchedulerMergeSumsJobCountsAcrossShards) {
+  SchedulerOptions SO;
+  SO.Workers = 3;
+  AnalysisScheduler Scheduler(SO);
+  for (JobSpec &S : generatedBatch(9))
+    Scheduler.submit(std::move(S));
+  Scheduler.waitIdle();
+  obs::MetricsRegistry Merged;
+  Scheduler.mergeMetricsInto(Merged);
+  // However the 9 jobs landed on the 3 shards, the merged counter is the
+  // total.
+  EXPECT_EQ(Merged.counter("service.jobs.completed").value(), 9u);
+  EXPECT_EQ(Merged.counter("service.cache.misses").value(), 9u);
+}
+
+TEST(ShardMerge, WriteMergedJsonAssignsShardTidsDeterministically) {
+  // Two tracers driven directly (the calling thread owns both), so the
+  // multi-shard layout is exercised without depending on scheduling.
+  auto Epoch = std::chrono::steady_clock::now();
+  obs::Tracer A(obs::Tracer::Sink::Buffer, Epoch);
+  obs::Tracer B(obs::Tracer::Sink::Buffer, Epoch);
+  A.begin("span-a", "test");
+  A.end();
+  B.instant("instant-b", "test");
+  std::ostringstream OS;
+  obs::Tracer::writeMergedJson(OS, {&A, &B});
+  std::string Error;
+  std::optional<Json> Doc = Json::parse(OS.str(), &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error << "\n" << OS.str();
+  const Json *Events = Doc->get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  bool SawA = false, SawB = false;
+  for (const Json &E : Events->items()) {
+    const Json *Tid = E.get("tid");
+    const Json *Name = E.get("name");
+    ASSERT_NE(Tid, nullptr);
+    if (Name && Name->asString() == "span-a") {
+      EXPECT_EQ(Tid->asInt(), 1); // Shard index 0 -> tid 1.
+      SawA = true;
+    }
+    if (Name && Name->asString() == "instant-b") {
+      EXPECT_EQ(Tid->asInt(), 2); // Shard index 1 -> tid 2.
+      SawB = true;
+    }
+  }
+  EXPECT_TRUE(SawA);
+  EXPECT_TRUE(SawB);
+}
+
+TEST(ShardMerge, SchedulerTraceIsValidChromeTraceJson) {
+  SchedulerOptions SO;
+  SO.Workers = 2;
+  SO.CollectTraces = true;
+  AnalysisScheduler Scheduler(SO);
+  for (JobSpec &S : generatedBatch(6))
+    Scheduler.submit(std::move(S));
+  Scheduler.waitIdle();
+  std::ostringstream OS;
+  Scheduler.writeMergedTrace(OS);
+  std::string Error;
+  std::optional<Json> Doc = Json::parse(OS.str(), &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const Json *Events = Doc->get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_FALSE(Events->items().empty());
+  for (const Json &E : Events->items()) {
+    const Json *Tid = E.get("tid");
+    ASSERT_NE(Tid, nullptr);
+    // Which worker won each job is scheduling-dependent (on one core a
+    // single shard may take everything), but every tid must be a valid
+    // shard lane.
+    int64_t T = Tid->asInt();
+    EXPECT_TRUE(T == 1 || T == 2) << "unexpected tid " << T;
+    EXPECT_NE(E.get("ph"), nullptr);
+    EXPECT_NE(E.get("ts"), nullptr);
+  }
+}
+
+} // namespace

@@ -16,6 +16,9 @@
 ///   --encode=comm     apply the Section 5.1 commutative encoding first
 ///   --encode=arity    apply the Section 5.2 arity-reduction encoding
 ///   --widening-delay=N
+///   --timeout-ms=N    cooperative deadline: the fixpoint engine checks the
+///                     clock at step boundaries and stops cleanly once the
+///                     deadline passes (exit 4, nothing is killed)
 ///   --poly-max-rows=N cap on intermediate constraint-system rows in the
 ///                     polyhedra domain; excess rows are havocked (sound
 ///                     over-approximation, counted as poly.havoc.*).
@@ -57,28 +60,21 @@
 ///
 /// Exit code: 0 if every assertion verified and the fixpoint converged,
 /// 1 otherwise, 2 on usage/parse errors, 3 if --check found a soundness
-/// or contract violation.
+/// or contract violation, 4 if --timeout-ms expired before convergence.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
 #include "check/CheckedLattice.h"
 #include "check/FaultInjection.h"
-#include "domains/affine/AffineDomain.h"
-#include "domains/arrays/ArrayDomain.h"
-#include "domains/lists/ListDomain.h"
-#include "domains/parity/ParityDomain.h"
-#include "domains/poly/PolyDomain.h"
-#include "domains/sign/SignDomain.h"
-#include "domains/uf/UFDomain.h"
+#include "domains/poly/Polyhedron.h"
 #include "encodings/Encodings.h"
 #include "interp/Oracle.h"
 #include "ir/ProgramParser.h"
+#include "service/DomainFactory.h"
 #include "obs/Metrics.h"
 #include "obs/Provenance.h"
 #include "obs/Trace.h"
-#include "product/DirectProduct.h"
-#include "product/LogicalProduct.h"
 #include "term/Printer.h"
 
 #include <cstdio>
@@ -92,126 +88,12 @@ using namespace cai;
 
 namespace {
 
-/// Owns every lattice built while parsing a --domain spec (components must
-/// outlive the products referencing them).
-struct DomainFactory {
-  TermContext &Ctx;
-  std::vector<std::unique_ptr<LogicalLattice>> Owned;
-  std::unique_ptr<ListDomain> ListsInstance;
-  std::string Error;
-
-  explicit DomainFactory(TermContext &Ctx) : Ctx(Ctx) {}
-
-  LogicalLattice *keep(std::unique_ptr<LogicalLattice> L) {
-    Owned.push_back(std::move(L));
-    return Owned.back().get();
-  }
-
-  /// Grammar: spec := name | kind ':' spec ',' spec | '(' spec ')' ...
-  /// Parses from \p S at \p Pos; returns nullptr and sets Error on failure.
-  LogicalLattice *parse(const std::string &S, size_t &Pos) {
-    auto StartsWith = [&](const char *Word) {
-      size_t Len = std::strlen(Word);
-      return S.compare(Pos, Len, Word) == 0;
-    };
-    if (Pos < S.size() && S[Pos] == '(') {
-      ++Pos;
-      LogicalLattice *Inner = parse(S, Pos);
-      if (!Inner)
-        return nullptr;
-      if (Pos >= S.size() || S[Pos] != ')') {
-        Error = "expected ')' in domain spec";
-        return nullptr;
-      }
-      ++Pos;
-      return Inner;
-    }
-    for (const char *Kind : {"direct", "reduced", "logical"}) {
-      if (!StartsWith(Kind) || S[Pos + std::strlen(Kind)] != ':')
-        continue;
-      Pos += std::strlen(Kind) + 1;
-      LogicalLattice *First = parse(S, Pos);
-      if (!First)
-        return nullptr;
-      if (Pos >= S.size() || S[Pos] != ',') {
-        Error = "expected ',' between product components";
-        return nullptr;
-      }
-      ++Pos;
-      LogicalLattice *Second = parse(S, Pos);
-      if (!Second)
-        return nullptr;
-      if (std::strcmp(Kind, "direct") == 0)
-        return keep(std::make_unique<DirectProduct>(Ctx, *First, *Second));
-      auto Mode = std::strcmp(Kind, "reduced") == 0
-                      ? LogicalProduct::Mode::Reduced
-                      : LogicalProduct::Mode::Logical;
-      return keep(
-          std::make_unique<LogicalProduct>(Ctx, *First, *Second, Mode));
-    }
-    struct Named {
-      const char *Name;
-      std::unique_ptr<LogicalLattice> (DomainFactory::*Make)();
-    };
-    const Named Table[] = {
-        {"affine", &DomainFactory::makeAffine},
-        {"poly", &DomainFactory::makePoly},
-        {"uf", &DomainFactory::makeUF},
-        {"parity", &DomainFactory::makeParity},
-        {"sign", &DomainFactory::makeSign},
-        {"lists", &DomainFactory::makeLists},
-        {"arrays", &DomainFactory::makeArrays},
-    };
-    for (const Named &N : Table) {
-      size_t Len = std::strlen(N.Name);
-      if (S.compare(Pos, Len, N.Name) == 0) {
-        Pos += Len;
-        return keep((this->*N.Make)());
-      }
-    }
-    Error = "unknown domain at '" + S.substr(Pos) + "'";
-    return nullptr;
-  }
-
-  std::unique_ptr<LogicalLattice> makeAffine() {
-    return std::make_unique<AffineDomain>(Ctx);
-  }
-  std::unique_ptr<LogicalLattice> makePoly() {
-    return std::make_unique<PolyDomain>(Ctx);
-  }
-  std::unique_ptr<LogicalLattice> makeUF() {
-    // If a lists domain participates anywhere in the spec, cede its
-    // symbols so the nested product dispatches them correctly.
-    std::set<Symbol> Excluded;
-    if (ListsInstance) {
-      Excluded.insert(ListsInstance->carSym());
-      Excluded.insert(ListsInstance->cdrSym());
-      Excluded.insert(ListsInstance->consSym());
-    }
-    return std::make_unique<UFDomain>(Ctx, Excluded);
-  }
-  std::unique_ptr<LogicalLattice> makeParity() {
-    return std::make_unique<ParityDomain>(Ctx);
-  }
-  std::unique_ptr<LogicalLattice> makeSign() {
-    return std::make_unique<SignDomain>(Ctx);
-  }
-  std::unique_ptr<LogicalLattice> makeArrays() {
-    return std::make_unique<ArrayDomain>(Ctx);
-  }
-  std::unique_ptr<LogicalLattice> makeLists() {
-    auto L = std::make_unique<ListDomain>(Ctx);
-    ListsInstance = std::make_unique<ListDomain>(Ctx);
-    return L;
-  }
-};
-
 void usage() {
   std::fprintf(
       stderr,
       "usage: cai-analyze [--domain=<spec>] [--invariants] [--stats]\n"
       "                   [--encode=comm|arity] [--widening-delay=N]\n"
-      "                   [--poly-max-rows=N] [--no-memo]\n"
+      "                   [--timeout-ms=N] [--poly-max-rows=N] [--no-memo]\n"
       "                   [--trace-out=FILE] [--metrics-out=FILE]\n"
       "                   [--explain[=<label|node>]]\n"
       "                   [--check[=oracle|contracts|all]] [--check-traces=N]\n"
@@ -223,7 +105,8 @@ void usage() {
       "exit codes:   0 all assertions verified and fixpoint converged\n"
       "              1 some assertion failed or fixpoint did not converge\n"
       "              2 usage, parse, or I/O error\n"
-      "              3 --check found a soundness or contract violation\n");
+      "              3 --check found a soundness or contract violation\n"
+      "              4 --timeout-ms expired before convergence\n");
 }
 
 } // namespace
@@ -242,6 +125,7 @@ int main(int Argc, char **Argv) {
   bool CheckOracle = false;
   bool BreakJoin = false;
   unsigned BreakJoinFrom = 0;
+  uint64_t TimeoutMs = 0;
   interp::OracleOptions OracleOpts;
   AnalyzerOptions Opts;
 
@@ -320,6 +204,15 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.WideningDelay = static_cast<unsigned>(std::stoul(Value));
+    } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
+      std::string Value = Arg.substr(13);
+      if (Value.empty() ||
+          Value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "error: --timeout-ms expects a number, got '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      TimeoutMs = std::stoull(Value);
     } else if (Arg.rfind("--poly-max-rows=", 0) == 0) {
       std::string Value = Arg.substr(16);
       if (Value.empty() ||
@@ -366,17 +259,11 @@ int main(int Argc, char **Argv) {
   Ctx.getPredicate("positive", 1);
   Ctx.getPredicate("negative", 1);
 
-  DomainFactory Factory(Ctx);
-  // Pre-scan: if the spec mentions lists, build it first so UF cedes the
-  // symbols.
-  if (DomainSpec.find("lists") != std::string::npos)
-    Factory.ListsInstance = std::make_unique<ListDomain>(Ctx);
-  size_t Pos = 0;
-  LogicalLattice *Domain = Factory.parse(DomainSpec, Pos);
-  if (!Domain || Pos != DomainSpec.size()) {
+  service::DomainFactory Factory(Ctx);
+  LogicalLattice *Domain = Factory.build(DomainSpec);
+  if (!Domain) {
     std::fprintf(stderr, "error: bad --domain spec: %s\n",
-                 Factory.Error.empty() ? "trailing input"
-                                       : Factory.Error.c_str());
+                 Factory.error().c_str());
     return 2;
   }
 
@@ -423,6 +310,10 @@ int main(int Argc, char **Argv) {
   if (Explain || CheckContracts)
     obs::ProvenanceRecorder::install(&Recorder);
 
+  if (TimeoutMs != 0)
+    Opts.Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+
   AnalysisResult R = Analyzer(*Domain, Opts).run(Analyzed);
 
   obs::Tracer::install(nullptr);
@@ -445,6 +336,16 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     obs::MetricsRegistry::global().writeJson(MOut);
+  }
+
+  if (R.Cancelled) {
+    // The deadline fired: the engine stopped cleanly at a step boundary,
+    // and the partial invariants are untrustworthy by construction.
+    std::fprintf(stderr,
+                 "error: analysis exceeded --timeout-ms=%llu "
+                 "(cancelled at a fixpoint step boundary)\n",
+                 static_cast<unsigned long long>(TimeoutMs));
+    return 4;
   }
 
   std::printf("domain:     %s\n", Domain->name().c_str());

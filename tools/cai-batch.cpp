@@ -1,0 +1,302 @@
+//===- tools/cai-batch.cpp - Batch analysis front end ----------------------===//
+///
+/// Runs a batch of analyses through the sharded scheduler and prints one
+/// deterministic JSON result line per job, sorted by job id.
+///
+///   cai-batch [options] [program.imp | directory]...
+///
+/// Job sources (combine freely; ids are assigned in submission order):
+///   <program.imp>     one job per file argument
+///   <directory>       one job per *.imp file underneath, sorted by path
+///   --manifest=FILE   JSON-lines manifest; each line is an analyze request
+///                     (see docs/SERVICE.md): {"name":...,"program":"..."} or
+///                     {"program_file":"path", "domain":..., "options":{...}}.
+///                     program_file paths resolve relative to the working
+///                     directory.
+///   --gen=N           N generated programs (interp::ProgramGen with nested
+///                     function composition, MaxFnDepth 3)
+///   --gen-seed=S      base seed for --gen (job K uses seed S+K; default 1)
+///
+/// Options for positional/--gen jobs (manifest entries carry their own):
+///   --domain=<spec>   same grammar as cai-analyze (default logical:poly,uf)
+///   --encode=comm|arity
+///   --timeout-ms=N    per-job cooperative deadline
+///
+/// Scheduler:
+///   --jobs=N          worker threads (default 1)
+///   --cache-bytes=N   result-cache byte budget (default 64 MiB, 0 disables)
+///   --repeat=N        submit the whole job list N times, waiting for the
+///                     batch to drain between passes (so pass 2+ exercises
+///                     the warm cache deterministically; default 1)
+///   --stats           print a summary JSON line to stderr at the end
+///   --trace-out=FILE  merged Chrome trace across worker shards
+///   --metrics-out=FILE merged metrics JSON (shard sums) across shards
+///
+/// Output lines carry no timing and fields in a fixed order, so two runs
+/// over the same inputs are byte-identical regardless of --jobs (the
+/// batch-determinism test compares `--jobs 8` against `--jobs 1`).  The
+/// "cached" field is deterministic provided the job list has no duplicate
+/// fingerprints within one pass (duplicates may race the cache under
+/// --jobs > 1; --repeat passes are safe because of the drain barrier).
+///
+/// Exit code: 0 if every job's status is "verified", 1 if any job failed
+/// verification (assertion failures, non-convergence, timeouts, errors),
+/// 2 on usage or I/O errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/ProgramGen.h"
+#include "obs/Metrics.h"
+#include "service/Protocol.h"
+#include "service/Scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cai;
+using namespace cai::service;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cai-batch [options] [program.imp | directory]...\n"
+      "  --manifest=FILE    JSON-lines job manifest\n"
+      "  --gen=N            N generated programs  --gen-seed=S  base seed\n"
+      "  --domain=<spec>    domain for positional/--gen jobs\n"
+      "  --encode=comm|arity  --timeout-ms=N  per-job options\n"
+      "  --jobs=N           worker threads (default 1)\n"
+      "  --cache-bytes=N    result-cache budget (default 64 MiB, 0 = off)\n"
+      "  --repeat=N         run the job list N times (warm-cache passes)\n"
+      "  --stats            summary JSON line on stderr\n"
+      "  --trace-out=FILE   merged Chrome trace    --metrics-out=FILE\n"
+      "exit codes: 0 all verified, 1 some job failed, 2 usage/I/O error\n");
+}
+
+bool parseCount(const std::string &Arg, size_t Prefix, uint64_t &Out) {
+  std::string Value = Arg.substr(Prefix);
+  if (Value.empty() ||
+      Value.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "error: '%s' expects a number\n",
+                 Arg.substr(0, Prefix).c_str());
+    return false;
+  }
+  Out = std::stoull(Value);
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Paths;
+  std::string Manifest;
+  std::string TraceOut;
+  std::string MetricsOut;
+  JobOptions Defaults;
+  uint64_t Gen = 0;
+  uint64_t GenSeed = 1;
+  uint64_t Workers = 1;
+  uint64_t CacheBytes = 64ull << 20;
+  uint64_t Repeat = 1;
+  bool ShowStats = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--manifest=", 0) == 0) {
+      Manifest = Arg.substr(11);
+    } else if (Arg.rfind("--gen=", 0) == 0) {
+      if (!parseCount(Arg, 6, Gen))
+        return 2;
+    } else if (Arg.rfind("--gen-seed=", 0) == 0) {
+      if (!parseCount(Arg, 11, GenSeed))
+        return 2;
+    } else if (Arg.rfind("--domain=", 0) == 0) {
+      Defaults.DomainSpec = Arg.substr(9);
+    } else if (Arg.rfind("--encode=", 0) == 0) {
+      Defaults.Encode = Arg.substr(9);
+    } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
+      if (!parseCount(Arg, 13, Defaults.TimeoutMs))
+        return 2;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseCount(Arg, 7, Workers) || Workers == 0) {
+        std::fprintf(stderr, "error: --jobs expects a positive number\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--cache-bytes=", 0) == 0) {
+      if (!parseCount(Arg, 14, CacheBytes))
+        return 2;
+    } else if (Arg.rfind("--repeat=", 0) == 0) {
+      if (!parseCount(Arg, 9, Repeat) || Repeat == 0) {
+        std::fprintf(stderr, "error: --repeat expects a positive number\n");
+        return 2;
+      }
+    } else if (Arg == "--stats") {
+      ShowStats = true;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Arg.substr(12);
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOut = Arg.substr(14);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+
+  // Assemble the job list (one pass; --repeat resubmits it).
+  std::vector<JobSpec> Batch;
+  uint64_t NextId = 0;
+
+  for (const std::string &Path : Paths) {
+    std::error_code EC;
+    std::vector<std::string> Files;
+    if (std::filesystem::is_directory(Path, EC)) {
+      for (const auto &Entry :
+           std::filesystem::recursive_directory_iterator(Path, EC))
+        if (Entry.is_regular_file() && Entry.path().extension() == ".imp")
+          Files.push_back(Entry.path().string());
+      std::sort(Files.begin(), Files.end());
+      if (Files.empty()) {
+        std::fprintf(stderr, "error: no .imp files under '%s'\n",
+                     Path.c_str());
+        return 2;
+      }
+    } else {
+      Files.push_back(Path);
+    }
+    for (const std::string &File : Files) {
+      JobSpec Spec;
+      Spec.Id = NextId++;
+      Spec.Name = File;
+      Spec.Opts = Defaults;
+      if (!readFile(File, Spec.ProgramText))
+        return 2;
+      Batch.push_back(std::move(Spec));
+    }
+  }
+
+  if (!Manifest.empty()) {
+    std::ifstream In(Manifest);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Manifest.c_str());
+      return 2;
+    }
+    unsigned LineNo = 0;
+    for (std::string Line; std::getline(In, Line);) {
+      ++LineNo;
+      if (Line.find_first_not_of(" \t\r") == std::string::npos)
+        continue;
+      std::string Error;
+      std::optional<Request> Req = parseRequest(Line, NextId, &Error);
+      if (!Req || Req->Command != Request::Kind::Analyze) {
+        std::fprintf(stderr, "error: %s:%u: %s\n", Manifest.c_str(), LineNo,
+                     Req ? "only analyze entries are valid in a manifest"
+                         : Error.c_str());
+        return 2;
+      }
+      Req->Spec.Id = NextId++; // Manifest ids are positional.
+      if (!Req->ProgramFile.empty() &&
+          !readFile(Req->ProgramFile, Req->Spec.ProgramText))
+        return 2;
+      Batch.push_back(std::move(Req->Spec));
+    }
+  }
+
+  for (uint64_t K = 0; K < Gen; ++K) {
+    interp::GenOptions GO;
+    GO.Seed = GenSeed + K;
+    GO.MaxFnDepth = 3; // Exercise nested composition (F(G(a, b)), towers).
+    JobSpec Spec;
+    Spec.Id = NextId++;
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "gen/%04llu",
+                  static_cast<unsigned long long>(K));
+    Spec.Name = Name;
+    Spec.ProgramText = interp::generateProgram(GO);
+    Spec.Opts = Defaults;
+    Batch.push_back(std::move(Spec));
+  }
+
+  if (Batch.empty()) {
+    usage();
+    return 2;
+  }
+
+  SchedulerOptions SO;
+  SO.Workers = static_cast<unsigned>(Workers);
+  SO.CacheBytes = CacheBytes;
+  SO.CollectTraces = !TraceOut.empty();
+
+  uint64_t JobsCompleted = 0;
+  bool AllVerified = true;
+  {
+    AnalysisScheduler Scheduler(SO);
+    for (uint64_t Pass = 0; Pass < Repeat; ++Pass) {
+      for (const JobSpec &Spec : Batch) {
+        JobSpec Submitted = Spec;
+        Submitted.Id = Pass * Batch.size() + Spec.Id;
+        Scheduler.submit(std::move(Submitted));
+      }
+      // Drain between passes: pass N+1 then hits the warm cache instead of
+      // racing pass N's in-flight duplicates.
+      Scheduler.waitIdle();
+    }
+
+    std::vector<JobResult> Results = Scheduler.takeResults();
+    JobsCompleted = Results.size();
+    for (const JobResult &R : Results) {
+      AllVerified &= jobVerified(R.Status);
+      std::printf("%s\n", resultToJsonLine(R).c_str());
+    }
+
+    if (ShowStats)
+      std::fprintf(stderr, "%s\n",
+                   statsToJsonLine(Scheduler.cacheStats(),
+                                   Scheduler.numWorkers(), JobsCompleted)
+                       .c_str());
+
+    if (!TraceOut.empty()) {
+      std::ofstream TOut(TraceOut);
+      if (!TOut) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", TraceOut.c_str());
+        return 2;
+      }
+      Scheduler.writeMergedTrace(TOut);
+    }
+    if (!MetricsOut.empty()) {
+      std::ofstream MOut(MetricsOut);
+      if (!MOut) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", MetricsOut.c_str());
+        return 2;
+      }
+      obs::MetricsRegistry Merged;
+      Scheduler.mergeMetricsInto(Merged);
+      Merged.writeJson(MOut);
+    }
+  }
+
+  return AllVerified ? 0 : 1;
+}

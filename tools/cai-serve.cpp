@@ -1,0 +1,166 @@
+//===- tools/cai-serve.cpp - Long-running analysis service -----------------===//
+///
+/// A long-running analysis server speaking JSON-lines over stdin/stdout
+/// (sandbox-friendly and scriptable; no sockets).  Each input line is one
+/// request:
+///
+///   {"id":1,"name":"fig1","program":"x := 0; ...","domain":"logical:poly,uf",
+///    "options":{"timeout_ms":500}}       submit an analysis
+///   {"id":2,"program_file":"examples/fig1.imp"}   ... from a file
+///   {"cmd":"stats"}                      drain, then report statistics
+///   {"cmd":"shutdown"}                   drain outstanding jobs and exit
+///
+/// Responses stream as jobs complete (match them to requests by "id"; with
+/// --jobs > 1 completion order is not submission order).  A malformed line
+/// gets a {"status":"bad-request",...} response and the server keeps
+/// going; EOF behaves like shutdown.
+///
+///   cai-serve [--jobs=N] [--cache-bytes=N] [--trace-out=FILE]
+///
+/// Exit code: 0 on clean shutdown/EOF, 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+#include "service/Scheduler.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+using namespace cai;
+using namespace cai::service;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cai-serve [--jobs=N] [--cache-bytes=N] "
+               "[--trace-out=FILE]\n"
+               "reads JSON-lines requests on stdin, writes JSON-lines "
+               "responses on stdout\n");
+}
+
+/// Serializes writers: results stream from worker threads while the main
+/// thread answers stats and bad-request lines.
+std::mutex OutMu;
+
+void printLine(const std::string &Line) {
+  std::lock_guard<std::mutex> Lock(OutMu);
+  std::fputs(Line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void printBadRequest(const std::string &Error) {
+  Json Line = Json::object();
+  Line.set("status", Json::str("bad-request"));
+  Line.set("error", Json::str(Error));
+  printLine(Line.dump());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Workers = 1;
+  uint64_t CacheBytes = 64ull << 20;
+  std::string TraceOut;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Number = [&](size_t Prefix, uint64_t &Out) {
+      std::string Value = Arg.substr(Prefix);
+      if (Value.empty() ||
+          Value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "error: '%s' expects a number\n", Arg.c_str());
+        return false;
+      }
+      Out = std::stoull(Value);
+      return true;
+    };
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!Number(7, Workers) || Workers == 0) {
+        std::fprintf(stderr, "error: --jobs expects a positive number\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--cache-bytes=", 0) == 0) {
+      if (!Number(14, CacheBytes))
+        return 2;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Arg.substr(12);
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  SchedulerOptions SO;
+  SO.Workers = static_cast<unsigned>(Workers);
+  SO.CacheBytes = CacheBytes;
+  SO.CollectTraces = !TraceOut.empty();
+
+  AnalysisScheduler Scheduler(SO);
+  std::atomic<uint64_t> JobsCompleted{0};
+  Scheduler.onResult([&](const JobResult &R) {
+    JobsCompleted.fetch_add(1, std::memory_order_relaxed);
+    printLine(resultToJsonLine(R));
+  });
+
+  uint64_t NextId = 0;
+  for (std::string Line; std::getline(std::cin, Line);) {
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    std::string Error;
+    std::optional<Request> Req = parseRequest(Line, NextId, &Error);
+    if (!Req) {
+      printBadRequest(Error);
+      continue;
+    }
+    if (Req->Command == Request::Kind::Shutdown)
+      break;
+    if (Req->Command == Request::Kind::Stats) {
+      // Stats describe a quiesced scheduler: drain first so the numbers
+      // are complete (and deterministic for the protocol test).
+      Scheduler.waitIdle();
+      Scheduler.takeResults(); // Already streamed; free the accumulation.
+      printLine(statsToJsonLine(Scheduler.cacheStats(),
+                                Scheduler.numWorkers(),
+                                JobsCompleted.load(std::memory_order_relaxed)));
+      continue;
+    }
+    if (!Req->ProgramFile.empty()) {
+      std::ifstream In(Req->ProgramFile);
+      if (!In) {
+        printBadRequest("cannot open '" + Req->ProgramFile + "'");
+        continue;
+      }
+      std::stringstream Buffer;
+      Buffer << In.rdbuf();
+      Req->Spec.ProgramText = Buffer.str();
+    }
+    NextId = Req->Spec.Id + 1;
+    Scheduler.submit(std::move(Req->Spec));
+  }
+
+  // Shutdown or EOF: drain outstanding jobs, then optionally export the
+  // merged shard trace.
+  Scheduler.waitIdle();
+  Scheduler.takeResults();
+  if (!TraceOut.empty()) {
+    std::ofstream TOut(TraceOut);
+    if (!TOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", TraceOut.c_str());
+      return 2;
+    }
+    Scheduler.writeMergedTrace(TOut);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+# The batch determinism contract: `cai-batch --jobs 8` must print output
+# byte-identical to `--jobs 1` over the same job list (job isolation makes
+# results independent of worker count; sorted-by-id output and the
+# timing-free wire format make the bytes match).
+#
+#   cmake -DTOOL=<cai-batch> "-DARGS=<common args>" -P check_batch_determinism.cmake
+#
+# ARGS must not contain --jobs; the script appends it.
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${ARG_LIST} --jobs=1 OUTPUT_VARIABLE OUT1
+                RESULT_VARIABLE RC1 ERROR_QUIET)
+execute_process(COMMAND ${TOOL} ${ARG_LIST} --jobs=8 OUTPUT_VARIABLE OUT8
+                RESULT_VARIABLE RC8 ERROR_QUIET)
+if(NOT RC1 STREQUAL RC8)
+  message(FATAL_ERROR "exit codes differ: --jobs=1 -> ${RC1}, --jobs=8 -> ${RC8}")
+endif()
+if(NOT OUT1 STREQUAL OUT8)
+  message(FATAL_ERROR "batch output depends on worker count:\n"
+                      "--- --jobs=1 ---\n${OUT1}\n--- --jobs=8 ---\n${OUT8}")
+endif()
+if(OUT1 STREQUAL "")
+  message(FATAL_ERROR "cai-batch printed nothing; determinism check is vacuous")
+endif()
