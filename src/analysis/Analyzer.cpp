@@ -2,11 +2,14 @@
 
 #include "analysis/Analyzer.h"
 
+#include "analysis/Snapshot.h"
+#include "ir/CfgFingerprint.h"
 #include "ir/WTO.h"
 #include "obs/Metrics.h"
 #include "obs/Provenance.h"
 #include "obs/Trace.h"
 #include "support/QueryCache.h"
+#include "term/StateCodec.h"
 
 #include <queue>
 
@@ -54,8 +57,7 @@ bool Analyzer::expressible(Term T) const {
   return true;
 }
 
-Conjunction Analyzer::transfer(const Action &Act, const Conjunction &In,
-                               AnalyzerStats &Stats) const {
+Conjunction Analyzer::transfer(const Action &Act, const Conjunction &In) const {
   if (In.isBottom())
     return In;
   TermContext &Ctx = Lattice.context();
@@ -86,7 +88,6 @@ Conjunction Analyzer::transfer(const Action &Act, const Conjunction &In,
 
   case ActionKind::Assign:
   case ActionKind::Havoc: {
-    ++Stats.Transfers;
     // Figure 5(b): rename x to a shadow x0 in E, conjoin x = e[x0/x], then
     // existentially quantify x0.  The paper degrades out-of-signature
     // expressions to havoc (E1' := true); our domains instead treat
@@ -135,25 +136,38 @@ AnalysisResult Analyzer::run(const Program &P) const {
 
   WTO Wto(P);
   Result.Stats.WtoComponents = Wto.numComponents();
+  TermContext &Ctx = Lattice.context();
+  const std::vector<NodeId> &Order = Wto.order();
+  const auto &Succs = P.successors();
+
+  // Fingerprints are needed both to find the reusable prefix of an
+  // incoming snapshot and to stamp an outgoing one.
+  const FixpointSnapshot *SnapIn =
+      Opts.SnapshotIn && Opts.SnapshotIn->Complete ? Opts.SnapshotIn : nullptr;
+  ComponentFingerprints FP;
+  if (SnapIn || Opts.SnapshotOut)
+    FP = fingerprintComponents(Ctx, P, Wto);
+  // Elements 0..Reusable-1 replay from the snapshot: the chained
+  // fingerprint equality proves their structure and everything upstream
+  // is unchanged, so their stabilized states are already known.
+  size_t Reusable = 0;
+  if (SnapIn) {
+    size_t Limit = std::min(FP.numElements(), SnapIn->Components.size());
+    while (Reusable < Limit &&
+           SnapIn->Components[Reusable].ChainFP == FP.Chain[Reusable])
+      ++Reusable;
+  }
+  if (Opts.SnapshotOut) {
+    Opts.SnapshotOut->Components.clear();
+    Opts.SnapshotOut->Complete = false;
+  }
 
   std::vector<unsigned> Updates(P.numNodes(), 0);
-
-  // Priority worklist keyed by WTO position: always continue with the
-  // earliest pending node.  Inner loop bodies occupy a contiguous position
-  // range right after their head, so an inner component fully stabilizes
-  // before control returns to the enclosing one -- on nested loops this
-  // cuts node re-evaluations superlinearly versus the FIFO deque it
-  // replaces.
-  std::priority_queue<unsigned, std::vector<unsigned>, std::greater<unsigned>>
-      Heap;
-  std::vector<bool> Queued(P.numNodes(), false);
-  auto Enqueue = [&](NodeId N) {
-    if (!Queued[N]) {
-      Queued[N] = true;
-      Heap.push(Wto.position(N));
-    }
-  };
-  Enqueue(P.entry());
+  // Nodes whose state changed since their element's stage started --
+  // i.e. received a cross-element contribution from an upstream sweep.
+  // Each element's stage begins from its marked nodes.
+  std::vector<bool> Marked(P.numNodes(), false);
+  Marked[P.entry()] = true;
 
   // Per-run transfer memo: (edge, input state) -> output state.  Pays off
   // whenever a node is re-processed with an unchanged invariant (sibling
@@ -163,12 +177,18 @@ AnalysisResult Analyzer::run(const Program &P) const {
                             const Conjunction &In) {
     CAI_TRACE_SPAN("edge.transfer", "transfer");
     ++Result.Stats.EdgeEvals;
+    // Count at the request level, not inside transfer(): the statistic
+    // must not depend on cache hit patterns (bottom inputs short-circuit
+    // before doing any work, so they never counted).
+    if (!In.isBottom() &&
+        (Act.Kind == ActionKind::Assign || Act.Kind == ActionKind::Havoc))
+      ++Result.Stats.Transfers;
     if (!Opts.Memoize)
-      return transfer(Act, In, Result.Stats);
+      return transfer(Act, In);
     EdgeStateKey K{EdgeIdx, In};
     if (const Conjunction *Hit = TransferCache.lookup(K))
       return *Hit;
-    Conjunction Out = transfer(Act, In, Result.Stats);
+    Conjunction Out = transfer(Act, In);
     TransferCache.insert(std::move(K), Out);
     return Out;
   };
@@ -184,79 +204,273 @@ AnalysisResult Analyzer::run(const Program &P) const {
     return HasDeadline && std::chrono::steady_clock::now() >= Opts.Deadline;
   };
 
-  const auto &Succs = P.successors();
-  while (!Heap.empty()) {
-    if (CancelRequested()) {
-      Result.Cancelled = true;
-      break;
+  // Propagates one edge from \p State into its target; returns true when
+  // the target's state changed.  Shared verbatim between element stages
+  // and boundary sweeps so the two phases cannot diverge in join/widen
+  // policy.  During a stage, StageCapPtr records update-cap hits for the
+  // element's snapshot record.
+  bool *StageCapPtr = nullptr;
+  auto ApplyEdge = [&](size_t EdgeIdx, const Conjunction &State) {
+    const Edge &E = P.edges()[EdgeIdx];
+    Conjunction Out = TransferCached(EdgeIdx, E.Act, State);
+    Conjunction &Target = Result.Invariants[E.To];
+
+    Conjunction Next;
+    if (Target.isBottom()) {
+      if (Out.isBottom())
+        return false;
+      Next = std::move(Out);
+    } else if (Out.isBottom()) {
+      return false; // Nothing new flows in.
+    } else if (Opts.SemanticConvergence &&
+               Lattice.entailsAllCached(Out, Target)) {
+      // Fast path: the incoming state is already subsumed -- entailment
+      // checks are far cheaper than the join they avoid.
+      ++Result.Stats.EntailmentChecks;
+      return false;
+    } else if (Wto.isHead(E.To) && Updates[E.To] >= Opts.WideningDelay) {
+      ++Result.Stats.Widenings;
+      CAI_TRACE_SPAN("lattice.widen", "lattice");
+      obs::ProvenanceScope PS(E.To, Updates[E.To] + 1,
+                              obs::ProvenanceRecorder::Step::Widen);
+      Next = Lattice.widenCached(Target, Out);
+      obs::diffStep(Lattice, Target, &Out, Next);
+    } else {
+      ++Result.Stats.Joins;
+      CAI_TRACE_SPAN("lattice.join", "lattice");
+      obs::ProvenanceScope PS(E.To, Updates[E.To] + 1,
+                              obs::ProvenanceRecorder::Step::Join);
+      Next = Lattice.joinCached(Target, Out);
+      obs::diffStep(Lattice, Target, &Out, Next);
     }
-    unsigned Position = Heap.top();
-    Heap.pop();
-    NodeId N = Wto.order()[Position];
-    Queued[N] = false;
-    // One span per worklist step; component-head steps are the WTO
-    // component iterations the cost model cares about.
-    CAI_TRACE_SPAN_ARGS(Wto.isHead(N) ? "wto.component-iteration"
-                                      : "wto.node",
-                        "wto", {"node", std::to_string(N)},
-                        {"depth", std::to_string(Wto.depth(N))});
-    const Conjunction &State = Result.Invariants[N];
 
-    for (size_t EdgeIdx : Succs[N]) {
-      const Edge &E = P.edges()[EdgeIdx];
-      Conjunction Out = TransferCached(EdgeIdx, E.Act, State);
-      Conjunction &Target = Result.Invariants[E.To];
+    // Convergence check: cheap syntactic equality first, then mutual
+    // entailment if enabled.
+    bool Same = Next == Target;
+    if (!Same && Opts.SemanticConvergence && !Target.isBottom()) {
+      ++Result.Stats.EntailmentChecks;
+      Same = Lattice.entailsAllCached(Target, Next) &&
+             Lattice.entailsAllCached(Next, Target);
+    }
+    if (Same)
+      return false;
 
-      Conjunction Next;
-      if (Target.isBottom()) {
-        Next = std::move(Out);
-      } else if (Out.isBottom()) {
-        continue; // Nothing new flows in.
-      } else if (Opts.SemanticConvergence &&
-                 Lattice.entailsAllCached(Out, Target)) {
-        // Fast path: the incoming state is already subsumed -- entailment
-        // checks are far cheaper than the join they avoid.
-        ++Result.Stats.EntailmentChecks;
-        continue;
-      } else if (Wto.isHead(E.To) && Updates[E.To] >= Opts.WideningDelay) {
-        ++Result.Stats.Widenings;
-        CAI_TRACE_SPAN("lattice.widen", "lattice");
-        obs::ProvenanceScope PS(E.To, Updates[E.To] + 1,
-                                obs::ProvenanceRecorder::Step::Widen);
-        Next = Lattice.widenCached(Target, Out);
-        obs::diffStep(Lattice, Target, &Out, Next);
+    ++Updates[E.To];
+    Result.Stats.TotalNodeUpdates += 1;
+    if (Updates[E.To] > Result.Stats.MaxNodeUpdates)
+      Result.Stats.MaxNodeUpdates = Updates[E.To];
+    if (Updates[E.To] > Opts.MaxUpdatesPerNode) {
+      Result.Converged = false;
+      if (StageCapPtr)
+        *StageCapPtr = true;
+      return false; // Stop propagating through this node.
+    }
+    Target = std::move(Next);
+    return true;
+  };
+
+  // Stage worklist, shared across elements: a priority queue keyed by WTO
+  // position, so inner loop bodies (contiguous positions right after
+  // their head) fully stabilize before control returns to the enclosing
+  // component.
+  std::priority_queue<unsigned, std::vector<unsigned>, std::greater<unsigned>>
+      Heap;
+  std::vector<bool> Queued(P.numNodes(), false);
+  auto Enqueue = [&](NodeId N) {
+    if (!Queued[N]) {
+      Queued[N] = true;
+      Heap.push(Wto.position(N));
+    }
+  };
+
+  // Ascending phase, one top-level WTO element at a time.  Stage K sees
+  // its complete inputs because reachable cross-element edges only flow
+  // forward and every earlier element already swept its final states
+  // downstream.  (Backward cross-element edges exist only among
+  // unreachable nodes, whose states are pinned at bottom, so the sweeps'
+  // non-bottom source filter never lets one fire.)
+  for (size_t S = 0, K = 0; S < Order.size() && !Result.Cancelled;
+       S = Wto.componentEnd(static_cast<unsigned>(S)), ++K) {
+    const unsigned End = Wto.componentEnd(static_cast<unsigned>(S));
+
+    bool Replayed = false;
+    if (K < Reusable) {
+      // Decode the element's record fully before committing anything; any
+      // failure (unknown symbol, malformed bytes, shape drift) just
+      // demotes this and all later elements to live stages.
+      const ComponentRecord &R = SnapIn->Components[K];
+      bool Ok = R.FinalStates.size() == End - S;
+      std::vector<Conjunction> Finals;
+      Finals.reserve(R.FinalStates.size());
+      for (size_t I = 0; Ok && I < R.FinalStates.size(); ++I) {
+        std::optional<Conjunction> C =
+            codec::decodeConjunction(Ctx, R.FinalStates[I]);
+        if (C)
+          Finals.push_back(std::move(*C));
+        else
+          Ok = false;
+      }
+      std::vector<std::pair<size_t, Conjunction>> Outs;
+      if (Ok && Opts.Memoize) {
+        Outs.reserve(R.FinalOuts.size());
+        for (const auto &[EdgeIdx, Enc] : R.FinalOuts) {
+          unsigned FromPos = EdgeIdx < P.edges().size()
+                                 ? Wto.position(P.edges()[EdgeIdx].From)
+                                 : 0;
+          if (EdgeIdx >= P.edges().size() || FromPos < S || FromPos >= End) {
+            Ok = false;
+            break;
+          }
+          std::optional<Conjunction> C = codec::decodeConjunction(Ctx, Enc);
+          if (!C) {
+            Ok = false;
+            break;
+          }
+          Outs.emplace_back(EdgeIdx, std::move(*C));
+        }
+      }
+      if (Ok) {
+        for (unsigned Pos = S; Pos < End; ++Pos)
+          Result.Invariants[Order[Pos]] = std::move(Finals[Pos - S]);
+        // Replay the stage's counter contributions verbatim; serialized
+        // stats must not reveal whether an element ran live.
+        Result.Stats.Joins += R.Joins;
+        Result.Stats.Widenings += R.Widenings;
+        Result.Stats.Transfers += R.Transfers;
+        Result.Stats.EdgeEvals += R.EdgeEvals;
+        Result.Stats.EntailmentChecks += R.EntailmentChecks;
+        Result.Stats.TotalNodeUpdates += R.TotalNodeUpdates;
+        Result.Stats.MaxNodeUpdates =
+            std::max(Result.Stats.MaxNodeUpdates, R.MaxUpdatesAbs);
+        if (R.CapHit)
+          Result.Converged = false;
+        // Fast-forward fresh naming past the replayed stage so live work
+        // downstream draws exactly the names a from-scratch run would.
+        Ctx.setFreshCounter(std::max(Ctx.freshCounter(), R.FreshCounterAfter));
+        for (auto &[EdgeIdx, Out] : Outs)
+          TransferCache.insert(
+              EdgeStateKey{EdgeIdx, Result.Invariants[P.edges()[EdgeIdx].From]},
+              std::move(Out));
+        ++Result.Stats.ComponentsReused;
+        if (Opts.SnapshotOut) {
+          ComponentRecord Copy = R;
+          Copy.LocalFP = FP.Local[K];
+          Copy.ChainFP = FP.Chain[K];
+          Opts.SnapshotOut->Components.push_back(std::move(Copy));
+        }
+        Replayed = true;
       } else {
-        ++Result.Stats.Joins;
-        CAI_TRACE_SPAN("lattice.join", "lattice");
-        obs::ProvenanceScope PS(E.To, Updates[E.To] + 1,
-                                obs::ProvenanceRecorder::Step::Join);
-        Next = Lattice.joinCached(Target, Out);
-        obs::diffStep(Lattice, Target, &Out, Next);
+        Reusable = K; // This element and everything after runs live.
       }
+    }
 
-      // Convergence check: cheap syntactic equality first, then mutual
-      // entailment if enabled.
-      bool Same = Next == Target;
-      if (!Same && Opts.SemanticConvergence && !Target.isBottom()) {
-        ++Result.Stats.EntailmentChecks;
-        Same = Lattice.entailsAllCached(Target, Next) &&
-               Lattice.entailsAllCached(Next, Target);
+    if (!Replayed) {
+      // Live stage: stabilize the element with a worklist confined to its
+      // internal edges.  Cross-element targets are deliberately skipped
+      // here -- the boundary sweep below delivers each source node's
+      // *final* state exactly once instead of a stream of intermediates.
+      AnalyzerStats Before = Result.Stats;
+      bool StageCap = false;
+      StageCapPtr = &StageCap;
+      for (unsigned Pos = S; Pos < End; ++Pos)
+        if (Marked[Order[Pos]])
+          Enqueue(Order[Pos]);
+      while (!Heap.empty()) {
+        if (CancelRequested()) {
+          Result.Cancelled = true;
+          break;
+        }
+        unsigned Position = Heap.top();
+        Heap.pop();
+        NodeId N = Order[Position];
+        Queued[N] = false;
+        // One span per worklist step; component-head steps are the WTO
+        // component iterations the cost model cares about.
+        CAI_TRACE_SPAN_ARGS(Wto.isHead(N) ? "wto.component-iteration"
+                                          : "wto.node",
+                            "wto", {"node", std::to_string(N)},
+                            {"depth", std::to_string(Wto.depth(N))});
+        const Conjunction &State = Result.Invariants[N];
+        for (size_t EdgeIdx : Succs[N]) {
+          const Edge &E = P.edges()[EdgeIdx];
+          unsigned TPos = Wto.position(E.To);
+          if (TPos < S || TPos >= End)
+            continue; // Cross-element: the sweep's job.
+          if (ApplyEdge(EdgeIdx, State))
+            Enqueue(E.To);
+        }
       }
-      if (Same)
+      StageCapPtr = nullptr;
+      ++Result.Stats.ComponentsRecomputed;
+
+      if (Opts.SnapshotOut && !Result.Cancelled) {
+        ComponentRecord R;
+        R.LocalFP = FP.Local[K];
+        R.ChainFP = FP.Chain[K];
+        for (unsigned Pos = S; Pos < End; ++Pos)
+          R.FinalStates.push_back(
+              codec::encodeConjunction(Ctx, Result.Invariants[Order[Pos]]));
+        if (Opts.Memoize) {
+          // Harvest the element's internal-edge outputs at their final
+          // input states straight from the cache (lookup only: computing
+          // a missing entry here would perturb the counters a
+          // non-recording run reports).
+          for (unsigned Pos = S; Pos < End; ++Pos) {
+            NodeId N = Order[Pos];
+            if (Result.Invariants[N].isBottom())
+              continue;
+            for (size_t EdgeIdx : Succs[N]) {
+              unsigned TPos = Wto.position(P.edges()[EdgeIdx].To);
+              if (TPos < S || TPos >= End)
+                continue;
+              if (const Conjunction *Out = TransferCache.lookup(
+                      EdgeStateKey{EdgeIdx, Result.Invariants[N]}))
+                R.FinalOuts.emplace_back(EdgeIdx,
+                                         codec::encodeConjunction(Ctx, *Out));
+            }
+          }
+        }
+        R.Joins = Result.Stats.Joins - Before.Joins;
+        R.Widenings = Result.Stats.Widenings - Before.Widenings;
+        R.Transfers = Result.Stats.Transfers - Before.Transfers;
+        R.EdgeEvals = Result.Stats.EdgeEvals - Before.EdgeEvals;
+        R.EntailmentChecks =
+            Result.Stats.EntailmentChecks - Before.EntailmentChecks;
+        R.TotalNodeUpdates =
+            Result.Stats.TotalNodeUpdates - Before.TotalNodeUpdates;
+        for (unsigned Pos = S; Pos < End; ++Pos)
+          R.MaxUpdatesAbs = std::max(R.MaxUpdatesAbs, Updates[Order[Pos]]);
+        R.FreshCounterAfter = Ctx.freshCounter();
+        R.CapHit = StageCap;
+        Opts.SnapshotOut->Components.push_back(std::move(R));
+      }
+    }
+
+    // Boundary sweep: deliver the element's final states across its
+    // outgoing cross-element edges, in deterministic (position, edge)
+    // order.  Runs live even for replayed elements -- it is how reused
+    // states reach the first dirty element downstream.
+    for (unsigned Pos = S; Pos < End && !Result.Cancelled; ++Pos) {
+      NodeId N = Order[Pos];
+      if (Result.Invariants[N].isBottom())
         continue;
-
-      ++Updates[E.To];
-      Result.Stats.TotalNodeUpdates += 1;
-      if (Updates[E.To] > Result.Stats.MaxNodeUpdates)
-        Result.Stats.MaxNodeUpdates = Updates[E.To];
-      if (Updates[E.To] > Opts.MaxUpdatesPerNode) {
-        Result.Converged = false;
-        continue; // Stop propagating through this node.
+      for (size_t EdgeIdx : Succs[N]) {
+        const Edge &E = P.edges()[EdgeIdx];
+        unsigned TPos = Wto.position(E.To);
+        if (TPos >= S && TPos < End)
+          continue; // Internal: the stage already propagated it.
+        if (CancelRequested()) {
+          Result.Cancelled = true;
+          break;
+        }
+        if (ApplyEdge(EdgeIdx, Result.Invariants[N]))
+          Marked[E.To] = true;
       }
-      Target = std::move(Next);
-      Enqueue(E.To);
     }
   }
+
+  if (Opts.SnapshotOut && !Result.Cancelled)
+    Opts.SnapshotOut->Complete = true;
 
   // Descending (narrowing) passes: starting from the stabilized states,
   // recompute each node's input and meet it with the current state.  Both

@@ -8,14 +8,26 @@
 /// the branch fact at conditionals), and assertion checking against the
 /// stabilized invariants.
 ///
-/// The worklist is scheduled by Bourdoncle's weak topological order
-/// (ir/WTO.h): pending nodes are processed in WTO position order, which
-/// stabilizes inner loops before their enclosing ones, and delayed
-/// widening is applied only at WTO component heads (every CFG cycle
-/// contains one, so termination is preserved while widening at strictly
-/// fewer points than the historical any-join-point rule).  Lattice
-/// operations and edge transfers are memoized across iterations -- see
-/// AnalyzerOptions::Memoize.
+/// The fixpoint is element-staged over Bourdoncle's weak topological order
+/// (ir/WTO.h): each top-level WTO element (a single node or an outermost
+/// component) is stabilized to completion with a worklist confined to its
+/// internal edges, then a deterministic boundary sweep propagates its
+/// final states across outgoing cross-element edges.  WTO guarantees
+/// cross-element edges only ever flow forward among reachable nodes, so an
+/// element's inputs are complete before its stage starts.  Pending nodes
+/// within a stage are processed in WTO position order, which stabilizes
+/// inner loops before their enclosing ones, and delayed widening is
+/// applied only at WTO component heads (every CFG cycle contains one, so
+/// termination is preserved while widening at strictly fewer points than
+/// the historical any-join-point rule).  Lattice operations and edge
+/// transfers are memoized across iterations -- see AnalyzerOptions::Memoize.
+///
+/// Staging is what makes the warm edit path possible: an element's final
+/// states are a pure function of its structure and its upstream elements'
+/// final states, so a run can record them per element
+/// (analysis/Snapshot.h) and a later run over an edited program can replay
+/// every element on the unchanged prefix instead of re-iterating it --
+/// bit-identically, by construction.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +41,8 @@
 #include <chrono>
 
 namespace cai {
+
+struct FixpointSnapshot;
 
 /// Tuning knobs for one analysis run.
 struct AnalyzerOptions {
@@ -65,6 +79,16 @@ struct AnalyzerOptions {
   /// deadline passes (same reporting as CancelFlag).  Drives the per-job
   /// timeout of the service and `cai-analyze --timeout-ms`.
   std::chrono::steady_clock::time_point Deadline{};
+  /// Snapshot of a previous run over an earlier version of this program
+  /// (same lattice, same options).  Elements on the longest prefix whose
+  /// chained CFG fingerprints still match are replayed instead of
+  /// re-iterated; everything downstream runs live.  The result is
+  /// bit-identical to a from-scratch run either way.
+  const FixpointSnapshot *SnapshotIn = nullptr;
+  /// When non-null, the run records a snapshot here for future
+  /// incremental runs (elements replayed from SnapshotIn are carried
+  /// over).  Recording never changes the result or its serialized stats.
+  FixpointSnapshot *SnapshotOut = nullptr;
 };
 
 /// Counters the benchmarks report (Theorem 6 measures MaxNodeUpdates).
@@ -89,6 +113,11 @@ struct AnalyzerStats {
   unsigned WtoComponents = 0;
   unsigned MaxNodeUpdates = 0;
   unsigned TotalNodeUpdates = 0;
+  /// Top-level WTO elements replayed from AnalyzerOptions::SnapshotIn
+  /// versus stabilized live this run.  Reused + Recomputed = number of
+  /// top-level elements (when the run completes).
+  unsigned ComponentsReused = 0;
+  unsigned ComponentsRecomputed = 0;
 
   /// Fraction of memoizable lattice queries answered from cache.
   double cacheHitRate() const {
@@ -131,9 +160,11 @@ public:
 
   AnalysisResult run(const Program &P) const;
 
-  /// The strongest-postcondition transfer of one action from \p In.
-  Conjunction transfer(const Action &Act, const Conjunction &In,
-                       AnalyzerStats &Stats) const;
+  /// The strongest-postcondition transfer of one action from \p In.  A
+  /// pure function of (action, input) -- counting happens at the
+  /// fixpoint-engine request level so that memoization cannot change any
+  /// reported statistic.
+  Conjunction transfer(const Action &Act, const Conjunction &In) const;
 
 private:
   /// True if every function symbol of \p T is in the lattice's signature,

@@ -133,7 +133,7 @@ Conjunction CheckedLattice::existQuant(const Conjunction &E,
   CAI_METRIC_INC("check.contracts.quant");
   std::vector<Term> Left = R.vars();
   for (Term V : Vars) {
-    if (std::binary_search(Left.begin(), Left.end(), V, TermIdLess())) {
+    if (std::binary_search(Left.begin(), Left.end(), V, TermStructLess())) {
       report(CheckViolation::Contract::QuantElimination, "existQuant",
              "requested variable '" + toString(context(), V) +
                  "' survives in the result",

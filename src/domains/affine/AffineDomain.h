@@ -53,7 +53,7 @@ private:
   /// indeterminates, with their index.
   struct Env {
     std::vector<Term> Columns;
-    std::map<Term, size_t, TermIdLess> Index;
+    std::map<Term, size_t, TermStructLess> Index;
 
     void addIndeterminates(const TermContext &Ctx, const Conjunction &E);
     void addIndeterminates(const TermContext &Ctx, const Atom &A);

@@ -71,7 +71,7 @@ Conjunction ArrayDomain::join(const Conjunction &A,
   std::vector<Term> Shared = A.vars();
   for (Term V : B.vars())
     Shared.push_back(V);
-  std::sort(Shared.begin(), Shared.end(), TermIdLess());
+  std::sort(Shared.begin(), Shared.end(), TermStructLess());
   Shared.erase(std::unique(Shared.begin(), Shared.end()), Shared.end());
   return ufJoinClosed(context(), CC1, CC2, Shared);
 }

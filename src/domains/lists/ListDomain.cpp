@@ -74,7 +74,7 @@ Conjunction ListDomain::join(const Conjunction &A, const Conjunction &B) const {
   std::vector<Term> Shared = A.vars();
   for (Term V : B.vars())
     Shared.push_back(V);
-  std::sort(Shared.begin(), Shared.end(), TermIdLess());
+  std::sort(Shared.begin(), Shared.end(), TermStructLess());
   Shared.erase(std::unique(Shared.begin(), Shared.end()), Shared.end());
   return ufJoinClosed(context(), CC1, CC2, Shared);
 }

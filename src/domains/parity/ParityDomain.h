@@ -58,7 +58,7 @@ public:
 private:
   struct Env {
     std::vector<Term> Columns;
-    std::map<Term, size_t, TermIdLess> Index;
+    std::map<Term, size_t, TermStructLess> Index;
     void add(Term T);
   };
   /// Both layers over one column space.

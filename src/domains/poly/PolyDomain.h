@@ -72,7 +72,7 @@ private:
   /// affine domain).
   struct Env {
     std::vector<Term> Columns;
-    std::map<Term, size_t, TermIdLess> Index;
+    std::map<Term, size_t, TermStructLess> Index;
     void add(Term T);
     void addIndeterminates(const TermContext &Ctx, const Atom &A);
     void addIndeterminates(const TermContext &Ctx, const Conjunction &E);

@@ -35,7 +35,7 @@ public:
     for (unsigned N = 0; N < CC2.numNodes(); ++N)
       if (CC2.termOf(N)->isNumber())
         Leaves.push_back(CC2.termOf(N));
-    std::sort(Leaves.begin(), Leaves.end(), TermIdLess());
+    std::sort(Leaves.begin(), Leaves.end(), TermStructLess());
     Leaves.erase(std::unique(Leaves.begin(), Leaves.end()), Leaves.end());
     for (Term V : Leaves) {
       unsigned N1 = CC1.addTerm(V), N2 = CC2.addTerm(V);
@@ -43,7 +43,7 @@ public:
       Nodes[P].Vars.push_back(V);
     }
     for (ProductNode &P : Nodes)
-      std::sort(P.Vars.begin(), P.Vars.end(), TermIdLess());
+      std::sort(P.Vars.begin(), P.Vars.end(), TermStructLess());
   }
 
   /// Saturates congruence: a pair of same-symbol applications whose
@@ -233,14 +233,17 @@ private:
   }
 
   void computeReps() {
-    // Round 0: allowed leaves name their classes (smallest id wins for
-    // determinism).
+    // Round 0: allowed leaves name their classes.  Numerals outrank
+    // variables (a ground constant is the canonical name of its class);
+    // ties break on the structural order, so the choice is deterministic
+    // and independent of interning history.
     for (unsigned N = 0; N < CC.numNodes(); ++N) {
       Term T = CC.termOf(N);
       if (T->isApp() || !allowedLeaf(T))
         continue;
       Term &Slot = Reps[CC.find(N)];
-      if (!Slot || T->id() < Slot->id())
+      if (!Slot || (T->isNumber() && !Slot->isNumber()) ||
+          (T->isNumber() == Slot->isNumber() && structuralCompare(T, Slot) < 0))
         Slot = T;
     }
     // Later rounds: applications whose child classes are represented.

@@ -65,7 +65,7 @@ private:
 };
 
 /// A concrete environment: one exact value per program variable.
-using Env = std::map<Term, Rational, TermIdLess>;
+using Env = std::map<Term, Rational, TermStructLess>;
 
 /// The lazily-built concrete model for one trace (function/list/array/
 /// predicate valuations).  All values live in Q; structured values (pairs,

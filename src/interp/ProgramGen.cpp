@@ -24,6 +24,8 @@ public:
         line(var(I) + " := " + std::to_string(Rng.intIn(-4, 6)) + ";");
       else
         line(var(I) + " := *;");
+    if (Opts.Arrays)
+      line("mem := *;");
     statements(Opts.MaxStmts, 0);
     // End with one assertion-shaped fact per program so the entailment
     // path runs too (its verdict is irrelevant to the oracle).
@@ -53,7 +55,10 @@ private:
   }
 
   std::string expr() {
-    switch (Rng.below(Opts.Functions ? 8 : 5)) {
+    // The case list grows from the back so switching a knob off leaves
+    // the surviving cases' dice unchanged.
+    unsigned Cases = Opts.Functions ? (Opts.Arrays ? 9 : 8) : 5;
+    switch (Rng.below(Cases)) {
     case 0:
       return num(-4, 8);
     case 1:
@@ -68,8 +73,24 @@ private:
       return "F(" + fnArg(1) + ")";
     case 6:
       return "F(" + plusConst(anyVar(), Rng.intIn(-2, 2)) + ")";
-    default:
+    case 7:
       return "G(" + fnArg(1) + ", " + fnArg(1) + ")";
+    default:
+      return "select(mem, " + index() + ")";
+    }
+  }
+
+  /// Array subscripts: a scalar variable, a small constant, or an affine
+  /// offset -- the shapes the read-over-write rule can discharge when the
+  /// numeric half proves index equality.
+  std::string index() {
+    switch (Rng.below(3)) {
+    case 0:
+      return anyVar();
+    case 1:
+      return num(0, 6);
+    default:
+      return plusConst(anyVar(), Rng.intIn(-2, 2));
     }
   }
 
@@ -131,7 +152,19 @@ private:
   /// statements charge for their bodies).
   unsigned statement(unsigned Budget, unsigned Depth) {
     bool CanNest = Depth < Opts.MaxDepth && Budget >= 3;
-    switch (Rng.below(CanNest ? 10 : 6)) {
+    // Array writes take the slot past the nesting cases (see expr() on
+    // why new cases append): simple statements stay equally likely with
+    // the knob off.
+    unsigned Cases = CanNest ? 10 : 6;
+    if (Opts.Arrays)
+      ++Cases;
+    uint64_t K = Rng.below(Cases);
+    if (Opts.Arrays && K == Cases - 1) {
+      std::string Val = Rng.below(2) == 0 ? anyVar() : num(-4, 8);
+      line("mem := update(mem, " + index() + ", " + Val + ");");
+      return 1;
+    }
+    switch (K) {
     case 0:
     case 1:
     case 2:

@@ -34,6 +34,13 @@ struct GenOptions {
   unsigned MaxLoops = 2;  ///< Total while loops per program.
   bool Functions = true;  ///< Allow F(...)/G(...,...) applications.
   bool TheoryPreds = true; ///< Allow even/positive atoms.
+  /// Allow array reads and writes through a dedicated array variable:
+  /// `mem := update(mem, i, v);` statements and `select(mem, i)` reads.
+  /// The variable name ("mem") never collides with the scalar pool
+  /// (single letters), so `mem` stays exclusively array-valued and the
+  /// concrete runner's overlay semantics apply.  Off by default: seeded
+  /// corpora generated before this knob existed stay byte-identical.
+  bool Arrays = false;
   /// Nesting budget for function applications: 1 keeps arguments scalar
   /// (F(x), G(x, y)); 2 allows one composition level (F(G(a, b))); higher
   /// values build deeper towers.  Composed terms are the shapes the UF

@@ -1,0 +1,54 @@
+//===- ir/CfgFingerprint.h - Per-WTO-component CFG fingerprints -*- C++ -*-===//
+///
+/// \file
+/// Structural fingerprints of a Program's CFG, one per top-level WTO
+/// element (a single node or an outermost component).  An element's local
+/// fingerprint covers everything that can influence the fixpoint states of
+/// its nodes under the element-staged engine: the element's shape, every
+/// incoming edge (attributed to the edge's *target* element, since the
+/// staged engine lets an element's final states depend on incoming actions
+/// but never on outgoing ones), the actions on those edges, and the
+/// assertions attached to its nodes.  The chained fingerprint folds in all
+/// upstream elements, so two programs agreeing on chained fingerprints
+/// 0..k-1 provably present identical inputs to elements 0..k-1 — the
+/// longest agreeing prefix is the incremental engine's reuse horizon.
+///
+/// Edge identities include the edge's global index: the parser emits edges
+/// in statement order, so an edit strictly after a prefix cannot renumber
+/// the prefix's edges, while any reordering edit dirties the fingerprints
+/// it touches.  Action payloads are encoded with the structural term codec
+/// (term/StateCodec.h), never with interner ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_IR_CFGFINGERPRINT_H
+#define CAI_IR_CFGFINGERPRINT_H
+
+#include "ir/WTO.h"
+
+#include <cstdint>
+
+namespace cai {
+
+class TermContext;
+
+/// Fingerprints for the top-level WTO elements of one program.
+struct ComponentFingerprints {
+  /// Start position (in WTO order) of each top-level element.
+  std::vector<unsigned> Starts;
+  /// Local fingerprint of each element (element-only structure).
+  std::vector<uint64_t> Local;
+  /// Chained fingerprint: H(Chain[k-1], Local[k]).
+  std::vector<uint64_t> Chain;
+
+  size_t numElements() const { return Starts.size(); }
+};
+
+/// Computes the per-element fingerprints of \p P under \p Order.
+ComponentFingerprints fingerprintComponents(const TermContext &Ctx,
+                                            const Program &P,
+                                            const WTO &Order);
+
+} // namespace cai
+
+#endif // CAI_IR_CFGFINGERPRINT_H

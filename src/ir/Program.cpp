@@ -39,7 +39,7 @@ std::vector<Term> Program::variables() const {
   }
   for (const Assertion &A : Asserts)
     A.Fact.collectVars(Out);
-  std::sort(Out.begin(), Out.end(), TermIdLess());
+  std::sort(Out.begin(), Out.end(), TermStructLess());
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;
 }

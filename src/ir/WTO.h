@@ -50,6 +50,13 @@ public:
   /// Number of components (loops) found.
   unsigned numComponents() const { return Components; }
 
+  /// One past the last position of the component headed by the node at
+  /// position \p P (equals P + 1 when that node heads no component).  The
+  /// top-level elements of the order are enumerated by
+  /// `for (unsigned P = 0; P < order().size(); P = componentEnd(P))`; the
+  /// incremental engine uses them as its unit of fixpoint reuse.
+  unsigned componentEnd(unsigned P) const { return ComponentEnd[P]; }
+
   /// Renders the hierarchical order Bourdoncle-style, e.g.
   /// "0 1 (2 3 (4 5) 6) 7" -- parenthesized groups are components with
   /// their head first.  Used by the unit tests on nested and irreducible

@@ -42,8 +42,9 @@ DirectProduct::impliedVarEqualities(const Conjunction &E) const {
   std::vector<std::pair<Term, Term>> Second = L2.impliedVarEqualitiesCached(E);
   Out.insert(Out.end(), Second.begin(), Second.end());
   std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
-    return std::make_pair(A.first->id(), A.second->id()) <
-           std::make_pair(B.first->id(), B.second->id());
+    if (int D = structuralCompare(A.first, B.first))
+      return D < 0;
+    return structuralCompare(A.second, B.second) < 0;
   });
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;

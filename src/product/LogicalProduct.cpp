@@ -16,7 +16,7 @@ namespace {
 /// Deduplicated, id-ordered union of variable vectors.
 std::vector<Term> unionVars(std::vector<Term> A, const std::vector<Term> &B) {
   A.insert(A.end(), B.begin(), B.end());
-  std::sort(A.begin(), A.end(), TermIdLess());
+  std::sort(A.begin(), A.end(), TermStructLess());
   A.erase(std::unique(A.begin(), A.end()), A.end());
   return A;
 }
@@ -25,7 +25,7 @@ std::vector<Term> unionVars(std::vector<Term> A, const std::vector<Term> &B) {
 /// application -- the positions where alien terms can appear, and hence
 /// the only variables whose dummy pairs can name one.
 void collectInsideVars(const TermContext &Ctx, Term T, bool UnderApp,
-                       std::set<Term, TermIdLess> &Out) {
+                       std::set<Term, TermStructLess> &Out) {
   switch (T->kind()) {
   case TermKind::Variable:
     if (UnderApp)
@@ -41,9 +41,9 @@ void collectInsideVars(const TermContext &Ctx, Term T, bool UnderApp,
     collectInsideVars(Ctx, Arg, NowUnder, Out);
 }
 
-std::set<Term, TermIdLess> insideVars(const TermContext &Ctx,
+std::set<Term, TermStructLess> insideVars(const TermContext &Ctx,
                                       const Conjunction &E) {
-  std::set<Term, TermIdLess> Out;
+  std::set<Term, TermStructLess> Out;
   if (E.isBottom())
     return Out;
   for (const Atom &A : E.atoms())
@@ -127,7 +127,7 @@ Conjunction LogicalProduct::combine(const Conjunction &A, const Conjunction &B,
       // occurring under a non-arithmetic application.
       auto Prune = [&](std::vector<Term> &Vars, const Conjunction &E,
                        const std::vector<Term> &Fresh) {
-        std::set<Term, TermIdLess> Keep = insideVars(Ctx, E);
+        std::set<Term, TermStructLess> Keep = insideVars(Ctx, E);
         Keep.insert(Fresh.begin(), Fresh.end());
         Vars.erase(std::remove_if(Vars.begin(), Vars.end(),
                                   [&](Term V) { return !Keep.count(V); }),
@@ -379,7 +379,7 @@ LogicalProduct::impliedVarEqualities(const Conjunction &E) const {
     return Out;
   // After saturation each side individually implies every shared variable
   // equality; take the union restricted to the input's own variables.
-  std::set<Term, TermIdLess> InputVars;
+  std::set<Term, TermStructLess> InputVars;
   for (Term V : E.vars())
     InputVars.insert(V);
   auto Collect = [&](const std::vector<std::pair<Term, Term>> &Eqs) {
@@ -390,8 +390,9 @@ LogicalProduct::impliedVarEqualities(const Conjunction &E) const {
   Collect(L1.impliedVarEqualitiesCached(Sat.Side1));
   Collect(L2.impliedVarEqualitiesCached(Sat.Side2));
   std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
-    return std::make_pair(A.first->id(), A.second->id()) <
-           std::make_pair(B.first->id(), B.second->id());
+    if (int D = structuralCompare(A.first, B.first))
+      return D < 0;
+    return structuralCompare(A.second, B.second) < 0;
   });
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;

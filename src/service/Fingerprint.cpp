@@ -69,17 +69,22 @@ private:
   uint64_t H;
 };
 
+void hashOptions(Fnv &F, const JobOptions &Opts) {
+  F.word(CacheSchemaVersion);
+  F.bytes(Opts.DomainSpec);
+  F.bytes(Opts.Encode);
+  F.word(Opts.WideningDelay);
+  F.word(Opts.NarrowingPasses);
+  F.word(Opts.SemanticConvergence ? 1 : 0);
+  F.word(Opts.Memoize ? 1 : 0);
+  F.word(static_cast<uint64_t>(Opts.PolyMaxRows));
+}
+
 uint64_t hashKey(const JobSpec &Spec, const std::string &Canon,
                  uint64_t Seed) {
   Fnv F(Seed);
   F.bytes(Canon);
-  F.bytes(Spec.Opts.DomainSpec);
-  F.bytes(Spec.Opts.Encode);
-  F.word(Spec.Opts.WideningDelay);
-  F.word(Spec.Opts.NarrowingPasses);
-  F.word(Spec.Opts.SemanticConvergence ? 1 : 0);
-  F.word(Spec.Opts.Memoize ? 1 : 0);
-  F.word(static_cast<uint64_t>(Spec.Opts.PolyMaxRows));
+  hashOptions(F, Spec.Opts);
   return F.value();
 }
 
@@ -93,5 +98,14 @@ std::string cai::service::fingerprintJob(const JobSpec &Spec) {
   std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
                 static_cast<unsigned long long>(Hi),
                 static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+std::string cai::service::optionsFingerprint(const JobOptions &Opts) {
+  Fnv F(0xcbf29ce484222325ull);
+  hashOptions(F, Opts);
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(F.value()));
   return Buf;
 }

@@ -28,12 +28,27 @@
 namespace cai {
 namespace service {
 
+/// Version of the cache key schema, hashed into every fingerprint.  Bump
+/// it whenever the meaning of a cached result changes without any key
+/// field changing (an engine rework, a serialization change): old entries
+/// then miss instead of replaying stale bytes.  Version history:
+///   1  original schema (implicit -- nothing hashed)
+///   2  element-staged fixpoint engine (different join/widen sequences,
+///      so stats differ from the pre-staged engine on the same inputs)
+constexpr uint64_t CacheSchemaVersion = 2;
+
 /// The canonicalized program text the fingerprint hashes (exposed for
 /// tests).
 std::string canonicalProgramText(const std::string &Text);
 
 /// 32 hex characters, deterministic across processes and platforms.
 std::string fingerprintJob(const JobSpec &Spec);
+
+/// 16 hex characters over the result-affecting *options* only (domain
+/// spec, encode scheme, analyzer knobs, schema version) -- no program
+/// text.  The snapshot tier requires equal options fingerprints before
+/// reusing a fixpoint snapshot across versions of a program.
+std::string optionsFingerprint(const JobOptions &Opts);
 
 } // namespace service
 } // namespace cai

@@ -53,6 +53,16 @@ struct JobSpec {
   /// Display name (file path, manifest name, or gen/NNNN).
   std::string Name;
   std::string ProgramText;
+  /// Stable identity of the program *across edits* ("program_id" on the
+  /// wire): successive versions of one source share it.  Keys the
+  /// snapshot tier (service/SnapshotCache.h) only -- it never enters the
+  /// result fingerprint, so it cannot change what a job computes.
+  std::string ProgramId;
+  /// True for `analyze_edit` requests: the service may seed the run with
+  /// the retained fixpoint snapshot of the previous version (matched by
+  /// ProgramId, or fuzzily by canonical-text prefix).  Results are
+  /// bit-identical to a plain analyze by construction.
+  bool Edit = false;
   JobOptions Opts;
 };
 

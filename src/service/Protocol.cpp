@@ -82,13 +82,20 @@ cai::service::parseRequest(const std::string &Line, uint64_t DefaultId,
   if (const Json *Cmd = J->get("cmd")) {
     if (!Cmd->isString())
       return Fail("\"cmd\" must be a string");
-    if (Cmd->asString() == "stats")
+    if (Cmd->asString() == "stats") {
       Req.Command = Request::Kind::Stats;
-    else if (Cmd->asString() == "shutdown")
+      return Req;
+    }
+    if (Cmd->asString() == "shutdown") {
       Req.Command = Request::Kind::Shutdown;
-    else
+      return Req;
+    }
+    if (Cmd->asString() == "analyze_edit") {
+      // Falls through to the analyze parse below with the edit flag set.
+      Req.Spec.Edit = true;
+    } else {
       return Fail("unknown cmd \"" + Cmd->asString() + "\"");
-    return Req;
+    }
   }
 
   Req.Command = Request::Kind::Analyze;
@@ -102,6 +109,11 @@ cai::service::parseRequest(const std::string &Line, uint64_t DefaultId,
     if (!Name->isString())
       return Fail("\"name\" must be a string");
     Req.Spec.Name = Name->asString();
+  }
+  if (const Json *Pid = J->get("program_id")) {
+    if (!Pid->isString())
+      return Fail("\"program_id\" must be a string");
+    Req.Spec.ProgramId = Pid->asString();
   }
   const Json *Program = J->get("program");
   const Json *ProgramFile = J->get("program_file");
@@ -155,6 +167,8 @@ std::string cai::service::resultToJsonLine(const JobResult &R) {
 }
 
 std::string cai::service::statsToJsonLine(const ResultCacheStats &CS,
+                                          const SnapshotCacheStats &SS,
+                                          const IncrementalStats &IS,
                                           unsigned Workers,
                                           uint64_t JobsCompleted) {
   Json Line = Json::object();
@@ -177,5 +191,21 @@ std::string cai::service::statsToJsonLine(const ResultCacheStats &CS,
                                        : static_cast<int64_t>(
                                              (CS.Hits * 1000) / Lookups)));
   Line.set("cache", std::move(Cache));
+  Json Snap = Json::object();
+  Snap.set("hits", Json::integer(static_cast<int64_t>(SS.Hits)));
+  Snap.set("misses", Json::integer(static_cast<int64_t>(SS.Misses)));
+  Snap.set("insertions", Json::integer(static_cast<int64_t>(SS.Insertions)));
+  Snap.set("evictions", Json::integer(static_cast<int64_t>(SS.Evictions)));
+  Snap.set("entries", Json::integer(static_cast<int64_t>(SS.Entries)));
+  Snap.set("bytes", Json::integer(static_cast<int64_t>(SS.Bytes)));
+  Line.set("snapshot_cache", std::move(Snap));
+  Json Inc = Json::object();
+  Inc.set("edits", Json::integer(static_cast<int64_t>(IS.Edits)));
+  Inc.set("components_reused",
+          Json::integer(static_cast<int64_t>(IS.ComponentsReused)));
+  Inc.set("components_recomputed",
+          Json::integer(static_cast<int64_t>(IS.ComponentsRecomputed)));
+  Inc.set("fallbacks", Json::integer(static_cast<int64_t>(IS.Fallbacks)));
+  Line.set("incremental", std::move(Inc));
   return Line.dump();
 }

@@ -11,8 +11,15 @@
 /// Request lines (cai-serve):
 ///   {"id":1,"name":"fig1","program":"x := 0; ...","domain":"logical:poly,uf",
 ///    "options":{"encode":"comm","widening_delay":4,"timeout_ms":500}}
+///   {"cmd":"analyze_edit","program_id":"fig1","program":"x := 1; ..."}
 ///   {"cmd":"stats"}
 ///   {"cmd":"shutdown"}
+///
+/// `analyze_edit` is a plain analyze whose result may be computed
+/// incrementally: the service seeds the fixpoint with the retained
+/// snapshot of the program's previous version (matched by "program_id",
+/// or fuzzily by canonical-text prefix when the id is absent).  The
+/// response line is byte-identical to what a plain analyze would emit.
 ///
 /// Manifest entries (cai-batch --manifest) use the same shape minus "id"
 /// (ids are assigned by position) and may name a file instead of inline
@@ -26,6 +33,7 @@
 #include "service/Job.h"
 #include "service/Json.h"
 #include "service/ResultCache.h"
+#include "service/SnapshotCache.h"
 
 #include <optional>
 #include <string>
@@ -65,7 +73,9 @@ std::optional<Request> parseRequest(const std::string &Line,
 std::string resultToJsonLine(const JobResult &R);
 
 /// Serializes service statistics as one JSON line (no newline).
-std::string statsToJsonLine(const ResultCacheStats &CS, unsigned Workers,
+std::string statsToJsonLine(const ResultCacheStats &CS,
+                            const SnapshotCacheStats &SS,
+                            const IncrementalStats &IS, unsigned Workers,
                             uint64_t JobsCompleted);
 
 } // namespace service

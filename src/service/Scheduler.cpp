@@ -42,7 +42,9 @@ void bumpStatusCounter(JobStatus S) {
 } // namespace
 
 JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
-                                            const std::atomic<bool> *Cancel) {
+                                            const std::atomic<bool> *Cancel,
+                                            const FixpointSnapshot *SnapIn,
+                                            FixpointSnapshot *SnapOut) {
   JobResult R;
   R.Id = Spec.Id;
   R.Name = Spec.Name;
@@ -103,6 +105,8 @@ JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
     AOpts.NarrowingPasses = Spec.Opts.NarrowingPasses;
     AOpts.SemanticConvergence = Spec.Opts.SemanticConvergence;
     AOpts.Memoize = Spec.Opts.Memoize;
+    AOpts.SnapshotIn = SnapIn;
+    AOpts.SnapshotOut = SnapOut;
     AOpts.CancelFlag = Cancel;
     const bool HasDeadline = Spec.Opts.TimeoutMs != 0;
     if (HasDeadline)
@@ -146,7 +150,7 @@ JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
 }
 
 AnalysisScheduler::AnalysisScheduler(SchedulerOptions O)
-    : Opts(O), Cache(O.CacheBytes) {
+    : Opts(O), Cache(O.CacheBytes), Snapshots(O.SnapshotCacheBytes) {
   if (Opts.Workers == 0)
     Opts.Workers = 1;
   // One epoch for every shard tracer so the merged timelines align.
@@ -236,22 +240,50 @@ void AnalysisScheduler::mergeMetricsInto(obs::MetricsRegistry &Into) const {
   Into.counter("service.cache.evictions").inc(CS.Evictions);
   Into.gauge("service.cache.entries").set(static_cast<double>(CS.Entries));
   Into.gauge("service.cache.bytes").set(static_cast<double>(CS.Bytes));
+  SnapshotCacheStats SS = Snapshots.stats();
+  Into.counter("service.snapshot_cache.hits").inc(SS.Hits);
+  Into.counter("service.snapshot_cache.misses").inc(SS.Misses);
+  Into.counter("service.snapshot_cache.insertions").inc(SS.Insertions);
+  Into.counter("service.snapshot_cache.evictions").inc(SS.Evictions);
+  Into.gauge("service.snapshot_cache.entries")
+      .set(static_cast<double>(SS.Entries));
+  Into.gauge("service.snapshot_cache.bytes")
+      .set(static_cast<double>(SS.Bytes));
+  IncrementalStats IS = incrementalStats();
+  Into.counter("service.incremental.edits").inc(IS.Edits);
+  Into.counter("service.incremental.components_reused")
+      .inc(IS.ComponentsReused);
+  Into.counter("service.incremental.components_recomputed")
+      .inc(IS.ComponentsRecomputed);
+  Into.counter("service.incremental.fallbacks").inc(IS.Fallbacks);
 }
 
 JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec) {
-  // TestCrash jobs bypass the cache entirely: the hook exists to exercise
-  // the crash path, and crashes are not cacheable anyway.
-  if (!Spec.Opts.TestCrash) {
-    std::string FP = fingerprintJob(Spec);
-    if (std::shared_ptr<const JobResult> Hit = Cache.lookup(FP)) {
-      CAI_METRIC_INC("service.jobs.cache_hits");
-      JobResult R = *Hit;
-      R.Id = Spec.Id;
-      R.Name = Spec.Name;
-      R.CacheHit = true;
-      R.DurationMs = 0;
-      return R;
-    }
+  // TestCrash jobs bypass both cache tiers entirely: the hook exists to
+  // exercise the crash path, and crashes are not cacheable anyway.
+  if (Spec.Opts.TestCrash) {
+    JobResult R = runJobIsolated(Spec, &CancelAll);
+    CAI_METRIC_INC("service.jobs.completed");
+    bumpStatusCounter(R.Status);
+    return R;
+  }
+
+  std::string FP = fingerprintJob(Spec);
+  if (std::shared_ptr<const JobResult> Hit = Cache.lookup(FP)) {
+    CAI_METRIC_INC("service.jobs.cache_hits");
+    JobResult R = *Hit;
+    R.Id = Spec.Id;
+    R.Name = Spec.Name;
+    R.CacheHit = true;
+    R.DurationMs = 0;
+    return R;
+  }
+
+  // Snapshot tier: only jobs with a known identity (explicit program_id
+  // or an analyze_edit request) pay for snapshot recording; everything
+  // else runs exactly as before.
+  const bool Identified = !Spec.ProgramId.empty() || Spec.Edit;
+  if (!Identified) {
     JobResult R = runJobIsolated(Spec, &CancelAll);
     CAI_METRIC_INC("service.jobs.completed");
     bumpStatusCounter(R.Status);
@@ -259,9 +291,36 @@ JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec) {
       Cache.insert(FP, std::make_shared<const JobResult>(R));
     return R;
   }
-  JobResult R = runJobIsolated(Spec, &CancelAll);
+
+  std::string Canon = canonicalProgramText(Spec.ProgramText);
+  std::string OptKey = optionsFingerprint(Spec.Opts);
+  std::shared_ptr<const FixpointSnapshot> SnapIn;
+  if (Spec.Edit) {
+    Edits.fetch_add(1, std::memory_order_relaxed);
+    SnapIn = Snapshots.lookup(Spec.ProgramId, Canon, OptKey);
+  }
+
+  FixpointSnapshot SnapOut;
+  JobResult R = runJobIsolated(Spec, &CancelAll, SnapIn.get(), &SnapOut);
   CAI_METRIC_INC("service.jobs.completed");
   bumpStatusCounter(R.Status);
+
+  ComponentsReused.fetch_add(R.Stats.ComponentsReused,
+                             std::memory_order_relaxed);
+  ComponentsRecomputed.fetch_add(R.Stats.ComponentsRecomputed,
+                                 std::memory_order_relaxed);
+  // A fallback is an edit that ran from scratch anyway: no usable
+  // snapshot, or a WTO-shape change that invalidated every component.
+  if (Spec.Edit && R.Stats.ComponentsReused == 0)
+    IncrementalFallbacks.fetch_add(1, std::memory_order_relaxed);
+
+  if (jobCacheable(R.Status)) {
+    Cache.insert(FP, std::make_shared<const JobResult>(R));
+    if (SnapOut.Complete)
+      Snapshots.insert(Spec.ProgramId, std::move(Canon), std::move(OptKey),
+                       std::make_shared<const FixpointSnapshot>(
+                           std::move(SnapOut)));
+  }
   return R;
 }
 

@@ -18,7 +18,13 @@
 ///    takes down the batch or the process;
 ///  * completed results are published to a shared LRU ResultCache keyed
 ///    by canonical job fingerprint, so repeated submissions are served
-///    from memory.
+///    from memory;
+///  * a second cache tier (SnapshotCache) retains each program's latest
+///    fixpoint snapshot by *identity*: an `analyze_edit` job whose exact
+///    fingerprint misses is seeded with the previous version's snapshot,
+///    so only the WTO components downstream of the edit re-iterate.  The
+///    result stays bit-identical to a from-scratch run (the incremental
+///    differential test enforces byte equality).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +35,7 @@
 #include "obs/Trace.h"
 #include "service/Job.h"
 #include "service/ResultCache.h"
+#include "service/SnapshotCache.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -47,6 +54,9 @@ struct SchedulerOptions {
   unsigned Workers = 1;
   /// ResultCache byte budget; 0 disables caching.
   size_t CacheBytes = 64ull << 20;
+  /// SnapshotCache byte budget (retained fixpoint snapshots for the warm
+  /// edit path); 0 disables incremental reuse.
+  size_t SnapshotCacheBytes = 64ull << 20;
   /// Record trace spans into per-worker shard tracers (writeMergedTrace).
   bool CollectTraces = false;
   /// Enable time histograms in the shard registries.
@@ -80,6 +90,14 @@ public:
 
   unsigned numWorkers() const { return unsigned(Shards.size()); }
   ResultCacheStats cacheStats() const { return Cache.stats(); }
+  SnapshotCacheStats snapshotCacheStats() const { return Snapshots.stats(); }
+
+  IncrementalStats incrementalStats() const {
+    return {Edits.load(std::memory_order_relaxed),
+            ComponentsReused.load(std::memory_order_relaxed),
+            ComponentsRecomputed.load(std::memory_order_relaxed),
+            IncrementalFallbacks.load(std::memory_order_relaxed)};
+  }
 
   /// Merged Chrome trace_event JSON across shards (tid = shard index + 1).
   /// Only meaningful while idle; empty unless CollectTraces.
@@ -94,9 +112,14 @@ public:
   /// Runs one job in full isolation on the calling thread: fingerprint,
   /// parse, build domain, analyze under \p Cancel, convert any throw into
   /// a structured error result.  The workers and the single-shot tools'
-  /// testing paths share this.
+  /// testing paths share this.  \p SnapIn, when non-null and Complete,
+  /// seeds the fixpoint with a prior version's snapshot (results stay
+  /// bit-identical; only the work changes); \p SnapOut, when non-null,
+  /// receives this run's snapshot for retention.
   static JobResult runJobIsolated(const JobSpec &Spec,
-                                  const std::atomic<bool> *Cancel);
+                                  const std::atomic<bool> *Cancel,
+                                  const FixpointSnapshot *SnapIn = nullptr,
+                                  FixpointSnapshot *SnapOut = nullptr);
 
 private:
   struct Shard {
@@ -110,6 +133,14 @@ private:
 
   SchedulerOptions Opts;
   ResultCache Cache;
+  SnapshotCache Snapshots;
+
+  /// Incremental counters (see incrementalStats()); bumped by workers, so
+  /// atomic rather than under a lock.
+  std::atomic<uint64_t> Edits{0};
+  std::atomic<uint64_t> ComponentsReused{0};
+  std::atomic<uint64_t> ComponentsRecomputed{0};
+  std::atomic<uint64_t> IncrementalFallbacks{0};
 
   std::mutex QueueMu;
   std::condition_variable QueueCv;

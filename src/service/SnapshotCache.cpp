@@ -1,0 +1,102 @@
+//===- service/SnapshotCache.cpp - LRU cache of fixpoint snapshots --------===//
+
+#include "service/SnapshotCache.h"
+
+using namespace cai;
+using namespace cai::service;
+
+namespace {
+
+/// Entry identity: the explicit program id when the client supplied one,
+/// otherwise the canonical text itself (successive anonymous versions of
+/// one program then *replace* each other only when byte-identical, but
+/// the fuzzy prefix lookup still finds the predecessor).
+std::string makeKey(const std::string &ProgramId,
+                    const std::string &CanonText) {
+  if (!ProgramId.empty())
+    return "id:" + ProgramId;
+  return "text:" + CanonText;
+}
+
+size_t commonPrefix(const std::string &A, const std::string &B) {
+  size_t N = std::min(A.size(), B.size());
+  size_t I = 0;
+  while (I < N && A[I] == B[I])
+    ++I;
+  return I;
+}
+
+} // namespace
+
+std::shared_ptr<const FixpointSnapshot>
+SnapshotCache::lookup(const std::string &ProgramId,
+                      const std::string &CanonText,
+                      const std::string &OptionsKey) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::list<Entry>::iterator Found = Lru.end();
+  if (!ProgramId.empty()) {
+    auto It = Map.find(makeKey(ProgramId, CanonText));
+    if (It != Map.end() && It->second->OptionsKey == OptionsKey)
+      Found = It->second;
+  } else {
+    // Fuzzy: the entry sharing the longest non-empty canonical-text
+    // prefix.  Walking in LRU order and requiring a strict improvement
+    // makes ties resolve to the most recently used entry.
+    size_t Best = 0;
+    for (auto It = Lru.begin(); It != Lru.end(); ++It) {
+      if (It->OptionsKey != OptionsKey)
+        continue;
+      size_t P = commonPrefix(It->CanonText, CanonText);
+      if (P > Best) {
+        Best = P;
+        Found = It;
+      }
+    }
+  }
+  if (Found == Lru.end()) {
+    ++S.Misses;
+    return nullptr;
+  }
+  ++S.Hits;
+  Lru.splice(Lru.begin(), Lru, Found);
+  return Found->Snap;
+}
+
+void SnapshotCache::insert(const std::string &ProgramId,
+                           std::string CanonText, std::string OptionsKey,
+                           std::shared_ptr<const FixpointSnapshot> Snap) {
+  if (!Snap || Budget == 0)
+    return;
+  std::string Key = makeKey(ProgramId, CanonText);
+  size_t Cost = Key.size() + CanonText.size() + OptionsKey.size() +
+                Snap->byteSize() + sizeof(Entry);
+  if (Cost > Budget)
+    return; // A single oversized snapshot would evict the whole tier.
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    S.Bytes -= It->second->Cost;
+    Lru.erase(It->second);
+    Map.erase(It);
+  }
+  while (!Lru.empty() && S.Bytes + Cost > Budget) {
+    Entry &Victim = Lru.back();
+    S.Bytes -= Victim.Cost;
+    Map.erase(Victim.Key);
+    Lru.pop_back();
+    ++S.Evictions;
+  }
+  Lru.push_front(Entry{Key, std::move(CanonText), std::move(OptionsKey),
+                       std::move(Snap), Cost});
+  Map[Lru.front().Key] = Lru.begin();
+  S.Bytes += Cost;
+  ++S.Insertions;
+}
+
+SnapshotCacheStats SnapshotCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  SnapshotCacheStats Out = S;
+  Out.Entries = Lru.size();
+  Out.ByteBudget = Budget;
+  return Out;
+}

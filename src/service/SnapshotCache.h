@@ -1,0 +1,104 @@
+//===- service/SnapshotCache.h - LRU cache of fixpoint snapshots -*- C++ -*-===//
+///
+/// \file
+/// The ResultCache's second tier, keyed by *program identity* instead of
+/// exact content: for each program the service has analyzed it retains the
+/// latest fixpoint snapshot (analysis/Snapshot.h) together with the
+/// canonical text and options fingerprint it was recorded under.  An
+/// `analyze_edit` request looks its predecessor up here -- by explicit
+/// program id when the client supplies one, otherwise fuzzily by longest
+/// common canonical-text prefix -- and seeds the analyzer with the
+/// snapshot so only the edited suffix of the WTO re-iterates.
+///
+/// Exactness is never at stake: a wrong or stale match costs time (the
+/// analyzer's fingerprint diff simply reuses nothing), never correctness.
+/// That is why fuzzy matching is safe.  Options must match exactly,
+/// though, since a snapshot records option-dependent counters.
+///
+/// Same shape as ResultCache: thread-safe, LRU, bounded by bytes,
+/// shared_ptr entries so eviction never invalidates a snapshot a worker is
+/// replaying.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_SERVICE_SNAPSHOTCACHE_H
+#define CAI_SERVICE_SNAPSHOTCACHE_H
+
+#include "analysis/Snapshot.h"
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace cai {
+namespace service {
+
+/// Warm-edit-path observability, exported as service.incremental.*.  An
+/// edit counts as a "fallback" when it ran from scratch anyway: no usable
+/// snapshot was retained, or the fingerprint diff reused zero components.
+struct IncrementalStats {
+  uint64_t Edits = 0;
+  uint64_t ComponentsReused = 0;
+  uint64_t ComponentsRecomputed = 0;
+  uint64_t Fallbacks = 0;
+};
+
+/// Snapshot-tier observability, exported as service.snapshot_cache.*.
+struct SnapshotCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  size_t Entries = 0;
+  size_t Bytes = 0;
+  size_t ByteBudget = 0;
+};
+
+class SnapshotCache {
+public:
+  /// \p ByteBudget of 0 disables the tier (lookups miss, inserts drop).
+  explicit SnapshotCache(size_t ByteBudget) : Budget(ByteBudget) {}
+
+  /// Finds the retained snapshot for an edit of a program.  With a
+  /// non-empty \p ProgramId the match is exact on the id; otherwise the
+  /// entry sharing the longest non-empty common prefix with \p CanonText
+  /// wins (most recently used on ties).  Entries whose options
+  /// fingerprint differs from \p OptionsKey never match.  Promotes the
+  /// matched entry to most-recently-used.
+  std::shared_ptr<const FixpointSnapshot>
+  lookup(const std::string &ProgramId, const std::string &CanonText,
+         const std::string &OptionsKey);
+
+  /// Retains \p Snap as the latest snapshot of this program, replacing
+  /// any previous version under the same identity (explicit id, or the
+  /// canonical text itself when anonymous).  Evicts least-recently-used
+  /// entries until the byte budget holds.
+  void insert(const std::string &ProgramId, std::string CanonText,
+              std::string OptionsKey,
+              std::shared_ptr<const FixpointSnapshot> Snap);
+
+  SnapshotCacheStats stats() const;
+
+private:
+  struct Entry {
+    std::string Key;
+    std::string CanonText;
+    std::string OptionsKey;
+    std::shared_ptr<const FixpointSnapshot> Snap;
+    size_t Cost;
+  };
+
+  size_t Budget;
+  mutable std::mutex Mu;
+  /// MRU at the front; Map points into the list.
+  std::list<Entry> Lru;
+  std::unordered_map<std::string, std::list<Entry>::iterator> Map;
+  SnapshotCacheStats S;
+};
+
+} // namespace service
+} // namespace cai
+
+#endif // CAI_SERVICE_SNAPSHOTCACHE_H

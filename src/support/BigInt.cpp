@@ -287,9 +287,9 @@ BigInt::Magnitude BigInt::divMagnitude(const Magnitude &A, const Magnitude &B,
 BigInt BigInt::negSlow() const {
   if (!IsBig) // Only INT64_MIN reaches here from the inline operator.
     return fromInt128(-static_cast<__int128>(Small));
-  BigInt Result = *this;
-  Result.Negative = !Result.Negative;
-  return Result;
+  // Through fromMagnitude, not a sign flip in place: negating +2^63
+  // lands exactly on INT64_MIN, which must demote to the small form.
+  return fromMagnitude(!Negative, Limbs);
 }
 
 BigInt BigInt::addSlow(const BigInt &RHS) const {

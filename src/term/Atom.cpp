@@ -5,7 +5,9 @@
 using namespace cai;
 
 Atom Atom::mkEq(TermContext &Ctx, Term A, Term B) {
-  if (B->id() < A->id())
+  // Structural orientation: the canonical side order must not depend on
+  // which term happened to be interned first.
+  if (structuralCompare(B, A) < 0)
     std::swap(A, B);
   return Atom(Ctx.eqSymbol(), {A, B});
 }
@@ -33,7 +35,7 @@ bool Atom::operator<(const Atom &RHS) const {
     return Args.size() < RHS.Args.size();
   for (size_t I = 0; I < Args.size(); ++I)
     if (Args[I] != RHS.Args[I])
-      return Args[I]->id() < RHS.Args[I]->id();
+      return structuralCompare(Args[I], RHS.Args[I]) < 0;
   return false;
 }
 

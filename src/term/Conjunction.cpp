@@ -71,7 +71,7 @@ std::vector<Term> Conjunction::vars() const {
     return Out;
   for (const Atom &A : Items)
     A.collectVars(Out);
-  std::sort(Out.begin(), Out.end(), TermIdLess());
+  std::sort(Out.begin(), Out.end(), TermStructLess());
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;
 }

@@ -38,7 +38,7 @@ public:
   const Rational &constant() const { return Constant; }
 
   /// Indeterminate -> coefficient, ordered by term id; no zero entries.
-  const std::map<Term, Rational, TermIdLess> &terms() const { return Coeffs; }
+  const std::map<Term, Rational, TermStructLess> &terms() const { return Coeffs; }
 
   bool isConstant() const { return Coeffs.empty(); }
   bool isZero() const { return Coeffs.empty() && Constant.isZero(); }
@@ -69,7 +69,7 @@ public:
   Rational normalizeIntegral(bool NormalizeSign);
 
 private:
-  std::map<Term, Rational, TermIdLess> Coeffs;
+  std::map<Term, Rational, TermStructLess> Coeffs;
   Rational Constant;
 };
 

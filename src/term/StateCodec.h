@@ -1,0 +1,68 @@
+//===- term/StateCodec.h - Context-free term/state serialization -*- C++ -*-===//
+///
+/// \file
+/// A canonical, context-free text encoding for terms, atoms and
+/// conjunctions, used by the incremental re-analysis path to carry abstract
+/// states and CFG action fingerprints across TermContext boundaries
+/// (analysis/Snapshot.h).  The encoding is purely structural — variable
+/// names, rational values and symbol names, never interner ids — so two
+/// structurally equal values encode to identical bytes in any context, and
+/// decoding re-creates the identical hash-consed terms in a fresh context.
+///
+/// This is intentionally not the Printer/Parser surface syntax: the codec
+/// must round-trip values the grammar cannot express (library-internal
+/// '$'-prefixed variables, domain predicates, non-integer rationals), and
+/// it length-prefixes every name so no character is reserved.
+///
+/// Grammar (all lengths and counts are decimal):
+///   term  := 'V' len ':' name                      variable
+///          | 'N' len ':' rational                  numeral ("n" or "n/d")
+///          | 'A' len ':' name '#' count ':' term*  application
+///   atom  := 'P' len ':' name '#' count ':' term*  predicate applied to args
+///   conj  := 'F'                                   bottom ("false")
+///          | 'C' count ':' atom*                   sorted atom list
+///
+/// Decoding never creates symbols: predicates and functions are looked up
+/// with TermContext::findSymbol, and a miss (or arity mismatch) is a decode
+/// failure.  Callers treat failures as "snapshot not reusable", never as an
+/// error — see Analyzer's reuse path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_TERM_STATECODEC_H
+#define CAI_TERM_STATECODEC_H
+
+#include "term/Conjunction.h"
+
+#include <optional>
+#include <string>
+
+namespace cai {
+namespace codec {
+
+/// Appends the canonical encoding of \p T to \p Out.
+void encodeTerm(const TermContext &Ctx, Term T, std::string &Out);
+
+/// Appends the canonical encoding of \p A to \p Out.
+void encodeAtom(const TermContext &Ctx, const Atom &A, std::string &Out);
+
+/// Returns the canonical encoding of \p C.
+std::string encodeConjunction(const TermContext &Ctx, const Conjunction &C);
+
+/// Decodes one term from \p Text starting at \p Pos, advancing \p Pos past
+/// it.  Returns nullptr on malformed input or unknown symbols.
+Term decodeTerm(TermContext &Ctx, const std::string &Text, size_t &Pos);
+
+/// Decodes one atom from \p Text starting at \p Pos.
+std::optional<Atom> decodeAtom(TermContext &Ctx, const std::string &Text,
+                               size_t &Pos);
+
+/// Decodes a full conjunction; std::nullopt on any failure (including
+/// trailing bytes).
+std::optional<Conjunction> decodeConjunction(TermContext &Ctx,
+                                             const std::string &Text);
+
+} // namespace codec
+} // namespace cai
+
+#endif // CAI_TERM_STATECODEC_H

@@ -3,8 +3,14 @@
 /// \file
 /// First-order terms: variables, rational numerals, and applications of
 /// function symbols.  Terms are hash-consed by the owning TermContext, so
-/// structural equality is pointer equality and each term carries a stable
-/// sequential id used for deterministic ordering (never order by pointer).
+/// structural equality is pointer equality.  Term ordering
+/// (structuralCompare / TermStructLess) is purely structural — names,
+/// values, argument lists — and independent of the order in which a context
+/// happened to intern its nodes.  That invariant is what makes analysis
+/// results a pure function of program structure: the incremental
+/// re-analysis path (analysis/Snapshot.h) relies on it to replay fixpoints
+/// recorded in one context inside another bit-identically.  Never order by
+/// pointer, and never order by creation id in any result-affecting place.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,7 +38,9 @@ enum class TermKind : uint8_t {
 class TermNode {
 public:
   TermKind kind() const { return Kind; }
-  /// Stable creation index; use for deterministic ordering.
+  /// Stable creation index.  Useful as a per-context hash/cache key; NOT a
+  /// structural property — never use it to order terms in result-affecting
+  /// code (use structuralCompare / TermStructLess instead).
   uint32_t id() const { return Id; }
 
   bool isVariable() const { return Kind == TermKind::Variable; }
@@ -79,7 +87,7 @@ private:
 using Term = const TermNode *;
 
 /// Collects the set of variables occurring in \p T into \p Out (deduped,
-/// ordered by term id).
+/// in structural order).
 void collectVars(Term T, std::vector<Term> &Out);
 
 /// Returns true if variable \p Var occurs in \p T.
@@ -92,9 +100,21 @@ unsigned termDepth(Term T);
 /// Returns the number of nodes in \p T counted as a tree.
 unsigned termSize(Term T);
 
-/// Deterministic ordering helper for containers of terms.
-struct TermIdLess {
-  bool operator()(Term A, Term B) const { return A->id() < B->id(); }
+/// Total structural order on hash-consed terms: 0 iff A == B (pointer
+/// equality), otherwise a sign determined only by the terms' structure.
+/// Keys, in order: kind (variables, applications, numerals), variable name
+/// / symbol / numeric value, arity, then arguments recursively.  Because
+/// fresh-variable names embed a zero-padded counter, the order is invariant
+/// under any counter-start shift — two runs that draw different fresh names
+/// for corresponding variables still make identical ordering decisions.
+int structuralCompare(Term A, Term B);
+
+/// Deterministic, context-independent ordering helper for containers of
+/// terms.  Unlike ordering by creation id, this order is a pure function
+/// of term structure, so it agrees between a from-scratch analysis and an
+/// incremental one replaying a snapshot recorded elsewhere.
+struct TermStructLess {
+  bool operator()(Term A, Term B) const { return structuralCompare(A, B) < 0; }
 };
 
 } // namespace cai

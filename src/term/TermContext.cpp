@@ -3,6 +3,7 @@
 #include "term/TermContext.h"
 
 #include <algorithm>
+#include <cstdio>
 
 using namespace cai;
 
@@ -66,7 +67,14 @@ Term TermContext::mkVar(const std::string &Name) {
 }
 
 Term TermContext::freshVar(const std::string &Hint) {
-  return mkVar("$" + Hint + std::to_string(FreshCounter++));
+  // Zero-padded counter so the lexicographic order of fresh names equals
+  // creation order ("$a00000009" < "$a00000010"); with structural term
+  // ordering an unpadded "$a9" > "$a10" flip would make results depend on
+  // the counter's starting value.
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%08llu",
+                static_cast<unsigned long long>(FreshCounter++));
+  return mkVar("$" + Hint + Buf);
 }
 
 Term TermContext::mkNum(Rational Value) {
@@ -133,10 +141,10 @@ Term TermContext::mkAdd(Term Left, Term Right) {
   Append(Left, Append);
   Append(Right, Append);
 
-  // Canonical addend order (term id) so syntactically different builds of
-  // the same sum hash-cons to one node (1 + a + b == 1 + b + a).
-  std::sort(Order.begin(), Order.end(),
-            [](Term A, Term B) { return A->id() < B->id(); });
+  // Canonical addend order (structural) so syntactically different builds
+  // of the same sum hash-cons to one node (1 + a + b == 1 + b + a), in a
+  // form that does not depend on which addend was interned first.
+  std::sort(Order.begin(), Order.end(), TermStructLess());
 
   std::vector<Term> Addends;
   for (Term Base : Order) {

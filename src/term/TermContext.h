@@ -91,6 +91,16 @@ public:
   /// Number of terms interned so far (diagnostic).
   size_t numTerms() const { return Nodes.size(); }
 
+  /// \name Fresh-variable counter state
+  /// The incremental re-analysis path records the counter value at each
+  /// reuse boundary and restores it before resuming live computation, so
+  /// fresh names allocated after a replayed prefix match the names a
+  /// from-scratch run would have allocated at the same point.
+  /// @{
+  uint64_t freshCounter() const { return FreshCounter; }
+  void setFreshCounter(uint64_t Value) { FreshCounter = Value; }
+  /// @}
+
 private:
   Symbol internSymbol(const std::string &Name, unsigned Arity, SymbolKind Kind,
                       bool Arithmetic);

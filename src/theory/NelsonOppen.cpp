@@ -46,8 +46,8 @@ public:
     Term RA = find(A), RB = find(B);
     if (RA == RB)
       return false;
-    // Deterministic representative: smaller term id wins.
-    if (RB->id() < RA->id())
+    // Deterministic representative: structurally smaller term wins.
+    if (structuralCompare(RB, RA) < 0)
       std::swap(RA, RB);
     Parent[RB] = RA;
     return true;

@@ -279,7 +279,7 @@ std::vector<Term> cai::alienTerms(TermContext &Ctx, const LogicalLattice &L1,
     for (Term Arg : A.args())
       collectAliensInTerm(Ctx, L1, L2, Arg, InFirst, Out);
   }
-  std::sort(Out.begin(), Out.end(), TermIdLess());
+  std::sort(Out.begin(), Out.end(), TermStructLess());
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;
 }

@@ -15,6 +15,7 @@
 #include "analysis/Analyzer.h"
 #include "check/FaultInjection.h"
 #include "domains/affine/AffineDomain.h"
+#include "domains/arrays/ArrayDomain.h"
 #include "domains/poly/PolyDomain.h"
 #include "domains/uf/UFDomain.h"
 #include "interp/Oracle.h"
@@ -42,8 +43,10 @@ void registerTheoryPredicates(TermContext &Ctx) {
   Ctx.getPredicate("negative", 1);
 }
 
-/// Builds the three audited domain specs over \p Ctx.  The instances live
-/// in \p Owned; the returned pointers borrow from it.
+/// Builds the four audited domain specs over \p Ctx.  The instances live
+/// in \p Owned; the returned pointers borrow from it.  The arrays product
+/// is audited so the read-over-write rule faces generated select/update
+/// chains (GenOptions::Arrays), not just the checked-in memory example.
 struct Specs {
   std::vector<std::unique_ptr<LogicalLattice>> Owned;
   std::vector<const LogicalLattice *> Domains;
@@ -52,13 +55,17 @@ struct Specs {
     auto *Poly = new PolyDomain(Ctx);
     auto *UF = new UFDomain(Ctx);
     auto *Affine = new AffineDomain(Ctx);
+    auto *Arrays = new ArrayDomain(Ctx);
     Owned.emplace_back(Poly);
     Owned.emplace_back(UF);
     Owned.emplace_back(Affine);
+    Owned.emplace_back(Arrays);
     Domains.push_back(Poly);
     Owned.emplace_back(new LogicalProduct(Ctx, *Poly, *UF));
     Domains.push_back(Owned.back().get());
     Owned.emplace_back(new LogicalProduct(Ctx, *Poly, *Affine));
+    Domains.push_back(Owned.back().get());
+    Owned.emplace_back(new LogicalProduct(Ctx, *Poly, *Arrays));
     Domains.push_back(Owned.back().get());
   }
 };
@@ -113,7 +120,7 @@ TEST(SoundnessOracleTest, TestdataCleanUnderEverySpec) {
 }
 
 TEST(SoundnessOracleTest, GeneratedProgramSweep) {
-  // Default: 36 seeds x 3 specs x 2 memo modes = 216 potential oracle
+  // Default: 36 seeds x 4 specs x 2 memo modes = 288 potential oracle
   // trials; the floor asserts the CI criterion of >= 200 actual runs even
   // if a few generated programs fail to converge.
   unsigned Seeds = 36;
@@ -128,6 +135,9 @@ TEST(SoundnessOracleTest, GeneratedProgramSweep) {
   for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
     GenOptions GOpts;
     GOpts.Seed = Seed;
+    // Array traffic in the corpus so the arrays product's read-over-write
+    // rule is exercised against the concrete overlay semantics.
+    GOpts.Arrays = true;
     std::string Text = generateProgram(GOpts);
 
     TermContext Ctx;

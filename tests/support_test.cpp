@@ -113,6 +113,68 @@ TEST(BigIntTest, Int64Bounds) {
   EXPECT_EQ((BigInt(INT64_MAX)).toInt64(), INT64_MAX);
 }
 
+TEST(BigIntTest, Int64MinNegationDivisionRemainder) {
+  // INT64_MIN is the one small value whose magnitude (2^63) is not
+  // itself small: negation, division by -1, and the remainder at that
+  // point all have to promote instead of relying on hardware int64 ops
+  // (where -INT64_MIN and INT64_MIN / -1 are undefined behavior).
+  const BigInt Min(INT64_MIN);
+  BigInt Neg = -Min;
+  EXPECT_FALSE(Neg.fitsInt64());
+  EXPECT_EQ(Neg.toString(), "9223372036854775808");
+  EXPECT_EQ(-Neg, Min); // ... and the return trip demotes to small.
+  EXPECT_TRUE((-Neg).fitsInt64());
+
+  BigInt Q = Min / BigInt(-1);
+  EXPECT_FALSE(Q.fitsInt64());
+  EXPECT_EQ(Q, Neg);
+  EXPECT_EQ(Min % BigInt(-1), BigInt(0));
+
+  EXPECT_EQ(Min / Min, BigInt(1));
+  EXPECT_EQ(Min % Min, BigInt(0));
+  EXPECT_EQ(Min / BigInt(2), BigInt(INT64_MIN / 2));
+  EXPECT_EQ(Min % BigInt(7), BigInt(INT64_MIN % 7));
+}
+
+TEST(BigIntTest, DemotionRoundTripsAtTheBoundary) {
+  // Big never holds an int64-representable value (fitsInt64's contract),
+  // so every arithmetic trip past the boundary and back must demote.
+  BigInt Past = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(Past.fitsInt64());
+  BigInt Back = Past - BigInt(1);
+  EXPECT_TRUE(Back.fitsInt64());
+  EXPECT_EQ(Back.toInt64(), INT64_MAX);
+
+  BigInt Doubled = BigInt(INT64_MIN) * BigInt(2);
+  EXPECT_FALSE(Doubled.fitsInt64());
+  BigInt Halved = Doubled / BigInt(2);
+  EXPECT_TRUE(Halved.fitsInt64());
+  EXPECT_EQ(Halved.toInt64(), INT64_MIN);
+  EXPECT_EQ(Doubled % BigInt(2), BigInt(0));
+
+  EXPECT_EQ(BigInt::fromString("-9223372036854775808"), BigInt(INT64_MIN));
+  EXPECT_TRUE(BigInt::fromString("-9223372036854775808").fitsInt64());
+  EXPECT_FALSE(BigInt::fromString("-9223372036854775809").fitsInt64());
+  EXPECT_EQ(BigInt::fromString("-9223372036854775809") + BigInt(1),
+            BigInt(INT64_MIN));
+}
+
+TEST(BigIntTest, GcdAtInt64Min) {
+  // gcd's fast loop computes on uint64 magnitudes; a result of exactly
+  // 2^63 (|INT64_MIN|) cannot be returned as a small value and must
+  // take the slow path.  Results below the boundary stay fast.
+  const BigInt Min(INT64_MIN);
+  EXPECT_EQ(BigInt::gcd(Min, BigInt(0)).toString(), "9223372036854775808");
+  EXPECT_FALSE(BigInt::gcd(Min, BigInt(0)).fitsInt64());
+  EXPECT_EQ(BigInt::gcd(Min, Min).toString(), "9223372036854775808");
+  EXPECT_EQ(BigInt::gcd(Min, BigInt(3)), BigInt(1));
+  EXPECT_EQ(BigInt::gcd(Min, BigInt(6)), BigInt(2));
+  EXPECT_EQ(BigInt::gcd(Min, BigInt(INT64_MAX)), BigInt(1));
+  // The mixed small/big pairing exercises gcdSlow's limb loop too.
+  EXPECT_EQ(BigInt::gcd(-Min, BigInt(6)), BigInt(2));
+  EXPECT_EQ(BigInt::gcd(-Min, Min).toString(), "9223372036854775808");
+}
+
 TEST(RationalTest, NormalizationLowestTerms) {
   Rational R(BigInt(4), BigInt(6));
   EXPECT_EQ(R.numerator(), BigInt(2));

@@ -275,6 +275,8 @@ int main(int Argc, char **Argv) {
     if (ShowStats)
       std::fprintf(stderr, "%s\n",
                    statsToJsonLine(Scheduler.cacheStats(),
+                                   Scheduler.snapshotCacheStats(),
+                                   Scheduler.incrementalStats(),
                                    Scheduler.numWorkers(), JobsCompleted)
                        .c_str());
 

@@ -7,6 +7,11 @@
 ///   {"id":1,"name":"fig1","program":"x := 0; ...","domain":"logical:poly,uf",
 ///    "options":{"timeout_ms":500}}       submit an analysis
 ///   {"id":2,"program_file":"examples/fig1.imp"}   ... from a file
+///   {"cmd":"analyze_edit","program_id":"fig1","program":"x := 1; ..."}
+///                                        analyze an edited program,
+///                                        reusing the previous version's
+///                                        fixpoint where the CFG is
+///                                        unchanged (same result bytes)
 ///   {"cmd":"stats"}                      drain, then report statistics
 ///   {"cmd":"shutdown"}                   drain outstanding jobs and exit
 ///
@@ -132,6 +137,8 @@ int main(int Argc, char **Argv) {
       Scheduler.waitIdle();
       Scheduler.takeResults(); // Already streamed; free the accumulation.
       printLine(statsToJsonLine(Scheduler.cacheStats(),
+                                Scheduler.snapshotCacheStats(),
+                                Scheduler.incrementalStats(),
                                 Scheduler.numWorkers(),
                                 JobsCompleted.load(std::memory_order_relaxed)));
       continue;

@@ -1,0 +1,21 @@
+# Byte-stability of a cai-serve session across back-to-back runs: the
+# response stream (results and stats lines alike) must not depend on run
+# order, wall time, or whether snapshots were freshly recorded.
+#
+#   cmake -DTOOL=<cai-serve> -DINPUT=<requests file> -P check_serve_deterministic.cmake
+execute_process(COMMAND ${TOOL} --jobs=1
+                INPUT_FILE ${INPUT}
+                OUTPUT_VARIABLE OUT1 RESULT_VARIABLE RC1 ERROR_QUIET)
+execute_process(COMMAND ${TOOL} --jobs=1
+                INPUT_FILE ${INPUT}
+                OUTPUT_VARIABLE OUT2 RESULT_VARIABLE RC2 ERROR_QUIET)
+if(NOT RC1 EQUAL 0 OR NOT RC2 EQUAL 0)
+  message(FATAL_ERROR "cai-serve exited ${RC1}/${RC2}")
+endif()
+if(NOT OUT1 STREQUAL OUT2)
+  message(FATAL_ERROR "serve session output is not reproducible:\n"
+                      "--- run 1 ---\n${OUT1}\n--- run 2 ---\n${OUT2}")
+endif()
+if(OUT1 STREQUAL "")
+  message(FATAL_ERROR "cai-serve printed nothing; check is vacuous")
+endif()

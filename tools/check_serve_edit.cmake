@@ -1,0 +1,27 @@
+# The cai-serve incremental protocol test: analyze a program under a
+# program_id, drain (the first stats barrier guarantees the snapshot is
+# retained before the edit arrives), then analyze_edit a suffix-edited
+# version.  The second stats line must show the edit was served warm:
+# components actually reused, zero fallbacks, a snapshot-cache hit.
+#
+#   cmake -DTOOL=<cai-serve> -DINPUT=<requests file> -P check_serve_edit.cmake
+execute_process(COMMAND ${TOOL} --jobs=2
+                INPUT_FILE ${INPUT}
+                OUTPUT_VARIABLE OUT
+                ERROR_VARIABLE ERR
+                RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "cai-serve exited ${RC}\nstdout:\n${OUT}\nstderr:\n${ERR}")
+endif()
+foreach(PATTERN
+        "\"id\":1,.*\"status\":\"verified\""           # the initial analyze
+        "\"id\":2,.*\"status\":\"verified\""           # the analyze_edit
+        "\"snapshot_cache\":{\"hits\":1,"              # edit found its snapshot
+        "\"edits\":1,\"components_reused\":[1-9]")     # ... and replayed work
+  if(NOT OUT MATCHES "${PATTERN}")
+    message(FATAL_ERROR "response missing /${PATTERN}/\noutput:\n${OUT}")
+  endif()
+endforeach()
+if(OUT MATCHES "\"fallbacks\":[1-9]")
+  message(FATAL_ERROR "the warm edit fell back to scratch\noutput:\n${OUT}")
+endif()
