@@ -1,0 +1,119 @@
+//===- obs/EventLog.h - Structured JSON-lines event log ----------*- C++ -*-===//
+///
+/// \file
+/// A process-wide structured event log for the analysis service: one JSON
+/// object per line, each stamped with a monotonic sequence number, a
+/// microsecond timestamp, a severity, and the emitting component.  The
+/// scheduler, the result cache and the snapshot cache report their
+/// "something notable happened" moments here -- evictions, oversized
+/// rejections, incremental fallbacks, timeouts, job errors -- so an
+/// operator tailing the log sees *why* the counters moved, not just that
+/// they did.
+///
+/// Design constraints:
+///  * disabled is free-ish: `enabled()` is one atomic load, and every
+///    emit site guards on it, so the default-off path costs a load and a
+///    branch (the telemetry-off overhead bar covers this);
+///  * concurrency: emitters are worker threads; one mutex serializes
+///    sequence assignment, rate-limit state and the stream write, so
+///    lines never interleave and sequence order matches file order;
+///  * rate limiting is *count*-based, not time-based: per (component,
+///    event) key, the first `BurstLimit` occurrences emit verbatim, after
+///    which only power-of-two occurrence counts emit (with a "repeats"
+///    field carrying the total so far).  Count-based suppression keeps a
+///    replayed workload's log shape deterministic, which a wall-clock
+///    token bucket cannot;
+///  * the log is an operator channel, never a result channel: nothing in
+///    it feeds back into analysis, and the deterministic stdout protocol
+///    does not change whether it is open or not.
+///
+/// Line schema (docs/OBSERVABILITY.md):
+///   {"seq":12,"ts_us":48211,"severity":"warn",
+///    "component":"service.result_cache","event":"evict",
+///    "fields":{"fingerprint":"...","bytes":1234}}
+/// plus `"repeats":N` on post-burst lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_OBS_EVENTLOG_H
+#define CAI_OBS_EVENTLOG_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cai {
+namespace obs {
+
+enum class Severity : uint8_t { Debug, Info, Warn, Error };
+
+const char *severityName(Severity S);
+
+/// One key/value annotation on an event.  Values are pre-rendered: strings
+/// are emitted quoted-and-escaped, raw values (numbers, booleans) verbatim.
+struct EventField {
+  std::string Key;
+  std::string Value;
+  bool Raw = false;
+
+  static EventField str(std::string K, std::string V) {
+    return {std::move(K), std::move(V), false};
+  }
+  static EventField num(std::string K, uint64_t V) {
+    return {std::move(K), std::to_string(V), true};
+  }
+};
+
+/// The log.  One per process (global()); open() points it at a stream.
+class EventLog {
+public:
+  /// Occurrences of one (component, event) key emitted verbatim before
+  /// power-of-two suppression kicks in.
+  static constexpr uint64_t BurstLimit = 5;
+
+  static EventLog &global();
+
+  /// Attaches the log to \p OS (caller keeps ownership; pass nullptr to
+  /// detach).  Emission is enabled iff a stream is attached.  Attaching
+  /// also re-arms the timestamp epoch so ts_us counts from open().
+  void open(std::ostream *OS);
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Emits one event line unless rate-limited.  Cheap when disabled
+  /// (guarded by one atomic load).  Thread-safe.
+  void emit(Severity Sev, const std::string &Component,
+            const std::string &Event, std::vector<EventField> Fields = {});
+
+  struct Stats {
+    uint64_t Emitted = 0;
+    uint64_t Suppressed = 0;
+  };
+  Stats stats() const;
+
+  /// Detaches and forgets all rate-limit state and counters (tests).
+  void resetForTest();
+
+private:
+  std::atomic<bool> Enabled{false};
+
+  mutable std::mutex Mu;
+  std::ostream *Out = nullptr; ///< Under Mu, like everything below.
+  uint64_t NextSeq = 0;
+  uint64_t Emitted = 0;
+  uint64_t Suppressed = 0;
+  std::chrono::steady_clock::time_point Epoch;
+  /// Occurrence count per "component/event" rate-limit key.
+  std::map<std::string, uint64_t> Occurrences;
+};
+
+} // namespace obs
+} // namespace cai
+
+#endif // CAI_OBS_EVENTLOG_H

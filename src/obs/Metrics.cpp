@@ -31,6 +31,8 @@ void MetricsRegistry::mergeFrom(const MetricsRegistry &Shard) {
     Gauges[Name].set(G.value());
   for (const auto &[Name, H] : Shard.Histograms)
     Histograms[Name].merge(H);
+  for (const auto &[Name, L] : Shard.Latencies)
+    Latencies[Name].merge(L);
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::counterValues() const {
@@ -47,6 +49,8 @@ void MetricsRegistry::reset() {
     G = Gauge();
   for (auto &[Name, H] : Histograms)
     H = Histogram();
+  for (auto &[Name, L] : Latencies)
+    L = LatencyHistogram();
 }
 
 namespace {
@@ -137,6 +141,16 @@ void MetricsRegistry::writeJson(std::ostream &OS) const {
                     ",\"mean_us\":" + renderDouble(H.mean()) + "}";
     Add(Name, std::move(J));
   }
+  for (const auto &[Name, L] : Latencies) {
+    std::string J = "{\"count\":" + std::to_string(L.count()) +
+                    ",\"sum_us\":" + std::to_string(L.sum()) +
+                    ",\"min_us\":" + std::to_string(L.min()) +
+                    ",\"max_us\":" + std::to_string(L.max()) +
+                    ",\"p50_us\":" + std::to_string(L.percentile(0.50)) +
+                    ",\"p90_us\":" + std::to_string(L.percentile(0.90)) +
+                    ",\"p99_us\":" + std::to_string(L.percentile(0.99)) + "}";
+    Add(Name, std::move(J));
+  }
   // Sort by path; a leaf that is also an interior node ("a.b" next to
   // "a.b.c") would produce a duplicate key, so suffix the leaf segment.
   std::sort(Flats.begin(), Flats.end(),
@@ -168,4 +182,82 @@ void MetricsRegistry::writeText(std::ostream &OS,
       OS << Name << " = {count " << H.count() << ", mean "
          << renderDouble(H.mean()) << "us, max " << renderDouble(H.max())
          << "us}\n";
+  for (const auto &[Name, L] : Latencies)
+    if (Name.rfind(Prefix, 0) == 0)
+      OS << Name << " = {count " << L.count() << ", p50 "
+         << L.percentile(0.50) << "us, p90 " << L.percentile(0.90)
+         << "us, p99 " << L.percentile(0.99) << "us, max " << L.max()
+         << "us}\n";
+}
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Everything the
+/// registry's dotted names contain outside that set becomes '_', and the
+/// `cai_` prefix both namespaces the export and keeps a leading digit from
+/// ever starting the name.
+std::string promName(const std::string &Name) {
+  std::string Out = "cai_";
+  for (char Ch : Name) {
+    bool Ok = (Ch >= 'a' && Ch <= 'z') || (Ch >= 'A' && Ch <= 'Z') ||
+              (Ch >= '0' && Ch <= '9') || Ch == '_';
+    Out += Ok ? Ch : '_';
+  }
+  return Out;
+}
+
+void promHeader(std::ostream &OS, const std::string &PName,
+                const std::string &Orig, const char *Type) {
+  OS << "# HELP " << PName << " cai metric " << Orig << "\n";
+  OS << "# TYPE " << PName << " " << Type << "\n";
+}
+
+} // namespace
+
+void MetricsRegistry::writePrometheus(std::ostream &OS) const {
+  // std::map iteration order makes every section sorted and repeatable.
+  for (const auto &[Name, C] : Counters) {
+    std::string P = promName(Name);
+    promHeader(OS, P, Name, "counter");
+    OS << P << " " << C.value() << "\n";
+  }
+  for (const auto &[Name, G] : Gauges) {
+    std::string P = promName(Name);
+    promHeader(OS, P, Name, "gauge");
+    OS << P << " " << renderDouble(G.value()) << "\n";
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string P = promName(Name);
+    promHeader(OS, P, Name, "histogram");
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+      if (H.bucket(I) == 0)
+        continue;
+      Cum += H.bucket(I);
+      // Bucket I covers [2^I, 2^(I+1)) us; le is the exclusive upper
+      // bound, which over-approximates by at most one ulp of the grid.
+      OS << P << "_bucket{le=\"" << (1ull << (I + 1)) << "\"} " << Cum
+         << "\n";
+    }
+    OS << P << "_bucket{le=\"+Inf\"} " << H.count() << "\n";
+    OS << P << "_sum " << renderDouble(H.sum()) << "\n";
+    OS << P << "_count " << H.count() << "\n";
+  }
+  for (const auto &[Name, L] : Latencies) {
+    std::string P = promName(Name);
+    promHeader(OS, P, Name, "histogram");
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I < LatencyHistogram::NumBuckets; ++I) {
+      if (L.bucket(I) == 0)
+        continue;
+      Cum += L.bucket(I);
+      uint64_t Ub = LatencyHistogram::bucketUpperBound(I);
+      if (Ub == UINT64_MAX)
+        continue; // The clamping bucket; the +Inf line below covers it.
+      OS << P << "_bucket{le=\"" << Ub << "\"} " << Cum << "\n";
+    }
+    OS << P << "_bucket{le=\"+Inf\"} " << L.count() << "\n";
+    OS << P << "_sum " << L.sum() << "\n";
+    OS << P << "_count " << L.count() << "\n";
+  }
 }

@@ -110,6 +110,126 @@ private:
   uint64_t Buckets[NumBuckets] = {};
 };
 
+/// A latency histogram over log-bucketed integer microseconds with exact
+/// deterministic percentile extraction.  The layout is fixed at compile
+/// time (HdrHistogram-style): 8 linear sub-buckets per power-of-two
+/// octave, so every bucket is at most 12.5% wide relative to its lower
+/// bound, and two histograms -- or the same histogram across shards --
+/// always agree bucket for bucket.  percentile() returns the lower bound
+/// of the bucket containing the nearest-rank sample, clamped to
+/// [min, max]; the value is therefore within 12.5% of the true sample and
+/// *bucket-exact* against a sorted-vector oracle (obs_test pins both).
+class LatencyHistogram {
+public:
+  /// 8 unit-width buckets for [0,8), then 8 sub-buckets per octave up to
+  /// 2^40 us (~12.7 days); everything larger clamps into the last bucket.
+  static constexpr unsigned NumBuckets = 304;
+
+  /// The bucket index of \p Us.  For Us < 8 the bucket is Us itself; for
+  /// larger values, octave k = floor(log2 Us) contributes 8 sub-buckets
+  /// selected by the 3 bits below the leading bit.
+  static unsigned bucketIndex(uint64_t Us) {
+    if (Us < 8)
+      return static_cast<unsigned>(Us);
+    unsigned K = 63 - static_cast<unsigned>(countLeadingZeros(Us));
+    unsigned Sub = static_cast<unsigned>((Us >> (K - 3)) & 7);
+    unsigned Idx = 8 * (K - 2) + Sub;
+    return Idx < NumBuckets ? Idx : NumBuckets - 1;
+  }
+
+  /// The smallest value landing in bucket \p Idx.
+  static uint64_t bucketLowerBound(unsigned Idx) {
+    if (Idx < 8)
+      return Idx;
+    unsigned K = Idx / 8 + 2;
+    return static_cast<uint64_t>(8 + Idx % 8) << (K - 3);
+  }
+
+  /// One past the largest value in bucket \p Idx (UINT64_MAX for the
+  /// clamping last bucket).
+  static uint64_t bucketUpperBound(unsigned Idx) {
+    return Idx + 1 < NumBuckets ? bucketLowerBound(Idx + 1) : UINT64_MAX;
+  }
+
+  void record(uint64_t Us) {
+    ++Count;
+    Sum += Us;
+    if (Count == 1 || Us < MinV)
+      MinV = Us;
+    if (Count == 1 || Us > MaxV)
+      MaxV = Us;
+    ++Buckets[bucketIndex(Us)];
+  }
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return MinV; }
+  uint64_t max() const { return MaxV; }
+  uint64_t bucket(unsigned I) const { return Buckets[I]; }
+
+  /// The \p Q quantile (0 < Q <= 1) by nearest rank: the lower bound of
+  /// the bucket holding sample number ceil(Q * count), clamped to
+  /// [min, max] so p0/p100 degenerate to the exact extremes.  0 when
+  /// empty.  Deterministic: depends only on bucket contents.
+  uint64_t percentile(double Q) const {
+    if (Count == 0)
+      return 0;
+    double Scaled = Q * static_cast<double>(Count);
+    uint64_t Rank = static_cast<uint64_t>(Scaled);
+    if (static_cast<double>(Rank) < Scaled)
+      ++Rank; // ceil
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > Count)
+      Rank = Count;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I < NumBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen >= Rank) {
+        uint64_t V = bucketLowerBound(I);
+        if (V < MinV)
+          V = MinV;
+        if (V > MaxV)
+          V = MaxV;
+        return V;
+      }
+    }
+    return MaxV; // Unreachable when counts are consistent.
+  }
+
+  /// Folds \p RHS in: buckets/count/sum add, min/max combine.  Merging N
+  /// shard histograms in any order yields the same buckets as recording
+  /// every sample into one histogram (the cross-shard property test).
+  void merge(const LatencyHistogram &RHS) {
+    if (RHS.Count == 0)
+      return;
+    if (Count == 0 || RHS.MinV < MinV)
+      MinV = RHS.MinV;
+    if (Count == 0 || RHS.MaxV > MaxV)
+      MaxV = RHS.MaxV;
+    Count += RHS.Count;
+    Sum += RHS.Sum;
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      Buckets[I] += RHS.Buckets[I];
+  }
+
+private:
+  static unsigned countLeadingZeros(uint64_t V) {
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_clzll(V));
+#else
+    unsigned N = 0;
+    for (uint64_t Bit = 1ull << 63; Bit && !(V & Bit); Bit >>= 1)
+      ++N;
+    return N;
+#endif
+  }
+
+  uint64_t Count = 0;
+  uint64_t Sum = 0, MinV = 0, MaxV = 0;
+  uint64_t Buckets[NumBuckets] = {};
+};
+
 /// The registry.  References returned by counter()/gauge()/histogram() are
 /// stable for the process lifetime (backed by std::map nodes on a leaked
 /// singleton), which is what lets probe sites cache them in local statics.
@@ -146,6 +266,16 @@ public:
     assertOwned();
     return Histograms[Name];
   }
+  LatencyHistogram &latency(const std::string &Name) {
+    assertOwned();
+    return Latencies[Name];
+  }
+
+  /// Read-only lookup; nullptr when never recorded.  Exports and tests.
+  const LatencyHistogram *findLatency(const std::string &Name) const {
+    auto It = Latencies.find(Name);
+    return It == Latencies.end() ? nullptr : &It->second;
+  }
 
   /// Folds \p Shard into this registry: counters and histogram contents
   /// sum; gauges take the incoming value (so merging shards in index
@@ -168,6 +298,14 @@ public:
   /// One sorted "name = value" line per metric (the --stats backend).
   void writeText(std::ostream &OS, const std::string &Prefix = "") const;
 
+  /// Prometheus text exposition (version 0.0.4): every metric mangled to
+  /// `cai_<name with non-alphanumerics as '_'>`, counters as `counter`,
+  /// gauges as `gauge`, both histogram kinds as `histogram` with
+  /// cumulative `_bucket{le="..."}` series (non-empty buckets only; the
+  /// final `+Inf` bucket always equals `_count`).  Sorted and
+  /// deterministic like the other exports.
+  void writePrometheus(std::ostream &OS) const;
+
   /// Zeroes every metric (counters keep their registration).  Tests only;
   /// probe-site references remain valid.
   void reset();
@@ -186,6 +324,7 @@ private:
   std::map<std::string, Counter> Counters;
   std::map<std::string, Gauge> Gauges;
   std::map<std::string, Histogram> Histograms;
+  std::map<std::string, LatencyHistogram> Latencies;
 };
 
 namespace detail {

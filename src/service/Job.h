@@ -15,6 +15,7 @@
 
 #include "analysis/Analyzer.h"
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -64,6 +65,9 @@ struct JobSpec {
   /// bit-identical to a plain analyze by construction.
   bool Edit = false;
   JobOptions Opts;
+  /// Stamped by AnalysisScheduler::submit() for the telemetry channel's
+  /// queue-wait span.  Never serialized; results stay timing-free.
+  std::chrono::steady_clock::time_point EnqueueTime{};
 };
 
 /// How a job ended.  Every path is a structured per-job outcome -- a

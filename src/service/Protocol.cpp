@@ -90,6 +90,14 @@ cai::service::parseRequest(const std::string &Line, uint64_t DefaultId,
       Req.Command = Request::Kind::Shutdown;
       return Req;
     }
+    if (Cmd->asString() == "health" || Cmd->asString() == "ping") {
+      Req.Command = Request::Kind::Health;
+      return Req;
+    }
+    if (Cmd->asString() == "telemetry") {
+      Req.Command = Request::Kind::Telemetry;
+      return Req;
+    }
     if (Cmd->asString() == "analyze_edit") {
       // Falls through to the analyze parse below with the edit flag set.
       Req.Spec.Edit = true;
@@ -207,5 +215,18 @@ std::string cai::service::statsToJsonLine(const ResultCacheStats &CS,
           Json::integer(static_cast<int64_t>(IS.ComponentsRecomputed)));
   Inc.set("fallbacks", Json::integer(static_cast<int64_t>(IS.Fallbacks)));
   Line.set("incremental", std::move(Inc));
+  return Line.dump();
+}
+
+std::string cai::service::healthToJsonLine(unsigned Workers,
+                                           uint64_t QueueDepth,
+                                           uint64_t JobsFinished,
+                                           uint64_t UptimeUs) {
+  Json Line = Json::object();
+  Line.set("health", Json::str("ok"));
+  Line.set("workers", Json::integer(Workers));
+  Line.set("queue_depth", Json::integer(static_cast<int64_t>(QueueDepth)));
+  Line.set("jobs_finished", Json::integer(static_cast<int64_t>(JobsFinished)));
+  Line.set("uptime_us", Json::integer(static_cast<int64_t>(UptimeUs)));
   return Line.dump();
 }

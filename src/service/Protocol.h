@@ -44,9 +44,11 @@ namespace service {
 /// One parsed request line.
 struct Request {
   enum class Kind : uint8_t {
-    Analyze,  ///< Submit the job in Spec (after resolving ProgramFile).
-    Stats,    ///< {"cmd":"stats"} -- report scheduler/cache statistics.
-    Shutdown, ///< {"cmd":"shutdown"} -- drain and exit.
+    Analyze,   ///< Submit the job in Spec (after resolving ProgramFile).
+    Stats,     ///< {"cmd":"stats"} -- report scheduler/cache statistics.
+    Shutdown,  ///< {"cmd":"shutdown"} -- drain and exit.
+    Health,    ///< {"cmd":"health"} / {"cmd":"ping"} -- liveness, NO drain.
+    Telemetry, ///< {"cmd":"telemetry"} -- live timing report, NO drain.
   };
 
   Kind Command = Kind::Analyze;
@@ -77,6 +79,14 @@ std::string statsToJsonLine(const ResultCacheStats &CS,
                             const SnapshotCacheStats &SS,
                             const IncrementalStats &IS, unsigned Workers,
                             uint64_t JobsCompleted);
+
+/// The `health`/`ping` reply: one JSON line (no newline) describing
+/// liveness without draining the queue -- unlike `stats`, asking does not
+/// perturb scheduling, which is what makes it a usable liveness probe.
+/// UptimeUs is wall-clock and therefore a telemetry-channel field; health
+/// lines are never part of the deterministic protocol output.
+std::string healthToJsonLine(unsigned Workers, uint64_t QueueDepth,
+                             uint64_t JobsFinished, uint64_t UptimeUs);
 
 } // namespace service
 } // namespace cai

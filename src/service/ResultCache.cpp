@@ -2,6 +2,8 @@
 
 #include "service/ResultCache.h"
 
+#include "obs/EventLog.h"
+
 using namespace cai;
 using namespace cai::service;
 
@@ -43,12 +45,24 @@ void ResultCache::insert(const std::string &Fingerprint,
   size_t Cost = costOf(Fingerprint, *Result);
   if (Cost > Budget) {
     ++S.Evictions; // The entry itself: too large to ever reside.
+    if (obs::EventLog::global().enabled())
+      obs::EventLog::global().emit(
+          obs::Severity::Warn, "service.result_cache", "oversized-reject",
+          {obs::EventField::str("fingerprint", Fingerprint),
+           obs::EventField::num("bytes", static_cast<uint64_t>(Cost)),
+           obs::EventField::num("budget", static_cast<uint64_t>(Budget))});
     return;
   }
   while (S.Bytes + Cost > Budget && !Lru.empty()) {
     Entry &Victim = Lru.back();
     S.Bytes -= Victim.Cost;
     Map.erase(Victim.Fingerprint);
+    if (obs::EventLog::global().enabled())
+      obs::EventLog::global().emit(
+          obs::Severity::Info, "service.result_cache", "evict",
+          {obs::EventField::str("fingerprint", Victim.Fingerprint),
+           obs::EventField::num("bytes",
+                               static_cast<uint64_t>(Victim.Cost))});
     Lru.pop_back();
     ++S.Evictions;
   }

@@ -6,11 +6,14 @@
 #include "domains/poly/Polyhedron.h"
 #include "encodings/Encodings.h"
 #include "ir/ProgramParser.h"
+#include "obs/EventLog.h"
 #include "service/DomainFactory.h"
 #include "service/Fingerprint.h"
 #include "term/TermContext.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 
@@ -44,7 +47,8 @@ void bumpStatusCounter(JobStatus S) {
 JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
                                             const std::atomic<bool> *Cancel,
                                             const FixpointSnapshot *SnapIn,
-                                            FixpointSnapshot *SnapOut) {
+                                            FixpointSnapshot *SnapOut,
+                                            JobPhases *Phases) {
   JobResult R;
   R.Id = Spec.Id;
   R.Name = Spec.Name;
@@ -82,6 +86,11 @@ JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
     }
     R.Domain = Domain->name();
 
+    // Phase timing is telemetry-only: clock reads happen solely when a
+    // JobPhases out-param asks for them, keeping the telemetry-off path
+    // free of extra syscalls.
+    auto ParseBegin = Phases ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point();
     std::string ParseError;
     std::optional<Program> P =
         parseProgram(Ctx, Spec.ProgramText, &ParseError);
@@ -99,6 +108,13 @@ JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
       TermEncoder Enc(Ctx, TermEncoder::Scheme::ArityReduction);
       Analyzed = Enc.encode(Analyzed);
     }
+    if (Phases) {
+      Phases->ParseUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - ParseBegin)
+              .count());
+      Phases->HasParse = true;
+    }
 
     AnalyzerOptions AOpts;
     AOpts.WideningDelay = Spec.Opts.WideningDelay;
@@ -114,7 +130,16 @@ JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
           Begin + std::chrono::milliseconds(Spec.Opts.TimeoutMs);
 
     RowCapScope CapScope(Spec.Opts.PolyMaxRows);
+    auto AnalyzeBegin = Phases ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point();
     AnalysisResult AR = Analyzer(*Domain, AOpts).run(Analyzed);
+    if (Phases) {
+      Phases->AnalyzeUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - AnalyzeBegin)
+              .count());
+      Phases->HasAnalyze = true;
+    }
 
     R.Assertions = AR.Assertions;
     R.NumVerified = AR.numVerified();
@@ -150,9 +175,18 @@ JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
 }
 
 AnalysisScheduler::AnalysisScheduler(SchedulerOptions O)
-    : Opts(O), Cache(O.CacheBytes), Snapshots(O.SnapshotCacheBytes) {
+    : Opts(O), Cache(O.CacheBytes), Snapshots(O.SnapshotCacheBytes),
+      // A slow-job threshold only makes sense with the telemetry channel
+      // up, so SlowMs != 0 implies it.
+      Hub(O.Telemetry || O.SlowMs != 0) {
   if (Opts.Workers == 0)
     Opts.Workers = 1;
+  if (!Opts.ExemplarDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.ExemplarDir, EC);
+    // A failure surfaces later as an unwritable exemplar, which the
+    // event log reports; the scheduler itself keeps going.
+  }
   // One epoch for every shard tracer so the merged timelines align.
   auto Epoch = std::chrono::steady_clock::now();
   for (unsigned I = 0; I < Opts.Workers; ++I) {
@@ -194,16 +228,28 @@ void AnalysisScheduler::onResult(ResultCallback CB) {
 }
 
 void AnalysisScheduler::submit(JobSpec Spec) {
+  if (Hub.enabled())
+    Spec.EnqueueTime = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> Lock(ResultsMu);
     ++Pending;
   }
+  uint64_t Depth = 0;
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
     assert(!Stopping && "submit() on a stopping scheduler");
     Queue.push_back(std::move(Spec));
+    Depth = Queue.size();
   }
   QueueCv.notify_one();
+  // Sampled at the submit boundary: the depth the job saw as it arrived.
+  if (Hub.enabled())
+    Hub.sampleQueueDepth(Depth);
+}
+
+uint64_t AnalysisScheduler::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  return Queue.size();
 }
 
 void AnalysisScheduler::waitIdle() {
@@ -256,15 +302,138 @@ void AnalysisScheduler::mergeMetricsInto(obs::MetricsRegistry &Into) const {
   Into.counter("service.incremental.components_recomputed")
       .inc(IS.ComponentsRecomputed);
   Into.counter("service.incremental.fallbacks").inc(IS.Fallbacks);
+  Hub.mergeInto(Into); // service.telemetry.* (no-op when telemetry off).
 }
 
-JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec) {
+std::string AnalysisScheduler::telemetryJsonLine() {
+  Json Rep = Hub.report(numWorkers());
+  auto Permille = [](uint64_t Num, uint64_t Den) {
+    return Json::integer(Den == 0 ? 0
+                                  : static_cast<int64_t>((Num * 1000) / Den));
+  };
+  ResultCacheStats CS = Cache.stats();
+  Json CacheObj = Json::object();
+  CacheObj.set("hits", Json::integer(static_cast<int64_t>(CS.Hits)));
+  CacheObj.set("misses", Json::integer(static_cast<int64_t>(CS.Misses)));
+  CacheObj.set("hit_rate_permille", Permille(CS.Hits, CS.Hits + CS.Misses));
+  Rep.set("result_cache", std::move(CacheObj));
+  SnapshotCacheStats SS = Snapshots.stats();
+  Json SnapObj = Json::object();
+  SnapObj.set("hits", Json::integer(static_cast<int64_t>(SS.Hits)));
+  SnapObj.set("misses", Json::integer(static_cast<int64_t>(SS.Misses)));
+  SnapObj.set("hit_rate_permille", Permille(SS.Hits, SS.Hits + SS.Misses));
+  Rep.set("snapshot_cache", std::move(SnapObj));
+  Rep.set("queue_depth_now",
+          Json::integer(static_cast<int64_t>(queueDepth())));
+  Rep.set("jobs_finished",
+          Json::integer(static_cast<int64_t>(jobsFinished())));
+  return Rep.dump();
+}
+
+/// runJobIsolated plus the telemetry wrappers: phase timing when \p LS
+/// asks, and -- when SlowMs is armed -- a per-job tracer that temporarily
+/// replaces whatever tracer is installed (the shard tracer, usually), so a
+/// job that overruns the threshold arrives with its own Perfetto-loadable
+/// engine trace instead of being lost in the merged timeline.
+JobResult AnalysisScheduler::runCaptured(const JobSpec &Spec,
+                                         const FixpointSnapshot *SnapIn,
+                                         FixpointSnapshot *SnapOut,
+                                         LifecycleSample *LS) {
+  JobPhases Phases;
+  std::unique_ptr<obs::Tracer> JobTracer;
+  obs::Tracer *Prev = nullptr;
+  if (Opts.SlowMs != 0) {
+    Prev = obs::Tracer::active();
+    JobTracer = std::make_unique<obs::Tracer>(obs::Tracer::Sink::Buffer);
+    obs::Tracer::install(JobTracer.get());
+  }
+  JobResult R = runJobIsolated(Spec, &CancelAll, SnapIn, SnapOut,
+                               LS ? &Phases : nullptr);
+  if (JobTracer)
+    obs::Tracer::install(Prev);
+  if (LS) {
+    LS->ParseUs = Phases.ParseUs;
+    LS->AnalyzeUs = Phases.AnalyzeUs;
+    LS->HasParse = Phases.HasParse;
+    LS->HasAnalyze = Phases.HasAnalyze;
+  }
+
+  if (Opts.SlowMs != 0 && R.DurationMs > static_cast<double>(Opts.SlowMs)) {
+    SlowJobRecord Rec;
+    Rec.Id = R.Id;
+    Rec.Name = R.Name;
+    Rec.TotalUs = static_cast<uint64_t>(R.DurationMs * 1000.0);
+    if (!Opts.ExemplarDir.empty()) {
+      std::string Path = Opts.ExemplarDir + "/slow-job-" +
+                         std::to_string(R.Id) + ".trace.json";
+      std::ofstream TOut(Path);
+      if (TOut) {
+        JobTracer->writeJson(TOut);
+        Rec.TracePath = Path;
+      } else if (obs::EventLog::global().enabled()) {
+        obs::EventLog::global().emit(
+            obs::Severity::Error, "service.scheduler", "exemplar-write-failed",
+            {obs::EventField::str("path", Path)});
+      }
+    }
+    if (obs::EventLog::global().enabled())
+      obs::EventLog::global().emit(
+          obs::Severity::Warn, "service.scheduler", "slow-job",
+          {obs::EventField::num("id", Rec.Id),
+           obs::EventField::str("name", Rec.Name),
+           obs::EventField::num("total_us", Rec.TotalUs),
+           obs::EventField::str("trace", Rec.TracePath)});
+    Hub.recordSlowJob(std::move(Rec));
+  }
+  return R;
+}
+
+void AnalysisScheduler::noteOutcome(const JobSpec &Spec, const JobResult &R) {
+  obs::EventLog &Log = obs::EventLog::global();
+  if (!Log.enabled())
+    return;
+  const char *Event = nullptr;
+  obs::Severity Sev = obs::Severity::Warn;
+  switch (R.Status) {
+  case JobStatus::Timeout:
+    Event = "job-timeout";
+    break;
+  case JobStatus::Error:
+    Event = "job-error";
+    Sev = obs::Severity::Error;
+    break;
+  case JobStatus::NotConverged:
+    Event = "job-not-converged";
+    break;
+  case JobStatus::ParseError:
+    Event = "job-parse-error";
+    break;
+  case JobStatus::BadDomain:
+    Event = "job-bad-domain";
+    break;
+  default:
+    break;
+  }
+  if (Event)
+    Log.emit(Sev, "service.scheduler", Event,
+             {obs::EventField::num("id", R.Id),
+              obs::EventField::str("name", R.Name),
+              obs::EventField::str("error", R.Error)});
+  if (Spec.Edit && R.Stats.ComponentsReused == 0)
+    Log.emit(obs::Severity::Info, "service.scheduler", "incremental-fallback",
+             {obs::EventField::num("id", R.Id),
+              obs::EventField::str("name", R.Name)});
+}
+
+JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec,
+                                            LifecycleSample *LS) {
   // TestCrash jobs bypass both cache tiers entirely: the hook exists to
   // exercise the crash path, and crashes are not cacheable anyway.
   if (Spec.Opts.TestCrash) {
-    JobResult R = runJobIsolated(Spec, &CancelAll);
+    JobResult R = runCaptured(Spec, nullptr, nullptr, LS);
     CAI_METRIC_INC("service.jobs.completed");
     bumpStatusCounter(R.Status);
+    noteOutcome(Spec, R);
     return R;
   }
 
@@ -276,6 +445,8 @@ JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec) {
     R.Name = Spec.Name;
     R.CacheHit = true;
     R.DurationMs = 0;
+    if (LS)
+      LS->CacheHit = true;
     return R;
   }
 
@@ -284,11 +455,22 @@ JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec) {
   // else runs exactly as before.
   const bool Identified = !Spec.ProgramId.empty() || Spec.Edit;
   if (!Identified) {
-    JobResult R = runJobIsolated(Spec, &CancelAll);
+    JobResult R = runCaptured(Spec, nullptr, nullptr, LS);
     CAI_METRIC_INC("service.jobs.completed");
     bumpStatusCounter(R.Status);
-    if (jobCacheable(R.Status))
+    noteOutcome(Spec, R);
+    if (jobCacheable(R.Status)) {
+      auto WriteBegin = LS ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
       Cache.insert(FP, std::make_shared<const JobResult>(R));
+      if (LS) {
+        LS->CacheWriteUs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - WriteBegin)
+                .count());
+        LS->HasCacheWrite = true;
+      }
+    }
     return R;
   }
 
@@ -301,9 +483,10 @@ JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec) {
   }
 
   FixpointSnapshot SnapOut;
-  JobResult R = runJobIsolated(Spec, &CancelAll, SnapIn.get(), &SnapOut);
+  JobResult R = runCaptured(Spec, SnapIn.get(), &SnapOut, LS);
   CAI_METRIC_INC("service.jobs.completed");
   bumpStatusCounter(R.Status);
+  noteOutcome(Spec, R);
 
   ComponentsReused.fetch_add(R.Stats.ComponentsReused,
                              std::memory_order_relaxed);
@@ -315,11 +498,20 @@ JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec) {
     IncrementalFallbacks.fetch_add(1, std::memory_order_relaxed);
 
   if (jobCacheable(R.Status)) {
+    auto WriteBegin = LS ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point();
     Cache.insert(FP, std::make_shared<const JobResult>(R));
     if (SnapOut.Complete)
       Snapshots.insert(Spec.ProgramId, std::move(Canon), std::move(OptKey),
                        std::make_shared<const FixpointSnapshot>(
                            std::move(SnapOut)));
+    if (LS) {
+      LS->CacheWriteUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - WriteBegin)
+              .count());
+      LS->HasCacheWrite = true;
+    }
   }
   return R;
 }
@@ -333,6 +525,7 @@ void AnalysisScheduler::workerMain(unsigned Index) {
     Sh.Trace->adoptByCurrentThread();
     obs::Tracer::install(Sh.Trace.get());
   }
+  const bool Telemetry = Hub.enabled();
   for (;;) {
     JobSpec Spec;
     {
@@ -343,12 +536,45 @@ void AnalysisScheduler::workerMain(unsigned Index) {
       Spec = std::move(Queue.front());
       Queue.pop_front();
     }
-    JobResult R = executeOrServe(Spec);
+    // Lifecycle stamping (telemetry channel only): queued -> scheduled
+    // here, parsed/analyzed/cache-write inside executeOrServe, responded
+    // after the callback below.
+    LifecycleSample LS;
+    auto Dequeued = std::chrono::steady_clock::time_point();
+    if (Telemetry) {
+      Dequeued = std::chrono::steady_clock::now();
+      LS.QueueUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Dequeued - Spec.EnqueueTime)
+              .count());
+    }
+    JobResult R = executeOrServe(Spec, Telemetry ? &LS : nullptr);
+    Finished.fetch_add(1, std::memory_order_relaxed);
+    auto RespondBegin = Telemetry ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point();
     {
       std::lock_guard<std::mutex> Lock(ResultsMu);
       if (Callback)
         Callback(R);
       Results.push_back(std::move(R));
+      if (!Telemetry)
+        --Pending;
+    }
+    if (Telemetry) {
+      // Record the lifecycle sample BEFORE retiring the job from Pending,
+      // so waitIdle() (stats drain, shutdown) implies the hub has seen
+      // every finished job -- phase counts equal jobs deterministically.
+      auto Done = std::chrono::steady_clock::now();
+      LS.RespondUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Done -
+                                                                RespondBegin)
+              .count());
+      LS.TotalUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Done - Spec.EnqueueTime)
+              .count());
+      Hub.recordJob(LS, Index);
+      std::lock_guard<std::mutex> Lock(ResultsMu);
       --Pending;
     }
     IdleCv.notify_all();

@@ -36,6 +36,7 @@
 #include "service/Job.h"
 #include "service/ResultCache.h"
 #include "service/SnapshotCache.h"
+#include "service/Telemetry.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -61,6 +62,28 @@ struct SchedulerOptions {
   bool CollectTraces = false;
   /// Enable time histograms in the shard registries.
   bool Timing = false;
+  /// Record per-job lifecycle spans into the TelemetryHub (the `telemetry`
+  /// wire command / --telemetry-out).  Off by default: the telemetry-off
+  /// configuration is the BM_BatchThroughput overhead bar.  Timing lives
+  /// only on the telemetry channel; result and stats bytes are identical
+  /// either way.
+  bool Telemetry = false;
+  /// Jobs whose wall time exceeds this many milliseconds get a slow-job
+  /// ledger entry and (with ExemplarDir set) a per-job engine trace
+  /// dumped to `<ExemplarDir>/slow-job-<id>.trace.json`.  0 disables;
+  /// non-zero implies Telemetry.
+  uint64_t SlowMs = 0;
+  /// Directory for slow-job exemplar traces (created if missing).
+  std::string ExemplarDir;
+};
+
+/// Timing the isolated runner measures for the telemetry channel (only
+/// when asked -- a null out-param means no clock reads).
+struct JobPhases {
+  uint64_t ParseUs = 0;   ///< parseProgram + optional term encoding.
+  uint64_t AnalyzeUs = 0; ///< Analyzer::run.
+  bool HasParse = false;
+  bool HasAnalyze = false;
 };
 
 class AnalysisScheduler {
@@ -92,6 +115,27 @@ public:
   ResultCacheStats cacheStats() const { return Cache.stats(); }
   SnapshotCacheStats snapshotCacheStats() const { return Snapshots.stats(); }
 
+  /// The live telemetry hub (mutex-guarded; safe to read while workers
+  /// run, unlike the shard registries).
+  TelemetryHub &telemetry() { return Hub; }
+
+  /// Jobs currently waiting in the queue (no drain; the `health` probe).
+  uint64_t queueDepth() const;
+
+  /// Results produced so far, running or not (no drain).
+  uint64_t jobsFinished() const {
+    return Finished.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since construction.
+  uint64_t uptimeUs() const { return Hub.uptimeUs(); }
+
+  /// One JSON line for the `telemetry` wire command / --telemetry-out:
+  /// the hub report plus live cache hit-rate blocks.  No drain; wall
+  /// clock data, so deliberately a different channel than the
+  /// deterministic stats line.
+  std::string telemetryJsonLine();
+
   IncrementalStats incrementalStats() const {
     return {Edits.load(std::memory_order_relaxed),
             ComponentsReused.load(std::memory_order_relaxed),
@@ -119,7 +163,8 @@ public:
   static JobResult runJobIsolated(const JobSpec &Spec,
                                   const std::atomic<bool> *Cancel,
                                   const FixpointSnapshot *SnapIn = nullptr,
-                                  FixpointSnapshot *SnapOut = nullptr);
+                                  FixpointSnapshot *SnapOut = nullptr,
+                                  JobPhases *Phases = nullptr);
 
 private:
   struct Shard {
@@ -128,12 +173,23 @@ private:
   };
 
   void workerMain(unsigned Index);
-  /// Cache lookup, else runJobIsolated + cache publish.
-  JobResult executeOrServe(const JobSpec &Spec);
+  /// Cache lookup, else runJobIsolated + cache publish.  \p LS, when
+  /// non-null, receives the parse/analyze/cache-write phase timings and
+  /// the cache-hit flag (telemetry only).
+  JobResult executeOrServe(const JobSpec &Spec, LifecycleSample *LS);
+  /// runJobIsolated plus the slow-job exemplar capture wrapper.
+  JobResult runCaptured(const JobSpec &Spec, const FixpointSnapshot *SnapIn,
+                        FixpointSnapshot *SnapOut, LifecycleSample *LS);
+  /// Event-log reporting for failed/degraded outcomes.
+  void noteOutcome(const JobSpec &Spec, const JobResult &R);
 
   SchedulerOptions Opts;
   ResultCache Cache;
   SnapshotCache Snapshots;
+  TelemetryHub Hub;
+  /// Results produced (any status, hits included); read by the no-drain
+  /// health probe, so atomic rather than under ResultsMu.
+  std::atomic<uint64_t> Finished{0};
 
   /// Incremental counters (see incrementalStats()); bumped by workers, so
   /// atomic rather than under a lock.
@@ -142,7 +198,7 @@ private:
   std::atomic<uint64_t> ComponentsRecomputed{0};
   std::atomic<uint64_t> IncrementalFallbacks{0};
 
-  std::mutex QueueMu;
+  mutable std::mutex QueueMu; ///< mutable: queueDepth() is a const probe.
   std::condition_variable QueueCv;
   std::deque<JobSpec> Queue;
   bool Stopping = false;

@@ -2,6 +2,8 @@
 
 #include "service/SnapshotCache.h"
 
+#include "obs/EventLog.h"
+
 using namespace cai;
 using namespace cai::service;
 
@@ -70,8 +72,16 @@ void SnapshotCache::insert(const std::string &ProgramId,
   std::string Key = makeKey(ProgramId, CanonText);
   size_t Cost = Key.size() + CanonText.size() + OptionsKey.size() +
                 Snap->byteSize() + sizeof(Entry);
-  if (Cost > Budget)
-    return; // A single oversized snapshot would evict the whole tier.
+  if (Cost > Budget) {
+    // A single oversized snapshot would evict the whole tier.
+    if (obs::EventLog::global().enabled())
+      obs::EventLog::global().emit(
+          obs::Severity::Warn, "service.snapshot_cache", "oversized-reject",
+          {obs::EventField::str("program_id", ProgramId),
+           obs::EventField::num("bytes", static_cast<uint64_t>(Cost)),
+           obs::EventField::num("budget", static_cast<uint64_t>(Budget))});
+    return;
+  }
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Map.find(Key);
   if (It != Map.end()) {
@@ -83,6 +93,11 @@ void SnapshotCache::insert(const std::string &ProgramId,
     Entry &Victim = Lru.back();
     S.Bytes -= Victim.Cost;
     Map.erase(Victim.Key);
+    if (obs::EventLog::global().enabled())
+      obs::EventLog::global().emit(
+          obs::Severity::Info, "service.snapshot_cache", "evict",
+          {obs::EventField::num("bytes",
+                               static_cast<uint64_t>(Victim.Cost))});
     Lru.pop_back();
     ++S.Evictions;
   }

@@ -3,8 +3,9 @@
 // The service subsystem end to end at the library level: canonical
 // fingerprints, the byte-budget LRU result cache, the wire protocol, the
 // sharded scheduler (determinism across worker counts, crash isolation,
-// cooperative timeout/cancellation), and the deterministic shard merge of
-// tracers and metrics registries.
+// cooperative timeout/cancellation), the deterministic shard merge of
+// tracers and metrics registries, and the telemetry hub (lifecycle-span
+// counts, result bytes independent of telemetry, slow-job exemplars).
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,7 +20,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 using namespace cai;
@@ -465,5 +469,155 @@ TEST(ShardMerge, SchedulerTraceIsValidChromeTraceJson) {
     EXPECT_NE(E.get("ts"), nullptr);
   }
 }
+
+// --- Telemetry -----------------------------------------------------------
+
+// The paper's Figure 1 program: a dependable ~10ms analysis under
+// logical:affine,uf, used where the test needs a job slow enough to trip
+// --slow-ms=1 style thresholds without depending on testdata paths.
+const char *Fig1Program = R"(
+a1 := 0;  a2 := 0;
+b1 := 1;  b2 := F(1);
+c1 := 2;  c2 := 2;
+d1 := 3;  d2 := F(4);
+while (*) {
+  a1 := a1 + 1;        a2 := a2 + 2;
+  b1 := F(b1);         b2 := F(b2);
+  c1 := F(2*c1 - c2);  c2 := F(c2);
+  d1 := F(1 + d1);     d2 := F(d2 + 1);
+}
+assert(a2 = 2*a1);
+)";
+
+TEST(Protocol, HealthAndTelemetryCommandsParseWithoutDrainPayload) {
+  std::string Error;
+  std::optional<Request> R = parseRequest("{\"cmd\":\"health\"}", 9, &Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  EXPECT_EQ(R->Command, Request::Kind::Health);
+  R = parseRequest("{\"cmd\":\"ping\"}", 9, &Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  EXPECT_EQ(R->Command, Request::Kind::Health);
+  R = parseRequest("{\"cmd\":\"telemetry\"}", 9, &Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  EXPECT_EQ(R->Command, Request::Kind::Telemetry);
+}
+
+TEST(Protocol, HealthLineShape) {
+  std::string Line = healthToJsonLine(4, 2, 17, 123456);
+  EXPECT_EQ(Line, "{\"health\":\"ok\",\"workers\":4,\"queue_depth\":2,"
+                  "\"jobs_finished\":17,\"uptime_us\":123456}");
+}
+
+TEST(Telemetry, SchedulerReportCountsEveryJobAfterDrain) {
+  SchedulerOptions SO;
+  SO.Workers = 2;
+  SO.Telemetry = true;
+  AnalysisScheduler Scheduler(SO);
+  for (JobSpec &S : generatedBatch(6))
+    Scheduler.submit(std::move(S));
+  Scheduler.waitIdle();
+  // waitIdle() is the hub barrier: after it, every finished job has
+  // been recorded, so the live report is deterministic in its counts.
+  std::string Line = Scheduler.telemetryJsonLine();
+  std::string Error;
+  std::optional<Json> J = Json::parse(Line, &Error);
+  ASSERT_TRUE(J.has_value()) << Error << "\n" << Line;
+  EXPECT_EQ(J->get("jobs_recorded")->asInt(), 6);
+  const Json *Phases = J->get("phases");
+  ASSERT_NE(Phases, nullptr);
+  for (const char *Phase : {"queue_us", "respond_us", "total_us"}) {
+    const Json *H = Phases->get(Phase);
+    ASSERT_NE(H, nullptr) << Phase;
+    EXPECT_EQ(H->get("count")->asInt(), 6) << Phase;
+    for (const char *Field : {"count", "sum_us", "min_us", "max_us",
+                              "p50_us", "p90_us", "p99_us"})
+      ASSERT_NE(H->get(Field), nullptr) << Phase << "." << Field;
+  }
+  // Parse and analyze ran for each job (no cache hits in a fresh run).
+  EXPECT_EQ(Phases->get("parse_us")->get("count")->asInt(), 6);
+  EXPECT_EQ(Phases->get("analyze_us")->get("count")->asInt(), 6);
+  const Json *Workers = J->get("workers");
+  ASSERT_NE(Workers, nullptr);
+  EXPECT_EQ(Workers->items().size(), 2u);
+  EXPECT_EQ(Scheduler.jobsFinished(), 6u);
+  EXPECT_EQ(Scheduler.queueDepth(), 0u);
+}
+
+TEST(Telemetry, ResultBytesIdenticalWithTelemetryOnAndOff) {
+  // The determinism bar: per-request wall-clock measurement must never
+  // leak into the result channel.
+  std::vector<JobSpec> Batch = generatedBatch(8);
+  auto Run = [&](bool Telemetry) {
+    SchedulerOptions SO;
+    SO.Workers = 4;
+    SO.Telemetry = Telemetry;
+    AnalysisScheduler Scheduler(SO);
+    for (const JobSpec &S : Batch)
+      Scheduler.submit(S);
+    Scheduler.waitIdle();
+    std::vector<std::string> Lines;
+    for (const JobResult &R : Scheduler.takeResults())
+      Lines.push_back(resultToJsonLine(R));
+    std::sort(Lines.begin(), Lines.end());
+    return Lines;
+  };
+  EXPECT_EQ(Run(false), Run(true));
+}
+
+TEST(Telemetry, DisabledHubReportsDisabledAndRecordsNothing) {
+  SchedulerOptions SO; // Telemetry defaults off.
+  AnalysisScheduler Scheduler(SO);
+  for (JobSpec &S : generatedBatch(3))
+    Scheduler.submit(std::move(S));
+  Scheduler.waitIdle();
+  std::optional<Json> J = Json::parse(Scheduler.telemetryJsonLine(), nullptr);
+  ASSERT_TRUE(J.has_value());
+  EXPECT_FALSE(J->get("enabled")->asBool());
+  EXPECT_EQ(J->get("jobs_recorded")->asInt(), 0);
+  EXPECT_EQ(Scheduler.jobsFinished(), 3u); // The atomic still counts.
+}
+
+TEST(Telemetry, SlowJobDropsAPerfettoLoadableExemplar) {
+  namespace fs = std::filesystem;
+  fs::path Dir =
+      fs::temp_directory_path() / "cai-test-exemplars";
+  fs::remove_all(Dir);
+  SchedulerOptions SO;
+  SO.Workers = 1;
+  SO.SlowMs = 1; // Fig1 takes ~10ms; 10x over the threshold.
+  SO.ExemplarDir = Dir.string();
+  {
+    AnalysisScheduler Scheduler(SO);
+    JobSpec S = specOf(Fig1Program);
+    S.Id = 7;
+    S.Name = "fig1";
+    Scheduler.submit(std::move(S));
+    Scheduler.waitIdle();
+    std::optional<Json> J =
+        Json::parse(Scheduler.telemetryJsonLine(), nullptr);
+    ASSERT_TRUE(J.has_value());
+    const Json *Slow = J->get("slow_jobs");
+    ASSERT_NE(Slow, nullptr);
+    ASSERT_GE(Slow->get("total")->asInt(), 1);
+    const Json *Recent = Slow->get("recent");
+    ASSERT_NE(Recent, nullptr);
+    ASSERT_FALSE(Recent->items().empty());
+    EXPECT_EQ(Recent->items()[0].get("id")->asInt(), 7);
+    // The exemplar is a loadable Chrome trace naming the slow job's id.
+    fs::path Trace = Recent->items()[0].get("trace")->asString();
+    ASSERT_TRUE(fs::exists(Trace)) << Trace;
+    std::ifstream In(Trace);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string Error;
+    std::optional<Json> Doc = Json::parse(Buf.str(), &Error);
+    ASSERT_TRUE(Doc.has_value()) << Error;
+    const Json *Events = Doc->get("traceEvents");
+    ASSERT_NE(Events, nullptr);
+    EXPECT_FALSE(Events->items().empty());
+  }
+  fs::remove_all(Dir);
+}
+
 
 } // namespace

@@ -36,6 +36,10 @@ import statistics
 import sys
 
 
+class CalibrationError(Exception):
+    """--calibrate had no usable (positive-time) shared benchmarks."""
+
+
 def load_times(path):
     """name -> real_time, aggregate entries (mean/median/stddev) skipped."""
     with open(path) as f:
@@ -57,17 +61,32 @@ def compare(baseline, current, threshold, calibrate, out=sys.stdout):
 
     scale = 1.0
     if calibrate:
-        scale = statistics.median(current[n] / baseline[n] for n in shared
-                                  if baseline[n] > 0)
+        # A benchmark whose baseline time is 0 (clock granularity, or a
+        # corrupt file) contributes no ratio; if NONE contribute, the
+        # median is undefined and calibration is impossible -- fail with
+        # a clear message instead of a StatisticsError traceback.
+        ratios = [current[n] / baseline[n] for n in shared
+                  if baseline[n] > 0]
+        if not ratios:
+            raise CalibrationError(
+                "cannot calibrate: every shared benchmark has a zero "
+                "baseline time (corrupt or truncated baseline file?)")
+        scale = statistics.median(ratios)
         print(f"bench_diff: calibration scale {scale:.3f} "
-              f"(median current/baseline over {len(shared)} benchmarks)",
+              f"(median current/baseline over {len(ratios)} of "
+              f"{len(shared)} shared benchmarks)",
               file=out)
 
     regressed = []
     for name in shared:
         base = baseline[name] * scale
         cur = current[name]
-        ratio = cur / base if base > 0 else float("inf")
+        if base <= 0:
+            # No meaningful ratio against a zero baseline: report it but
+            # never gate on it (mirrors the new/retired policy).
+            print(f"  {name:<50} (zero baseline, not gated)", file=out)
+            continue
+        ratio = cur / base
         status = "ok"
         if ratio > 1.0 + threshold:
             status = "REGRESSED"
@@ -113,6 +132,22 @@ def self_test():
              enumerate(baseline.items())}
     assert compare(baseline, noisy, 0.20, False, out=io.StringIO()) == []
 
+    # (e) Zero baseline times: a single zero-baseline benchmark is
+    # reported but never gates (no infinite-regression false positive),
+    # while an all-zero baseline makes --calibrate fail with a clear
+    # CalibrationError instead of a StatisticsError traceback.
+    one_zero = dict(baseline)
+    one_zero[names[2]] = 0.0
+    assert compare(one_zero, baseline, 0.20, False, out=io.StringIO()) == []
+    assert compare(one_zero, baseline, 0.20, True, out=io.StringIO()) == []
+    all_zero = {n: 0.0 for n in names}
+    try:
+        compare(all_zero, baseline, 0.20, True, out=io.StringIO())
+    except CalibrationError:
+        pass
+    else:
+        raise AssertionError("all-zero baseline must fail calibration")
+
     print("bench_diff: self-test passed")
     return 0
 
@@ -137,8 +172,13 @@ def main():
     if not args.baseline or not args.current:
         ap.error("baseline and current JSON files are required")
 
-    regressed = compare(load_times(args.baseline), load_times(args.current),
-                        args.threshold, args.calibrate)
+    try:
+        regressed = compare(load_times(args.baseline),
+                            load_times(args.current),
+                            args.threshold, args.calibrate)
+    except CalibrationError as e:
+        print(f"bench_diff: ERROR -- {e}", file=sys.stderr)
+        return 2
     if regressed:
         print(f"bench_diff: FAIL -- {len(regressed)} benchmark(s) regressed "
               f"more than {args.threshold * 100:.0f}%: {', '.join(regressed)}")

@@ -34,6 +34,9 @@
 ///   --metrics-out=FILE
 ///                     write the metrics registry as nested JSON; also
 ///                     enables the per-phase time histograms
+///   --metrics-format=json|prom
+///                     --metrics-out format: nested JSON (default) or
+///                     Prometheus text exposition
 ///   --explain[=SEL]   record precision-loss provenance and, for each
 ///                     failed assertion (or just the one whose label or
 ///                     node number matches SEL), print the exact lattice
@@ -95,6 +98,7 @@ void usage() {
       "                   [--encode=comm|arity] [--widening-delay=N]\n"
       "                   [--timeout-ms=N] [--poly-max-rows=N] [--no-memo]\n"
       "                   [--trace-out=FILE] [--metrics-out=FILE]\n"
+      "                   [--metrics-format=json|prom]\n"
       "                   [--explain[=<label|node>]]\n"
       "                   [--check[=oracle|contracts|all]] [--check-traces=N]\n"
       "                   [--check-seed=N] [--test-break-join[=N]]\n"
@@ -117,6 +121,7 @@ int main(int Argc, char **Argv) {
   std::string Path;
   std::string TraceOut;
   std::string MetricsOut;
+  std::string MetricsFormat = "json";
   std::string ExplainSel;
   bool ShowInvariants = false;
   bool ShowStats = false;
@@ -147,6 +152,13 @@ int main(int Argc, char **Argv) {
       MetricsOut = Arg.substr(14);
       if (MetricsOut.empty()) {
         std::fprintf(stderr, "error: --metrics-out expects a file name\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--metrics-format=", 0) == 0) {
+      MetricsFormat = Arg.substr(17);
+      if (MetricsFormat != "json" && MetricsFormat != "prom") {
+        std::fprintf(stderr,
+                     "error: --metrics-format expects 'json' or 'prom'\n");
         return 2;
       }
     } else if (Arg == "--explain") {
@@ -335,7 +347,10 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: cannot write '%s'\n", MetricsOut.c_str());
       return 2;
     }
-    obs::MetricsRegistry::global().writeJson(MOut);
+    if (MetricsFormat == "prom")
+      obs::MetricsRegistry::global().writePrometheus(MOut);
+    else
+      obs::MetricsRegistry::global().writeJson(MOut);
   }
 
   if (R.Cancelled) {

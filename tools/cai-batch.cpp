@@ -30,7 +30,17 @@
 ///                     the warm cache deterministically; default 1)
 ///   --stats           print a summary JSON line to stderr at the end
 ///   --trace-out=FILE  merged Chrome trace across worker shards
-///   --metrics-out=FILE merged metrics JSON (shard sums) across shards
+///   --metrics-out=FILE merged metrics (shard sums) across shards
+///   --metrics-format=json|prom  --metrics-out format (default json)
+///
+/// Telemetry (wall-clock channel; stdout result bytes are unaffected):
+///   --telemetry-out=FILE  enable lifecycle telemetry, write the report
+///                     JSON line (per-phase latency percentiles, queue
+///                     depth, worker utilization, cache hit rates, slow
+///                     jobs) to FILE ('-' for stderr)
+///   --slow-ms=N       jobs slower than N ms get an exemplar engine trace
+///   --exemplar-dir=DIR  where slow-job traces go (Perfetto-loadable)
+///   --event-log=FILE  append the structured JSON-lines event log
 ///
 /// Output lines carry no timing and fields in a fixed order, so two runs
 /// over the same inputs are byte-identical regardless of --jobs (the
@@ -46,6 +56,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interp/ProgramGen.h"
+#include "obs/EventLog.h"
 #include "obs/Metrics.h"
 #include "service/Protocol.h"
 #include "service/Scheduler.h"
@@ -76,6 +87,10 @@ void usage() {
       "  --repeat=N         run the job list N times (warm-cache passes)\n"
       "  --stats            summary JSON line on stderr\n"
       "  --trace-out=FILE   merged Chrome trace    --metrics-out=FILE\n"
+      "  --metrics-format=json|prom   --metrics-out format\n"
+      "  --telemetry-out=FILE  lifecycle latency report ('-' = stderr)\n"
+      "  --slow-ms=N        exemplar traces for jobs slower than N ms\n"
+      "  --exemplar-dir=DIR --event-log=FILE\n"
       "exit codes: 0 all verified, 1 some job failed, 2 usage/I/O error\n");
 }
 
@@ -110,12 +125,17 @@ int main(int Argc, char **Argv) {
   std::string Manifest;
   std::string TraceOut;
   std::string MetricsOut;
+  std::string MetricsFormat = "json";
+  std::string TelemetryOut;
+  std::string ExemplarDir;
+  std::string EventLogPath;
   JobOptions Defaults;
   uint64_t Gen = 0;
   uint64_t GenSeed = 1;
   uint64_t Workers = 1;
   uint64_t CacheBytes = 64ull << 20;
   uint64_t Repeat = 1;
+  uint64_t SlowMs = 0;
   bool ShowStats = false;
 
   for (int I = 1; I < Argc; ++I) {
@@ -154,6 +174,22 @@ int main(int Argc, char **Argv) {
       TraceOut = Arg.substr(12);
     } else if (Arg.rfind("--metrics-out=", 0) == 0) {
       MetricsOut = Arg.substr(14);
+    } else if (Arg.rfind("--metrics-format=", 0) == 0) {
+      MetricsFormat = Arg.substr(17);
+      if (MetricsFormat != "json" && MetricsFormat != "prom") {
+        std::fprintf(stderr,
+                     "error: --metrics-format expects 'json' or 'prom'\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--telemetry-out=", 0) == 0) {
+      TelemetryOut = Arg.substr(16);
+    } else if (Arg.rfind("--slow-ms=", 0) == 0) {
+      if (!parseCount(Arg, 10, SlowMs))
+        return 2;
+    } else if (Arg.rfind("--exemplar-dir=", 0) == 0) {
+      ExemplarDir = Arg.substr(15);
+    } else if (Arg.rfind("--event-log=", 0) == 0) {
+      EventLogPath = Arg.substr(12);
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -249,6 +285,19 @@ int main(int Argc, char **Argv) {
   SO.Workers = static_cast<unsigned>(Workers);
   SO.CacheBytes = CacheBytes;
   SO.CollectTraces = !TraceOut.empty();
+  SO.Telemetry = !TelemetryOut.empty() || SlowMs != 0;
+  SO.SlowMs = SlowMs;
+  SO.ExemplarDir = ExemplarDir;
+
+  std::ofstream EventLogOut;
+  if (!EventLogPath.empty()) {
+    EventLogOut.open(EventLogPath, std::ios::app);
+    if (!EventLogOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", EventLogPath.c_str());
+      return 2;
+    }
+    obs::EventLog::global().open(&EventLogOut);
+  }
 
   uint64_t JobsCompleted = 0;
   bool AllVerified = true;
@@ -296,9 +345,27 @@ int main(int Argc, char **Argv) {
       }
       obs::MetricsRegistry Merged;
       Scheduler.mergeMetricsInto(Merged);
-      Merged.writeJson(MOut);
+      if (MetricsFormat == "prom")
+        Merged.writePrometheus(MOut);
+      else
+        Merged.writeJson(MOut);
+    }
+    if (!TelemetryOut.empty()) {
+      std::string Line = Scheduler.telemetryJsonLine();
+      if (TelemetryOut == "-") {
+        std::fprintf(stderr, "%s\n", Line.c_str());
+      } else {
+        std::ofstream TeleOut(TelemetryOut);
+        if (!TeleOut) {
+          std::fprintf(stderr, "error: cannot write '%s'\n",
+                       TelemetryOut.c_str());
+          return 2;
+        }
+        TeleOut << Line << "\n";
+      }
     }
   }
 
+  obs::EventLog::global().open(nullptr); // Before EventLogOut destructs.
   return AllVerified ? 0 : 1;
 }

@@ -13,6 +13,10 @@
 ///                                        fixpoint where the CFG is
 ///                                        unchanged (same result bytes)
 ///   {"cmd":"stats"}                      drain, then report statistics
+///   {"cmd":"health"} (or "ping")         liveness probe -- NO drain
+///   {"cmd":"telemetry"}                  live latency/utilization report
+///                                        -- NO drain, wall-clock data on
+///                                        its own channel
 ///   {"cmd":"shutdown"}                   drain outstanding jobs and exit
 ///
 /// Responses stream as jobs complete (match them to requests by "id"; with
@@ -21,11 +25,23 @@
 /// going; EOF behaves like shutdown.
 ///
 ///   cai-serve [--jobs=N] [--cache-bytes=N] [--trace-out=FILE]
+///             [--no-telemetry] [--slow-ms=N] [--exemplar-dir=DIR]
+///             [--event-log=FILE] [--metrics-out=FILE]
+///             [--metrics-format=json|prom]
+///
+/// Telemetry is ON by default (per-job lifecycle spans feed the
+/// `telemetry` command); it never touches the deterministic result/stats
+/// bytes.  --slow-ms=N dumps a per-job engine trace for any job slower
+/// than N ms into --exemplar-dir (Perfetto-loadable).  --event-log
+/// appends the structured JSON-lines event log (evictions, fallbacks,
+/// failures).  --metrics-out writes merged metrics at shutdown, as
+/// nested JSON or Prometheus text exposition per --metrics-format.
 ///
 /// Exit code: 0 on clean shutdown/EOF, 2 on usage errors.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/EventLog.h"
 #include "service/Protocol.h"
 #include "service/Scheduler.h"
 
@@ -46,6 +62,10 @@ void usage() {
   std::fprintf(stderr,
                "usage: cai-serve [--jobs=N] [--cache-bytes=N] "
                "[--trace-out=FILE]\n"
+               "                 [--no-telemetry] [--slow-ms=N] "
+               "[--exemplar-dir=DIR]\n"
+               "                 [--event-log=FILE] [--metrics-out=FILE] "
+               "[--metrics-format=json|prom]\n"
                "reads JSON-lines requests on stdin, writes JSON-lines "
                "responses on stdout\n");
 }
@@ -73,7 +93,13 @@ void printBadRequest(const std::string &Error) {
 int main(int Argc, char **Argv) {
   uint64_t Workers = 1;
   uint64_t CacheBytes = 64ull << 20;
+  uint64_t SlowMs = 0;
+  bool Telemetry = true;
   std::string TraceOut;
+  std::string ExemplarDir;
+  std::string EventLogPath;
+  std::string MetricsOut;
+  std::string MetricsFormat = "json";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -97,6 +123,24 @@ int main(int Argc, char **Argv) {
         return 2;
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceOut = Arg.substr(12);
+    } else if (Arg == "--no-telemetry") {
+      Telemetry = false;
+    } else if (Arg.rfind("--slow-ms=", 0) == 0) {
+      if (!Number(10, SlowMs))
+        return 2;
+    } else if (Arg.rfind("--exemplar-dir=", 0) == 0) {
+      ExemplarDir = Arg.substr(15);
+    } else if (Arg.rfind("--event-log=", 0) == 0) {
+      EventLogPath = Arg.substr(12);
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOut = Arg.substr(14);
+    } else if (Arg.rfind("--metrics-format=", 0) == 0) {
+      MetricsFormat = Arg.substr(17);
+      if (MetricsFormat != "json" && MetricsFormat != "prom") {
+        std::fprintf(stderr,
+                     "error: --metrics-format expects 'json' or 'prom'\n");
+        return 2;
+      }
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -111,6 +155,19 @@ int main(int Argc, char **Argv) {
   SO.Workers = static_cast<unsigned>(Workers);
   SO.CacheBytes = CacheBytes;
   SO.CollectTraces = !TraceOut.empty();
+  SO.Telemetry = Telemetry;
+  SO.SlowMs = SlowMs;
+  SO.ExemplarDir = ExemplarDir;
+
+  std::ofstream EventLogOut;
+  if (!EventLogPath.empty()) {
+    EventLogOut.open(EventLogPath, std::ios::app);
+    if (!EventLogOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", EventLogPath.c_str());
+      return 2;
+    }
+    obs::EventLog::global().open(&EventLogOut);
+  }
 
   AnalysisScheduler Scheduler(SO);
   std::atomic<uint64_t> JobsCompleted{0};
@@ -131,6 +188,22 @@ int main(int Argc, char **Argv) {
     }
     if (Req->Command == Request::Kind::Shutdown)
       break;
+    if (Req->Command == Request::Kind::Health) {
+      // Deliberately no drain: a liveness probe must not perturb
+      // scheduling (stats, by contrast, drains for determinism).
+      printLine(healthToJsonLine(Scheduler.numWorkers(),
+                                 Scheduler.queueDepth(),
+                                 Scheduler.jobsFinished(),
+                                 Scheduler.uptimeUs()));
+      continue;
+    }
+    if (Req->Command == Request::Kind::Telemetry) {
+      // No drain either: the hub is mutex-guarded, so a live snapshot is
+      // safe while workers are mid-job.  Wall-clock data only -- this
+      // line is a different channel than the deterministic stats line.
+      printLine(Scheduler.telemetryJsonLine());
+      continue;
+    }
     if (Req->Command == Request::Kind::Stats) {
       // Stats describe a quiesced scheduler: drain first so the numbers
       // are complete (and deterministic for the protocol test).
@@ -169,5 +242,19 @@ int main(int Argc, char **Argv) {
     }
     Scheduler.writeMergedTrace(TOut);
   }
+  if (!MetricsOut.empty()) {
+    std::ofstream MOut(MetricsOut);
+    if (!MOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", MetricsOut.c_str());
+      return 2;
+    }
+    obs::MetricsRegistry Merged;
+    Scheduler.mergeMetricsInto(Merged);
+    if (MetricsFormat == "prom")
+      Merged.writePrometheus(MOut);
+    else
+      Merged.writeJson(MOut);
+  }
+  obs::EventLog::global().open(nullptr); // Before EventLogOut destructs.
   return 0;
 }

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Render a cai telemetry report as human-readable text.
+
+    cai_report.py telemetry.json        from a file (cai-batch --telemetry-out)
+    cai_report.py -                     from stdin (pipe a `telemetry` reply)
+
+The input is one JSON object as produced by the cai-serve `telemetry`
+command or `cai-batch --telemetry-out` -- per-phase latency histograms
+(p50/p90/p99), queue-depth distribution, per-worker utilization, cache
+hit rates, and recent slow-job exemplars.  If the input holds several
+JSON lines (e.g. a captured cai-serve transcript), the last line with
+`"telemetry":true` is used.
+
+Exit code: 0 on success, 2 on unreadable/invalid input.
+"""
+
+import json
+import sys
+
+
+def fmt_us(us):
+    """Microseconds, scaled to the most readable unit."""
+    us = int(us)
+    if us < 1000:
+        return f"{us}us"
+    if us < 1000000:
+        return f"{us / 1000.0:.1f}ms"
+    return f"{us / 1000000.0:.2f}s"
+
+
+def pct(permille):
+    return f"{int(permille) / 10.0:.1f}%"
+
+
+def load_report(path):
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as f:
+            text = f.read()
+    report = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(obj, dict) and obj.get("telemetry") is True:
+            report = obj
+    if report is None:
+        # Maybe the whole input is one (pretty-printed) object.
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if isinstance(obj, dict) and obj.get("telemetry") is True:
+            report = obj
+    return report
+
+
+PHASE_ORDER = [
+    ("queue_us", "queue wait"),
+    ("parse_us", "parse"),
+    ("analyze_us", "analyze"),
+    ("cache_write_us", "cache write"),
+    ("respond_us", "respond"),
+    ("total_us", "total"),
+]
+
+
+def render(rep, out=sys.stdout):
+    jobs = rep.get("jobs_recorded", 0)
+    print(f"cai telemetry report -- {jobs} job(s), "
+          f"uptime {fmt_us(rep.get('uptime_us', 0))}", file=out)
+
+    print("\nlifecycle phases:", file=out)
+    print(f"  {'phase':<12} {'count':>6} {'p50':>9} {'p90':>9} "
+          f"{'p99':>9} {'max':>9}", file=out)
+    phases = rep.get("phases", {})
+    for key, label in PHASE_ORDER:
+        h = phases.get(key)
+        if not h:
+            continue
+        print(f"  {label:<12} {h['count']:>6} {fmt_us(h['p50_us']):>9} "
+              f"{fmt_us(h['p90_us']):>9} {fmt_us(h['p99_us']):>9} "
+              f"{fmt_us(h['max_us']):>9}", file=out)
+
+    depth = rep.get("queue_depth")
+    if depth:
+        print(f"\nqueue depth: p50 {depth['p50']}  p90 {depth['p90']}  "
+              f"p99 {depth['p99']}  peak {depth['peak']}  "
+              f"({depth['samples']} samples)", file=out)
+
+    workers = rep.get("workers", [])
+    if workers:
+        print("\nworker utilization:", file=out)
+        for w in workers:
+            bar = "#" * (int(w["utilization_permille"]) // 25)
+            print(f"  worker {w['worker']:<3} {pct(w['utilization_permille']):>6} "
+                  f"busy {fmt_us(w['busy_us']):>9}  {bar}", file=out)
+
+    print("\ncaches:", file=out)
+    for key, label in (("result_cache", "result"), ("snapshot_cache", "snapshot")):
+        c = rep.get(key)
+        if not c:
+            continue
+        lookups = c["hits"] + c["misses"]
+        print(f"  {label:<9} {c['hits']}/{lookups} hits "
+              f"({pct(c['hit_rate_permille'])})", file=out)
+
+    slow = rep.get("slow_jobs", {})
+    if slow.get("total", 0):
+        print(f"\nslow jobs: {slow['total']} total; recent exemplars:",
+              file=out)
+        for s in slow.get("recent", []):
+            trace = f"  trace {s['trace']}" if s.get("trace") else ""
+            print(f"  #{s['id']} {s['name']} {fmt_us(s['total_us'])}{trace}",
+                  file=out)
+    else:
+        print("\nslow jobs: none", file=out)
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 0 if len(sys.argv) == 2 else 2
+    path = sys.argv[1]
+    try:
+        rep = load_report(path)
+    except OSError as e:
+        print(f"cai_report: cannot read '{path}': {e}", file=sys.stderr)
+        return 2
+    if rep is None:
+        print(f"cai_report: no telemetry object found in '{path}' "
+              "(expected a JSON line with \"telemetry\":true)",
+              file=sys.stderr)
+        return 2
+    render(rep)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

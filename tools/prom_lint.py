@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (0.0.4) file as emitted by
+MetricsRegistry::writePrometheus (--metrics-format=prom).
+
+    prom_lint.py metrics.prom     (or '-' for stdin)
+
+Checks, per metric family:
+  - every sample is preceded by matching # HELP and # TYPE lines
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - TYPE is one of counter/gauge/histogram
+  - sample values parse as numbers (no NaN from integer-only emitters)
+  - histograms: bucket `le` values are sorted and counts are cumulative
+    (non-decreasing), the final bucket is le="+Inf", its count equals
+    the `_count` sample, and `_sum`/`_count` are present
+
+Exit code: 0 when clean, 1 on lint errors, 2 on unreadable input.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+
+def base_family(name):
+    """Strip histogram sample suffixes down to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(lines):
+    errors = []
+    helps = {}     # family -> help text
+    types = {}     # family -> type
+    buckets = {}   # family -> list of (le, count)
+    counts = {}    # family -> _count value
+    sums = set()   # families with a _sum sample
+
+    def err(lineno, msg):
+        errors.append(f"line {lineno}: {msg}")
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3].strip():
+                err(lineno, "HELP line needs a name and non-empty text")
+                continue
+            helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                err(lineno, "TYPE line needs a name and a type")
+                continue
+            if parts[3] not in ("counter", "gauge", "histogram"):
+                err(lineno, f"unknown TYPE '{parts[3]}' for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # Other comments are legal.
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(lineno, f"unparsable sample line: {line!r}")
+            continue
+        name, labels, value = m.group("name"), m.group("labels"), m.group("value")
+        family = base_family(name)
+        if not NAME_RE.match(name):
+            err(lineno, f"bad metric name '{name}'")
+        if family not in helps:
+            err(lineno, f"sample '{name}' has no preceding # HELP {family}")
+        if family not in types:
+            err(lineno, f"sample '{name}' has no preceding # TYPE {family}")
+        try:
+            fvalue = float(value)
+        except ValueError:
+            err(lineno, f"sample '{name}' value '{value}' is not a number")
+            continue
+
+        parsed_labels = {}
+        if labels:
+            for part in labels.split(","):
+                lm = LABEL_RE.match(part)
+                if not lm:
+                    err(lineno, f"bad label '{part}' on '{name}'")
+                    continue
+                parsed_labels[lm.group("key")] = lm.group("val")
+
+        if name.endswith("_bucket"):
+            if types.get(family) != "histogram":
+                err(lineno, f"'{name}' bucket on non-histogram family")
+            le = parsed_labels.get("le")
+            if le is None:
+                err(lineno, f"'{name}' bucket missing le label")
+            else:
+                buckets.setdefault(family, []).append((lineno, le, fvalue))
+        elif name.endswith("_sum") and types.get(family) == "histogram":
+            sums.add(family)
+        elif name.endswith("_count") and types.get(family) == "histogram":
+            counts[family] = (lineno, fvalue)
+
+    # Histogram shape checks.
+    for family, bs in buckets.items():
+        prev_le = None
+        prev_count = None
+        for lineno, le, count in bs:
+            le_num = float("inf") if le == "+Inf" else float(le)
+            if prev_le is not None and le_num <= prev_le:
+                err(lineno, f"{family}_bucket le=\"{le}\" not strictly "
+                            "increasing")
+            if prev_count is not None and count < prev_count:
+                err(lineno, f"{family}_bucket le=\"{le}\" count {count} "
+                            "not cumulative")
+            prev_le, prev_count = le_num, count
+        last_lineno, last_le, last_count = bs[-1]
+        if last_le != "+Inf":
+            err(last_lineno, f"{family}_bucket series does not end at "
+                             "le=\"+Inf\"")
+        if family not in counts:
+            err(last_lineno, f"histogram {family} missing _count sample")
+        elif counts[family][1] != last_count:
+            err(counts[family][0],
+                f"{family}_count {counts[family][1]} != +Inf bucket "
+                f"{last_count}")
+        if family not in sums:
+            err(last_lineno, f"histogram {family} missing _sum sample")
+
+    for family in types:
+        if family not in helps:
+            errors.append(f"family {family}: TYPE without HELP")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 0 if len(sys.argv) == 2 else 2
+    path = sys.argv[1]
+    try:
+        if path == "-":
+            lines = sys.stdin.readlines()
+        else:
+            with open(path) as f:
+                lines = f.readlines()
+    except OSError as e:
+        print(f"prom_lint: cannot read '{path}': {e}", file=sys.stderr)
+        return 2
+    errors = lint(lines)
+    if errors:
+        for e in errors:
+            print(f"prom_lint: {e}", file=sys.stderr)
+        print(f"prom_lint: FAIL -- {len(errors)} error(s) in {path}",
+              file=sys.stderr)
+        return 1
+    samples = sum(1 for l in lines if l.strip() and not l.startswith("#"))
+    print(f"prom_lint: PASS -- {samples} sample(s) clean in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
