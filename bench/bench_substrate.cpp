@@ -53,6 +53,50 @@ void BM_BigIntDivide(benchmark::State &State) {
   }
 }
 
+void BM_BigIntAddMixed(benchmark::State &State) {
+  // Additions whose operands straddle a representation tier: range(0) is
+  // the operand width in bits (62 -> pure int64 fast path, 120 -> the
+  // inline __int128 middle tier, 200 -> heap limbs).  The three rungs
+  // price each tier of the same op.
+  int Bits = static_cast<int>(State.range(0));
+  BigInt A = BigInt::pow(BigInt(2), Bits) - BigInt(12345);
+  BigInt B = BigInt::pow(BigInt(2), Bits - 1) + BigInt(987);
+  for (auto _ : State) {
+    BigInt C = A + B;
+    BigInt D = C - A;
+    benchmark::DoNotOptimize(C);
+    benchmark::DoNotOptimize(D);
+  }
+}
+
+void BM_BigIntMul128(benchmark::State &State) {
+  // Products whose result lands at range(0) bits: 60 stays int64, 120
+  // exercises the I128 tier (int64 operands, 128-bit result), 250 forces
+  // limb multiplication.  The 120 rung is the one the tiered
+  // representation exists for -- simplex pivot products overflow int64
+  // constantly but almost never exceed 2^127.
+  int Bits = static_cast<int>(State.range(0));
+  BigInt A = BigInt::pow(BigInt(2), Bits / 2) - BigInt(3);
+  BigInt B = BigInt::pow(BigInt(2), Bits - Bits / 2) - BigInt(5);
+  for (auto _ : State) {
+    BigInt C = A * B;
+    benchmark::DoNotOptimize(C);
+  }
+}
+
+void BM_RationalNormalize(benchmark::State &State) {
+  // Construction-time normalization (gcd + two divisions) with component
+  // widths at range(0) bits, straddling the same tier ladder.  This is
+  // the fixed cost of every Rational born in a pivot row operation.
+  int Bits = static_cast<int>(State.range(0));
+  BigInt N = BigInt::pow(BigInt(3), Bits / 2) * BigInt(6);
+  BigInt D = BigInt::pow(BigInt(2), Bits) - BigInt(1);
+  for (auto _ : State) {
+    Rational R(N, D);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
 void BM_RationalReduce(benchmark::State &State) {
   // Rational normalization (gcd) on growing operands: the hot loop of
   // every RREF pivot.
@@ -170,6 +214,10 @@ void BM_ConvexHull(benchmark::State &State) {
 
 BENCHMARK(BM_BigIntMultiply)->RangeMultiplier(4)->Range(1, 256);
 BENCHMARK(BM_BigIntDivide)->RangeMultiplier(4)->Range(1, 64);
+// Tier-ladder rungs: int64 / inline __int128 / heap limbs.
+BENCHMARK(BM_BigIntAddMixed)->Arg(62)->Arg(120)->Arg(200);
+BENCHMARK(BM_BigIntMul128)->Arg(60)->Arg(120)->Arg(250);
+BENCHMARK(BM_RationalNormalize)->Arg(40)->Arg(100)->Arg(180);
 BENCHMARK(BM_RationalReduce)->RangeMultiplier(4)->Range(4, 1024);
 BENCHMARK(BM_AffineHullJoin)->RangeMultiplier(2)->Range(4, 32)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SimplexFeasibility)->RangeMultiplier(2)->Range(2, 16)->Unit(benchmark::kMicrosecond);

@@ -34,7 +34,7 @@ void AffineDomain::Env::addIndeterminates(const TermContext &Ctx,
     addIndeterminates(Ctx, A);
 }
 
-std::optional<std::vector<Rational>> AffineDomain::rowOf(const Atom &A,
+std::optional<LinRow<Rational>> AffineDomain::rowOf(const Atom &A,
                                                          const Env &Env) const {
   if (A.predicate() != context().eqSymbol())
     return std::nullopt;
@@ -43,7 +43,7 @@ std::optional<std::vector<Rational>> AffineDomain::rowOf(const Atom &A,
   if (!Lhs || !Rhs)
     return std::nullopt;
   LinearExpr Diff = *Lhs - *Rhs;
-  std::vector<Rational> Row(Env.Columns.size() + 1);
+  LinRow<Rational> Row(Env.Columns.size() + 1);
   for (const auto &[T, C] : Diff.terms()) {
     auto It = Env.Index.find(T);
     if (It == Env.Index.end())
@@ -60,7 +60,7 @@ AffineSystem<Rational> AffineDomain::toSystem(const Conjunction &E,
   if (E.isBottom())
     return AffineSystem<Rational>::inconsistent(Env.Columns.size());
   for (const Atom &A : E.atoms())
-    if (std::optional<std::vector<Rational>> Row = rowOf(A, Env))
+    if (std::optional<LinRow<Rational>> Row = rowOf(A, Env))
       S.addRow(std::move(*Row));
   return S;
 }
@@ -71,7 +71,7 @@ Conjunction AffineDomain::fromSystem(const AffineSystem<Rational> &S,
     return Conjunction::bottom();
   TermContext &Ctx = context();
   Conjunction Out;
-  for (const std::vector<Rational> &Row : S.rows()) {
+  for (const LinRow<Rational> &Row : S.rows()) {
     LinearExpr Lhs;
     for (size_t C = 0; C < Env.Columns.size(); ++C)
       if (!Row[C].isZero())
@@ -130,7 +130,7 @@ bool AffineDomain::entails(const Conjunction &E, const Atom &A) const {
   Env Env;
   Env.addIndeterminates(context(), E);
   Env.addIndeterminates(context(), A);
-  std::optional<std::vector<Rational>> Row = rowOf(A, Env);
+  std::optional<LinRow<Rational>> Row = rowOf(A, Env);
   if (!Row)
     return false; // Not a linear equality: not expressible here.
   return toSystem(E, Env).entails(std::move(*Row));
@@ -154,10 +154,9 @@ AffineDomain::impliedVarEqualities(const Conjunction &E) const {
   AffineSystem<Rational> S = toSystem(E, Env);
   if (S.isInconsistent())
     return Out;
-  std::vector<std::vector<Rational>> Reps = S.varRepresentatives();
+  std::vector<LinRow<Rational>> Reps = S.varRepresentatives();
   // Group variable columns with identical representatives.
-  std::map<std::vector<Rational>, Term,
-           std::less<std::vector<Rational>>>
+  std::map<LinRow<Rational>, Term, std::less<LinRow<Rational>>>
       Leader;
   for (size_t C = 0; C < Env.Columns.size(); ++C) {
     if (!Env.Columns[C]->isVariable())
@@ -198,7 +197,7 @@ AffineDomain::alternate(const Conjunction &E, Term Var,
         break;
       }
   }
-  std::optional<std::vector<Rational>> Row = S.solveFor(VarIt->second, Mask);
+  std::optional<LinRow<Rational>> Row = S.solveFor(VarIt->second, Mask);
   if (!Row)
     return std::nullopt;
   LinearExpr Expr((*Row)[Env.Columns.size()]);

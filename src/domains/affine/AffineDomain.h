@@ -65,7 +65,7 @@ private:
                          const Env &Env) const;
   /// Converts atom lhs = rhs into a row over \p Env; nullopt when the atom
   /// is not a linear equality (dropped: sound over-approximation).
-  std::optional<std::vector<Rational>> rowOf(const Atom &A,
+  std::optional<LinRow<Rational>> rowOf(const Atom &A,
                                              const Env &Env) const;
 };
 

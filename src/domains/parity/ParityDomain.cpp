@@ -79,7 +79,7 @@ ParityDomain::State ParityDomain::toState(const Conjunction &E,
   auto Mod2Row = [&](const LinearExpr &L, bool Odd) {
     // even(L) with L = sum a_i x_i + c becomes
     // sum (a_i mod 2) x_i = c mod 2 over GF(2); odd flips the constant.
-    std::vector<GF2> Row(N + 1);
+    LinRow<GF2> Row(N + 1);
     for (const auto &[Col, C] : L.terms())
       Row[Env.Index.at(Col)] += GF2(IsOddInt(C));
     bool CBit = IsOddInt(L.constant());
@@ -94,7 +94,7 @@ ParityDomain::State ParityDomain::toState(const Conjunction &E,
       if (!Lhs || !Rhs)
         continue;
       LinearExpr Diff = *Lhs - *Rhs;
-      std::vector<Rational> Row(N + 1);
+      LinRow<Rational> Row(N + 1);
       for (const auto &[Col, C] : Diff.terms())
         Row[Env.Index.at(Col)] = C;
       Row[N] = -Diff.constant();
@@ -120,7 +120,7 @@ Conjunction ParityDomain::fromState(const State &S, const Env &Env) const {
     return Conjunction::bottom();
   TermContext &Ctx = context();
   Conjunction Out;
-  for (const std::vector<Rational> &Row : S.Exact.rows()) {
+  for (const LinRow<Rational> &Row : S.Exact.rows()) {
     LinearExpr Lhs;
     for (size_t C = 0; C < Env.Columns.size(); ++C)
       if (!Row[C].isZero())
@@ -132,7 +132,7 @@ Conjunction ParityDomain::fromState(const State &S, const Env &Env) const {
     Rhs = Rhs.scaled(Scale);
     Out.add(Atom::mkEq(Ctx, Lhs.toTerm(Ctx), Rhs.toTerm(Ctx)));
   }
-  for (const std::vector<GF2> &Row : S.Mod2.rows()) {
+  for (const LinRow<GF2> &Row : S.Mod2.rows()) {
     LinearExpr L;
     for (size_t C = 0; C < Env.Columns.size(); ++C)
       if (Row[C].isOne())
@@ -196,7 +196,7 @@ bool ParityDomain::entails(const Conjunction &E, const Atom &A) const {
     if (!Lhs || !Rhs)
       return false;
     LinearExpr Diff = *Lhs - *Rhs;
-    std::vector<Rational> Row(Env.Columns.size() + 1);
+    LinRow<Rational> Row(Env.Columns.size() + 1);
     for (const auto &[Col, C] : Diff.terms())
       Row[Env.Index.at(Col)] = C;
     Row[Env.Columns.size()] = -Diff.constant();
@@ -206,7 +206,7 @@ bool ParityDomain::entails(const Conjunction &E, const Atom &A) const {
     std::optional<LinearExpr> L = linearOf(A.args()[0], Env);
     if (!L || !isIntegral(*L))
       return false;
-    std::vector<GF2> Row(Env.Columns.size() + 1);
+    LinRow<GF2> Row(Env.Columns.size() + 1);
     for (const auto &[Col, C] : L->terms())
       Row[Env.Index.at(Col)] += GF2(!(C.numerator() % BigInt(2)).isZero());
     bool CBit = !(L->constant().numerator() % BigInt(2)).isZero();
@@ -234,8 +234,8 @@ ParityDomain::impliedVarEqualities(const Conjunction &E) const {
   State S = toState(E, Env);
   if (S.Exact.isInconsistent())
     return Out;
-  std::vector<std::vector<Rational>> Reps = S.Exact.varRepresentatives();
-  std::map<std::vector<Rational>, Term> Leader;
+  std::vector<LinRow<Rational>> Reps = S.Exact.varRepresentatives();
+  std::map<LinRow<Rational>, Term> Leader;
   for (size_t C = 0; C < Env.Columns.size(); ++C) {
     if (!Env.Columns[C]->isVariable())
       continue;
@@ -272,7 +272,7 @@ ParityDomain::alternate(const Conjunction &E, Term Var,
         break;
       }
   }
-  std::optional<std::vector<Rational>> Row =
+  std::optional<LinRow<Rational>> Row =
       S.Exact.solveFor(VarIt->second, Mask);
   if (!Row)
     return std::nullopt;

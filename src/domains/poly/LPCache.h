@@ -40,7 +40,7 @@ std::vector<LinearConstraint> canonicalRows(std::vector<LinearConstraint> Rows);
 /// the objective row.
 struct LPKey {
   std::vector<LinearConstraint> Rows;
-  std::vector<Rational> Objective;
+  CoeffVec Objective;
 
   bool operator==(const LPKey &RHS) const {
     return Objective == RHS.Objective && Rows == RHS.Rows;

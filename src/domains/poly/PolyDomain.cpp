@@ -266,12 +266,12 @@ PolyDomain::impliedVarEqualities(const Conjunction &E) const {
   // canonical variable representatives.
   AffineSystem<Rational> S(Env.Columns.size());
   for (const LinearConstraint &C : P.affineHull()) {
-    std::vector<Rational> Row = C.Coeffs;
+    LinRow<Rational> Row(C.Coeffs.begin(), C.Coeffs.end());
     Row.push_back(C.Rhs);
     S.addRow(std::move(Row));
   }
-  std::vector<std::vector<Rational>> Reps = S.varRepresentatives();
-  std::map<std::vector<Rational>, Term> Leader;
+  std::vector<LinRow<Rational>> Reps = S.varRepresentatives();
+  std::map<LinRow<Rational>, Term> Leader;
   for (size_t C = 0; C < Env.Columns.size(); ++C) {
     if (!Env.Columns[C]->isVariable())
       continue;
@@ -298,7 +298,7 @@ PolyDomain::alternate(const Conjunction &E, Term Var,
     return std::nullopt;
   AffineSystem<Rational> S(Env.Columns.size());
   for (const LinearConstraint &C : P.affineHull()) {
-    std::vector<Rational> Row = C.Coeffs;
+    LinRow<Rational> Row(C.Coeffs.begin(), C.Coeffs.end());
     Row.push_back(C.Rhs);
     S.addRow(std::move(Row));
   }
@@ -316,7 +316,7 @@ PolyDomain::alternate(const Conjunction &E, Term Var,
         break;
       }
   }
-  std::optional<std::vector<Rational>> Row = S.solveFor(VarIt->second, Mask);
+  std::optional<LinRow<Rational>> Row = S.solveFor(VarIt->second, Mask);
   if (!Row)
     return std::nullopt;
   LinearExpr Expr((*Row)[Env.Columns.size()]);
@@ -351,7 +351,7 @@ PolyDomain::alternateBatch(const Conjunction &E,
     return Out;
   AffineSystem<Rational> S(Env.Columns.size());
   for (const LinearConstraint &C : P.affineHull()) {
-    std::vector<Rational> Row = C.Coeffs;
+    LinRow<Rational> Row(C.Coeffs.begin(), C.Coeffs.end());
     Row.push_back(C.Rhs);
     S.addRow(std::move(Row));
   }

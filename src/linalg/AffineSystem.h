@@ -48,16 +48,16 @@ public:
 
   /// Adds one equation (NumVars coefficients then the constant) and
   /// re-canonicalizes lazily on the next query.
-  void addRow(std::vector<F> Row);
+  void addRow(LinRow<F> Row);
 
   /// The canonical (RREF) rows.
-  const std::vector<std::vector<F>> &rows() const;
+  const std::vector<LinRow<F>> &rows() const;
 
   /// Number of independent equations.
   size_t rank() const { return rows().size(); }
 
   /// True if the equation \p Row is implied by the system.
-  bool entails(std::vector<F> Row) const;
+  bool entails(LinRow<F> Row) const;
 
   /// Existentially quantifies the variables marked true in \p Eliminate:
   /// the result is the strongest system over the remaining variables (all
@@ -72,14 +72,14 @@ public:
   /// NumVars+1 expressing it over the free variables and a constant; two
   /// variables are equal in every solution iff their representatives are
   /// identical.  Empty when inconsistent.
-  std::vector<std::vector<F>> varRepresentatives() const;
+  std::vector<LinRow<F>> varRepresentatives() const;
 
   /// Expresses variable \p Var as an affine function of variables for
   /// which \p Avoid is false (Var itself is always avoided).  Returns the
   /// coefficient vector (NumVars entries then constant) with
   /// zero coefficients on all avoided columns, or nullopt if the system
   /// does not determine such an expression.
-  std::optional<std::vector<F>>
+  std::optional<LinRow<F>>
   solveFor(size_t Var, const std::vector<bool> &Avoid) const;
 
   /// Batched solveFor: one echelon pass that expresses as many \p Target
@@ -87,7 +87,7 @@ public:
   /// is (target column, coefficient vector over non-target columns plus
   /// constant).  May find fewer definitions than repeated solveFor calls
   /// with shrinking avoid sets, but costs a single elimination.
-  std::vector<std::pair<size_t, std::vector<F>>>
+  std::vector<std::pair<size_t, LinRow<F>>>
   solveForMany(const std::vector<bool> &Targets) const;
 
   bool operator==(const AffineSystem &RHS) const {
@@ -100,19 +100,19 @@ private:
   void canonicalize() const;
   /// RREF with the given column visit order; returns surviving rows in
   /// original column indexing.
-  static std::vector<std::vector<F>>
-  echelonWithOrder(const std::vector<std::vector<F>> &Input, size_t NumVars,
+  static std::vector<LinRow<F>>
+  echelonWithOrder(const std::vector<LinRow<F>> &Input, size_t NumVars,
                    const std::vector<size_t> &ColOrder, bool &Inconsistent);
 
   size_t NumVars;
   mutable bool Inconsistent = false;
   mutable bool Dirty = false;
-  mutable std::vector<std::vector<F>> Rows;
+  mutable std::vector<LinRow<F>> Rows;
 };
 
 // Implementation --------------------------------------------------------===//
 
-template <typename F> void AffineSystem<F>::addRow(std::vector<F> Row) {
+template <typename F> void AffineSystem<F>::addRow(LinRow<F> Row) {
   assert(Row.size() == NumVars + 1 && "row size mismatch");
   if (Inconsistent)
     return;
@@ -121,8 +121,8 @@ template <typename F> void AffineSystem<F>::addRow(std::vector<F> Row) {
 }
 
 template <typename F>
-std::vector<std::vector<F>>
-AffineSystem<F>::echelonWithOrder(const std::vector<std::vector<F>> &Input,
+std::vector<LinRow<F>>
+AffineSystem<F>::echelonWithOrder(const std::vector<LinRow<F>> &Input,
                                   size_t NumVars,
                                   const std::vector<size_t> &ColOrder,
                                   bool &Inconsistent) {
@@ -136,14 +136,14 @@ AffineSystem<F>::echelonWithOrder(const std::vector<std::vector<F>> &Input,
     M.at(R, NumVars) = Input[R][NumVars];
   }
   std::vector<size_t> Pivots = M.reducedRowEchelon();
-  std::vector<std::vector<F>> Out;
+  std::vector<LinRow<F>> Out;
   for (size_t R = 0; R < Pivots.size(); ++R) {
     if (Pivots[R] == NumVars) {
       // Pivot in the constant column: the row reads 0 = 1.
       Inconsistent = true;
       return {};
     }
-    std::vector<F> Row(NumVars + 1);
+    LinRow<F> Row(NumVars + 1);
     for (size_t C = 0; C < NumVars; ++C)
       Row[ColOrder[C]] = M.at(R, C);
     Row[NumVars] = M.at(R, NumVars);
@@ -168,18 +168,18 @@ template <typename F> void AffineSystem<F>::canonicalize() const {
 }
 
 template <typename F>
-const std::vector<std::vector<F>> &AffineSystem<F>::rows() const {
+const std::vector<LinRow<F>> &AffineSystem<F>::rows() const {
   canonicalize();
   return Rows;
 }
 
-template <typename F> bool AffineSystem<F>::entails(std::vector<F> Row) const {
+template <typename F> bool AffineSystem<F>::entails(LinRow<F> Row) const {
   assert(Row.size() == NumVars + 1 && "row size mismatch");
   if (Inconsistent)
     return true;
   canonicalize();
   // Reduce the row against the RREF basis; entailed iff it reduces to zero.
-  for (const std::vector<F> &Basis : Rows) {
+  for (const LinRow<F> &Basis : Rows) {
     size_t Pivot = 0;
     while (Pivot < NumVars && Basis[Pivot].isZero())
       ++Pivot;
@@ -215,12 +215,12 @@ AffineSystem<F>::project(const std::vector<bool> &Eliminate) const {
     if (!Eliminate[I])
       Order.push_back(I);
   bool Bad = false;
-  std::vector<std::vector<F>> Echelon =
+  std::vector<LinRow<F>> Echelon =
       echelonWithOrder(Rows, NumVars, Order, Bad);
   AffineSystem Out(NumVars);
   if (Bad)
     return inconsistent(NumVars);
-  for (std::vector<F> &Row : Echelon) {
+  for (LinRow<F> &Row : Echelon) {
     bool TouchesEliminated = false;
     for (size_t I = 0; I < NumVars && !TouchesEliminated; ++I)
       TouchesEliminated = Eliminate[I] && !Row[I].isZero();
@@ -243,12 +243,12 @@ AffineSystem<F> AffineSystem<F>::join(const AffineSystem &A,
   B.canonicalize();
 
   // Represent each solution set as particular point + span of a basis.
-  auto PointAndBasis = [N](const AffineSystem &S, std::vector<F> &Point,
-                           std::vector<std::vector<F>> &Basis) {
+  auto PointAndBasis = [N](const AffineSystem &S, LinRow<F> &Point,
+                           std::vector<LinRow<F>> &Basis) {
     Matrix<F> M = Matrix<F>::fromRows(S.Rows, N + 1);
     std::vector<size_t> Pivots;
     // S.Rows is already RREF with pivot per row in column order.
-    for (const std::vector<F> &Row : S.Rows) {
+    for (const LinRow<F> &Row : S.Rows) {
       size_t P = 0;
       while (Row[P].isZero())
         ++P;
@@ -266,7 +266,7 @@ AffineSystem<F> AffineSystem<F>::join(const AffineSystem &A,
     for (size_t Free = 0; Free < N; ++Free) {
       if (IsPivot[Free])
         continue;
-      std::vector<F> V(N);
+      LinRow<F> V(N);
       V[Free] = F::one();
       for (size_t R = 0; R < Pivots.size(); ++R)
         V[Pivots[R]] = F() - S.Rows[R][Free];
@@ -275,15 +275,15 @@ AffineSystem<F> AffineSystem<F>::join(const AffineSystem &A,
     (void)M;
   };
 
-  std::vector<F> PointA, PointB;
-  std::vector<std::vector<F>> BasisA, BasisB;
+  LinRow<F> PointA, PointB;
+  std::vector<LinRow<F>> BasisA, BasisB;
   PointAndBasis(A, PointA, BasisA);
   PointAndBasis(B, PointB, BasisB);
 
   // Affine hull = PointA + span(BasisA, BasisB, PointB - PointA).
-  std::vector<std::vector<F>> Directions = BasisA;
+  std::vector<LinRow<F>> Directions = BasisA;
   Directions.insert(Directions.end(), BasisB.begin(), BasisB.end());
-  std::vector<F> Delta(N);
+  LinRow<F> Delta(N);
   for (size_t I = 0; I < N; ++I)
     Delta[I] = PointB[I] - PointA[I];
   Directions.push_back(std::move(Delta));
@@ -291,15 +291,15 @@ AffineSystem<F> AffineSystem<F>::join(const AffineSystem &A,
   // An affine functional a.x = c holds on the hull iff a.d = 0 for every
   // direction d and a.PointA = c.  Solve for (a, c) as the null space of
   // the constraint matrix below.
-  std::vector<std::vector<F>> ConstraintRows;
-  for (const std::vector<F> &D : Directions) {
-    std::vector<F> Row(N + 1);
+  std::vector<LinRow<F>> ConstraintRows;
+  for (const LinRow<F> &D : Directions) {
+    LinRow<F> Row(N + 1);
     for (size_t I = 0; I < N; ++I)
       Row[I] = D[I];
     ConstraintRows.push_back(std::move(Row));
   }
   {
-    std::vector<F> Row(N + 1);
+    LinRow<F> Row(N + 1);
     for (size_t I = 0; I < N; ++I)
       Row[I] = PointA[I];
     Row[N] = F() - F::one();
@@ -307,11 +307,11 @@ AffineSystem<F> AffineSystem<F>::join(const AffineSystem &A,
   }
   Matrix<F> Constraints = Matrix<F>::fromRows(ConstraintRows, N + 1);
   std::vector<size_t> Pivots = Constraints.reducedRowEchelon();
-  std::vector<std::vector<F>> EquationBasis =
+  std::vector<LinRow<F>> EquationBasis =
       Constraints.nullspaceBasis(Pivots);
 
   AffineSystem Out(N);
-  for (std::vector<F> &Eq : EquationBasis) {
+  for (LinRow<F> &Eq : EquationBasis) {
     // Null-space vector (a, k) encodes a.x + k*(-1)... the constant column
     // participated with coefficient (a.PointA - c) sign handled above:
     // Eq[N] is c directly because the last constraint row was
@@ -322,9 +322,9 @@ AffineSystem<F> AffineSystem<F>::join(const AffineSystem &A,
 }
 
 template <typename F>
-std::vector<std::vector<F>> AffineSystem<F>::varRepresentatives() const {
+std::vector<LinRow<F>> AffineSystem<F>::varRepresentatives() const {
   canonicalize();
-  std::vector<std::vector<F>> Reps;
+  std::vector<LinRow<F>> Reps;
   if (Inconsistent)
     return Reps;
   // Pivot variables are rewritten over the free variables; free variables
@@ -338,11 +338,11 @@ std::vector<std::vector<F>> AffineSystem<F>::varRepresentatives() const {
   }
   Reps.resize(NumVars);
   for (size_t V = 0; V < NumVars; ++V) {
-    std::vector<F> Rep(NumVars + 1);
+    LinRow<F> Rep(NumVars + 1);
     if (PivotRowOf[V] == ~size_t(0)) {
       Rep[V] = F::one();
     } else {
-      const std::vector<F> &Row = Rows[PivotRowOf[V]];
+      const LinRow<F> &Row = Rows[PivotRowOf[V]];
       // Row: x_V + sum f_j x_j = c  ==>  x_V = c - sum f_j x_j.
       for (size_t C = 0; C < NumVars; ++C)
         if (C != V)
@@ -355,7 +355,7 @@ std::vector<std::vector<F>> AffineSystem<F>::varRepresentatives() const {
 }
 
 template <typename F>
-std::optional<std::vector<F>>
+std::optional<LinRow<F>>
 AffineSystem<F>::solveFor(size_t Var, const std::vector<bool> &Avoid) const {
   assert(Var < NumVars && "variable out of range");
   if (Inconsistent)
@@ -374,16 +374,16 @@ AffineSystem<F>::solveFor(size_t Var, const std::vector<bool> &Avoid) const {
       Order.push_back(I);
   bool Bad = false;
   Projected.canonicalize();
-  std::vector<std::vector<F>> Echelon =
+  std::vector<LinRow<F>> Echelon =
       echelonWithOrder(Projected.Rows, NumVars, Order, Bad);
   if (Bad)
     return std::nullopt;
-  for (const std::vector<F> &Row : Echelon) {
+  for (const LinRow<F> &Row : Echelon) {
     if (Row[Var].isZero())
       continue;
     // Row: a*Var + rest = c with a == 1 (RREF scaling in permuted order
     // guarantees the pivot is 1).  Var = c - rest.
-    std::vector<F> Out(NumVars + 1);
+    LinRow<F> Out(NumVars + 1);
     for (size_t C = 0; C < NumVars; ++C)
       if (C != Var)
         Out[C] = F() - Row[C];
@@ -395,9 +395,9 @@ AffineSystem<F>::solveFor(size_t Var, const std::vector<bool> &Avoid) const {
 }
 
 template <typename F>
-std::vector<std::pair<size_t, std::vector<F>>>
+std::vector<std::pair<size_t, LinRow<F>>>
 AffineSystem<F>::solveForMany(const std::vector<bool> &Targets) const {
-  std::vector<std::pair<size_t, std::vector<F>>> Out;
+  std::vector<std::pair<size_t, LinRow<F>>> Out;
   if (isInconsistent())
     return Out;
   canonicalize();
@@ -413,11 +413,11 @@ AffineSystem<F>::solveForMany(const std::vector<bool> &Targets) const {
     if (!Targets[I])
       Order.push_back(I);
   bool Bad = false;
-  std::vector<std::vector<F>> Echelon =
+  std::vector<LinRow<F>> Echelon =
       echelonWithOrder(Rows, NumVars, Order, Bad);
   if (Bad)
     return Out;
-  for (const std::vector<F> &Row : Echelon) {
+  for (const LinRow<F> &Row : Echelon) {
     // The pivot is the first nonzero entry in the *permuted* column order.
     size_t Pivot = NumVars;
     for (size_t K = 0; K < NumVars && Pivot == NumVars; ++K)
@@ -431,7 +431,7 @@ AffineSystem<F>::solveForMany(const std::vector<bool> &Targets) const {
       Clean = C == Pivot || !Targets[C] || Row[C].isZero();
     if (!Clean)
       continue;
-    std::vector<F> Def(NumVars + 1);
+    LinRow<F> Def(NumVars + 1);
     for (size_t C = 0; C < NumVars; ++C)
       if (C != Pivot)
         Def[C] = F() - Row[C];

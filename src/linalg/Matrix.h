@@ -13,11 +13,19 @@
 #ifndef CAI_LINALG_MATRIX_H
 #define CAI_LINALG_MATRIX_H
 
+#include "support/SmallVec.h"
+
 #include <cassert>
 #include <cstddef>
 #include <vector>
 
 namespace cai {
+
+/// Row vector of the linear-algebra layer: NumVars coefficients (plus, in
+/// AffineSystem rows, a trailing constant).  Eight entries inline covers
+/// the variable counts of the analyzed programs, so RREF row shuffling and
+/// nullspace extraction stay off the allocator.
+template <typename F> using LinRow = SmallVec<F, 8>;
 
 /// A dense row-major matrix over field \p F.
 template <typename F> class Matrix {
@@ -25,7 +33,10 @@ public:
   Matrix(size_t NumRows, size_t NumCols)
       : NumRows(NumRows), NumCols(NumCols), Data(NumRows * NumCols) {}
 
-  static Matrix fromRows(std::vector<std::vector<F>> Rows, size_t NumCols) {
+  /// Works for any row container with size() and operator[] (LinRow,
+  /// std::vector, ...).
+  template <typename RowT>
+  static Matrix fromRows(const std::vector<RowT> &Rows, size_t NumCols) {
     Matrix M(Rows.size(), NumCols);
     for (size_t R = 0; R < Rows.size(); ++R) {
       assert(Rows[R].size() == NumCols && "ragged row");
@@ -47,8 +58,8 @@ public:
     return Data[Row * NumCols + Col];
   }
 
-  std::vector<F> row(size_t Row) const {
-    std::vector<F> Out(NumCols);
+  LinRow<F> row(size_t Row) const {
+    LinRow<F> Out(NumCols);
     for (size_t C = 0; C < NumCols; ++C)
       Out[C] = at(Row, C);
     return Out;
@@ -103,16 +114,16 @@ public:
   /// Returns a basis of the null space {x : Mx = 0}.  The matrix must
   /// already be in reduced row echelon form with \p Pivots as returned by
   /// reducedRowEchelon().
-  std::vector<std::vector<F>>
+  std::vector<LinRow<F>>
   nullspaceBasis(const std::vector<size_t> &Pivots) const {
     std::vector<bool> IsPivot(NumCols, false);
     for (size_t P : Pivots)
       IsPivot[P] = true;
-    std::vector<std::vector<F>> Basis;
+    std::vector<LinRow<F>> Basis;
     for (size_t Free = 0; Free < NumCols; ++Free) {
       if (IsPivot[Free])
         continue;
-      std::vector<F> V(NumCols);
+      LinRow<F> V(NumCols);
       V[Free] = F::one();
       for (size_t R = 0; R < Pivots.size(); ++R)
         V[Pivots[R]] = F() - at(R, Free);

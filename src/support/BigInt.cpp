@@ -1,11 +1,18 @@
 //===- support/BigInt.cpp - Arbitrary-precision signed integers ----------===//
 ///
 /// \file
-/// Small values (anything fitting int64_t) live inline; arithmetic on them
-/// runs through __int128 and only promotes on overflow.  The big path is
-/// schoolbook base-2^32 limb arithmetic with Knuth algorithm D division.
-/// Every result is demoted back to the small form when it fits, keeping
-/// the representation canonical (operator== relies on that).
+/// Three-tier arithmetic (see BigInt.h).  The inline tiers run on int64 /
+/// __int128 machine operations and promote only on real overflow; the big
+/// path is schoolbook base-2^32 limb arithmetic with Knuth algorithm D
+/// division.  Every constructor-of-results funnels through inlineUnchecked
+/// / promoteMag / fromMagnitude, which demote eagerly so each value has
+/// exactly one representation (operator== and hash() rely on that).
+///
+/// Note on __int128 multiplication: we deliberately avoid
+/// __builtin_mul_overflow at 128 bits (clang lowers it to a compiler-rt
+/// call that is not always linked) and instead check overflow on the
+/// unsigned magnitudes, where "both halves fit 64 bits" and a single
+/// division cover all cases.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,53 +25,83 @@ using namespace cai;
 static constexpr __int128 Int64Min = INT64_MIN;
 static constexpr __int128 Int64Max = INT64_MAX;
 
-BigInt BigInt::fromInt128(__int128 Value) {
-  if (Value >= Int64Min && Value <= Int64Max)
-    return BigInt(static_cast<int64_t>(Value));
-  bool Neg = Value < 0;
-  unsigned __int128 Mag =
-      Neg ? ~static_cast<unsigned __int128>(Value) + 1
-          : static_cast<unsigned __int128>(Value);
+// The compact layout is the point of this file (see BigInt.h): a Rational
+// is two of these, and simplex/RREF inner loops stream rows of Rationals.
+static_assert(sizeof(BigInt) == 24, "BigInt layout grew past two words + tag");
+
+BigInt BigInt::bigFromLimbs(bool Neg, const Magnitude &Limbs) {
+  assert(!Limbs.empty() && Limbs.back() != 0 && "big form must be trimmed");
+  BigInt Out;
+  Out.Rep = RepKind::Big;
+  Out.Negative = Neg;
+  Out.Hi = Limbs.size();
+  uint32_t *Data = new uint32_t[Limbs.size()];
+  std::memcpy(Data, Limbs.data(), Limbs.size() * sizeof(uint32_t));
+  Out.Lo = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Data));
+  return Out;
+}
+
+BigInt BigInt::inlineUnchecked(bool Neg, unsigned __int128 Mag) {
+  assert(Mag <= maxInlineMagnitude(Neg) && "magnitude too wide for inline");
+  BigInt Out;
+  // Two's complement computed in unsigned space so Mag == 2^127 (INT128_MIN)
+  // does not negate a signed value that has no positive counterpart.
+  unsigned __int128 V = Neg ? ~Mag + 1 : Mag;
+  Out.Lo = static_cast<uint64_t>(V);
+  Out.Hi = static_cast<uint64_t>(V >> 64);
+  __int128 S = static_cast<__int128>(V);
+  Out.Rep = (S >= Int64Min && S <= Int64Max) ? RepKind::I64 : RepKind::I128;
+  return Out;
+}
+
+BigInt BigInt::promoteMag(bool Neg, unsigned __int128 Mag) {
+  assert(Mag > maxInlineMagnitude(Neg) && "inline magnitude must not promote");
   Magnitude Limbs;
   while (Mag) {
     Limbs.push_back(static_cast<uint32_t>(Mag));
     Mag >>= 32;
   }
-  return fromMagnitude(Neg, std::move(Limbs));
+  return bigFromLimbs(Neg, Limbs);
+}
+
+BigInt BigInt::fromInt128(__int128 Value) {
+  if (Value >= Int64Min && Value <= Int64Max)
+    return BigInt(static_cast<int64_t>(Value));
+  bool Neg = Value < 0;
+  unsigned __int128 Mag = Neg ? ~static_cast<unsigned __int128>(Value) + 1
+                              : static_cast<unsigned __int128>(Value);
+  return fromSignMag128(Neg, Mag);
+}
+
+BigInt BigInt::fromSignMag128(bool Neg, unsigned __int128 Mag) {
+  if (Mag <= maxInlineMagnitude(Neg))
+    return inlineUnchecked(Neg, Mag);
+  return promoteMag(Neg, Mag);
 }
 
 BigInt BigInt::fromMagnitude(bool Negative, Magnitude Limbs) {
   trim(Limbs);
-  // Demote when the magnitude fits an int64.
-  if (Limbs.size() <= 2) {
-    uint64_t Mag = 0;
-    if (!Limbs.empty())
-      Mag = Limbs[0];
-    if (Limbs.size() == 2)
-      Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
-    if (Mag <= static_cast<uint64_t>(INT64_MAX))
-      return BigInt(Negative ? -static_cast<int64_t>(Mag)
-                             : static_cast<int64_t>(Mag));
-    if (Negative && Mag == static_cast<uint64_t>(1) << 63)
-      return BigInt(INT64_MIN);
+  // Demote when the magnitude fits the inline form (four limbs make 128
+  // bits; the negative side admits one more value, INT128_MIN).
+  if (Limbs.size() <= 4) {
+    unsigned __int128 Mag = 0;
+    for (size_t I = Limbs.size(); I-- > 0;)
+      Mag = (Mag << 32) | Limbs[I];
+    if (Mag <= maxInlineMagnitude(Negative))
+      return inlineUnchecked(Negative, Mag);
   }
-  BigInt Out;
-  Out.IsBig = true;
-  Out.Negative = Negative;
-  Out.Limbs = std::move(Limbs);
-  assert(!Out.Limbs.empty() && "big form must be non-zero");
-  return Out;
+  return bigFromLimbs(Negative, Limbs);
 }
 
 BigInt::Magnitude BigInt::magnitude() const {
-  if (IsBig)
-    return Limbs;
+  if (Rep == RepKind::Big)
+    return Magnitude(limbData(), limbData() + limbCount());
   Magnitude Out;
-  uint64_t Mag = smallMagnitude();
-  if (Mag)
+  unsigned __int128 Mag = inlineMagnitude();
+  while (Mag) {
     Out.push_back(static_cast<uint32_t>(Mag));
-  if (Mag >> 32)
-    Out.push_back(static_cast<uint32_t>(Mag >> 32));
+    Mag >>= 32;
+  }
   return Out;
 }
 
@@ -285,16 +322,28 @@ BigInt::Magnitude BigInt::divMagnitude(const Magnitude &A, const Magnitude &B,
 }
 
 BigInt BigInt::negSlow() const {
-  if (!IsBig) // Only INT64_MIN reaches here from the inline operator.
-    return fromInt128(-static_cast<__int128>(Small));
-  // Through fromMagnitude, not a sign flip in place: negating +2^63
-  // lands exactly on INT64_MIN, which must demote to the small form.
-  return fromMagnitude(!Negative, Limbs);
+  // Reached for INT64_MIN (inline negation would overflow) and any wider
+  // tier.  Sign-magnitude makes all the edge cases fall out: -INT64_MIN is
+  // +2^63 (I128 tier), -INT128_MIN is +2^127 (promotes to limbs).
+  if (Rep != RepKind::Big)
+    return fromSignMag128(small() > 0, inlineMagnitude());
+  // Through fromMagnitude, not a sign flip in place: negating -2^127 must
+  // demote... no -- negating +2^127+k stays big, but negating the big form
+  // of -(2^127) lands exactly on INT128_MIN, which must demote inline.
+  return fromMagnitude(!Negative, magnitude());
 }
 
 BigInt BigInt::addSlow(const BigInt &RHS) const {
-  if (!IsBig && !RHS.IsBig)
-    return fromInt128(static_cast<__int128>(Small) + RHS.Small);
+  if (Rep != RepKind::Big && RHS.Rep != RepKind::Big) {
+    __int128 R;
+    if (!__builtin_add_overflow(small(), RHS.small(), &R))
+      return fromInt128(R);
+    // 129-bit carry-out: both operands were near +-2^127 with equal signs.
+    // inlineMagnitude still holds each side exactly, and equal-sign
+    // magnitudes add without cancellation, so route through sign+magnitude
+    // with a manual uint128 carry into a 5th limb... the limb path below
+    // already does exactly that; fall through.
+  }
   Magnitude LM = magnitude(), RM = RHS.magnitude();
   bool LN = isNegative(), RN = RHS.isNegative();
   if (LN == RN)
@@ -305,33 +354,68 @@ BigInt BigInt::addSlow(const BigInt &RHS) const {
 }
 
 BigInt BigInt::subSlow(const BigInt &RHS) const {
-  if (!IsBig && !RHS.IsBig)
-    return fromInt128(static_cast<__int128>(Small) - RHS.Small);
+  if (Rep != RepKind::Big && RHS.Rep != RepKind::Big) {
+    __int128 R;
+    if (!__builtin_sub_overflow(small(), RHS.small(), &R))
+      return fromInt128(R);
+  }
+  // Negation canonicalizes the sign of zero, so this is safe for every
+  // remaining case (and the rare 129-bit one above).
   return *this + (-RHS);
 }
 
 BigInt BigInt::mulSlow(const BigInt &RHS) const {
-  if (!IsBig && !RHS.IsBig)
-    return fromInt128(static_cast<__int128>(Small) * RHS.Small);
+  if (Rep != RepKind::Big && RHS.Rep != RepKind::Big) {
+    unsigned __int128 A = inlineMagnitude(), B = RHS.inlineMagnitude();
+    bool Neg = (small() < 0) != (RHS.small() < 0);
+    if (A == 0 || B == 0)
+      return BigInt();
+    // Unsigned-magnitude overflow check; see the file comment for why this
+    // is not __builtin_mul_overflow.  When both magnitudes fit 64 bits the
+    // product fits 128 exactly; otherwise one division decides.
+    if (((A | B) >> 64) == 0 ||
+        B <= ~static_cast<unsigned __int128>(0) / A) {
+      unsigned __int128 Mag = A * B;
+      if (Mag <= maxInlineMagnitude(Neg))
+        return inlineUnchecked(Neg, Mag);
+      return promoteMag(Neg, Mag);
+    }
+  }
   return fromMagnitude(isNegative() != RHS.isNegative(),
                        mulMagnitude(magnitude(), RHS.magnitude()));
 }
 
 BigInt BigInt::divSlow(const BigInt &RHS) const {
   assert(!RHS.isZero() && "division by zero");
-  if (!IsBig && !RHS.IsBig) // Only INT64_MIN / -1 reaches here inline.
-    return fromInt128(-static_cast<__int128>(INT64_MIN));
+  if (Rep != RepKind::Big && RHS.Rep != RepKind::Big) {
+    // INT128_MIN / -1 is the one quotient a signed 128-bit divide cannot
+    // represent (it is +2^127); everything else, including the inline
+    // INT64_MIN / -1 detour, divides exactly in 128 bits.
+    constexpr __int128 Int128Min = static_cast<__int128>(
+        ~(static_cast<unsigned __int128>(1) << 127) + 1);
+    __int128 L = small(), R = RHS.small();
+    if (L == Int128Min && R == -1)
+      return fromSignMag128(false, static_cast<unsigned __int128>(1) << 127);
+    return fromInt128(L / R);
+  }
   Magnitude Rem;
   Magnitude Quot = divMagnitude(magnitude(), RHS.magnitude(), Rem);
   return fromMagnitude(isNegative() != RHS.isNegative(), std::move(Quot));
 }
 
-BigInt BigInt::operator%(const BigInt &RHS) const {
+BigInt BigInt::remSlow(const BigInt &RHS) const {
   assert(!RHS.isZero() && "division by zero");
-  if (!IsBig && !RHS.IsBig) {
-    if (Small == INT64_MIN && RHS.Small == -1)
+  if (Rep != RepKind::Big && RHS.Rep != RepKind::Big) {
+    // Truncated semantics: the remainder takes the dividend's sign.  The
+    // INT64_MIN % -1 inline detour and INT128_MIN % -1 both yield 0, which
+    // the hardware op would trap on; guard the latter (the former divides
+    // fine at 128 bits).
+    constexpr __int128 Int128Min = static_cast<__int128>(
+        ~(static_cast<unsigned __int128>(1) << 127) + 1);
+    __int128 L = small(), R = RHS.small();
+    if (L == Int128Min && R == -1)
       return BigInt(0);
-    return BigInt(Small % RHS.Small);
+    return fromInt128(L % R);
   }
   Magnitude Rem;
   divMagnitude(magnitude(), RHS.magnitude(), Rem);
@@ -342,10 +426,12 @@ bool BigInt::lessSlow(const BigInt &RHS) const {
   bool LN = isNegative(), RN = RHS.isNegative();
   if (LN != RN)
     return LN;
-  // Same sign; a big form always has larger magnitude than a small one.
-  if (IsBig != RHS.IsBig)
-    return RHS.IsBig != LN;
-  int Cmp = compareMagnitude(Limbs, RHS.Limbs);
+  if (Rep != RepKind::Big && RHS.Rep != RepKind::Big)
+    return small() < RHS.small();
+  // Same sign; a big form always has larger magnitude than an inline one.
+  if ((Rep == RepKind::Big) != (RHS.Rep == RepKind::Big))
+    return (RHS.Rep == RepKind::Big) != LN;
+  int Cmp = compareMagnitude(magnitude(), RHS.magnitude());
   return LN ? Cmp > 0 : Cmp < 0;
 }
 
@@ -356,8 +442,19 @@ BigInt BigInt::abs() const {
 }
 
 BigInt BigInt::gcdSlow(const BigInt &A, const BigInt &B) {
-  if (!A.IsBig && !B.IsBig) // Inline Euclid landed exactly on 2^63.
-    return fromInt128(static_cast<__int128>(1) << 63);
+  if (A.Rep == RepKind::I64 && B.Rep == RepKind::I64)
+    // The inline uint64 Euclid already ran and landed exactly on 2^63.
+    return fromSignMag128(false, static_cast<unsigned __int128>(1) << 63);
+  if (A.Rep != RepKind::Big && B.Rep != RepKind::Big) {
+    // uint128 Euclid for the middle tier.
+    unsigned __int128 X = A.inlineMagnitude(), Y = B.inlineMagnitude();
+    while (Y) {
+      unsigned __int128 R = X % Y;
+      X = Y;
+      Y = R;
+    }
+    return fromSignMag128(false, X);
+  }
   BigInt X = A.abs(), Y = B.abs();
   while (!Y.isZero()) {
     BigInt R = X % Y;
@@ -385,10 +482,10 @@ BigInt BigInt::pow(const BigInt &Base, unsigned Exp) {
 }
 
 std::string BigInt::toString() const {
-  if (!IsBig)
-    return std::to_string(Small);
+  if (Rep == RepKind::I64)
+    return std::to_string(small64());
   std::string Digits;
-  Magnitude Work = Limbs;
+  Magnitude Work = magnitude();
   // Extract 9 decimal digits at a time using the single-limb fast path.
   const uint64_t Chunk = 1000000000;
   while (!Work.empty()) {
@@ -406,17 +503,86 @@ std::string BigInt::toString() const {
   }
   while (Digits.size() > 1 && Digits.back() == '0')
     Digits.pop_back();
-  if (Negative)
+  if (isNegative())
     Digits.push_back('-');
   std::reverse(Digits.begin(), Digits.end());
   return Digits;
 }
 
 size_t BigInt::hash() const {
-  if (!IsBig)
-    return static_cast<size_t>(Small) * 1099511628211ull;
+  // Eager demotion means equal values share a tier, so per-tier formulas
+  // are safe.  The I64 formula is unchanged from the single-tier days.
+  if (Rep == RepKind::I64)
+    return static_cast<size_t>(small64()) * 1099511628211ull;
+  if (Rep == RepKind::I128) {
+    size_t H = static_cast<size_t>(Lo) * 1099511628211ull;
+    return (H ^ static_cast<size_t>(Hi)) * 1099511628211ull;
+  }
   size_t H = Negative ? 0x9e3779b97f4a7c15ull : 0;
-  for (uint32_t Limb : Limbs)
-    H = H * 1099511628211ull ^ Limb;
+  for (size_t I = 0, E = limbCount(); I < E; ++I)
+    H = H * 1099511628211ull ^ limbData()[I];
   return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential-testing oracle: limb-path recomputation of every operation.
+// These ignore the operands' tier entirely -- magnitude() flattens to limbs,
+// the schoolbook kernels do the work, and fromMagnitude canonicalizes -- so
+// a fast-tier bug cannot hide in its own reference.
+//===----------------------------------------------------------------------===//
+
+BigInt BigInt::refNeg(const BigInt &A) {
+  return fromMagnitude(!A.isNegative(), A.magnitude());
+}
+
+BigInt BigInt::refAdd(const BigInt &A, const BigInt &B) {
+  Magnitude LM = A.magnitude(), RM = B.magnitude();
+  bool LN = A.isNegative(), RN = B.isNegative();
+  if (LN == RN)
+    return fromMagnitude(LN, addMagnitude(LM, RM));
+  if (compareMagnitude(LM, RM) >= 0)
+    return fromMagnitude(LN, subMagnitude(LM, RM));
+  return fromMagnitude(RN, subMagnitude(RM, LM));
+}
+
+BigInt BigInt::refSub(const BigInt &A, const BigInt &B) {
+  return refAdd(A, refNeg(B));
+}
+
+BigInt BigInt::refMul(const BigInt &A, const BigInt &B) {
+  return fromMagnitude(A.isNegative() != B.isNegative(),
+                       mulMagnitude(A.magnitude(), B.magnitude()));
+}
+
+BigInt BigInt::refDiv(const BigInt &A, const BigInt &B) {
+  assert(!B.isZero() && "division by zero");
+  Magnitude Rem;
+  Magnitude Quot = divMagnitude(A.magnitude(), B.magnitude(), Rem);
+  return fromMagnitude(A.isNegative() != B.isNegative(), std::move(Quot));
+}
+
+BigInt BigInt::refRem(const BigInt &A, const BigInt &B) {
+  assert(!B.isZero() && "division by zero");
+  Magnitude Rem;
+  divMagnitude(A.magnitude(), B.magnitude(), Rem);
+  return fromMagnitude(A.isNegative(), std::move(Rem));
+}
+
+BigInt BigInt::refGcd(const BigInt &A, const BigInt &B) {
+  Magnitude X = A.magnitude(), Y = B.magnitude();
+  while (!Y.empty()) {
+    Magnitude R;
+    divMagnitude(X, Y, R);
+    X = std::move(Y);
+    Y = std::move(R);
+  }
+  return fromMagnitude(false, std::move(X));
+}
+
+int BigInt::refCompare(const BigInt &A, const BigInt &B) {
+  bool LN = A.isNegative(), RN = B.isNegative();
+  if (LN != RN)
+    return LN ? -1 : 1;
+  int Cmp = compareMagnitude(A.magnitude(), B.magnitude());
+  return LN ? -Cmp : Cmp;
 }

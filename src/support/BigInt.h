@@ -13,11 +13,34 @@
 /// integers, so every numeric domain in this library is backed by BigInt
 /// (through Rational).
 ///
-/// Representation: a small-value fast path (plain int64_t, no heap
-/// allocation -- the overwhelmingly common case in abstract interpretation)
-/// with transparent promotion to sign-magnitude base-2^32 limbs,
-/// least-significant first.  Results demote back to the small form whenever
-/// they fit, so chains of small operations never touch the heap.
+/// Representation: three tiers, eagerly demoted so each value has exactly
+/// one canonical form (operator== and hash() rely on that):
+///
+///   I64  -- the value fits int64_t.  The four arithmetic operators run
+///           this case inline as a single overflow-checked machine
+///           operation; it is the inner loop of every rational
+///           Gauss-Jordan elimination.
+///   I128 -- the value fits a signed 128-bit integer but not int64_t.
+///           Still stored inline (no heap); arithmetic runs out-of-line on
+///           __int128.  This tier absorbs the coefficient growth of simplex
+///           pivoting and Fourier-Motzkin combination, which overflows
+///           int64 routinely but exceeds 2^127 only in pathological runs.
+///   Big  -- sign-magnitude base-2^32 limbs, least-significant first, heap
+///           allocated.  Entered only past the 128-bit boundary.
+///
+/// The object is 24 bytes: two 64-bit words hold either the two's-complement
+/// 128-bit inline value (Lo/Hi halves) or, in the Big tier, the limb-array
+/// pointer and limb count.  Keeping the footprint below the old
+/// vector-embedding layout matters because simplex pivoting and RREF stream
+/// rows of Rationals (two BigInts each) through tight loops; the fewer
+/// bytes per coefficient, the more of a tableau row stays in cache.
+///
+/// Compiling with CAI_EXACT_SLOW_PATH defined (cmake -DCAI_EXACT_SLOW_PATH=ON)
+/// moves the promotion boundary back to int64: the I128 tier is never
+/// produced and everything past int64 lives in limbs, reproducing the
+/// pre-tier behavior bit for bit.  CI builds both flavors and diffs the
+/// analyzer output byte for byte, proving the inline 128-bit tier is a pure
+/// optimization.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +49,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -37,8 +61,48 @@ public:
   /// Constructs zero.
   BigInt() = default;
 
-  /// Constructs from a machine integer (small form; never allocates).
-  BigInt(int64_t Value) : Small(Value) {}
+  /// Constructs from a machine integer (I64 form; never allocates).
+  BigInt(int64_t Value)
+      : Lo(static_cast<uint64_t>(Value)), Hi(Value < 0 ? ~uint64_t(0) : 0) {}
+
+  BigInt(const BigInt &Other)
+      : Lo(Other.Lo), Hi(Other.Hi), Rep(Other.Rep), Negative(Other.Negative) {
+    if (Rep == RepKind::Big)
+      adoptLimbCopy(Other);
+  }
+  BigInt(BigInt &&Other) noexcept
+      : Lo(Other.Lo), Hi(Other.Hi), Rep(Other.Rep), Negative(Other.Negative) {
+    Other.resetToZero();
+  }
+  BigInt &operator=(const BigInt &Other) {
+    if (this == &Other)
+      return *this;
+    if (Rep == RepKind::Big)
+      freeLimbs();
+    Lo = Other.Lo;
+    Hi = Other.Hi;
+    Rep = Other.Rep;
+    Negative = Other.Negative;
+    if (Rep == RepKind::Big)
+      adoptLimbCopy(Other);
+    return *this;
+  }
+  BigInt &operator=(BigInt &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    if (Rep == RepKind::Big)
+      freeLimbs();
+    Lo = Other.Lo;
+    Hi = Other.Hi;
+    Rep = Other.Rep;
+    Negative = Other.Negative;
+    Other.resetToZero();
+    return *this;
+  }
+  ~BigInt() {
+    if (Rep == RepKind::Big)
+      freeLimbs();
+  }
 
   /// Parses a decimal string with an optional leading '-'.  Asserts on
   /// malformed input; use isValidDecimal to validate untrusted text first.
@@ -47,44 +111,48 @@ public:
   /// Returns true if \p Text is a well-formed decimal integer.
   static bool isValidDecimal(const std::string &Text);
 
-  bool isZero() const { return !IsBig && Small == 0; }
-  bool isNegative() const { return IsBig ? Negative : Small < 0; }
-  bool isOne() const { return !IsBig && Small == 1; }
+  bool isZero() const { return Rep == RepKind::I64 && Lo == 0; }
+  bool isNegative() const {
+    return Rep == RepKind::Big ? Negative : static_cast<int64_t>(Hi) < 0;
+  }
+  bool isOne() const { return Rep == RepKind::I64 && Lo == 1; }
 
   /// Returns the value as int64_t.  Asserts if it does not fit.
   int64_t toInt64() const {
     assert(fitsInt64() && "value does not fit in int64_t");
-    return Small;
+    return small64();
   }
 
-  /// True if the value fits in an int64_t.  (Big values are demoted
-  /// eagerly, so the big form never holds an int64-representable value.)
-  bool fitsInt64() const { return !IsBig; }
+  /// True if the value fits in an int64_t.  (Wider values are demoted
+  /// eagerly, so the wider tiers never hold an int64-representable value.)
+  bool fitsInt64() const { return Rep == RepKind::I64; }
 
-  // The four arithmetic operators run the small-small case inline (a single
-  // overflow-checked machine operation -- this is the inner loop of every
-  // rational Gauss-Jordan elimination) and fall back to the out-of-line
-  // slow path on promotion or overflow.
+  // The four arithmetic operators run the I64-I64 case inline (a single
+  // overflow-checked machine operation) and fall back to the out-of-line
+  // continuation on a wider tier or on overflow.
   BigInt operator-() const {
-    if (!IsBig && Small != INT64_MIN)
-      return BigInt(-Small);
+    if (Rep == RepKind::I64 && small64() != INT64_MIN)
+      return BigInt(-small64());
     return negSlow();
   }
   BigInt operator+(const BigInt &RHS) const {
     int64_t R;
-    if (!IsBig && !RHS.IsBig && !__builtin_add_overflow(Small, RHS.Small, &R))
+    if (Rep == RepKind::I64 && RHS.Rep == RepKind::I64 &&
+        !__builtin_add_overflow(small64(), RHS.small64(), &R))
       return BigInt(R);
     return addSlow(RHS);
   }
   BigInt operator-(const BigInt &RHS) const {
     int64_t R;
-    if (!IsBig && !RHS.IsBig && !__builtin_sub_overflow(Small, RHS.Small, &R))
+    if (Rep == RepKind::I64 && RHS.Rep == RepKind::I64 &&
+        !__builtin_sub_overflow(small64(), RHS.small64(), &R))
       return BigInt(R);
     return subSlow(RHS);
   }
   BigInt operator*(const BigInt &RHS) const {
     int64_t R;
-    if (!IsBig && !RHS.IsBig && !__builtin_mul_overflow(Small, RHS.Small, &R))
+    if (Rep == RepKind::I64 && RHS.Rep == RepKind::I64 &&
+        !__builtin_mul_overflow(small64(), RHS.small64(), &R))
       return BigInt(R);
     return mulSlow(RHS);
   }
@@ -92,16 +160,25 @@ public:
   /// Truncated division (C semantics: rounds toward zero).  Asserts on
   /// division by zero.
   BigInt operator/(const BigInt &RHS) const {
-    if (!IsBig && !RHS.IsBig &&
-        !(Small == INT64_MIN && RHS.Small == -1)) {
-      assert(RHS.Small != 0 && "division by zero");
-      return BigInt(Small / RHS.Small);
+    if (Rep == RepKind::I64 && RHS.Rep == RepKind::I64 &&
+        !(small64() == INT64_MIN && RHS.small64() == -1)) {
+      assert(RHS.small64() != 0 && "division by zero");
+      return BigInt(small64() / RHS.small64());
     }
     return divSlow(RHS);
   }
 
-  /// Remainder matching operator/ (same sign as the dividend).
-  BigInt operator%(const BigInt &RHS) const;
+  /// Remainder matching operator/ (truncated: same sign as the dividend).
+  /// The I64-I64 case runs inline; INT64_MIN % -1 is the one pair that must
+  /// detour (the hardware op traps even though the result is 0).
+  BigInt operator%(const BigInt &RHS) const {
+    if (Rep == RepKind::I64 && RHS.Rep == RepKind::I64 &&
+        !(small64() == INT64_MIN && RHS.small64() == -1)) {
+      assert(RHS.small64() != 0 && "division by zero");
+      return BigInt(small64() % RHS.small64());
+    }
+    return remSlow(RHS);
+  }
 
   BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
   BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
@@ -109,16 +186,18 @@ public:
   BigInt &operator/=(const BigInt &RHS) { return *this = *this / RHS; }
 
   bool operator==(const BigInt &RHS) const {
-    if (IsBig != RHS.IsBig)
-      return false; // Canonical forms: small values are never stored big.
-    if (!IsBig)
-      return Small == RHS.Small;
-    return Negative == RHS.Negative && Limbs == RHS.Limbs;
+    if (Rep != RHS.Rep)
+      return false; // Canonical forms: one tier per value.
+    if (Rep != RepKind::Big)
+      return Lo == RHS.Lo && Hi == RHS.Hi;
+    return Negative == RHS.Negative && Hi == RHS.Hi &&
+           std::memcmp(limbData(), RHS.limbData(),
+                       limbCount() * sizeof(uint32_t)) == 0;
   }
   bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
   bool operator<(const BigInt &RHS) const {
-    if (!IsBig && !RHS.IsBig)
-      return Small < RHS.Small;
+    if (Rep == RepKind::I64 && RHS.Rep == RepKind::I64)
+      return small64() < RHS.small64();
     return lessSlow(RHS);
   }
   bool operator<=(const BigInt &RHS) const { return !(RHS < *this); }
@@ -127,9 +206,11 @@ public:
 
   /// Returns -1, 0, or 1 according to the sign of the value.
   int sign() const {
-    if (IsBig)
+    if (Rep == RepKind::Big)
       return Negative ? -1 : 1; // Big values are never zero.
-    return Small < 0 ? -1 : Small > 0 ? 1 : 0;
+    if (static_cast<int64_t>(Hi) < 0)
+      return -1;
+    return (Lo | Hi) ? 1 : 0;
   }
 
   /// Absolute value.
@@ -137,14 +218,14 @@ public:
 
   /// Greatest common divisor of the absolute values; gcd(0, x) == |x|.
   static BigInt gcd(const BigInt &A, const BigInt &B) {
-    if (!A.IsBig && !B.IsBig) {
+    if (A.Rep == RepKind::I64 && B.Rep == RepKind::I64) {
       uint64_t X = A.smallMagnitude(), Y = B.smallMagnitude();
       while (Y) {
         uint64_t R = X % Y;
         X = Y;
         Y = R;
       }
-      // X <= max(|A|, |B|) <= 2^63; only 2^63 itself needs the big path.
+      // X <= max(|A|, |B|) <= 2^63; only 2^63 itself needs a wider tier.
       if (X <= static_cast<uint64_t>(INT64_MAX))
         return BigInt(static_cast<int64_t>(X));
     }
@@ -160,31 +241,115 @@ public:
   /// Decimal rendering with a leading '-' for negative values.
   std::string toString() const;
 
-  /// Hash suitable for unordered containers.
+  /// Hash suitable for unordered containers.  Canonical demotion makes this
+  /// representation-independent: equal values always share a tier.
   size_t hash() const;
+
+  // Differential-testing oracle (tests/bigint_fuzz_test.cpp): each refXxx
+  // recomputes the operation through the heap-limb path regardless of the
+  // operands' tier, finishing through the same canonicalization as the
+  // fast paths.  The fuzzer asserts fast == ref for random op sequences,
+  // which is what lets the I64/I128 tiers ship as provably pure
+  // optimization.  Not for production use: every call allocates.
+  static BigInt refAdd(const BigInt &A, const BigInt &B);
+  static BigInt refSub(const BigInt &A, const BigInt &B);
+  static BigInt refMul(const BigInt &A, const BigInt &B);
+  static BigInt refDiv(const BigInt &A, const BigInt &B);
+  static BigInt refRem(const BigInt &A, const BigInt &B);
+  static BigInt refNeg(const BigInt &A);
+  static BigInt refGcd(const BigInt &A, const BigInt &B);
+  /// -1, 0, 1 as A <, ==, > B, computed via sign + magnitude compare.
+  static int refCompare(const BigInt &A, const BigInt &B);
 
 private:
   using Magnitude = std::vector<uint32_t>;
 
+  /// Representation tier; see the file comment.
+  enum class RepKind : uint8_t { I64, I128, Big };
+
+  /// Largest magnitude the inline form may hold (one more on the negative
+  /// side: INT64_MIN / INT128_MIN).  With CAI_EXACT_SLOW_PATH this is the
+  /// int64 boundary, disabling the I128 tier entirely.
+  static unsigned __int128 maxInlineMagnitude(bool Neg) {
+#ifdef CAI_EXACT_SLOW_PATH
+    return static_cast<unsigned __int128>(INT64_MAX) + (Neg ? 1 : 0);
+#else
+    return ((static_cast<unsigned __int128>(1) << 127) - 1) + (Neg ? 1 : 0);
+#endif
+  }
+
+  /// The inline value, reassembled from its halves (valid when Rep != Big).
+  __int128 small() const {
+    assert(Rep != RepKind::Big && "small() needs an inline tier");
+    return static_cast<__int128>((static_cast<unsigned __int128>(Hi) << 64) |
+                                 Lo);
+  }
+  /// The inline value truncated to its low 64 bits (valid when Rep == I64,
+  /// where the high half is pure sign extension).
+  int64_t small64() const { return static_cast<int64_t>(Lo); }
+
+  /// The limb array (valid when Rep == Big).
+  uint32_t *limbData() const {
+    assert(Rep == RepKind::Big && "limbData needs the big tier");
+    return reinterpret_cast<uint32_t *>(static_cast<uintptr_t>(Lo));
+  }
+  size_t limbCount() const {
+    assert(Rep == RepKind::Big && "limbCount needs the big tier");
+    return static_cast<size_t>(Hi);
+  }
+
+  /// Installs a fresh copy of \p Other's limb array (both objects Big).
+  void adoptLimbCopy(const BigInt &Other) {
+    uint32_t *Copy = new uint32_t[static_cast<size_t>(Hi)];
+    std::memcpy(Copy, Other.limbData(),
+                static_cast<size_t>(Hi) * sizeof(uint32_t));
+    Lo = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Copy));
+  }
+  void freeLimbs() { delete[] limbData(); }
+  void resetToZero() {
+    Lo = 0;
+    Hi = 0;
+    Rep = RepKind::I64;
+    Negative = false;
+  }
+  /// Takes ownership of \p Limbs as the big form (trimmed, > inline range).
+  static BigInt bigFromLimbs(bool Neg, const Magnitude &Limbs);
+
+  /// Builds the canonical inline form; magnitude must be within
+  /// maxInlineMagnitude(Neg).
+  static BigInt inlineUnchecked(bool Neg, unsigned __int128 Mag);
+  /// Builds the big form from a >128-bit-boundary magnitude.
+  static BigInt promoteMag(bool Neg, unsigned __int128 Mag);
+  /// Builds the canonical form from a 128-bit signed intermediate.
+  static BigInt fromInt128(__int128 Value);
+  /// Builds the canonical form from sign + 128-bit magnitude.
+  static BigInt fromSignMag128(bool Neg, unsigned __int128 Mag);
   /// Builds the canonical form from sign + magnitude, demoting when small.
   static BigInt fromMagnitude(bool Negative, Magnitude Limbs);
-  /// Builds from a 128-bit signed intermediate (small-path overflow).
-  static BigInt fromInt128(__int128 Value);
 
-  // Out-of-line continuations of the inline operators: big operands or
-  // small results that overflowed int64.
+  // Out-of-line continuations of the inline operators: wider-tier operands
+  // or I64 results that overflowed.
   BigInt negSlow() const;
   BigInt addSlow(const BigInt &RHS) const;
   BigInt subSlow(const BigInt &RHS) const;
   BigInt mulSlow(const BigInt &RHS) const;
   BigInt divSlow(const BigInt &RHS) const;
+  BigInt remSlow(const BigInt &RHS) const;
   bool lessSlow(const BigInt &RHS) const;
   static BigInt gcdSlow(const BigInt &A, const BigInt &B);
 
-  /// Magnitude of the small value (valid only when !IsBig).
+  /// Magnitude of the inline value truncated to 64 bits (valid only when
+  /// Rep == I64).
   uint64_t smallMagnitude() const {
-    return Small < 0 ? ~static_cast<uint64_t>(Small) + 1
-                     : static_cast<uint64_t>(Small);
+    assert(Rep == RepKind::I64 && "smallMagnitude needs the I64 tier");
+    int64_t S = small64();
+    return S < 0 ? ~static_cast<uint64_t>(S) + 1 : static_cast<uint64_t>(S);
+  }
+  /// Magnitude of the inline value (valid when Rep != Big).
+  unsigned __int128 inlineMagnitude() const {
+    __int128 S = small();
+    return S < 0 ? ~static_cast<unsigned __int128>(S) + 1
+                 : static_cast<unsigned __int128>(S);
   }
   /// Copies this value's magnitude into limb form.
   Magnitude magnitude() const;
@@ -200,10 +365,13 @@ private:
                                 Magnitude &Rem);
   static void trim(Magnitude &Limbs);
 
-  int64_t Small = 0;  ///< Valid when !IsBig.
-  Magnitude Limbs;    ///< Valid when IsBig.
-  bool Negative = false;
-  bool IsBig = false;
+  /// Inline tiers: the two's-complement 128-bit value, split into halves
+  /// (Hi is sign extension in the I64 tier).  Big tier: Lo is the limb
+  /// pointer, Hi the limb count.
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  RepKind Rep = RepKind::I64;
+  bool Negative = false; ///< Sign; meaningful only when Rep == Big.
 };
 
 } // namespace cai

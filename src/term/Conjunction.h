@@ -13,6 +13,7 @@
 #ifndef CAI_TERM_CONJUNCTION_H
 #define CAI_TERM_CONJUNCTION_H
 
+#include "support/SmallVec.h"
 #include "term/Atom.h"
 
 namespace cai {
@@ -20,6 +21,13 @@ namespace cai {
 /// A sorted, deduplicated conjunction of atoms, with an explicit bottom.
 class Conjunction {
 public:
+  /// Atom storage: conjunctions flowing through the fixpoint engine are
+  /// usually a handful of facts, so the first two live inline (DESIGN.md,
+  /// "Three-tier exact arithmetic and small-vector rows").  Capacity 2,
+  /// not more: conjunctions are hashtable values in the analyzer's memo
+  /// caches, and each extra inline Atom adds 32 bytes to every node.
+  using AtomList = SmallVec<Atom, 2>;
+
   /// Constructs "true" (the empty conjunction, lattice top).
   Conjunction() = default;
 
@@ -34,7 +42,7 @@ public:
   bool isBottom() const { return Bottom; }
   bool isTop() const { return !Bottom && Items.empty(); }
 
-  const std::vector<Atom> &atoms() const {
+  const AtomList &atoms() const {
     assert(!Bottom && "no atoms in bottom");
     return Items;
   }
@@ -81,7 +89,7 @@ public:
 
 private:
   bool Bottom = false;
-  std::vector<Atom> Items;
+  AtomList Items;
   // Lazily computed fingerprint cache (see fingerprint()).
   mutable uint64_t Fp = 0;
   mutable bool FpValid = false;

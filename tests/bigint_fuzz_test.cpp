@@ -1,0 +1,227 @@
+//===- tests/bigint_fuzz_test.cpp - BigInt tier differential fuzzer --------===//
+///
+/// \file
+/// Differential fuzzing of the three-tier BigInt representation (and the
+/// Rational layer above it) against the always-limb reference oracle
+/// (BigInt::refAdd and friends).  The oracle flattens every operand to
+/// heap limbs and recomputes through the schoolbook kernels, so a bug in
+/// the I64 or I128 inline tiers -- a missed overflow, a wrong promotion
+/// boundary, a demotion that forgot to canonicalize -- cannot also
+/// corrupt its own reference.
+///
+/// Every test is a seeded random op sequence (deterministic replay: the
+/// failing seed is in the test name).  The operand pool is biased hard
+/// toward the tier boundaries: +-2^63, +-2^64, +-2^127 and neighbors is
+/// where promotion/demotion logic lives, and uniform random 64-bit values
+/// land there with probability zero.
+///
+/// CAI_BIGINT_FUZZ_ITERS overrides the per-seed iteration count (CI runs
+/// the sanitizer job with a high value; the default keeps local ctest
+/// runs fast).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+using namespace cai;
+
+namespace {
+
+/// Per-seed iteration budget: CAI_BIGINT_FUZZ_ITERS when set and positive,
+/// otherwise a default sized for interactive ctest runs.
+unsigned iterationBudget() {
+  if (const char *S = std::getenv("CAI_BIGINT_FUZZ_ITERS")) {
+    long V = std::strtol(S, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  return 2000;
+}
+
+/// Powers of two that straddle every representation boundary: int64
+/// (2^63), the single-limb-pair seam (2^64), and the inline/heap boundary
+/// (2^127; 2^128 only exists as limbs).
+std::vector<BigInt> boundaryValues() {
+  std::vector<BigInt> Out;
+  const BigInt Two(2);
+  for (unsigned Bits : {62u, 63u, 64u, 65u, 126u, 127u, 128u, 160u}) {
+    BigInt P = BigInt::pow(Two, Bits);
+    for (const BigInt &Delta : {BigInt(-2), BigInt(-1), BigInt(0), BigInt(1),
+                                BigInt(2)}) {
+      Out.push_back(P + Delta);
+      Out.push_back(-(P + Delta));
+    }
+  }
+  for (int64_t V : {int64_t(0), int64_t(1), int64_t(-1), int64_t(7),
+                    int64_t(-13), INT64_MAX, INT64_MIN, INT64_MAX - 1,
+                    INT64_MIN + 1})
+    Out.push_back(BigInt(V));
+  return Out;
+}
+
+/// Draws an operand: boundary values half the time, random-width values
+/// (1..160 bits, built from random decimal-free limb products) otherwise.
+BigInt drawOperand(std::mt19937_64 &Rng, const std::vector<BigInt> &Pool) {
+  if (Rng() & 1)
+    return Pool[Rng() % Pool.size()];
+  // Random magnitude with random width, so products and quotients cross
+  // tiers in both directions.
+  unsigned Words = 1 + Rng() % 3; // 64, 128 or 192 bits of raw material.
+  BigInt V(0);
+  const BigInt Shift = BigInt::pow(BigInt(2), 64);
+  for (unsigned I = 0; I < Words; ++I)
+    V = V * Shift + BigInt(static_cast<int64_t>(Rng() >> 1));
+  if (Rng() & 1)
+    V = -V;
+  return V;
+}
+
+class BigIntFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+/// The core differential property: every operation on every drawn pair
+/// matches the limb-path oracle, and division reconstructs the dividend.
+TEST_P(BigIntFuzz, OpsMatchLimbOracle) {
+  std::mt19937_64 Rng(GetParam());
+  const std::vector<BigInt> Pool = boundaryValues();
+  const unsigned Iters = iterationBudget();
+  for (unsigned I = 0; I < Iters; ++I) {
+    BigInt A = drawOperand(Rng, Pool);
+    BigInt B = drawOperand(Rng, Pool);
+
+    EXPECT_EQ(A + B, BigInt::refAdd(A, B)) << A.toString() << " + "
+                                           << B.toString();
+    EXPECT_EQ(A - B, BigInt::refSub(A, B)) << A.toString() << " - "
+                                           << B.toString();
+    EXPECT_EQ(A * B, BigInt::refMul(A, B)) << A.toString() << " * "
+                                           << B.toString();
+    EXPECT_EQ(-A, BigInt::refNeg(A)) << "-" << A.toString();
+    EXPECT_EQ(BigInt::gcd(A, B), BigInt::refGcd(A, B))
+        << "gcd(" << A.toString() << ", " << B.toString() << ")";
+
+    EXPECT_EQ(A < B, BigInt::refCompare(A, B) < 0);
+    EXPECT_EQ(A == B, BigInt::refCompare(A, B) == 0);
+    EXPECT_EQ(A.sign(), BigInt::refCompare(A, BigInt(0)));
+    if (A == B) {
+      EXPECT_EQ(A.hash(), B.hash());
+    }
+
+    if (!B.isZero()) {
+      BigInt Q = A / B, R = A % B;
+      EXPECT_EQ(Q, BigInt::refDiv(A, B)) << A.toString() << " / "
+                                         << B.toString();
+      EXPECT_EQ(R, BigInt::refRem(A, B)) << A.toString() << " % "
+                                         << B.toString();
+      EXPECT_EQ(Q * B + R, A) << A.toString() << " divmod " << B.toString();
+      EXPECT_TRUE(R.abs() < B.abs());
+    }
+
+    // Round trip through decimal text: a canonicalization bug that
+    // equality misses (same value, wrong tier) changes the rendering path.
+    EXPECT_EQ(BigInt::fromString(A.toString()), A);
+  }
+}
+
+/// Rational cross-check: field ops over fuzzed BigInt components reduce
+/// to oracle-verified BigInt identities on numerators and denominators.
+TEST_P(BigIntFuzz, RationalOpsMatchCrossMultiplication) {
+  std::mt19937_64 Rng(GetParam() ^ 0x5bd1e995u);
+  const std::vector<BigInt> Pool = boundaryValues();
+  const unsigned Iters = iterationBudget() / 4;
+  for (unsigned I = 0; I < Iters; ++I) {
+    BigInt An = drawOperand(Rng, Pool), Ad = drawOperand(Rng, Pool);
+    BigInt Bn = drawOperand(Rng, Pool), Bd = drawOperand(Rng, Pool);
+    if (Ad.isZero() || Bd.isZero())
+      continue;
+    Rational A(An, Ad), B(Bn, Bd);
+
+    // Normalization invariants: lowest terms, positive denominator.
+    EXPECT_GT(A.denominator().sign(), 0);
+    EXPECT_EQ(BigInt::refGcd(A.numerator(), A.denominator()), BigInt(1));
+
+    // a/b + c/d == (ad + cb) / bd, verified by cross-multiplication with
+    // every product recomputed through the limb oracle.
+    Rational Sum = A + B;
+    BigInt Lhs = BigInt::refMul(Sum.numerator(),
+                                BigInt::refMul(Ad, Bd));
+    BigInt Rhs = BigInt::refMul(
+        Sum.denominator(),
+        BigInt::refAdd(BigInt::refMul(An, Bd), BigInt::refMul(Bn, Ad)));
+    EXPECT_EQ(Lhs, Rhs) << A.toString() << " + " << B.toString();
+
+    Rational Prod = A * B;
+    EXPECT_EQ(BigInt::refMul(Prod.numerator(), BigInt::refMul(Ad, Bd)),
+              BigInt::refMul(Prod.denominator(), BigInt::refMul(An, Bn)))
+        << A.toString() << " * " << B.toString();
+
+    EXPECT_EQ(A - B + B, A);
+    if (!B.isZero()) {
+      EXPECT_EQ(A / B * B, A);
+    }
+  }
+}
+
+/// Pinned tier-boundary edge cases, independent of the random sequences.
+TEST(BigIntFuzzPinned, BoundaryEdgeOps) {
+  const BigInt P63 = BigInt::pow(BigInt(2), 63);
+  const BigInt P64 = BigInt::pow(BigInt(2), 64);
+  const BigInt P127 = BigInt::pow(BigInt(2), 127);
+  const BigInt Min64(INT64_MIN);
+
+  // |INT64_MIN| == 2^63: the negative side of each tier admits one more
+  // value than the positive side.
+  EXPECT_EQ(-Min64, P63);
+  EXPECT_TRUE(Min64.fitsInt64());
+  EXPECT_FALSE(P63.fitsInt64());
+  EXPECT_EQ(Min64 / BigInt(-1), P63);
+  EXPECT_EQ(Min64 % BigInt(-1), BigInt(0));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), Min64), P63);
+  EXPECT_EQ(BigInt::gcd(Min64, Min64), P63);
+  EXPECT_EQ(BigInt::refGcd(Min64, Min64), P63);
+
+  // Remainder sign (truncated semantics) across each boundary.
+  for (const BigInt &P : {P63, P64, P127}) {
+    EXPECT_EQ(-(-P), P);
+    EXPECT_EQ((P + BigInt(1)) % P, BigInt(1));
+    EXPECT_EQ((-(P + BigInt(1))) % P, BigInt(-1));
+    EXPECT_EQ(P - P, BigInt(0));
+    EXPECT_EQ(P * BigInt(0), BigInt(0));
+    EXPECT_EQ(BigInt::refMul(P, BigInt(1)), P);
+    for (const BigInt &D : {BigInt(-3), BigInt(3)}) {
+      BigInt Q = P / D, R = P % D;
+      EXPECT_EQ(Q, BigInt::refDiv(P, D));
+      EXPECT_EQ(R, BigInt::refRem(P, D));
+      EXPECT_EQ(Q * D + R, P);
+    }
+  }
+
+  // -INT128_MIN == 2^127 promotes to limbs; the return trip demotes.
+  BigInt Min128 = -P127;
+  EXPECT_EQ(-Min128, P127);
+  EXPECT_EQ(Min128 / BigInt(-1), P127);
+  EXPECT_EQ(Min128 % BigInt(-1), BigInt(0));
+  EXPECT_EQ(Min128 + Min128, -(P127 * BigInt(2)));
+  EXPECT_EQ(Min128 * Min128, P127 * P127);
+  EXPECT_EQ(BigInt::refMul(Min128, Min128), P127 * P127);
+
+  // 2^127 - 1 is the widest positive inline value; +1 promotes, -1 back.
+  BigInt MaxInline = P127 - BigInt(1);
+  EXPECT_EQ((MaxInline + BigInt(1)) - BigInt(1), MaxInline);
+  EXPECT_EQ(MaxInline + BigInt(1), P127);
+
+  // Equality and hashing are tier-independent because demotion is eager.
+  BigInt Down = (P127 * BigInt(3)) / BigInt(3) - BigInt(1);
+  EXPECT_EQ(Down, MaxInline);
+  EXPECT_EQ(Down.hash(), MaxInline.hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntFuzz,
+                         ::testing::Values(1, 2, 3, 20260808, 0xfeedbeef));

@@ -12,8 +12,8 @@ using namespace cai;
 
 namespace {
 
-std::vector<Rational> row(std::initializer_list<int64_t> Values) {
-  std::vector<Rational> Out;
+LinRow<Rational> row(std::initializer_list<int64_t> Values) {
+  LinRow<Rational> Out;
   for (int64_t V : Values)
     Out.push_back(Rational(V));
   return Out;
@@ -23,7 +23,9 @@ std::vector<Rational> row(std::initializer_list<int64_t> Values) {
 
 TEST(MatrixTest, RrefIdentifiesPivots) {
   Matrix<Rational> M = Matrix<Rational>::fromRows(
-      {row({1, 2, 3}), row({2, 4, 6}), row({1, 0, 1})}, 3);
+      std::vector<LinRow<Rational>>{row({1, 2, 3}), row({2, 4, 6}),
+                                    row({1, 0, 1})},
+      3);
   std::vector<size_t> Pivots = M.reducedRowEchelon();
   ASSERT_EQ(Pivots.size(), 2u);
   EXPECT_EQ(Pivots[0], 0u);
@@ -34,11 +36,12 @@ TEST(MatrixTest, RrefIdentifiesPivots) {
 }
 
 TEST(MatrixTest, NullspaceSatisfiesSystem) {
-  Matrix<Rational> M =
-      Matrix<Rational>::fromRows({row({1, 1, -1, 0}), row({0, 1, 1, -2})}, 4);
+  Matrix<Rational> M = Matrix<Rational>::fromRows(
+      std::vector<LinRow<Rational>>{row({1, 1, -1, 0}), row({0, 1, 1, -2})},
+      4);
   Matrix<Rational> Copy = M;
   std::vector<size_t> Pivots = M.reducedRowEchelon();
-  std::vector<std::vector<Rational>> Basis = M.nullspaceBasis(Pivots);
+  std::vector<LinRow<Rational>> Basis = M.nullspaceBasis(Pivots);
   EXPECT_EQ(Basis.size(), 2u); // 4 columns, rank 2.
   for (const auto &V : Basis)
     for (size_t R = 0; R < Copy.rows(); ++R) {
@@ -133,7 +136,7 @@ TEST(AffineSystemTest, VarRepresentativesGroupEqualVars) {
   // x = y, z free: x and y share a representative, z does not.
   AffineSystem<Rational> S(3);
   S.addRow(row({1, -1, 0, 0}));
-  std::vector<std::vector<Rational>> Reps = S.varRepresentatives();
+  std::vector<LinRow<Rational>> Reps = S.varRepresentatives();
   ASSERT_EQ(Reps.size(), 3u);
   EXPECT_EQ(Reps[0], Reps[1]);
   EXPECT_NE(Reps[0], Reps[2]);
@@ -144,7 +147,7 @@ TEST(AffineSystemTest, VarRepresentativesConstants) {
   AffineSystem<Rational> S(2);
   S.addRow(row({1, 0, 5}));
   S.addRow(row({0, 1, 5}));
-  std::vector<std::vector<Rational>> Reps = S.varRepresentatives();
+  std::vector<LinRow<Rational>> Reps = S.varRepresentatives();
   EXPECT_EQ(Reps[0], Reps[1]);
 }
 
@@ -152,7 +155,7 @@ TEST(AffineSystemTest, SolveForBasic) {
   // x = y + 2z + 1: solving for x avoiding nothing gives that row back.
   AffineSystem<Rational> S(3);
   S.addRow(row({1, -1, -2, 1}));
-  std::optional<std::vector<Rational>> Sol = S.solveFor(0, {false, false, false});
+  std::optional<LinRow<Rational>> Sol = S.solveFor(0, {false, false, false});
   ASSERT_TRUE(Sol);
   EXPECT_EQ((*Sol)[1], Rational(1));
   EXPECT_EQ((*Sol)[2], Rational(2));
@@ -164,7 +167,7 @@ TEST(AffineSystemTest, SolveForAvoidsForbiddenColumns) {
   AffineSystem<Rational> S(3);
   S.addRow(row({1, -1, 0, 1}));
   S.addRow(row({0, 1, -1, 1}));
-  std::optional<std::vector<Rational>> Sol = S.solveFor(0, {false, true, false});
+  std::optional<LinRow<Rational>> Sol = S.solveFor(0, {false, true, false});
   ASSERT_TRUE(Sol);
   EXPECT_TRUE((*Sol)[1].isZero());
   EXPECT_EQ((*Sol)[2], Rational(1)); // x = z + 2.

@@ -3,10 +3,13 @@
 #include "support/BigInt.h"
 #include "support/GF2.h"
 #include "support/Rational.h"
+#include "support/SmallVec.h"
 
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
 using namespace cai;
 
@@ -257,3 +260,100 @@ TEST_P(RationalOpProperty, MatchesExactFractions) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RationalOpProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BigIntTest, RemainderTruncatedSemantics) {
+  // operator/ rounds toward zero, so the remainder always takes the
+  // dividend's sign (C semantics).  Pinned for all four sign combinations
+  // and across the inline/limb boundary, because the declared-inline %
+  // fast path and the limb path must agree exactly -- Rational
+  // normalization and the interpreter's mod both build on this.
+  EXPECT_EQ(BigInt(7) % BigInt(3), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(3), BigInt(-1));
+  EXPECT_EQ(BigInt(7) % BigInt(-3), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(-3), BigInt(-1));
+  EXPECT_EQ(BigInt(INT64_MIN) % BigInt(-1), BigInt(0));
+  EXPECT_EQ(BigInt(INT64_MIN) % BigInt(1), BigInt(0));
+
+  // Reconstruction invariant a == (a/b)*b + a%b on both tiers.
+  const BigInt Wide = BigInt::fromString("170141183460469231731687303715884");
+  for (const BigInt &A :
+       {BigInt(INT64_MIN), BigInt(INT64_MAX), Wide, -Wide, BigInt(-7)})
+    for (const BigInt &B : {BigInt(-1), BigInt(3), BigInt(-3), Wide, -Wide}) {
+      BigInt Q = A / B, R = A % B;
+      EXPECT_EQ(Q * B + R, A);
+      if (!R.isZero()) {
+        EXPECT_EQ(R.sign(), A.sign());
+      }
+      EXPECT_TRUE(R.abs() < B.abs());
+    }
+}
+
+TEST(SmallVecTest, InlineThenSpill) {
+  SmallVec<int, 4> V;
+  EXPECT_TRUE(V.isInline());
+  EXPECT_TRUE(V.empty());
+  for (int I = 0; I < 4; ++I)
+    V.push_back(I);
+  EXPECT_TRUE(V.isInline());
+  V.push_back(4); // First heap allocation.
+  EXPECT_FALSE(V.isInline());
+  EXPECT_EQ(V.size(), 5u);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(V[I], I);
+}
+
+TEST(SmallVecTest, CopyAndMovePreserveElements) {
+  SmallVec<std::string, 2> Small{"a", "b"};
+  SmallVec<std::string, 2> Large{"a", "b", "c", "d"};
+
+  SmallVec<std::string, 2> SmallCopy = Small;
+  SmallVec<std::string, 2> LargeCopy = Large;
+  EXPECT_EQ(SmallCopy, Small);
+  EXPECT_EQ(LargeCopy, Large);
+
+  SmallVec<std::string, 2> SmallMoved = std::move(SmallCopy);
+  SmallVec<std::string, 2> LargeMoved = std::move(LargeCopy);
+  EXPECT_EQ(SmallMoved, Small);
+  EXPECT_EQ(LargeMoved, Large);
+  EXPECT_TRUE(LargeCopy.empty()); // Heap buffer was stolen.
+
+  LargeMoved = Small;
+  EXPECT_EQ(LargeMoved, Small);
+  SmallMoved = std::move(LargeMoved);
+  EXPECT_EQ(SmallMoved, Small);
+}
+
+TEST(SmallVecTest, ImplicitVectorConversion) {
+  std::vector<int> Source{1, 2, 3, 4, 5, 6};
+  SmallVec<int, 4> V = Source; // Implicit: rows flow in from vector APIs.
+  EXPECT_EQ(V.size(), 6u);
+  EXPECT_EQ(V.back(), 6);
+}
+
+TEST(SmallVecTest, InsertEraseResizeAssign) {
+  SmallVec<int, 4> V{1, 3};
+  V.insert(V.begin() + 1, 2);
+  EXPECT_EQ(V, (SmallVec<int, 4>{1, 2, 3}));
+  V.erase(V.begin());
+  EXPECT_EQ(V, (SmallVec<int, 4>{2, 3}));
+  V.resize(5);
+  EXPECT_EQ(V, (SmallVec<int, 4>{2, 3, 0, 0, 0}));
+  V.erase(V.begin() + 1, V.end() - 1);
+  EXPECT_EQ(V, (SmallVec<int, 4>{2, 0}));
+  V.assign(3, 9);
+  EXPECT_EQ(V, (SmallVec<int, 4>{9, 9, 9}));
+  V.resize(1);
+  EXPECT_EQ(V, (SmallVec<int, 4>{9}));
+  EXPECT_TRUE((SmallVec<int, 4>{1, 2}) < (SmallVec<int, 4>{1, 3}));
+  EXPECT_TRUE((SmallVec<int, 4>{1, 2}) < (SmallVec<int, 4>{1, 2, 0}));
+}
+
+TEST(SmallVecTest, RationalRowsSurviveGrowth) {
+  // The real payload: rows of 48-byte Rationals crossing the inline
+  // boundary during Fourier-Motzkin-style row building.
+  SmallVec<Rational, 4> Row;
+  for (int I = 0; I < 12; ++I)
+    Row.push_back(Rational(BigInt(I), BigInt(I + 1)));
+  for (int I = 0; I < 12; ++I)
+    EXPECT_EQ(Row[I], Rational(BigInt(I), BigInt(I + 1)));
+}

@@ -1,0 +1,25 @@
+# Runs TOOL and REF_TOOL with identical ARGS and fails unless both print
+# byte-identical stdout and exit with the same code.  TOOL and REF_TOOL
+# are cai-analyze binaries from builds with opposite CAI_EXACT_SLOW_PATH
+# settings, so a pass proves the inline BigInt tiers changed no analysis
+# result -- not an invariant, not an assertion verdict, not a byte of
+# rendering.
+#
+#   cmake -DTOOL=... -DREF_TOOL=... -DARGS=... -P check_exact_diff.cmake
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${ARG_LIST} OUTPUT_VARIABLE OUT_FAST
+                RESULT_VARIABLE RC_FAST ERROR_QUIET)
+execute_process(COMMAND ${REF_TOOL} ${ARG_LIST} OUTPUT_VARIABLE OUT_REF
+                RESULT_VARIABLE RC_REF ERROR_QUIET)
+if(NOT RC_FAST STREQUAL RC_REF)
+  message(FATAL_ERROR "exit codes differ between builds: "
+                      "${TOOL} -> ${RC_FAST}, ${REF_TOOL} -> ${RC_REF}")
+endif()
+if(NOT OUT_FAST STREQUAL OUT_REF)
+  message(FATAL_ERROR "output differs between fast and slow-path builds:\n"
+                      "--- ${TOOL} ---\n${OUT_FAST}\n"
+                      "--- ${REF_TOOL} ---\n${OUT_REF}")
+endif()
+if(OUT_FAST STREQUAL "")
+  message(FATAL_ERROR "tool printed nothing; differential check is vacuous")
+endif()
