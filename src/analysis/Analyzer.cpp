@@ -3,6 +3,7 @@
 #include "analysis/Analyzer.h"
 
 #include "analysis/Snapshot.h"
+#include "analysis/Worklist.h"
 #include "ir/CfgFingerprint.h"
 #include "ir/WTO.h"
 #include "obs/Metrics.h"
@@ -10,8 +11,6 @@
 #include "obs/Trace.h"
 #include "support/QueryCache.h"
 #include "term/StateCodec.h"
-
-#include <queue>
 
 using namespace cai;
 
@@ -269,19 +268,14 @@ AnalysisResult Analyzer::run(const Program &P) const {
     return true;
   };
 
-  // Stage worklist, shared across elements: a priority queue keyed by WTO
-  // position, so inner loop bodies (contiguous positions right after
-  // their head) fully stabilize before control returns to the enclosing
-  // component.
-  std::priority_queue<unsigned, std::vector<unsigned>, std::greater<unsigned>>
-      Heap;
-  std::vector<bool> Queued(P.numNodes(), false);
-  auto Enqueue = [&](NodeId N) {
-    if (!Queued[N]) {
-      Queued[N] = true;
-      Heap.push(Wto.position(N));
-    }
-  };
+  // Stage worklist, shared across elements: keyed by WTO position so
+  // inner loop bodies (contiguous positions right after their head) fully
+  // stabilize before control returns to the enclosing component.  The
+  // worklist itself is direction-parametric (analysis/Worklist.h); the
+  // forward abstract interpreter drains ascending positions, the lint
+  // tier's backward dataflow reuses the same scheduler descending.
+  WtoWorklist Worklist(Wto, Direction::Forward);
+  auto Enqueue = [&](NodeId N) { Worklist.enqueue(N); };
 
   // Ascending phase, one top-level WTO element at a time.  Stage K sees
   // its complete inputs because reachable cross-element edges only flow
@@ -375,15 +369,12 @@ AnalysisResult Analyzer::run(const Program &P) const {
       for (unsigned Pos = S; Pos < End; ++Pos)
         if (Marked[Order[Pos]])
           Enqueue(Order[Pos]);
-      while (!Heap.empty()) {
+      while (!Worklist.empty()) {
         if (CancelRequested()) {
           Result.Cancelled = true;
           break;
         }
-        unsigned Position = Heap.top();
-        Heap.pop();
-        NodeId N = Order[Position];
-        Queued[N] = false;
+        NodeId N = Worklist.pop();
         // One span per worklist step; component-head steps are the WTO
         // component iterations the cost model cares about.
         CAI_TRACE_SPAN_ARGS(Wto.isHead(N) ? "wto.component-iteration"

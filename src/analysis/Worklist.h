@@ -1,0 +1,87 @@
+//===- analysis/Worklist.h - WTO-ordered worklist scheduling ----*- C++ -*-===//
+///
+/// \file
+/// The fixpoint engine's worklist, factored out of Analyzer so its
+/// scheduling direction is a parameter.  Forward passes (the abstract
+/// interpreter) pop the pending node earliest in the weak topological
+/// order, stabilizing inner components before outer ones; backward passes
+/// (the lint tier's liveness dataflow) pop the pending node *latest* in
+/// the order, which is the mirror-image chaotic iteration strategy over
+/// the reversed CFG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_ANALYSIS_WORKLIST_H
+#define CAI_ANALYSIS_WORKLIST_H
+
+#include "ir/WTO.h"
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cai {
+
+/// Which end of the WTO order a worklist drains first.
+enum class Direction : uint8_t {
+  Forward,  ///< Pop the lowest WTO position first (dataflow along edges).
+  Backward, ///< Pop the highest WTO position first (against the edges).
+};
+
+/// A deduplicating worklist of CFG nodes keyed by WTO position.
+///
+/// Each node is queued at most once at a time; re-enqueueing a node that
+/// is already pending is a no-op.  pop() returns nodes in WTO-position
+/// order -- ascending for Direction::Forward, descending for
+/// Direction::Backward -- which makes the iteration deterministic for a
+/// given enqueue sequence regardless of insertion order.
+class WtoWorklist {
+public:
+  WtoWorklist(const WTO &Wto, Direction Dir)
+      : Wto(Wto), Dir(Dir), Queued(Wto.order().size(), false) {}
+
+  bool empty() const { return MinHeap.empty() && MaxHeap.empty(); }
+
+  /// Enqueues \p N unless it is already pending.
+  void enqueue(NodeId N) {
+    if (Queued[N])
+      return;
+    Queued[N] = true;
+    if (Dir == Direction::Forward)
+      MinHeap.push(Wto.position(N));
+    else
+      MaxHeap.push(Wto.position(N));
+  }
+
+  /// Pops the next node per the direction's scheduling order.  Requires
+  /// !empty().
+  NodeId pop() {
+    unsigned Position;
+    if (Dir == Direction::Forward) {
+      Position = MinHeap.top();
+      MinHeap.pop();
+    } else {
+      Position = MaxHeap.top();
+      MaxHeap.pop();
+    }
+    NodeId N = Wto.order()[Position];
+    Queued[N] = false;
+    return N;
+  }
+
+private:
+  const WTO &Wto;
+  Direction Dir;
+  std::vector<bool> Queued;
+  // Exactly one of the two heaps is used, per Dir.  Two members (rather
+  // than one heap with a runtime comparator) keep pop() branch-cheap in
+  // the fixpoint engine's hottest loop.
+  std::priority_queue<unsigned, std::vector<unsigned>, std::greater<unsigned>>
+      MinHeap;
+  std::priority_queue<unsigned, std::vector<unsigned>, std::less<unsigned>>
+      MaxHeap;
+};
+
+} // namespace cai
+
+#endif // CAI_ANALYSIS_WORKLIST_H

@@ -90,8 +90,11 @@ Conjunction TermEncoder::encode(const Conjunction &E) {
 
 Program TermEncoder::encode(const Program &P) {
   Program Out;
-  for (unsigned I = 0; I < P.numNodes(); ++I)
-    Out.addNode();
+  for (unsigned I = 0; I < P.numNodes(); ++I) {
+    NodeId N = Out.addNode();
+    if (P.nodeLoc(N).isValid())
+      Out.setNodeLoc(N, P.nodeLoc(N));
+  }
   Out.setEntry(P.entry());
   for (const Edge &E : P.edges()) {
     Action A = E.Act;

@@ -161,6 +161,13 @@ bool ConcreteModel::evalCond(const Conjunction &C, const Env &E, bool &Ok) {
 unsigned cai::interp::runTrace(TermContext &Ctx, const Program &P,
                                uint64_t Seed, const TraceOptions &Opts,
                                const TraceVisitor &Visit) {
+  return runTrace(Ctx, P, Seed, Opts, Visit, EdgeVisitor());
+}
+
+unsigned cai::interp::runTrace(TermContext &Ctx, const Program &P,
+                               uint64_t Seed, const TraceOptions &Opts,
+                               const TraceVisitor &Visit,
+                               const EdgeVisitor &VisitEdge) {
   if (P.numNodes() == 0)
     return 0;
   // Two independent streams: the model samples fresh valuations, the
@@ -195,7 +202,10 @@ unsigned cai::interp::runTrace(TermContext &Ctx, const Program &P,
     if (Takeable.empty())
       break; // Exit node, or every branch's assumption is false.
 
-    const Edge &Chosen = P.edges()[Takeable[Walk.below(Takeable.size())]];
+    size_t ChosenIdx = Takeable[Walk.below(Takeable.size())];
+    const Edge &Chosen = P.edges()[ChosenIdx];
+    if (VisitEdge && !VisitEdge(ChosenIdx, E, Model))
+      break;
     switch (Chosen.Act.Kind) {
     case ActionKind::Skip:
     case ActionKind::Assume:

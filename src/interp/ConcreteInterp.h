@@ -130,6 +130,13 @@ struct TraceOptions {
 /// through a second model.
 using TraceVisitor = std::function<bool(NodeId, const Env &, ConcreteModel &)>;
 
+/// Called for every edge the walk takes, with the edge's index into
+/// Program::edges() and the environment *before* the edge's action is
+/// applied; return false to stop the trace.  The lint soundness sweep uses
+/// this to reconstruct which stores execute and which values are read.
+using EdgeVisitor =
+    std::function<bool(size_t /*EdgeIdx*/, const Env &, ConcreteModel &)>;
+
 /// Replays one random walk over \p P: initializes every program variable
 /// with a random integer (the concrete counterpart of the entry invariant
 /// "top"), then repeatedly picks a uniformly random *takeable* outgoing
@@ -139,6 +146,12 @@ using TraceVisitor = std::function<bool(NodeId, const Env &, ConcreteModel &)>;
 /// node visits (>= 1 for a nonempty program).
 unsigned runTrace(TermContext &Ctx, const Program &P, uint64_t Seed,
                   const TraceOptions &Opts, const TraceVisitor &Visit);
+
+/// As above, additionally reporting each taken edge to \p VisitEdge (which
+/// may be null).  The walk itself is identical for a given seed.
+unsigned runTrace(TermContext &Ctx, const Program &P, uint64_t Seed,
+                  const TraceOptions &Opts, const TraceVisitor &Visit,
+                  const EdgeVisitor &VisitEdge);
 
 /// Renders an environment as "x = 3, y = -1/2" (id-ordered, so output is
 /// deterministic).

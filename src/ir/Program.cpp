@@ -10,6 +10,14 @@ void Program::addEdge(NodeId From, NodeId To, Action Act) {
   assert(From < NumNodes && To < NumNodes && "edge endpoint out of range");
   Edges.push_back(Edge{From, To, std::move(Act)});
   Succs.clear();
+  Preds.clear();
+}
+
+void Program::setNodeLoc(NodeId N, SourceLoc Loc) {
+  assert(N < NumNodes && "location node out of range");
+  if (Locs.size() < NumNodes)
+    Locs.resize(NumNodes);
+  Locs[N] = Loc;
 }
 
 void Program::addAssertion(NodeId Node, Atom Fact, std::string Label) {
@@ -24,6 +32,15 @@ const std::vector<std::vector<size_t>> &Program::successors() const {
       Succs[Edges[I].From].push_back(I);
   }
   return Succs;
+}
+
+const std::vector<std::vector<size_t>> &Program::predecessors() const {
+  if (Preds.empty() && NumNodes > 0) {
+    Preds.assign(NumNodes, {});
+    for (size_t I = 0; I < Edges.size(); ++I)
+      Preds[Edges[I].To].push_back(I);
+  }
+  return Preds;
 }
 
 std::vector<Term> Program::variables() const {

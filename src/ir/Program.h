@@ -72,6 +72,14 @@ struct Assertion {
   std::string Label;
 };
 
+/// Source position of the statement that created a node (1-based;
+/// Line == 0 means "no location", e.g. synthesized nodes).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  bool isValid() const { return Line != 0; }
+};
+
 /// A flowchart program.
 class Program {
 public:
@@ -88,6 +96,19 @@ public:
   /// Outgoing edge indices per node (built lazily).
   const std::vector<std::vector<size_t>> &successors() const;
 
+  /// Incoming edge indices per node (built lazily; the backward-dataflow
+  /// mirror of successors()).
+  const std::vector<std::vector<size_t>> &predecessors() const;
+
+  /// Attaches a source location to a node (diagnostics only; no effect on
+  /// analysis results).
+  void setNodeLoc(NodeId N, SourceLoc Loc);
+
+  /// The source location of N, or an invalid (Line == 0) one if unknown.
+  SourceLoc nodeLoc(NodeId N) const {
+    return N < Locs.size() ? Locs[N] : SourceLoc();
+  }
+
   /// All program variables mentioned anywhere, id-ordered.
   std::vector<Term> variables() const;
 
@@ -100,7 +121,9 @@ private:
   unsigned NumNodes = 0;
   std::vector<Edge> Edges;
   std::vector<Assertion> Asserts;
+  std::vector<SourceLoc> Locs; // Indexed by NodeId; may be shorter.
   mutable std::vector<std::vector<size_t>> Succs; // Lazy cache.
+  mutable std::vector<std::vector<size_t>> Preds; // Lazy cache.
 };
 
 } // namespace cai

@@ -20,6 +20,17 @@ Atom ProgramBuilder::parseAtomOrDie(const std::string &Text) {
   return *A;
 }
 
+void ProgramBuilder::markStatement(size_t Offset) {
+  LastMarkOffset = Offset;
+  HaveMark = true;
+  if (MarkedNode.size() <= Current)
+    MarkedNode.resize(Current + 1, false);
+  if (MarkedNode[Current])
+    return; // First mark wins (e.g. several asserts on one node).
+  MarkedNode[Current] = true;
+  StmtOffsets.emplace_back(Current, Offset);
+}
+
 void ProgramBuilder::step(Action A) {
   NodeId Next = P.addNode();
   P.addEdge(Current, Next, std::move(A));
@@ -99,9 +110,16 @@ void ProgramBuilder::ifElse(std::optional<Atom> Cond,
 
 void ProgramBuilder::loop(std::optional<Atom> Cond,
                           const std::function<void()> &Body) {
-  // Loop head is a fresh join node.
+  // Loop head is a fresh join node.  The loop condition is evaluated
+  // there, so the head inherits the `while` statement's location.
   NodeId Head = P.addNode();
   P.addEdge(Current, Head, Action::skip());
+  if (HaveMark) {
+    if (MarkedNode.size() <= Head)
+      MarkedNode.resize(Head + 1, false);
+    MarkedNode[Head] = true;
+    StmtOffsets.emplace_back(Head, LastMarkOffset);
+  }
 
   Conjunction EnterCond, ExitCond;
   if (Cond) {

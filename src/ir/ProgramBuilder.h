@@ -61,6 +61,19 @@ public:
   /// Marks the current node (e.g. to attach assertions later).
   NodeId here() const { return Current; }
 
+  /// Records that the statement starting at byte \p Offset begins at the
+  /// current node (first mark per node wins, so a join node inherits the
+  /// location of the first statement after the join).  Loop statements
+  /// also stamp their synthesized head node, which is where the loop
+  /// condition is evaluated.  Offsets are resolved to line/col by the
+  /// caller (ProgramParser) against the original source.
+  void markStatement(size_t Offset);
+
+  /// The recorded (node, statement byte offset) pairs, in program order.
+  const std::vector<std::pair<NodeId, size_t>> &statementOffsets() const {
+    return StmtOffsets;
+  }
+
   /// Finishes and returns the program.
   Program take() { return std::move(P); }
 
@@ -74,6 +87,10 @@ private:
   Program P;
   NodeId Current;
   unsigned AssertCounter = 0;
+  std::vector<std::pair<NodeId, size_t>> StmtOffsets;
+  std::vector<bool> MarkedNode;     // Indexed by NodeId; may be shorter.
+  size_t LastMarkOffset = 0;        // Offset of the most recent mark.
+  bool HaveMark = false;
 };
 
 } // namespace cai

@@ -5,6 +5,8 @@
 #include "ir/ProgramBuilder.h"
 #include "term/Parser.h"
 
+#include <algorithm>
+
 using namespace cai;
 
 namespace {
@@ -128,6 +130,7 @@ private:
     Token T = Lex.peek();
     if (T.Kind != TokKind::Ident)
       return fail("expected a statement");
+    B.markStatement(T.Pos);
 
     if (T.Text == "if") {
       Lex.next();
@@ -243,5 +246,25 @@ std::optional<Program> cai::parseProgram(TermContext &Ctx,
       *Error = Err.empty() ? "parse error" : withLineInfo(std::move(Err), Source);
     return std::nullopt;
   }
-  return B.take();
+  // Resolve recorded statement byte offsets to 1-based line/col against
+  // the original source (stripComments preserves offsets) and stamp them
+  // onto the program for diagnostics.
+  std::vector<std::pair<NodeId, size_t>> Marks = B.statementOffsets();
+  Program P = B.take();
+  std::sort(Marks.begin(), Marks.end(),
+            [](const auto &X, const auto &Y) { return X.second < Y.second; });
+  size_t Line = 1, Col = 1, At = 0;
+  for (const auto &[Node, Offset] : Marks) {
+    for (; At < Offset && At < Source.size(); ++At) {
+      if (Source[At] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    P.setNodeLoc(Node, SourceLoc{static_cast<uint32_t>(Line),
+                                 static_cast<uint32_t>(Col)});
+  }
+  return P;
 }

@@ -1,0 +1,144 @@
+//===- lint/Dataflow.cpp - Liveness and definedness dataflow ---------------===//
+
+#include "lint/Dataflow.h"
+
+#include "analysis/Worklist.h"
+
+using namespace cai;
+using namespace cai::lint;
+
+namespace {
+
+/// Variables read by the action of \p E (the RHS of an assignment, the
+/// condition of an assume), as dataflow columns.
+std::vector<size_t> edgeGen(const DataflowResult &R, const Edge &E) {
+  std::vector<Term> Read;
+  switch (E.Act.Kind) {
+  case ActionKind::Assign:
+    collectVars(E.Act.Value, Read);
+    break;
+  case ActionKind::Assume:
+    if (!E.Act.Cond.isBottom())
+      for (const Atom &A : E.Act.Cond.atoms())
+        A.collectVars(Read);
+    break;
+  case ActionKind::Skip:
+  case ActionKind::Havoc:
+    break;
+  }
+  std::vector<size_t> Cols;
+  Cols.reserve(Read.size());
+  for (Term V : Read)
+    if (size_t I = R.indexOf(V); I != SIZE_MAX)
+      Cols.push_back(I);
+  return Cols;
+}
+
+/// The column assigned by \p E (Assign or Havoc), or SIZE_MAX.
+size_t edgeKill(const DataflowResult &R, const Edge &E) {
+  if (E.Act.Kind != ActionKind::Assign && E.Act.Kind != ActionKind::Havoc)
+    return SIZE_MAX;
+  return R.indexOf(E.Act.Var);
+}
+
+} // namespace
+
+DataflowResult lint::runDataflow(const Program &P, const WTO &Wto) {
+  DataflowResult R;
+  R.Vars = P.variables();
+  for (size_t I = 0; I < R.Vars.size(); ++I)
+    R.VarIndex.emplace(R.Vars[I], I);
+  const size_t NumVars = R.Vars.size();
+  const unsigned NumNodes = P.numNodes();
+  const auto &Succs = P.successors();
+  const auto &Preds = P.predecessors();
+
+  // Per-node at-node reads: assertion facts are evaluated at their node.
+  std::vector<std::vector<bool>> AssertUses(NumNodes,
+                                            std::vector<bool>(NumVars, false));
+  for (const Assertion &A : P.assertions()) {
+    std::vector<Term> Read;
+    A.Fact.collectVars(Read);
+    for (Term V : Read)
+      if (size_t I = R.indexOf(V); I != SIZE_MAX)
+        AssertUses[A.Node][I] = true;
+  }
+
+  // ---- Backward may-liveness --------------------------------------------
+  //
+  //   LiveAt(n) = assertUses(n)
+  //             | U_{e=(n,v)} gen(e) | (LiveAt(v) \ kill(e))
+  //
+  // Union meet over a finite powerset: monotone growth, no widening
+  // needed.  The worklist drains descending WTO positions, the mirror of
+  // the forward engine's order.
+  R.LiveAt = AssertUses;
+  {
+    WtoWorklist Work(Wto, Direction::Backward);
+    for (NodeId N = 0; N < NumNodes; ++N)
+      Work.enqueue(N);
+    while (!Work.empty()) {
+      NodeId N = Work.pop();
+      std::vector<bool> Next = AssertUses[N];
+      for (size_t EdgeIdx : Succs[N]) {
+        const Edge &E = P.edges()[EdgeIdx];
+        for (size_t Col : edgeGen(R, E))
+          Next[Col] = true;
+        size_t Kill = edgeKill(R, E);
+        const std::vector<bool> &Out = R.LiveAt[E.To];
+        for (size_t Col = 0; Col < NumVars; ++Col)
+          if (Out[Col] && Col != Kill)
+            Next[Col] = true;
+      }
+      if (Next != R.LiveAt[N]) {
+        R.LiveAt[N] = std::move(Next);
+        for (size_t EdgeIdx : Preds[N])
+          Work.enqueue(P.edges()[EdgeIdx].From);
+      }
+    }
+  }
+
+  // ---- Forward must/may definedness -------------------------------------
+  //
+  //   MustDefAt(n) = /\_{e=(u,n)} MustDefAt(u) | def(e)     (entry: {})
+  //   MayDefAt(n)  = \/_{e=(u,n)} MayDefAt(u)  | def(e)     (entry: {})
+  //
+  // Must starts at top (all defined) on interior nodes so unreachable
+  // predecessors never weaken the intersection; entry is pinned at {}.
+  R.MustDefAt.assign(NumNodes, std::vector<bool>(NumVars, true));
+  R.MayDefAt.assign(NumNodes, std::vector<bool>(NumVars, false));
+  R.MustDefAt[P.entry()].assign(NumVars, false);
+  {
+    WtoWorklist Work(Wto, Direction::Forward);
+    for (NodeId N = 0; N < NumNodes; ++N)
+      Work.enqueue(N);
+    while (!Work.empty()) {
+      NodeId N = Work.pop();
+      if (N == P.entry() && Preds[N].empty())
+        continue;
+      std::vector<bool> Must(NumVars, N != P.entry());
+      std::vector<bool> May(NumVars, false);
+      if (Preds[N].empty())
+        Must.assign(NumVars, true); // Unreachable interior: stays top.
+      for (size_t EdgeIdx : Preds[N]) {
+        const Edge &E = P.edges()[EdgeIdx];
+        size_t Def = edgeKill(R, E);
+        for (size_t Col = 0; Col < NumVars; ++Col) {
+          bool InMust = R.MustDefAt[E.From][Col] || Col == Def;
+          bool InMay = R.MayDefAt[E.From][Col] || Col == Def;
+          if (N != P.entry())
+            Must[Col] = Must[Col] && InMust;
+          May[Col] = May[Col] || InMay;
+        }
+      }
+      if (Must != R.MustDefAt[N] || May != R.MayDefAt[N]) {
+        R.MustDefAt[N] = std::move(Must);
+        R.MayDefAt[N] = std::move(May);
+        for (size_t EdgeIdx : Succs[N])
+          Work.enqueue(P.edges()[EdgeIdx].To);
+      }
+    }
+  }
+
+  return R;
+}

@@ -1,0 +1,59 @@
+//===- lint/Dataflow.h - Liveness and definedness dataflow ------*- C++ -*-===//
+///
+/// \file
+/// Classical bit-vector dataflow over a flowchart program, computed with
+/// the same WTO-ordered worklist the abstract interpreter uses
+/// (analysis/Worklist.h) -- liveness runs it in Direction::Backward, the
+/// engine's first backward pass.  Three facts per (node, variable):
+///
+///  - LiveAt[n][x]:    the value of x at n may be read on some path from n
+///                     before being overwritten (may-liveness; union meet).
+///  - MustDefAt[n][x]: x has been assigned on *every* path from entry to n
+///                     (must-definedness; intersection meet).
+///  - MayDefAt[n][x]:  x has been assigned on *some* path from entry to n.
+///
+/// The lint tier derives dead-store findings from LiveAt (a store whose
+/// target is not live at the edge target is never read -- sound, because
+/// may-liveness over-approximates the concretely read set) and
+/// uninitialized-read candidates from the Must/May gap (read of a variable
+/// assigned on some path but not all).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_LINT_DATAFLOW_H
+#define CAI_LINT_DATAFLOW_H
+
+#include "ir/Program.h"
+#include "ir/WTO.h"
+
+#include <unordered_map>
+
+namespace cai {
+namespace lint {
+
+/// Per-node bit-vector dataflow facts (see file comment).
+struct DataflowResult {
+  /// Column order of the bit vectors: Program::variables(), which is
+  /// structurally ordered and therefore deterministic.
+  std::vector<Term> Vars;
+  std::vector<std::vector<bool>> LiveAt;
+  std::vector<std::vector<bool>> MustDefAt;
+  std::vector<std::vector<bool>> MayDefAt;
+
+  /// Column of \p V, or SIZE_MAX when V is not a program variable.
+  size_t indexOf(Term V) const {
+    auto It = VarIndex.find(V);
+    return It == VarIndex.end() ? SIZE_MAX : It->second;
+  }
+
+  std::unordered_map<Term, size_t> VarIndex;
+};
+
+/// Runs the three dataflow analyses to fixpoint.  \p Wto must be the WTO
+/// of \p P.  Pure syntactic dataflow: no lattice, no invariants.
+DataflowResult runDataflow(const Program &P, const WTO &Wto);
+
+} // namespace lint
+} // namespace cai
+
+#endif // CAI_LINT_DATAFLOW_H

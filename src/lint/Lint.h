@@ -1,0 +1,114 @@
+//===- lint/Lint.h - Invariant-derived diagnostics --------------*- C++ -*-===//
+///
+/// \file
+/// The semantic lint tier (docs/LINT.md): a pass suite that runs after the
+/// fixpoint and derives findings from the invariant map plus a backward
+/// liveness/definedness dataflow (lint/Dataflow.h).  Checks:
+///
+///   unreachable-code            invariant at a statement node is false
+///   branch-always-true/-false   branch condition entailed / refuted by
+///                               the combined invariant
+///   possible-division-by-zero   invariant fails to entail divisor != 0
+///   possible-out-of-bounds-index  invariant fails to entail index >= 0
+///   dead-store                  assigned value never read (may-liveness)
+///   uninitialized-read          read of a variable assigned on some path
+///                               but not all (must/may definedness gap)
+///
+/// Every finding carries a severity level, the source location of the
+/// statement it anchors to (ir/Program.h node locations, stamped by the
+/// mini-language parser), and a provenance attribution naming the
+/// component domain whose facts justified it
+/// (LogicalLattice::attributeAtom).  Findings are deterministically
+/// ordered and deduplicated, so the rendered output is byte-stable across
+/// memoization modes, worker counts and cache temperature -- the same bar
+/// the analysis service holds its responses to.
+///
+/// Soundness contract (tested differentially against the concrete
+/// interpreter over generated programs): no node the concrete oracle
+/// reaches may be called unreachable, and no concretely-executed store
+/// whose value is later read may be called dead.  The entailment-failure
+/// checks (division, bounds, uninitialized) are "possible" findings and
+/// carry no such guarantee -- they report unproven safety, not proven
+/// bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_LINT_LINT_H
+#define CAI_LINT_LINT_H
+
+#include "analysis/Analyzer.h"
+#include "ir/Program.h"
+#include "theory/LogicalLattice.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cai {
+namespace lint {
+
+/// One diagnostic.
+struct LintFinding {
+  std::string Rule;    ///< Stable rule id, e.g. "dead-store".
+  std::string Level;   ///< "warning" or "note" (SARIF level names).
+  uint32_t Line = 0;   ///< 1-based; 0 = no source location.
+  uint32_t Col = 0;
+  NodeId Node = 0;     ///< CFG node the finding anchors to.
+  std::string Message;
+  std::string Domain;  ///< Provenance: justifying component domain(s).
+};
+
+/// Which checks run.  Checks is a comma-separated subset of the selector
+/// names below; empty selects everything.  This is result-affecting state:
+/// the service folds it into the canonical fingerprint.
+struct LintOptions {
+  std::string Checks;
+};
+
+/// The check selector names accepted by LintOptions::Checks / --lint=sel,
+/// in canonical order: unreachable, branch, divzero, bounds, deadstore,
+/// uninit.
+const std::vector<std::string> &lintSelectors();
+
+/// Validates a selection string; on failure returns false and sets
+/// \p Error to name the unknown selector.
+bool validateLintChecks(const std::string &Checks, std::string *Error);
+
+/// Runs the lint passes over the analyzed program.  \p Result must come
+/// from an Analyzer run over \p P with \p Lattice; if the run did not
+/// converge (or was cancelled) the invariants cannot be trusted and no
+/// findings are produced.  Findings come back sorted by (line, col, rule,
+/// message, node) and exact-deduplicated.
+std::vector<LintFinding> runLint(TermContext &Ctx, const Program &P,
+                                 const AnalysisResult &Result,
+                                 const LogicalLattice &Lattice,
+                                 const LintOptions &Opts = {});
+
+/// Renders findings one per line:
+///   <file>:<line>:<col>: <level>: <message> [<rule>] <<domain>>
+std::string renderText(const std::vector<LintFinding> &Findings,
+                       const std::string &File);
+
+/// Renders a complete SARIF 2.1.0 log (one run, one artifact).
+std::string renderSarif(const std::vector<LintFinding> &Findings,
+                        const std::string &File);
+
+/// The suppression key a baseline file stores for \p F:
+///   <rule>@<line>:<col> <message>
+std::string baselineKey(const LintFinding &F);
+
+/// Parses a baseline file: one key per line, blank lines and #-comments
+/// ignored.
+std::set<std::string> parseBaseline(const std::string &Text);
+
+/// Drops findings whose baselineKey appears in \p Baseline.
+std::vector<LintFinding> applyBaseline(std::vector<LintFinding> Findings,
+                                       const std::set<std::string> &Baseline);
+
+/// Renders findings as a baseline file (sorted keys plus a header).
+std::string renderBaseline(const std::vector<LintFinding> &Findings);
+
+} // namespace lint
+} // namespace cai
+
+#endif // CAI_LINT_LINT_H

@@ -78,6 +78,8 @@ void hashOptions(Fnv &F, const JobOptions &Opts) {
   F.word(Opts.SemanticConvergence ? 1 : 0);
   F.word(Opts.Memoize ? 1 : 0);
   F.word(static_cast<uint64_t>(Opts.PolyMaxRows));
+  F.word(Opts.Lint ? 1 : 0);
+  F.bytes(Opts.LintChecks);
 }
 
 uint64_t hashKey(const JobSpec &Spec, const std::string &Canon,

@@ -14,6 +14,7 @@
 #define CAI_SERVICE_JOB_H
 
 #include "analysis/Analyzer.h"
+#include "lint/Lint.h"
 
 #include <chrono>
 #include <cstdint>
@@ -38,6 +39,13 @@ struct JobOptions {
   /// Polyhedra row cap; SIZE_MAX keeps the build-wide default, 0 means
   /// unlimited (mirrors cai-analyze --poly-max-rows).
   size_t PolyMaxRows = SIZE_MAX;
+  /// Run the semantic lint passes (lint/Lint.h) after the fixpoint and
+  /// attach the findings to the result.  Result-affecting (a lint job's
+  /// findings are part of the cached bytes), so both fields fold into the
+  /// canonical fingerprint.
+  bool Lint = false;
+  /// Lint check selection (LintOptions::Checks); empty = every check.
+  std::string LintChecks;
   /// Per-job deadline in milliseconds; 0 = none.  Enforced cooperatively
   /// by the fixpoint engine (AnalyzerOptions::Deadline): the job reports
   /// JobStatus::Timeout, the process is never killed.
@@ -111,6 +119,12 @@ struct JobResult {
   /// Diagnostic for ParseError/BadDomain/Error.
   std::string Error;
   std::vector<AssertionVerdict> Assertions;
+  /// True when the lint passes ran (JobOptions::Lint on a converged,
+  /// parseable job); the wire line then carries a "findings" array even
+  /// when it is empty.
+  bool Linted = false;
+  /// Lint findings (only when Linted; part of the cached bytes).
+  std::vector<lint::LintFinding> Findings;
   unsigned NumVerified = 0;
   AnalyzerStats Stats;
   /// Served from the ResultCache (Stats/assertions replay the original

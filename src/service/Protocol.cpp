@@ -49,6 +49,17 @@ bool cai::service::jobOptionsFromJson(const Json &Obj, JobOptions &Opts,
       if (!V.isNumber() || V.asInt() < 0)
         return Fail("option \"poly_max_rows\" must be a non-negative number");
       Opts.PolyMaxRows = static_cast<size_t>(V.asInt());
+    } else if (Key == "lint") {
+      if (!V.isBool())
+        return Fail("option \"lint\" must be a boolean");
+      Opts.Lint = V.asBool();
+    } else if (Key == "lint_checks") {
+      if (!V.isString())
+        return Fail("option \"lint_checks\" must be a string");
+      std::string LintErr;
+      if (!lint::validateLintChecks(V.asString(), &LintErr))
+        return Fail(LintErr);
+      Opts.LintChecks = V.asString();
     } else if (Key == "timeout_ms") {
       if (!V.isNumber() || V.asInt() < 0)
         return Fail("option \"timeout_ms\" must be a non-negative number");
@@ -101,6 +112,10 @@ cai::service::parseRequest(const std::string &Line, uint64_t DefaultId,
     if (Cmd->asString() == "analyze_edit") {
       // Falls through to the analyze parse below with the edit flag set.
       Req.Spec.Edit = true;
+    } else if (Cmd->asString() == "lint") {
+      // An analyze with the lint passes on: same parse, same result line
+      // plus a "findings" array.
+      Req.Spec.Opts.Lint = true;
     } else {
       return Fail("unknown cmd \"" + Cmd->asString() + "\"");
     }
@@ -162,6 +177,20 @@ std::string cai::service::resultToJsonLine(const JobResult &R) {
     Asserts.push(std::move(A));
   }
   Line.set("assertions", std::move(Asserts));
+  if (R.Linted) {
+    Json Findings = Json::array();
+    for (const lint::LintFinding &F : R.Findings) {
+      Json Obj = Json::object();
+      Obj.set("rule", Json::str(F.Rule));
+      Obj.set("level", Json::str(F.Level));
+      Obj.set("line", Json::integer(F.Line));
+      Obj.set("col", Json::integer(F.Col));
+      Obj.set("message", Json::str(F.Message));
+      Obj.set("domain", Json::str(F.Domain));
+      Findings.push(std::move(Obj));
+    }
+    Line.set("findings", std::move(Findings));
+  }
   Json Stats = Json::object();
   Stats.set("joins", Json::integer(static_cast<int64_t>(R.Stats.Joins)));
   Stats.set("widenings",

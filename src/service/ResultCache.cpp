@@ -14,6 +14,9 @@ size_t ResultCache::costOf(const std::string &Fingerprint,
                 R.Error.size();
   for (const AssertionVerdict &V : R.Assertions)
     Cost += sizeof(AssertionVerdict) + V.Label.size();
+  for (const lint::LintFinding &F : R.Findings)
+    Cost += sizeof(lint::LintFinding) + F.Rule.size() + F.Level.size() +
+            F.Message.size() + F.Domain.size();
   return Cost;
 }
 

@@ -161,6 +161,26 @@ JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
     } else {
       R.Status = JobStatus::AssertionsFailed;
     }
+
+    // Lint jobs: derive findings from the stabilized invariants.  Runs
+    // only on converged results (runLint refuses anything else) and folds
+    // into the cached bytes -- the Lint/LintChecks options are part of the
+    // fingerprint, so an analyze job never serves a lint job's slot.
+    if (Spec.Opts.Lint && AR.Converged && !AR.Cancelled) {
+      auto LintBegin = Phases ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point();
+      lint::LintOptions LOpts;
+      LOpts.Checks = Spec.Opts.LintChecks;
+      R.Findings = lint::runLint(Ctx, Analyzed, AR, *Domain, LOpts);
+      R.Linted = true;
+      if (Phases) {
+        Phases->LintUs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - LintBegin)
+                .count());
+        Phases->HasLint = true;
+      }
+    }
   } catch (const std::exception &E) {
     R.Status = JobStatus::Error;
     R.Error = E.what();
@@ -174,7 +194,7 @@ JobResult AnalysisScheduler::runJobIsolated(const JobSpec &Spec,
   return R;
 }
 
-AnalysisScheduler::AnalysisScheduler(SchedulerOptions O)
+AnalysisScheduler::AnalysisScheduler(const SchedulerOptions &O)
     : Opts(O), Cache(O.CacheBytes), Snapshots(O.SnapshotCacheBytes),
       // A slow-job threshold only makes sense with the telemetry channel
       // up, so SlowMs != 0 implies it.
@@ -354,8 +374,10 @@ JobResult AnalysisScheduler::runCaptured(const JobSpec &Spec,
   if (LS) {
     LS->ParseUs = Phases.ParseUs;
     LS->AnalyzeUs = Phases.AnalyzeUs;
+    LS->LintUs = Phases.LintUs;
     LS->HasParse = Phases.HasParse;
     LS->HasAnalyze = Phases.HasAnalyze;
+    LS->HasLint = Phases.HasLint;
   }
 
   if (Opts.SlowMs != 0 && R.DurationMs > static_cast<double>(Opts.SlowMs)) {

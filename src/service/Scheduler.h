@@ -82,8 +82,10 @@ struct SchedulerOptions {
 struct JobPhases {
   uint64_t ParseUs = 0;   ///< parseProgram + optional term encoding.
   uint64_t AnalyzeUs = 0; ///< Analyzer::run.
+  uint64_t LintUs = 0;    ///< lint::runLint (lint jobs only).
   bool HasParse = false;
   bool HasAnalyze = false;
+  bool HasLint = false;
 };
 
 class AnalysisScheduler {
@@ -93,7 +95,7 @@ public:
   /// scheduler from inside it.
   using ResultCallback = std::function<void(const JobResult &)>;
 
-  explicit AnalysisScheduler(SchedulerOptions Opts = {});
+  explicit AnalysisScheduler(const SchedulerOptions &Opts = {});
   /// Discards unstarted jobs, cooperatively cancels running ones, joins.
   ~AnalysisScheduler();
 

@@ -17,6 +17,8 @@ void TelemetryHub::recordJob(const LifecycleSample &S, unsigned Worker) {
     ParseH.record(S.ParseUs);
   if (S.HasAnalyze)
     AnalyzeH.record(S.AnalyzeUs);
+  if (S.HasLint)
+    LintH.record(S.LintUs);
   if (S.HasCacheWrite)
     CacheWriteH.record(S.CacheWriteUs);
   RespondH.record(S.RespondUs);
@@ -61,6 +63,7 @@ void TelemetryHub::mergeInto(obs::MetricsRegistry &Into) const {
   Into.latency("service.telemetry.queue_us").merge(QueueH);
   Into.latency("service.telemetry.parse_us").merge(ParseH);
   Into.latency("service.telemetry.analyze_us").merge(AnalyzeH);
+  Into.latency("service.telemetry.lint_us").merge(LintH);
   Into.latency("service.telemetry.cache_write_us").merge(CacheWriteH);
   Into.latency("service.telemetry.respond_us").merge(RespondH);
   Into.latency("service.telemetry.total_us").merge(TotalH);
@@ -97,6 +100,7 @@ Json TelemetryHub::report(unsigned Workers) const {
   Phases.set("queue_us", histogramJson(QueueH));
   Phases.set("parse_us", histogramJson(ParseH));
   Phases.set("analyze_us", histogramJson(AnalyzeH));
+  Phases.set("lint_us", histogramJson(LintH));
   Phases.set("cache_write_us", histogramJson(CacheWriteH));
   Phases.set("respond_us", histogramJson(RespondH));
   Phases.set("total_us", histogramJson(TotalH));

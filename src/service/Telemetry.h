@@ -45,11 +45,13 @@ struct LifecycleSample {
   uint64_t QueueUs = 0;     ///< submit() to dequeue on a worker.
   uint64_t ParseUs = 0;     ///< Program text to IR.
   uint64_t AnalyzeUs = 0;   ///< Fixpoint + assertion checking.
+  uint64_t LintUs = 0;      ///< Semantic lint passes (lint jobs only).
   uint64_t CacheWriteUs = 0; ///< Result/snapshot cache publish.
   uint64_t RespondUs = 0;   ///< Result callback + publication.
   uint64_t TotalUs = 0;     ///< submit() to responded.
   bool HasParse = false;
   bool HasAnalyze = false;
+  bool HasLint = false;
   bool HasCacheWrite = false;
   bool CacheHit = false;
 };
@@ -104,8 +106,8 @@ private:
   std::chrono::steady_clock::time_point Epoch;
 
   mutable std::mutex Mu;
-  obs::LatencyHistogram QueueH, ParseH, AnalyzeH, CacheWriteH, RespondH,
-      TotalH;
+  obs::LatencyHistogram QueueH, ParseH, AnalyzeH, LintH, CacheWriteH,
+      RespondH, TotalH;
   obs::LatencyHistogram QueueDepthH; ///< Depth samples, not times.
   uint64_t QueueDepthPeak = 0;
   uint64_t JobsRecorded = 0;

@@ -81,6 +81,96 @@ TEST(Fingerprint, IdAndNameDoNotParticipate) {
   EXPECT_EQ(fingerprintJob(A), fingerprintJob(B));
 }
 
+// The option-coverage guard: every result-affecting JobOptions field must
+// fold into the canonical fingerprint, or the ResultCache would serve a
+// stale result across an option change.  The structured binding below is a
+// compile-time tripwire -- adding a field to JobOptions breaks it until
+// both the binding and the perturbation list are brought up to date, so a
+// new option cannot silently skip the fingerprint.
+TEST(Fingerprint, EveryResultAffectingOptionParticipates) {
+  JobSpec Base = specOf("x := 1;\n");
+  {
+    auto &[DomainSpec, Encode, WideningDelay, NarrowingPasses,
+           SemanticConvergence, Memoize, PolyMaxRows, Lint, LintChecks,
+           TimeoutMs, TestCrash] = Base.Opts;
+    (void)DomainSpec;
+    (void)Encode;
+    (void)WideningDelay;
+    (void)NarrowingPasses;
+    (void)SemanticConvergence;
+    (void)Memoize;
+    (void)PolyMaxRows;
+    (void)Lint;
+    (void)LintChecks;
+    (void)TimeoutMs;
+    (void)TestCrash;
+  }
+  const std::string Orig = fingerprintJob(Base);
+  auto Perturbed = [&](void (*Mutate)(JobOptions &)) {
+    JobSpec S = Base;
+    Mutate(S.Opts);
+    return fingerprintJob(S);
+  };
+  // Result-affecting: each perturbation must move the fingerprint.
+  EXPECT_NE(Orig, Perturbed([](JobOptions &O) { O.DomainSpec = "poly"; }));
+  EXPECT_NE(Orig, Perturbed([](JobOptions &O) { O.Encode = "arity"; }));
+  EXPECT_NE(Orig, Perturbed([](JobOptions &O) { O.WideningDelay += 1; }));
+  EXPECT_NE(Orig, Perturbed([](JobOptions &O) { O.NarrowingPasses += 1; }));
+  EXPECT_NE(Orig,
+            Perturbed([](JobOptions &O) { O.SemanticConvergence = false; }));
+  EXPECT_NE(Orig, Perturbed([](JobOptions &O) { O.Memoize = false; }));
+  EXPECT_NE(Orig, Perturbed([](JobOptions &O) { O.PolyMaxRows = 64; }));
+  EXPECT_NE(Orig, Perturbed([](JobOptions &O) { O.Lint = true; }));
+  EXPECT_NE(Orig, Perturbed([](JobOptions &O) {
+              O.LintChecks = "deadstore";
+            }));
+  // Excluded by design: outcomes of these are never cached.
+  EXPECT_EQ(Orig, Perturbed([](JobOptions &O) { O.TimeoutMs = 99; }));
+  EXPECT_EQ(Orig, Perturbed([](JobOptions &O) { O.TestCrash = true; }));
+}
+
+// A lint job's findings ride the result line and the cache: the same
+// program analyzed with and without lint must occupy distinct cache
+// slots, and the cached lint result replays its findings.
+TEST(Scheduler, LintJobsCacheSeparatelyAndReplayFindings) {
+  SchedulerOptions SO;
+  SO.Workers = 2;
+  AnalysisScheduler Sched(SO);
+  const char *Src = "x := 1;\nif (x <= 0) {\n  y := 9;\n}\nassert(1 <= x);\n";
+  JobSpec Plain = specOf(Src, "logical:poly,uf");
+  Plain.Id = 1;
+  JobSpec Linted = Plain;
+  Linted.Id = 2;
+  Linted.Opts.Lint = true;
+  JobSpec LintedAgain = Linted;
+  LintedAgain.Id = 3;
+  Sched.submit(Plain);
+  Sched.submit(Linted);
+  Sched.waitIdle();
+  Sched.submit(LintedAgain); // After the first round: a result-cache hit.
+  Sched.waitIdle();
+  std::vector<JobResult> Results = Sched.takeResults();
+  std::sort(Results.begin(), Results.end(),
+            [](const JobResult &A, const JobResult &B) { return A.Id < B.Id; });
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_NE(Results[0].Fingerprint, Results[1].Fingerprint);
+  EXPECT_FALSE(Results[0].Linted);
+  EXPECT_TRUE(Results[0].Findings.empty());
+  EXPECT_TRUE(Results[1].Linted);
+  EXPECT_FALSE(Results[1].Findings.empty()); // The dead then-branch.
+  EXPECT_TRUE(Results[2].CacheHit);
+  ASSERT_EQ(Results[2].Findings.size(), Results[1].Findings.size());
+  for (size_t I = 0; I < Results[1].Findings.size(); ++I) {
+    EXPECT_EQ(Results[2].Findings[I].Rule, Results[1].Findings[I].Rule);
+    EXPECT_EQ(Results[2].Findings[I].Message, Results[1].Findings[I].Message);
+  }
+  // The wire line carries the findings array for lint jobs only.
+  EXPECT_NE(resultToJsonLine(Results[1]).find("\"findings\":["),
+            std::string::npos);
+  EXPECT_EQ(resultToJsonLine(Results[0]).find("\"findings\""),
+            std::string::npos);
+}
+
 // --- ResultCache ---------------------------------------------------------
 
 std::shared_ptr<const JobResult> resultNamed(const std::string &Name) {

@@ -60,10 +60,22 @@
 ///                     testing hook: deliberately break the domain's join
 ///                     (return the left operand) from the N-th call onward
 ///                     so the checker's detection path can be exercised
+///   --lint[=SEL]      run the semantic lint passes over the stabilized
+///                     invariants (docs/LINT.md) and print the findings;
+///                     SEL is a comma-separated subset of unreachable,
+///                     branch, divzero, bounds, deadstore, uninit
+///   --lint-format=text|sarif
+///                     findings as human-readable lines (default) or as a
+///                     single-line SARIF 2.1.0 log (the last stdout line)
+///   --lint-baseline=FILE
+///                     suppress findings whose baseline key appears in
+///                     FILE (one key per line; see cai-lint
+///                     --write-baseline)
 ///
 /// Exit code: 0 if every assertion verified and the fixpoint converged,
 /// 1 otherwise, 2 on usage/parse errors, 3 if --check found a soundness
 /// or contract violation, 4 if --timeout-ms expired before convergence.
+/// Lint findings do not change the exit code.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -74,6 +86,7 @@
 #include "encodings/Encodings.h"
 #include "interp/Oracle.h"
 #include "ir/ProgramParser.h"
+#include "lint/Lint.h"
 #include "service/DomainFactory.h"
 #include "obs/Metrics.h"
 #include "obs/Provenance.h"
@@ -102,6 +115,8 @@ void usage() {
       "                   [--explain[=<label|node>]]\n"
       "                   [--check[=oracle|contracts|all]] [--check-traces=N]\n"
       "                   [--check-seed=N] [--test-break-join[=N]]\n"
+      "                   [--lint[=checks]] [--lint-format=text|sarif]\n"
+      "                   [--lint-baseline=FILE]\n"
       "                   <program.imp>\n"
       "domain specs: affine poly uf parity sign lists arrays\n"
       "              direct:<a>,<b>  reduced:<a>,<b>  logical:<a>,<b>\n"
@@ -130,6 +145,10 @@ int main(int Argc, char **Argv) {
   bool CheckOracle = false;
   bool BreakJoin = false;
   unsigned BreakJoinFrom = 0;
+  bool Lint = false;
+  std::string LintFormat = "text";
+  std::string LintBaseline;
+  lint::LintOptions LintOpts;
   uint64_t TimeoutMs = 0;
   interp::OracleOptions OracleOpts;
   AnalyzerOptions Opts;
@@ -194,6 +213,29 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       OracleOpts.Seed = std::stoull(Value);
+    } else if (Arg == "--lint") {
+      Lint = true;
+    } else if (Arg.rfind("--lint=", 0) == 0) {
+      Lint = true;
+      LintOpts.Checks = Arg.substr(7);
+      std::string LintErr;
+      if (!lint::validateLintChecks(LintOpts.Checks, &LintErr)) {
+        std::fprintf(stderr, "error: %s\n", LintErr.c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--lint-format=", 0) == 0) {
+      LintFormat = Arg.substr(14);
+      if (LintFormat != "text" && LintFormat != "sarif") {
+        std::fprintf(stderr,
+                     "error: --lint-format expects 'text' or 'sarif'\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--lint-baseline=", 0) == 0) {
+      LintBaseline = Arg.substr(16);
+      if (LintBaseline.empty()) {
+        std::fprintf(stderr, "error: --lint-baseline expects a file name\n");
+        return 2;
+      }
     } else if (Arg == "--test-break-join") {
       BreakJoin = true;
     } else if (Arg.rfind("--test-break-join=", 0) == 0) {
@@ -262,6 +304,18 @@ int main(int Argc, char **Argv) {
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
+
+  std::set<std::string> Baseline;
+  if (!LintBaseline.empty()) {
+    std::ifstream BIn(LintBaseline);
+    if (!BIn) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", LintBaseline.c_str());
+      return 2;
+    }
+    std::stringstream BBuf;
+    BBuf << BIn.rdbuf();
+    Baseline = lint::parseBaseline(BBuf.str());
+  }
 
   TermContext Ctx;
   // Pre-intern the theory predicates so the parser recognizes them even if
@@ -405,6 +459,24 @@ int main(int Argc, char **Argv) {
                 toString(Ctx, A.Fact).c_str());
   }
 
+  std::string LintSarif;
+  if (Lint) {
+    std::vector<lint::LintFinding> Findings =
+        lint::applyBaseline(lint::runLint(Ctx, Analyzed, R, *Domain, LintOpts),
+                            Baseline);
+    if (LintFormat == "sarif") {
+      // Deferred to the very last stdout line so SARIF consumers can peel
+      // it off the human-readable report with `tail -1`.
+      LintSarif = lint::renderSarif(Findings, Path);
+    } else {
+      std::printf("\nlint:       %zu finding%s\n", Findings.size(),
+                  Findings.size() == 1 ? "" : "s");
+      std::istringstream LintIn(lint::renderText(Findings, Path));
+      for (std::string Line; std::getline(LintIn, Line);)
+        std::printf("  %s\n", Line.c_str());
+    }
+  }
+
   if (Explain) {
     // Matches either the assertion label or the cutpoint (node number).
     auto Selected = [&](const Assertion &A) {
@@ -466,6 +538,8 @@ int main(int Argc, char **Argv) {
   unsigned Verified = R.numVerified();
   std::printf("\n%u/%zu assertions verified\n", Verified,
               R.Assertions.size());
+  if (!LintSarif.empty())
+    std::printf("%s\n", LintSarif.c_str());
   if (CheckViolated) {
     std::fprintf(stderr, "error: soundness self-audit failed (see "
                          "violations above)\n");

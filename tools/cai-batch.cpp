@@ -21,6 +21,9 @@
 ///   --domain=<spec>   same grammar as cai-analyze (default logical:poly,uf)
 ///   --encode=comm|arity
 ///   --timeout-ms=N    per-job cooperative deadline
+///   --lint[=sel]      run the lint passes after each fixpoint; result lines
+///                     gain a "findings" array (sel as in cai-lint --checks)
+///   --no-memo         disable transfer memoization (for determinism tests)
 ///
 /// Scheduler:
 ///   --jobs=N          worker threads (default 1)
@@ -56,6 +59,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interp/ProgramGen.h"
+#include "lint/Lint.h"
 #include "obs/EventLog.h"
 #include "obs/Metrics.h"
 #include "service/Protocol.h"
@@ -82,6 +86,8 @@ void usage() {
       "  --gen=N            N generated programs  --gen-seed=S  base seed\n"
       "  --domain=<spec>    domain for positional/--gen jobs\n"
       "  --encode=comm|arity  --timeout-ms=N  per-job options\n"
+      "  --lint[=sel]       lint each job (sel as in cai-lint --checks)\n"
+      "  --no-memo          disable transfer memoization\n"
       "  --jobs=N           worker threads (default 1)\n"
       "  --cache-bytes=N    result-cache budget (default 64 MiB, 0 = off)\n"
       "  --repeat=N         run the job list N times (warm-cache passes)\n"
@@ -155,6 +161,18 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
       if (!parseCount(Arg, 13, Defaults.TimeoutMs))
         return 2;
+    } else if (Arg == "--lint") {
+      Defaults.Lint = true;
+    } else if (Arg.rfind("--lint=", 0) == 0) {
+      Defaults.Lint = true;
+      Defaults.LintChecks = Arg.substr(7);
+      std::string LintErr;
+      if (!lint::validateLintChecks(Defaults.LintChecks, &LintErr)) {
+        std::fprintf(stderr, "error: %s\n", LintErr.c_str());
+        return 2;
+      }
+    } else if (Arg == "--no-memo") {
+      Defaults.Memoize = false;
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       if (!parseCount(Arg, 7, Workers) || Workers == 0) {
         std::fprintf(stderr, "error: --jobs expects a positive number\n");
@@ -255,8 +273,14 @@ int main(int Argc, char **Argv) {
       }
       Req->Spec.Id = NextId++; // Manifest ids are positional.
       if (!Req->ProgramFile.empty() &&
-          !readFile(Req->ProgramFile, Req->Spec.ProgramText))
+          !readFile(Req->ProgramFile, Req->Spec.ProgramText)) {
+        // readFile already named the missing file; add which manifest
+        // entry asked for it so a long manifest is debuggable.
+        std::fprintf(stderr,
+                     "error: %s:%u: cannot open program_file '%s'\n",
+                     Manifest.c_str(), LineNo, Req->ProgramFile.c_str());
         return 2;
+      }
       Batch.push_back(std::move(Req->Spec));
     }
   }

@@ -1,0 +1,28 @@
+# Golden-output contract for the lint corpus: cai-lint over a checked-in
+# program must print exactly the expected findings, byte for byte, and
+# exit 1 when the golden is non-empty (findings present) or 0 when empty.
+#
+#   cmake -DTOOL=<cai-lint> "-DARGS=<args ending in program>" -DDIR=<cwd>
+#         -DGOLDEN=<expected output file> -P check_lint_golden.cmake
+#
+# The tool runs with DIR as its working directory so the program path (and
+# thus the File: prefix on every finding) stays relative and the goldens
+# stay machine-independent.
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${ARG_LIST} WORKING_DIRECTORY ${DIR}
+                OUTPUT_VARIABLE OUT RESULT_VARIABLE RC ERROR_VARIABLE ERR)
+file(READ ${GOLDEN} EXPECTED)
+if(NOT OUT STREQUAL EXPECTED)
+  message(FATAL_ERROR "lint output diverges from golden ${GOLDEN}:\n"
+                      "--- expected ---\n${EXPECTED}\n--- actual ---\n${OUT}\n"
+                      "--- stderr ---\n${ERR}")
+endif()
+if(EXPECTED STREQUAL "")
+  set(WANT_RC 0)
+else()
+  set(WANT_RC 1)
+endif()
+if(NOT RC EQUAL WANT_RC)
+  message(FATAL_ERROR "exit code ${RC}, expected ${WANT_RC} for golden "
+                      "${GOLDEN}\nstderr:\n${ERR}")
+endif()

@@ -1,0 +1,33 @@
+# Two invocations of TOOL must agree byte for byte on stdout and on the
+# exit code.  Used by the lint determinism tier to pin that result-neutral
+# knobs (memoization, warm vs cold process) cannot leak into findings.
+#
+#   cmake -DTOOL=... "-DARGS1=..." "-DARGS2=..." [-DNORMALIZE_FINGERPRINT=1]
+#         -P check_same_output.cmake
+#
+# NORMALIZE_FINGERPRINT blanks the wire format's "fingerprint" field
+# before comparing: option knobs fold into the fingerprint by design, so
+# two option sets that must agree on *results* still differ there.
+separate_arguments(ARG_LIST1 UNIX_COMMAND "${ARGS1}")
+separate_arguments(ARG_LIST2 UNIX_COMMAND "${ARGS2}")
+execute_process(COMMAND ${TOOL} ${ARG_LIST1} OUTPUT_VARIABLE OUT1
+                RESULT_VARIABLE RC1 ERROR_QUIET)
+execute_process(COMMAND ${TOOL} ${ARG_LIST2} OUTPUT_VARIABLE OUT2
+                RESULT_VARIABLE RC2 ERROR_QUIET)
+if(NORMALIZE_FINGERPRINT)
+  string(REGEX REPLACE "\"fingerprint\":\"[0-9a-f]+\"" "\"fingerprint\":\"\""
+         OUT1 "${OUT1}")
+  string(REGEX REPLACE "\"fingerprint\":\"[0-9a-f]+\"" "\"fingerprint\":\"\""
+         OUT2 "${OUT2}")
+endif()
+if(NOT RC1 STREQUAL RC2)
+  message(FATAL_ERROR "exit codes differ: '${ARGS1}' -> ${RC1}, "
+                      "'${ARGS2}' -> ${RC2}")
+endif()
+if(NOT OUT1 STREQUAL OUT2)
+  message(FATAL_ERROR "output differs between invocations:\n"
+                      "--- ${ARGS1} ---\n${OUT1}\n--- ${ARGS2} ---\n${OUT2}")
+endif()
+if(OUT1 STREQUAL "")
+  message(FATAL_ERROR "tool printed nothing; comparison is vacuous")
+endif()

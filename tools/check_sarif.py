@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""SARIF surface validator for the lint tier.
+
+Drives both SARIF producers -- `cai-lint --format=sarif` and
+`cai-analyze --lint --lint-format=sarif` (whose SARIF is the last stdout
+line, so pipelines can `tail -1`) -- over a program with known findings
+and checks the emitted log against the shape docs/LINT.md promises:
+
+  * a single-line SARIF 2.1.0 log: $schema, version, one run;
+  * the driver block names cai-lint with an informationUri;
+  * the rule table lists every lint rule once, in canonical selector
+    order, regardless of which rules fired;
+  * every result names a declared rule, carries a physicalLocation with
+    1-based region coordinates and the source file URI, and attributes
+    its evidence domain under properties.domain;
+  * results are sorted by (line, column, ruleId) and the bytes are
+    identical across repeated runs (the determinism contract).
+
+Exit 0 on success, 1 on any violation (with a diagnostic on stderr).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+EXPECTED_RULES = [
+    "unreachable-code",
+    "branch-always-true",
+    "branch-always-false",
+    "possible-division-by-zero",
+    "possible-out-of-bounds-index",
+    "dead-store",
+    "uninitialized-read",
+]
+
+LEVELS = {"warning", "note", "error"}
+
+
+def fail(msg):
+    sys.stderr.write("check_sarif: FAIL: %s\n" % msg)
+    sys.exit(1)
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    if proc.returncode not in (0, 1):  # 1 = findings present, still valid.
+        fail("%r exited %d\nstderr: %s" % (cmd, proc.returncode, proc.stderr))
+    return proc.stdout
+
+
+def validate(log_line, source, where):
+    try:
+        log = json.loads(log_line)
+    except json.JSONDecodeError as exc:
+        fail("%s: SARIF line is not JSON: %s\n%s" % (where, exc, log_line))
+    if log.get("$schema") != (
+        "https://json.schemastore.org/sarif-2.1.0.json"
+    ):
+        fail("%s: wrong or missing $schema" % where)
+    if log.get("version") != "2.1.0":
+        fail("%s: version %r, want 2.1.0" % (where, log.get("version")))
+    runs = log.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        fail("%s: expected exactly one run" % where)
+    driver = runs[0].get("tool", {}).get("driver", {})
+    if driver.get("name") != "cai-lint":
+        fail("%s: driver name %r" % (where, driver.get("name")))
+    if not driver.get("informationUri"):
+        fail("%s: driver lacks informationUri" % where)
+    rule_ids = [R.get("id") for R in driver.get("rules", [])]
+    if rule_ids != EXPECTED_RULES:
+        fail("%s: rule table %r != canonical %r" % (where, rule_ids,
+                                                    EXPECTED_RULES))
+    results = runs[0].get("results")
+    if not isinstance(results, list) or not results:
+        fail("%s: no results (corpus program must have findings)" % where)
+    keys = []
+    for R in results:
+        if R.get("ruleId") not in EXPECTED_RULES:
+            fail("%s: result names undeclared rule %r" % (where,
+                                                          R.get("ruleId")))
+        if R.get("level") not in LEVELS:
+            fail("%s: bad level %r" % (where, R.get("level")))
+        msg = R.get("message", {}).get("text")
+        if not msg:
+            fail("%s: result lacks message.text" % where)
+        locs = R.get("locations")
+        if not isinstance(locs, list) or len(locs) != 1:
+            fail("%s: result needs exactly one location" % where)
+        phys = locs[0].get("physicalLocation", {})
+        uri = phys.get("artifactLocation", {}).get("uri")
+        if uri != source:
+            fail("%s: artifact uri %r != %r" % (where, uri, source))
+        region = phys.get("region", {})
+        line = region.get("startLine")
+        col = region.get("startColumn")
+        if not isinstance(line, int) or line < 1:
+            fail("%s: startLine %r not a 1-based int" % (where, line))
+        if not isinstance(col, int) or col < 1:
+            fail("%s: startColumn %r not a 1-based int" % (where, col))
+        if not R.get("properties", {}).get("domain"):
+            fail("%s: result lacks properties.domain attribution" % where)
+        keys.append((line, col, R["ruleId"]))
+    if keys != sorted(keys):
+        fail("%s: results not sorted by (line, column, ruleId): %r"
+             % (where, keys))
+    return len(results)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--lint", required=True, help="cai-lint binary")
+    ap.add_argument("--analyze", required=True, help="cai-analyze binary")
+    ap.add_argument("--program", required=True, help="program with findings")
+    ap.add_argument("--domain", default="logical:poly,uf")
+    args = ap.parse_args()
+
+    lint_cmd = [args.lint, "--domain=" + args.domain, "--format=sarif",
+                args.program]
+    out1 = run(lint_cmd)
+    out2 = run(lint_cmd)
+    if out1 != out2:
+        fail("cai-lint SARIF bytes differ across identical runs")
+    if out1.count("\n") != 1:
+        fail("cai-lint SARIF output is not a single line")
+    n_lint = validate(out1.strip(), args.program, "cai-lint")
+
+    analyze_cmd = [args.analyze, "--domain=" + args.domain, "--lint",
+                   "--lint-format=sarif", args.program]
+    out = run(analyze_cmd)
+    last = out.strip().splitlines()[-1]
+    n_analyze = validate(last, args.program, "cai-analyze tail -1")
+
+    if n_lint != n_analyze:
+        fail("finding counts disagree: cai-lint %d, cai-analyze %d"
+             % (n_lint, n_analyze))
+    print("check_sarif: OK (%d findings, both producers, stable bytes)"
+          % n_lint)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
