@@ -1,0 +1,97 @@
+//===- net/Listener.cpp - Blocking TCP accept loop ------------------------===//
+
+#include "net/Listener.h"
+#include "net/Conn.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cai {
+namespace net {
+
+bool Listener::listenOn(const std::string &HostPort, std::string *Error) {
+  close();
+  std::string Host;
+  uint16_t WantPort = 0;
+  if (!parseHostPort(HostPort, &Host, &WantPort)) {
+    if (Error)
+      *Error = "bad listen address '" + HostPort + "' (want HOST:PORT)";
+    return false;
+  }
+  struct addrinfo Hints = {};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE;
+  struct addrinfo *Res = nullptr;
+  std::string PortStr = std::to_string(WantPort);
+  int Rc = ::getaddrinfo(Host.c_str(), PortStr.c_str(), &Hints, &Res);
+  if (Rc != 0) {
+    if (Error)
+      *Error = "cannot resolve " + Host + ": " + ::gai_strerror(Rc);
+    return false;
+  }
+  for (struct addrinfo *A = Res; A; A = A->ai_next) {
+    int S = ::socket(A->ai_family, A->ai_socktype | SOCK_CLOEXEC,
+                     A->ai_protocol);
+    if (S < 0)
+      continue;
+    int One = 1;
+    ::setsockopt(S, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (::bind(S, A->ai_addr, A->ai_addrlen) == 0 && ::listen(S, 64) == 0) {
+      Fd = S;
+      break;
+    }
+    ::close(S);
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0) {
+    if (Error)
+      *Error = "cannot listen on " + HostPort + ": " + std::strerror(errno);
+    return false;
+  }
+  struct sockaddr_in Addr;
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<struct sockaddr *>(&Addr), &Len) ==
+      0)
+    Port = ntohs(Addr.sin_port);
+  return true;
+}
+
+int Listener::acceptConn(bool *Interrupted) {
+  if (Interrupted)
+    *Interrupted = false;
+  for (;;) {
+    int C = ::accept(Fd, nullptr, nullptr);
+    if (C >= 0) {
+      int One = 1;
+      ::setsockopt(C, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      return C;
+    }
+    if (errno == EINTR || errno == EBADF || errno == EINVAL) {
+      // A signal, or close() pulled the fd out from under us: the
+      // shutdown path, not an error.
+      if (Interrupted)
+        *Interrupted = true;
+      return -1;
+    }
+    if (errno == ECONNABORTED)
+      continue; // The peer gave up between SYN and accept; next.
+    return -1;
+  }
+}
+
+void Listener::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+} // namespace net
+} // namespace cai

@@ -1,0 +1,54 @@
+//===- net/Listener.h - Blocking TCP accept loop ----------------*- C++ -*-===//
+///
+/// \file
+/// The TCP front door of cai-serve: bind + listen + blocking accept.
+/// Port 0 binds an ephemeral port (port() reports the real one; the test
+/// harness writes it to --port-file).  accept() is installed *without*
+/// SA_RESTART by the server's signal handler, so SIGINT/SIGTERM surface
+/// here as EINTR -> Interrupted and the serve loop can drain and exit
+/// cleanly instead of dying mid-write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_NET_LISTENER_H
+#define CAI_NET_LISTENER_H
+
+#include <cstdint>
+#include <string>
+
+namespace cai {
+namespace net {
+
+class Listener {
+public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Binds and listens on "HOST:PORT" (SO_REUSEADDR; port 0 = ephemeral).
+  /// Returns false and sets \p Error on failure.
+  bool listenOn(const std::string &HostPort, std::string *Error);
+
+  /// The actually bound port (resolves port 0).
+  uint16_t port() const { return Port; }
+
+  bool valid() const { return Fd >= 0; }
+
+  /// Blocks for one connection; returns its fd (>= 0).  On failure
+  /// returns -1 with \p Interrupted set when a signal (EINTR) or a
+  /// concurrent close() ended the wait -- the clean-shutdown path --
+  /// and clear for genuine errors.
+  int acceptConn(bool *Interrupted);
+
+  void close();
+
+private:
+  int Fd = -1;
+  uint16_t Port = 0;
+};
+
+} // namespace net
+} // namespace cai
+
+#endif // CAI_NET_LISTENER_H

@@ -1,0 +1,50 @@
+//===- net/ShardRouter.cpp - Fingerprint-sharded backend routing ----------===//
+
+#include "net/ShardRouter.h"
+
+namespace cai {
+namespace net {
+
+uint64_t fingerprintLow64(const std::string &Fingerprint) {
+  size_t Start = Fingerprint.size() > 16 ? Fingerprint.size() - 16 : 0;
+  uint64_t V = 0;
+  for (size_t I = Start; I < Fingerprint.size(); ++I) {
+    char C = Fingerprint[I];
+    unsigned D = 0;
+    if (C >= '0' && C <= '9')
+      D = unsigned(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = unsigned(C - 'a') + 10;
+    else if (C >= 'A' && C <= 'F')
+      D = unsigned(C - 'A') + 10;
+    V = (V << 4) | D;
+  }
+  return V;
+}
+
+bool ShardRouter::connect(const std::vector<std::string> &Backends,
+                          std::string *Error) {
+  closeAll();
+  for (const std::string &Spec : Backends) {
+    std::string Host;
+    uint16_t Port = 0;
+    if (!parseHostPort(Spec, &Host, &Port)) {
+      if (Error)
+        *Error = "bad backend address '" + Spec + "' (want HOST:PORT)";
+      closeAll();
+      return false;
+    }
+    Conn C = Conn::connectTo(Host, Port, Error);
+    if (!C.valid()) {
+      closeAll();
+      return false;
+    }
+    Conns.push_back(std::move(C));
+  }
+  return true;
+}
+
+void ShardRouter::closeAll() { Conns.clear(); }
+
+} // namespace net
+} // namespace cai

@@ -1,0 +1,63 @@
+//===- net/ShardRouter.h - Fingerprint-sharded backend routing --*- C++ -*-===//
+///
+/// \file
+/// Routing for `cai-shard`: N cai-serve backends behave as one cache by
+/// partitioning the canonical fingerprint space -- request R goes to
+/// backend `low64(fingerprint(R)) mod N`, so every submission of the
+/// same job (same program text, same result-affecting options) lands on
+/// the same process and therefore the same ResultCache + persist log.
+/// The fingerprint is deterministic across processes and platforms,
+/// which makes the placement deterministic too: re-running a corpus
+/// against the same shard count reuses every shard-local cache entry.
+///
+/// The router is a thin synchronous fan-out: one Conn per backend,
+/// requests forwarded verbatim as protocol lines.  Determinism of the
+/// *output* order is the caller's job (cai-shard forwards one request at
+/// a time and relays its response before reading the next).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAI_NET_SHARDROUTER_H
+#define CAI_NET_SHARDROUTER_H
+
+#include "net/Conn.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cai {
+namespace net {
+
+/// The low 64 bits of a canonical hex fingerprint (its last 16 hex
+/// digits; shorter strings use what is there).  Non-hex characters
+/// contribute 0 -- garbage in, deterministic garbage out.
+uint64_t fingerprintLow64(const std::string &Fingerprint);
+
+class ShardRouter {
+public:
+  /// Connects to every backend ("host:port" each).  All-or-nothing:
+  /// returns false (and closes the partial set) if any fails.
+  bool connect(const std::vector<std::string> &Backends, std::string *Error);
+
+  size_t numBackends() const { return Conns.size(); }
+
+  /// The backend owning \p Fingerprint: low64(fp) mod N.
+  unsigned route(const std::string &Fingerprint) const {
+    return Conns.empty()
+               ? 0
+               : unsigned(fingerprintLow64(Fingerprint) % Conns.size());
+  }
+
+  Conn &backend(unsigned I) { return Conns[I]; }
+
+  void closeAll();
+
+private:
+  std::vector<Conn> Conns;
+};
+
+} // namespace net
+} // namespace cai
+
+#endif // CAI_NET_SHARDROUTER_H

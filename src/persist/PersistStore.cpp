@@ -1,0 +1,558 @@
+//===- persist/PersistStore.cpp - Disk tier under the ResultCache ---------===//
+
+#include "persist/PersistStore.h"
+
+#include "service/Fingerprint.h"
+#include "service/Json.h"
+#include "service/ResultCache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace cai {
+namespace persist {
+
+using service::Json;
+using service::JobResult;
+
+namespace {
+
+int64_t intField(const Json &Obj, const char *Key) {
+  const Json *V = Obj.get(Key);
+  return V && V->isNumber() ? V->asInt() : 0;
+}
+
+std::string strField(const Json &Obj, const char *Key) {
+  const Json *V = Obj.get(Key);
+  return V && V->isString() ? V->asString() : std::string();
+}
+
+bool boolField(const Json &Obj, const char *Key) {
+  const Json *V = Obj.get(Key);
+  return V && V->isBool() && V->asBool();
+}
+
+bool preadAll(int Fd, char *Data, size_t Size, uint64_t Offset) {
+  while (Size) {
+    ssize_t N = ::pread(Fd, Data, Size, off_t(Offset));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // Short file: truncated since indexing.
+    Data += N;
+    Size -= size_t(N);
+    Offset += uint64_t(N);
+  }
+  return true;
+}
+
+bool writeAllFd(int Fd, const char *Data, size_t Size) {
+  while (Size) {
+    ssize_t N = ::write(Fd, Data, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Size -= size_t(N);
+  }
+  return true;
+}
+
+} // namespace
+
+std::string encodeResultPayload(const JobResult &R) {
+  Json P = Json::object();
+  P.set("fp", Json::str(R.Fingerprint));
+  P.set("status", Json::str(service::statusName(R.Status)));
+  P.set("domain", Json::str(R.Domain));
+  if (!R.Error.empty())
+    P.set("error", Json::str(R.Error));
+  P.set("verified", Json::integer(int64_t(R.NumVerified)));
+  Json As = Json::array();
+  for (const AssertionVerdict &A : R.Assertions) {
+    Json V = Json::object();
+    V.set("label", Json::str(A.Label));
+    V.set("ok", Json::boolean(A.Verified));
+    As.push(std::move(V));
+  }
+  P.set("assertions", std::move(As));
+  P.set("linted", Json::boolean(R.Linted));
+  if (R.Linted) {
+    Json Fs = Json::array();
+    for (const lint::LintFinding &F : R.Findings) {
+      Json V = Json::object();
+      V.set("rule", Json::str(F.Rule));
+      V.set("level", Json::str(F.Level));
+      V.set("line", Json::integer(int64_t(F.Line)));
+      V.set("col", Json::integer(int64_t(F.Col)));
+      V.set("node", Json::integer(int64_t(F.Node)));
+      V.set("message", Json::str(F.Message));
+      V.set("domain", Json::str(F.Domain));
+      Fs.push(std::move(V));
+    }
+    P.set("findings", std::move(Fs));
+  }
+  // Every AnalyzerStats field rides along: a disk hit must replay the
+  // original run's stats byte-for-byte on the wire, same as a memory hit.
+  Json St = Json::object();
+  St.set("joins", Json::integer(int64_t(R.Stats.Joins)));
+  St.set("widenings", Json::integer(int64_t(R.Stats.Widenings)));
+  St.set("transfers", Json::integer(int64_t(R.Stats.Transfers)));
+  St.set("entailment_checks", Json::integer(int64_t(R.Stats.EntailmentChecks)));
+  St.set("edge_evals", Json::integer(int64_t(R.Stats.EdgeEvals)));
+  St.set("transfer_cache_hits",
+         Json::integer(int64_t(R.Stats.TransferCacheHits)));
+  St.set("cache_hits", Json::integer(int64_t(R.Stats.CacheHits)));
+  St.set("cache_misses", Json::integer(int64_t(R.Stats.CacheMisses)));
+  St.set("saturation_rounds",
+         Json::integer(int64_t(R.Stats.SaturationRounds)));
+  St.set("wto_components", Json::integer(int64_t(R.Stats.WtoComponents)));
+  St.set("max_node_updates", Json::integer(int64_t(R.Stats.MaxNodeUpdates)));
+  St.set("total_node_updates",
+         Json::integer(int64_t(R.Stats.TotalNodeUpdates)));
+  St.set("components_reused",
+         Json::integer(int64_t(R.Stats.ComponentsReused)));
+  St.set("components_recomputed",
+         Json::integer(int64_t(R.Stats.ComponentsRecomputed)));
+  P.set("stats", std::move(St));
+  return P.dump();
+}
+
+bool decodeResultPayload(const std::string &Payload, JobResult *R) {
+  std::optional<Json> Parsed = Json::parse(Payload);
+  if (!Parsed || !Parsed->isObject())
+    return false;
+  const Json &P = *Parsed;
+  JobResult Out;
+  Out.Fingerprint = strField(P, "fp");
+  if (Out.Fingerprint.empty())
+    return false;
+  if (!service::statusFromName(strField(P, "status"), &Out.Status))
+    return false;
+  Out.Domain = strField(P, "domain");
+  Out.Error = strField(P, "error");
+  Out.NumVerified = unsigned(intField(P, "verified"));
+  if (const Json *As = P.get("assertions")) {
+    if (!As->isArray())
+      return false;
+    for (const Json &V : As->items()) {
+      AssertionVerdict A;
+      A.Label = strField(V, "label");
+      A.Verified = boolField(V, "ok");
+      Out.Assertions.push_back(std::move(A));
+    }
+  }
+  Out.Linted = boolField(P, "linted");
+  if (const Json *Fs = P.get("findings")) {
+    if (!Fs->isArray())
+      return false;
+    for (const Json &V : Fs->items()) {
+      lint::LintFinding F;
+      F.Rule = strField(V, "rule");
+      F.Level = strField(V, "level");
+      F.Line = uint32_t(intField(V, "line"));
+      F.Col = uint32_t(intField(V, "col"));
+      F.Node = NodeId(intField(V, "node"));
+      F.Message = strField(V, "message");
+      F.Domain = strField(V, "domain");
+      Out.Findings.push_back(std::move(F));
+    }
+  }
+  if (const Json *St = P.get("stats")) {
+    if (!St->isObject())
+      return false;
+    Out.Stats.Joins = (unsigned long)intField(*St, "joins");
+    Out.Stats.Widenings = (unsigned long)intField(*St, "widenings");
+    Out.Stats.Transfers = (unsigned long)intField(*St, "transfers");
+    Out.Stats.EntailmentChecks =
+        (unsigned long)intField(*St, "entailment_checks");
+    Out.Stats.EdgeEvals = (unsigned long)intField(*St, "edge_evals");
+    Out.Stats.TransferCacheHits =
+        (unsigned long)intField(*St, "transfer_cache_hits");
+    Out.Stats.CacheHits = (unsigned long)intField(*St, "cache_hits");
+    Out.Stats.CacheMisses = (unsigned long)intField(*St, "cache_misses");
+    Out.Stats.SaturationRounds =
+        (unsigned long)intField(*St, "saturation_rounds");
+    Out.Stats.WtoComponents = unsigned(intField(*St, "wto_components"));
+    Out.Stats.MaxNodeUpdates = unsigned(intField(*St, "max_node_updates"));
+    Out.Stats.TotalNodeUpdates =
+        unsigned(intField(*St, "total_node_updates"));
+    Out.Stats.ComponentsReused =
+        unsigned(intField(*St, "components_reused"));
+    Out.Stats.ComponentsRecomputed =
+        unsigned(intField(*St, "components_recomputed"));
+  }
+  Out.CacheHit = false;
+  Out.DurationMs = 0;
+  *R = std::move(Out);
+  return true;
+}
+
+PersistStore::PersistStore(std::string Dir, uint64_t ByteBudget,
+                           unsigned FlushEvery)
+    : Dir(Dir), Budget(ByteBudget),
+      FlushEvery(FlushEvery == 0 ? 1 : FlushEvery),
+      Log(std::move(Dir), service::CacheSchemaVersion,
+          service::OptionsFormatVersion) {
+  S.ByteBudget = ByteBudget;
+}
+
+PersistStore::~PersistStore() {
+  std::string Err;
+  std::lock_guard<std::mutex> L(Mu);
+  if (Opened)
+    flushLocked(&Err);
+}
+
+bool PersistStore::open(std::string *Error) {
+  std::lock_guard<std::mutex> L(Mu);
+  Index.clear();
+  NextSeq = 0;
+
+  // Pass 1: reject stale-format files *before* the log opens them for
+  // appending -- appending current-schema records to a file whose header
+  // declares another schema would poison later loads.  A rejected file
+  // is truncated to empty (the log then stamps a fresh header).
+  if (::mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (Error)
+      *Error = "cannot create " + Dir + ": " + std::strerror(errno);
+    return false;
+  }
+  for (unsigned Sh = 0; Sh < PersistNumShards; ++Sh) {
+    std::string Path = Dir + "/" + shardFileName(Sh);
+    int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (Fd < 0)
+      continue; // Not created yet.
+    char Buf[PersistHeaderBytes];
+    ssize_t N = ::pread(Fd, Buf, sizeof(Buf), 0);
+    ::close(Fd);
+    if (N <= 0)
+      continue; // Empty file: the log stamps a header.
+    std::string Header(Buf, size_t(std::max<ssize_t>(N, 0)));
+    if (!checkHeader(Header, service::CacheSchemaVersion,
+                     service::OptionsFormatVersion)) {
+      ++S.StaleFiles;
+      ::truncate(Path.c_str(), 0);
+    }
+  }
+
+  if (!Log.open(Error))
+    return false;
+
+  // Pass 2: verify and index every record.
+  for (unsigned Sh = 0; Sh < PersistNumShards; ++Sh)
+    if (!loadShard(Sh, Error))
+      return false;
+
+  Opened = true;
+  S.LiveRecords = Index.size();
+  S.LogBytes = Log.totalBytes();
+  return true;
+}
+
+bool PersistStore::loadShard(unsigned Sh, std::string *Error) {
+  int Fd = Log.fd(Sh);
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    if (Error)
+      *Error = "cannot stat " + shardFileName(Sh) + ": " +
+               std::strerror(errno);
+    return false;
+  }
+  uint64_t Size = uint64_t(St.st_size);
+  if (Size <= PersistHeaderBytes)
+    return true;
+  std::string Data(size_t(Size - PersistHeaderBytes), '\0');
+  if (!preadAll(Fd, &Data[0], Data.size(), PersistHeaderBytes)) {
+    if (Error)
+      *Error = "cannot read " + shardFileName(Sh) + ": " +
+               std::strerror(errno);
+    return false;
+  }
+
+  size_t Pos = 0;
+  while (Pos < Data.size()) {
+    if (Data.size() - Pos < PersistRecordOverhead) {
+      ++S.Corrupt; // Torn tail: frame words themselves are incomplete.
+      break;
+    }
+    uint32_t Len = 0, Crc = 0;
+    std::memcpy(&Len, Data.data() + Pos, 4);
+    std::memcpy(&Crc, Data.data() + Pos + 4, 4);
+    if (Len > PersistMaxRecordBytes ||
+        Data.size() - Pos - PersistRecordOverhead < Len) {
+      // Implausible length or fewer bytes than promised: cannot resync
+      // past this point, drop the rest of the shard's tail.
+      ++S.Corrupt;
+      break;
+    }
+    const char *Payload = Data.data() + Pos + PersistRecordOverhead;
+    uint64_t FrameOffset = PersistHeaderBytes + Pos;
+    Pos += PersistRecordOverhead + Len;
+    if (crc32(Payload, Len) != Crc) {
+      ++S.Corrupt; // Checksum mismatch with a plausible frame: skip one.
+      continue;
+    }
+    JobResult R;
+    if (!decodeResultPayload(std::string(Payload, Len), &R) ||
+        shardOfFingerprint(R.Fingerprint) != Sh) {
+      ++S.Corrupt;
+      continue;
+    }
+    // Newest record per fingerprint wins (append-only updates).
+    IndexEntry &E = Index[R.Fingerprint];
+    E.Shard = Sh;
+    E.Offset = FrameOffset;
+    E.PayloadLen = Len;
+    E.Seq = NextSeq++;
+  }
+  return true;
+}
+
+std::shared_ptr<const JobResult> PersistStore::readEntryLocked(
+    const std::string &Fingerprint, const IndexEntry &E) {
+  // The indexed frame may still sit in the write buffer; make it
+  // readable first.
+  if (Log.hasPending()) {
+    std::string Err;
+    if (!flushLocked(&Err))
+      return nullptr;
+  }
+  std::string Frame(PersistRecordOverhead + E.PayloadLen, '\0');
+  if (!preadAll(Log.fd(E.Shard), &Frame[0], Frame.size(), E.Offset)) {
+    ++S.Corrupt;
+    Index.erase(Fingerprint);
+    return nullptr;
+  }
+  uint32_t Len = 0, Crc = 0;
+  std::memcpy(&Len, Frame.data(), 4);
+  std::memcpy(&Crc, Frame.data() + 4, 4);
+  std::string Payload = Frame.substr(PersistRecordOverhead);
+  auto R = std::make_shared<JobResult>();
+  if (Len != E.PayloadLen || crc32(Payload.data(), Payload.size()) != Crc ||
+      !decodeResultPayload(Payload, R.get()) || R->Fingerprint != Fingerprint) {
+    ++S.Corrupt;
+    Index.erase(Fingerprint);
+    return nullptr;
+  }
+  return R;
+}
+
+std::shared_ptr<const JobResult> PersistStore::lookup(
+    const std::string &Fingerprint) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Opened) {
+    ++S.Misses;
+    return nullptr;
+  }
+  auto It = Index.find(Fingerprint);
+  if (It == Index.end()) {
+    ++S.Misses;
+    return nullptr;
+  }
+  IndexEntry E = It->second;
+  std::shared_ptr<const JobResult> R = readEntryLocked(Fingerprint, E);
+  if (!R) {
+    ++S.Misses;
+    S.LiveRecords = Index.size();
+    return nullptr;
+  }
+  ++S.Hits;
+  return R;
+}
+
+void PersistStore::append(const JobResult &R) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Opened || R.Fingerprint.empty() || !service::jobCacheable(R.Status))
+    return;
+  std::string Payload = encodeResultPayload(R);
+  unsigned Sh = shardOfFingerprint(R.Fingerprint);
+  uint64_t Offset = Log.append(Sh, Payload);
+  IndexEntry &E = Index[R.Fingerprint];
+  E.Shard = Sh;
+  E.Offset = Offset;
+  E.PayloadLen = uint32_t(Payload.size());
+  E.Seq = NextSeq++;
+  ++S.Appends;
+  S.LiveRecords = Index.size();
+  S.LogBytes = Log.totalBytes();
+  if (++AppendsSinceFlush >= FlushEvery) {
+    std::string Err;
+    flushLocked(&Err);
+  }
+  if (Budget && Log.totalBytes() > Budget)
+    compactLocked();
+}
+
+bool PersistStore::flush(std::string *Error) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Opened)
+    return true;
+  return flushLocked(Error);
+}
+
+bool PersistStore::flushLocked(std::string *Error) {
+  if (!Log.flush(Error))
+    return false;
+  AppendsSinceFlush = 0;
+  S.Flushes = Log.flushCount();
+  return true;
+}
+
+uint64_t PersistStore::replayInto(service::ResultCache &Cache) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Opened)
+    return 0;
+  // Oldest-first so the newest records land most-recently-used in the
+  // LRU (and survive longest if the memory budget is tighter than disk).
+  std::vector<std::pair<uint64_t, std::string>> Order;
+  Order.reserve(Index.size());
+  for (const auto &[FP, E] : Index)
+    Order.emplace_back(E.Seq, FP);
+  std::sort(Order.begin(), Order.end());
+  uint64_t N = 0;
+  for (const auto &[Seq, FP] : Order) {
+    auto It = Index.find(FP);
+    if (It == Index.end())
+      continue; // Dropped by a corrupt read earlier in the loop.
+    std::shared_ptr<const JobResult> R = readEntryLocked(FP, It->second);
+    if (!R)
+      continue;
+    Cache.insert(FP, std::move(R));
+    ++N;
+  }
+  S.Replayed += N;
+  S.LiveRecords = Index.size();
+  return N;
+}
+
+void PersistStore::compactLocked() {
+  std::string Err;
+  if (!flushLocked(&Err))
+    return;
+
+  // Live records in append order; evict oldest until the rewritten log
+  // would fit the budget.
+  std::vector<std::pair<uint64_t, std::string>> Order;
+  Order.reserve(Index.size());
+  for (const auto &[FP, E] : Index)
+    Order.emplace_back(E.Seq, FP);
+  std::sort(Order.begin(), Order.end());
+
+  uint64_t Projected = PersistNumShards * PersistHeaderBytes;
+  for (const auto &[Seq, FP] : Order)
+    Projected += PersistRecordOverhead + Index[FP].PayloadLen;
+  size_t Drop = 0;
+  while (Budget && Projected > Budget && Drop < Order.size()) {
+    Projected -=
+        PersistRecordOverhead + Index[Order[Drop].second].PayloadLen;
+    ++Drop;
+  }
+
+  // Fetch surviving payloads before the files are replaced.
+  struct Live {
+    std::string FP;
+    std::string Payload;
+  };
+  std::vector<std::vector<Live>> PerShard(PersistNumShards);
+  for (size_t I = Drop; I < Order.size(); ++I) {
+    const std::string &FP = Order[I].second;
+    auto It = Index.find(FP);
+    if (It == Index.end())
+      continue;
+    const IndexEntry &E = It->second;
+    std::string Frame(PersistRecordOverhead + E.PayloadLen, '\0');
+    if (!preadAll(Log.fd(E.Shard), &Frame[0], Frame.size(), E.Offset)) {
+      ++S.Corrupt;
+      continue;
+    }
+    PerShard[E.Shard].push_back(
+        {FP, Frame.substr(PersistRecordOverhead)});
+  }
+
+  // Rewrite each shard: header + surviving frames to a .tmp, fsync,
+  // rename over the old file.  A crash mid-compaction leaves either the
+  // old file or the complete new one -- never a half-written rename.
+  std::string Header =
+      encodeHeader(service::CacheSchemaVersion, service::OptionsFormatVersion);
+  std::vector<std::vector<std::pair<std::string, IndexEntry>>> NewEntries(
+      PersistNumShards);
+  bool WroteAll = true;
+  for (unsigned Sh = 0; Sh < PersistNumShards; ++Sh) {
+    std::string Tmp = Dir + "/" + shardFileName(Sh) + ".tmp";
+    int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (Fd < 0) {
+      WroteAll = false;
+      break;
+    }
+    bool Ok = writeAllFd(Fd, Header.data(), Header.size());
+    uint64_t Offset = Header.size();
+    for (const Live &L : PerShard[Sh]) {
+      if (!Ok)
+        break;
+      std::string Frame = encodeRecordFrame(L.Payload);
+      Ok = writeAllFd(Fd, Frame.data(), Frame.size());
+      IndexEntry E;
+      E.Shard = Sh;
+      E.Offset = Offset;
+      E.PayloadLen = uint32_t(L.Payload.size());
+      NewEntries[Sh].emplace_back(L.FP, E);
+      Offset += Frame.size();
+    }
+    Ok = Ok && ::fsync(Fd) == 0;
+    ::close(Fd);
+    if (!Ok) {
+      ::unlink(Tmp.c_str());
+      WroteAll = false;
+      break;
+    }
+  }
+  if (!WroteAll)
+    return; // Keep the old (oversized but valid) files.
+
+  Log.closeFiles();
+  for (unsigned Sh = 0; Sh < PersistNumShards; ++Sh) {
+    std::string Tmp = Dir + "/" + shardFileName(Sh) + ".tmp";
+    std::string Path = Dir + "/" + shardFileName(Sh);
+    ::rename(Tmp.c_str(), Path.c_str());
+  }
+
+  S.Evictions += Drop;
+  ++S.Compactions;
+  uint64_t Seq = 0;
+  Index.clear();
+  std::string ReopenErr;
+  if (!Log.open(&ReopenErr)) {
+    Opened = false; // Disk tier degraded; memory tier keeps serving.
+    S.LiveRecords = 0;
+    S.LogBytes = 0;
+    return;
+  }
+  for (unsigned Sh = 0; Sh < PersistNumShards; ++Sh)
+    for (auto &[FP, E] : NewEntries[Sh]) {
+      E.Seq = Seq++;
+      Index[FP] = E;
+    }
+  NextSeq = Seq;
+  S.LiveRecords = Index.size();
+  S.LogBytes = Log.totalBytes();
+}
+
+PersistStats PersistStore::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return S;
+}
+
+} // namespace persist
+} // namespace cai

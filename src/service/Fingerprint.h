@@ -35,7 +35,20 @@ namespace service {
 ///   1  original schema (implicit -- nothing hashed)
 ///   2  element-staged fixpoint engine (different join/widen sequences,
 ///      so stats differ from the pre-staged engine on the same inputs)
-constexpr uint64_t CacheSchemaVersion = 2;
+///   3  persistent cache tier: results now outlive the process via the
+///      on-disk record log (persist/PersistStore.h), so the version also
+///      guards the disk format -- it is embedded in every log file's
+///      header and a mismatch rejects the file on load
+constexpr uint64_t CacheSchemaVersion = 3;
+
+/// Version of the result-affecting option-fingerprint *format*: which
+/// JobOptions fields hashOptions() folds in and in what order.  Also
+/// embedded in the persist log header -- two processes can only share a
+/// disk cache if they agree on what "same options" means.  Bump when a
+/// field is added to or removed from the options key.  Version history:
+///   1  DomainSpec, Encode, WideningDelay, NarrowingPasses,
+///      SemanticConvergence, Memoize, PolyMaxRows, Lint, LintChecks
+constexpr uint64_t OptionsFormatVersion = 1;
 
 /// The canonicalized program text the fingerprint hashes (exposed for
 /// tests).

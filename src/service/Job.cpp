@@ -21,3 +21,18 @@ const char *cai::service::statusName(JobStatus S) {
   }
   return "error";
 }
+
+bool cai::service::statusFromName(const std::string &Name, JobStatus *S) {
+  static const JobStatus All[] = {
+      JobStatus::Verified, JobStatus::AssertionsFailed,
+      JobStatus::NotConverged, JobStatus::ParseError,
+      JobStatus::BadDomain, JobStatus::Timeout,
+      JobStatus::Error,
+  };
+  for (JobStatus Candidate : All)
+    if (Name == statusName(Candidate)) {
+      *S = Candidate;
+      return true;
+    }
+  return false;
+}

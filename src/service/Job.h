@@ -94,6 +94,10 @@ enum class JobStatus : uint8_t {
 /// Stable wire name for a status ("verified", "parse-error", ...).
 const char *statusName(JobStatus S);
 
+/// Inverse of statusName(); returns false when \p Name is not a known
+/// status (the persist tier treats that as a corrupt record).
+bool statusFromName(const std::string &Name, JobStatus *S);
+
 /// True when \p S counts as a verification success for the batch exit
 /// code (`cai-batch` exits non-zero if any job's status fails this).
 inline bool jobVerified(JobStatus S) { return S == JobStatus::Verified; }

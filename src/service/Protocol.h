@@ -39,6 +39,9 @@
 #include <string>
 
 namespace cai {
+namespace persist {
+struct PersistStats;
+}
 namespace service {
 
 /// One parsed request line.
@@ -74,11 +77,23 @@ std::optional<Request> parseRequest(const std::string &Line,
 /// fixed field order, no timing fields.
 std::string resultToJsonLine(const JobResult &R);
 
-/// Serializes service statistics as one JSON line (no newline).
+/// Serializes service statistics as one JSON line (no newline).  \p PS,
+/// when non-null, appends a "persist" block (disk-tier counters) after
+/// the in-memory blocks -- servers without a persist tier emit the
+/// pre-existing line bytes unchanged.
 std::string statsToJsonLine(const ResultCacheStats &CS,
                             const SnapshotCacheStats &SS,
                             const IncrementalStats &IS, unsigned Workers,
-                            uint64_t JobsCompleted);
+                            uint64_t JobsCompleted,
+                            const persist::PersistStats *PS = nullptr);
+
+/// Re-serializes \p Req as one request line the server's parseRequest()
+/// accepts, options included (only non-default ones are emitted).  The
+/// shard router uses this to forward requests it had to parse for
+/// fingerprinting; Analyze requests must carry inline program text
+/// (resolve ProgramFile first -- file paths are meaningless across
+/// process boundaries).
+std::string requestToJsonLine(const Request &Req);
 
 /// The `health`/`ping` reply: one JSON line (no newline) describing
 /// liveness without draining the queue -- unlike `stats`, asking does not

@@ -207,6 +207,11 @@ AnalysisScheduler::AnalysisScheduler(const SchedulerOptions &O)
     // A failure surfaces later as an unwritable exemplar, which the
     // event log reports; the scheduler itself keeps going.
   }
+  // Warm restart: replay the disk tier's live records into the memory
+  // LRU before any worker starts, so a restarted server answers its old
+  // corpus from memory at the same hit rate as a long-running one.
+  if (Opts.Persist && Opts.Persist->ok())
+    Opts.Persist->replayInto(Cache);
   // One epoch for every shard tracer so the merged timelines align.
   auto Epoch = std::chrono::steady_clock::now();
   for (unsigned I = 0; I < Opts.Workers; ++I) {
@@ -322,6 +327,21 @@ void AnalysisScheduler::mergeMetricsInto(obs::MetricsRegistry &Into) const {
   Into.counter("service.incremental.components_recomputed")
       .inc(IS.ComponentsRecomputed);
   Into.counter("service.incremental.fallbacks").inc(IS.Fallbacks);
+  if (Opts.Persist) {
+    persist::PersistStats PS = Opts.Persist->stats();
+    Into.counter("persist.hits").inc(PS.Hits);
+    Into.counter("persist.misses").inc(PS.Misses);
+    Into.counter("persist.appends").inc(PS.Appends);
+    Into.counter("persist.flushes").inc(PS.Flushes);
+    Into.counter("persist.corrupt").inc(PS.Corrupt);
+    Into.counter("persist.stale_files").inc(PS.StaleFiles);
+    Into.counter("persist.compactions").inc(PS.Compactions);
+    Into.counter("persist.evictions").inc(PS.Evictions);
+    Into.counter("persist.replayed").inc(PS.Replayed);
+    Into.gauge("persist.live_records")
+        .set(static_cast<double>(PS.LiveRecords));
+    Into.gauge("persist.log_bytes").set(static_cast<double>(PS.LogBytes));
+  }
   Hub.mergeInto(Into); // service.telemetry.* (no-op when telemetry off).
 }
 
@@ -343,6 +363,19 @@ std::string AnalysisScheduler::telemetryJsonLine() {
   SnapObj.set("misses", Json::integer(static_cast<int64_t>(SS.Misses)));
   SnapObj.set("hit_rate_permille", Permille(SS.Hits, SS.Hits + SS.Misses));
   Rep.set("snapshot_cache", std::move(SnapObj));
+  if (Opts.Persist) {
+    persist::PersistStats PS = Opts.Persist->stats();
+    Json PersistObj = Json::object();
+    PersistObj.set("hits", Json::integer(static_cast<int64_t>(PS.Hits)));
+    PersistObj.set("misses",
+                   Json::integer(static_cast<int64_t>(PS.Misses)));
+    PersistObj.set("hit_rate_permille", Permille(PS.Hits, PS.Hits + PS.Misses));
+    PersistObj.set("live_records",
+                   Json::integer(static_cast<int64_t>(PS.LiveRecords)));
+    PersistObj.set("log_bytes",
+                   Json::integer(static_cast<int64_t>(PS.LogBytes)));
+    Rep.set("persist", std::move(PersistObj));
+  }
   Rep.set("queue_depth_now",
           Json::integer(static_cast<int64_t>(queueDepth())));
   Rep.set("jobs_finished",
@@ -472,6 +505,25 @@ JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec,
     return R;
   }
 
+  // Disk tier: a memory miss probes the persist store before computing.
+  // A hit is promoted into the LRU (so the next submission is a memory
+  // hit) and served exactly like a memory hit -- same "cached":true
+  // bytes, same replayed stats.
+  if (Opts.Persist) {
+    if (std::shared_ptr<const JobResult> DiskHit = Opts.Persist->lookup(FP)) {
+      CAI_METRIC_INC("service.jobs.persist_hits");
+      Cache.insert(FP, DiskHit);
+      JobResult R = *DiskHit;
+      R.Id = Spec.Id;
+      R.Name = Spec.Name;
+      R.CacheHit = true;
+      R.DurationMs = 0;
+      if (LS)
+        LS->CacheHit = true;
+      return R;
+    }
+  }
+
   // Snapshot tier: only jobs with a known identity (explicit program_id
   // or an analyze_edit request) pay for snapshot recording; everything
   // else runs exactly as before.
@@ -485,6 +537,8 @@ JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec,
       auto WriteBegin = LS ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point();
       Cache.insert(FP, std::make_shared<const JobResult>(R));
+      if (Opts.Persist)
+        Opts.Persist->append(R);
       if (LS) {
         LS->CacheWriteUs = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
@@ -523,6 +577,8 @@ JobResult AnalysisScheduler::executeOrServe(const JobSpec &Spec,
     auto WriteBegin = LS ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point();
     Cache.insert(FP, std::make_shared<const JobResult>(R));
+    if (Opts.Persist)
+      Opts.Persist->append(R);
     if (SnapOut.Complete)
       Snapshots.insert(Spec.ProgramId, std::move(Canon), std::move(OptKey),
                        std::make_shared<const FixpointSnapshot>(

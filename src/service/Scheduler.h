@@ -33,6 +33,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "persist/PersistStore.h"
 #include "service/Job.h"
 #include "service/ResultCache.h"
 #include "service/SnapshotCache.h"
@@ -75,6 +76,13 @@ struct SchedulerOptions {
   uint64_t SlowMs = 0;
   /// Directory for slow-job exemplar traces (created if missing).
   std::string ExemplarDir;
+  /// Disk tier under the ResultCache (persist/PersistStore.h), already
+  /// open()ed by the caller; null = memory-only (every existing test and
+  /// tool path).  At construction its live records replay into the LRU
+  /// (warm restart); at runtime a memory miss probes it before
+  /// computing, and fresh cacheable results are appended.  Shared so the
+  /// owning tool can flush it on signal-driven shutdown.
+  std::shared_ptr<persist::PersistStore> Persist;
 };
 
 /// Timing the isolated runner measures for the telemetry channel (only
@@ -116,6 +124,12 @@ public:
   unsigned numWorkers() const { return unsigned(Shards.size()); }
   ResultCacheStats cacheStats() const { return Cache.stats(); }
   SnapshotCacheStats snapshotCacheStats() const { return Snapshots.stats(); }
+
+  /// True when a disk tier is attached (SchedulerOptions::Persist).
+  bool hasPersist() const { return Opts.Persist != nullptr; }
+  persist::PersistStats persistStats() const {
+    return Opts.Persist ? Opts.Persist->stats() : persist::PersistStats{};
+  }
 
   /// The live telemetry hub (mutex-guarded; safe to read while workers
   /// run, unlike the shard registries).

@@ -28,6 +28,11 @@
 /// Scheduler:
 ///   --jobs=N          worker threads (default 1)
 ///   --cache-bytes=N   result-cache byte budget (default 64 MiB, 0 disables)
+///   --persist-dir=DIR attach the disk cache tier: results append to a
+///                     checksummed record log and survive across runs
+///                     (replayed into the memory cache on startup)
+///   --persist-budget=N  on-disk byte budget, enforced by log compaction
+///                     (0 = unbounded)
 ///   --repeat=N        submit the whole job list N times, waiting for the
 ///                     batch to drain between passes (so pass 2+ exercises
 ///                     the warm cache deterministically; default 1)
@@ -62,6 +67,7 @@
 #include "lint/Lint.h"
 #include "obs/EventLog.h"
 #include "obs/Metrics.h"
+#include "persist/PersistStore.h"
 #include "service/Protocol.h"
 #include "service/Scheduler.h"
 
@@ -90,6 +96,8 @@ void usage() {
       "  --no-memo          disable transfer memoization\n"
       "  --jobs=N           worker threads (default 1)\n"
       "  --cache-bytes=N    result-cache budget (default 64 MiB, 0 = off)\n"
+      "  --persist-dir=DIR  disk cache tier (survives across runs)\n"
+      "  --persist-budget=N on-disk byte budget (0 = unbounded)\n"
       "  --repeat=N         run the job list N times (warm-cache passes)\n"
       "  --stats            summary JSON line on stderr\n"
       "  --trace-out=FILE   merged Chrome trace    --metrics-out=FILE\n"
@@ -142,6 +150,8 @@ int main(int Argc, char **Argv) {
   uint64_t CacheBytes = 64ull << 20;
   uint64_t Repeat = 1;
   uint64_t SlowMs = 0;
+  uint64_t PersistBudget = 0;
+  std::string PersistDir;
   bool ShowStats = false;
 
   for (int I = 1; I < Argc; ++I) {
@@ -180,6 +190,11 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg.rfind("--cache-bytes=", 0) == 0) {
       if (!parseCount(Arg, 14, CacheBytes))
+        return 2;
+    } else if (Arg.rfind("--persist-dir=", 0) == 0) {
+      PersistDir = Arg.substr(14);
+    } else if (Arg.rfind("--persist-budget=", 0) == 0) {
+      if (!parseCount(Arg, 17, PersistBudget))
         return 2;
     } else if (Arg.rfind("--repeat=", 0) == 0) {
       if (!parseCount(Arg, 9, Repeat) || Repeat == 0) {
@@ -313,6 +328,18 @@ int main(int Argc, char **Argv) {
   SO.SlowMs = SlowMs;
   SO.ExemplarDir = ExemplarDir;
 
+  std::shared_ptr<persist::PersistStore> Persist;
+  if (!PersistDir.empty()) {
+    Persist = std::make_shared<persist::PersistStore>(PersistDir,
+                                                      PersistBudget);
+    std::string PersistErr;
+    if (!Persist->open(&PersistErr)) {
+      std::fprintf(stderr, "error: %s\n", PersistErr.c_str());
+      return 2;
+    }
+    SO.Persist = Persist;
+  }
+
   std::ofstream EventLogOut;
   if (!EventLogPath.empty()) {
     EventLogOut.open(EventLogPath, std::ios::app);
@@ -345,13 +372,18 @@ int main(int Argc, char **Argv) {
       std::printf("%s\n", resultToJsonLine(R).c_str());
     }
 
-    if (ShowStats)
+    if (ShowStats) {
+      persist::PersistStats PS;
+      if (Persist)
+        PS = Persist->stats();
       std::fprintf(stderr, "%s\n",
                    statsToJsonLine(Scheduler.cacheStats(),
                                    Scheduler.snapshotCacheStats(),
                                    Scheduler.incrementalStats(),
-                                   Scheduler.numWorkers(), JobsCompleted)
+                                   Scheduler.numWorkers(), JobsCompleted,
+                                   Persist ? &PS : nullptr)
                        .c_str());
+    }
 
     if (!TraceOut.empty()) {
       std::ofstream TOut(TraceOut);
@@ -390,6 +422,12 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Persist) {
+    std::string FlushErr;
+    if (!Persist->flush(&FlushErr))
+      std::fprintf(stderr, "warning: persist flush failed: %s\n",
+                   FlushErr.c_str());
+  }
   obs::EventLog::global().open(nullptr); // Before EventLogOut destructs.
   return AllVerified ? 0 : 1;
 }

@@ -1,8 +1,8 @@
 //===- tools/cai-serve.cpp - Long-running analysis service -----------------===//
 ///
 /// A long-running analysis server speaking JSON-lines over stdin/stdout
-/// (sandbox-friendly and scriptable; no sockets).  Each input line is one
-/// request:
+/// (sandbox-friendly and scriptable) or, with --listen, over TCP.  Each
+/// input line is one request:
 ///
 ///   {"id":1,"name":"fig1","program":"x := 0; ...","domain":"logical:poly,uf",
 ///    "options":{"timeout_ms":500}}       submit an analysis
@@ -22,12 +22,32 @@
 /// Responses stream as jobs complete (match them to requests by "id"; with
 /// --jobs > 1 completion order is not submission order).  A malformed line
 /// gets a {"status":"bad-request",...} response and the server keeps
-/// going; EOF behaves like shutdown.
+/// going; EOF on stdin behaves like shutdown.
 ///
 ///   cai-serve [--jobs=N] [--cache-bytes=N] [--trace-out=FILE]
 ///             [--no-telemetry] [--slow-ms=N] [--exemplar-dir=DIR]
 ///             [--event-log=FILE] [--metrics-out=FILE]
 ///             [--metrics-format=json|prom]
+///             [--listen=HOST:PORT] [--port-file=FILE]
+///             [--read-timeout-ms=N] [--max-line-bytes=N]
+///             [--persist-dir=DIR] [--persist-budget=N]
+///
+/// --listen accepts TCP connections carrying the same JSON-lines protocol
+/// byte-for-byte (the stdio-vs-TCP determinism test compares them);
+/// connections are served one at a time, each isolated by an optional
+/// read timeout and a max-line bound -- a stalled or oversized peer loses
+/// its connection, never the process.  Closing a TCP connection does NOT
+/// shut the server down (unlike stdin EOF); send {"cmd":"shutdown"} or a
+/// signal.  --port-file writes the actually bound port (use --listen with
+/// port 0 for an ephemeral one) for harnesses.
+///
+/// --persist-dir attaches the disk cache tier: completed results append
+/// to a checksummed record log there and survive restarts (replayed into
+/// the in-memory cache on startup); --persist-budget bounds the log's
+/// bytes via compaction (0 = unbounded).
+///
+/// SIGINT/SIGTERM shut down cleanly: drain in-flight jobs, flush + fsync
+/// the persist log, emit a final `shutdown` event, exit 0.
 ///
 /// Telemetry is ON by default (per-job lifecycle spans feed the
 /// `telemetry` command); it never touches the deterministic result/stats
@@ -37,18 +57,23 @@
 /// failures).  --metrics-out writes merged metrics at shutdown, as
 /// nested JSON or Prometheus text exposition per --metrics-format.
 ///
-/// Exit code: 0 on clean shutdown/EOF, 2 on usage errors.
+/// Exit code: 0 on clean shutdown/EOF/signal, 2 on usage errors.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "net/Conn.h"
+#include "net/Listener.h"
 #include "obs/EventLog.h"
+#include "persist/PersistStore.h"
 #include "service/Protocol.h"
 #include "service/Scheduler.h"
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -66,19 +91,35 @@ void usage() {
                "[--exemplar-dir=DIR]\n"
                "                 [--event-log=FILE] [--metrics-out=FILE] "
                "[--metrics-format=json|prom]\n"
-               "reads JSON-lines requests on stdin, writes JSON-lines "
-               "responses on stdout\n");
+               "                 [--listen=HOST:PORT] [--port-file=FILE]\n"
+               "                 [--read-timeout-ms=N] [--max-line-bytes=N]\n"
+               "                 [--persist-dir=DIR] [--persist-budget=N]\n"
+               "reads JSON-lines requests on stdin (or TCP with --listen), "
+               "writes JSON-lines responses\n");
 }
 
 /// Serializes writers: results stream from worker threads while the main
-/// thread answers stats and bad-request lines.
+/// thread answers stats and bad-request lines.  In TCP mode the active
+/// connection replaces stdout as the sink (one connection at a time, and
+/// the scheduler drains before the sink changes, so no response can race
+/// a connection swap).
 std::mutex OutMu;
+net::Conn *CurrentConn = nullptr;
 
 void printLine(const std::string &Line) {
   std::lock_guard<std::mutex> Lock(OutMu);
+  if (CurrentConn) {
+    CurrentConn->writeLine(Line);
+    return;
+  }
   std::fputs(Line.c_str(), stdout);
   std::fputc('\n', stdout);
   std::fflush(stdout);
+}
+
+void setSink(net::Conn *C) {
+  std::lock_guard<std::mutex> Lock(OutMu);
+  CurrentConn = C;
 }
 
 void printBadRequest(const std::string &Error) {
@@ -88,18 +129,174 @@ void printBadRequest(const std::string &Error) {
   printLine(Line.dump());
 }
 
+/// Set by SIGINT/SIGTERM.  The handlers are installed WITHOUT SA_RESTART,
+/// so a blocked accept()/read()/getline() returns EINTR and the serve
+/// loops fall through to the drain path instead of dying mid-write.
+std::atomic<bool> SigShutdown{false};
+
+void onSignal(int) { SigShutdown.store(true, std::memory_order_relaxed); }
+
+void installSignalHandlers() {
+  struct sigaction SA = {};
+  SA.sa_handler = onSignal;
+  ::sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // Deliberately no SA_RESTART.
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::signal(SIGPIPE, SIG_IGN); // A dead peer is the peer's problem.
+}
+
+/// Everything one request line needs.
+struct ServeContext {
+  AnalysisScheduler *Scheduler = nullptr;
+  std::shared_ptr<persist::PersistStore> Persist;
+  std::atomic<uint64_t> JobsCompleted{0};
+  uint64_t NextId = 0;
+};
+
+enum class LineOutcome { Continue, Shutdown };
+
+/// Parses and dispatches one request line; shared verbatim by the stdio
+/// and TCP front ends (which is what keeps the two transports
+/// byte-identical).
+LineOutcome handleLine(ServeContext &Ctx, const std::string &Line) {
+  if (Line.find_first_not_of(" \t\r") == std::string::npos)
+    return LineOutcome::Continue;
+  std::string Error;
+  std::optional<Request> Req = parseRequest(Line, Ctx.NextId, &Error);
+  if (!Req) {
+    printBadRequest(Error);
+    return LineOutcome::Continue;
+  }
+  AnalysisScheduler &Scheduler = *Ctx.Scheduler;
+  if (Req->Command == Request::Kind::Shutdown)
+    return LineOutcome::Shutdown;
+  if (Req->Command == Request::Kind::Health) {
+    // Deliberately no drain: a liveness probe must not perturb
+    // scheduling (stats, by contrast, drains for determinism).
+    printLine(healthToJsonLine(Scheduler.numWorkers(), Scheduler.queueDepth(),
+                               Scheduler.jobsFinished(),
+                               Scheduler.uptimeUs()));
+    return LineOutcome::Continue;
+  }
+  if (Req->Command == Request::Kind::Telemetry) {
+    // No drain either: the hub is mutex-guarded, so a live snapshot is
+    // safe while workers are mid-job.  Wall-clock data only -- this
+    // line is a different channel than the deterministic stats line.
+    printLine(Scheduler.telemetryJsonLine());
+    return LineOutcome::Continue;
+  }
+  if (Req->Command == Request::Kind::Stats) {
+    // Stats describe a quiesced scheduler: drain first so the numbers
+    // are complete (and deterministic for the protocol test).
+    Scheduler.waitIdle();
+    Scheduler.takeResults(); // Already streamed; free the accumulation.
+    persist::PersistStats PS;
+    if (Ctx.Persist)
+      PS = Ctx.Persist->stats();
+    printLine(statsToJsonLine(
+        Scheduler.cacheStats(), Scheduler.snapshotCacheStats(),
+        Scheduler.incrementalStats(), Scheduler.numWorkers(),
+        Ctx.JobsCompleted.load(std::memory_order_relaxed),
+        Ctx.Persist ? &PS : nullptr));
+    return LineOutcome::Continue;
+  }
+  if (!Req->ProgramFile.empty()) {
+    std::ifstream In(Req->ProgramFile);
+    if (!In) {
+      printBadRequest("cannot open '" + Req->ProgramFile + "'");
+      return LineOutcome::Continue;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Req->Spec.ProgramText = Buffer.str();
+  }
+  Ctx.NextId = Req->Spec.Id + 1;
+  Scheduler.submit(std::move(Req->Spec));
+  return LineOutcome::Continue;
+}
+
+/// Connection-level counters for the net.* metrics block.
+struct NetCounters {
+  uint64_t Connections = 0;
+  uint64_t Lines = 0;
+  uint64_t BadLines = 0;
+  uint64_t Timeouts = 0;
+  uint64_t TooLong = 0;
+};
+
+/// Serves TCP connections until a shutdown command or signal.  One
+/// connection at a time: the scheduler's worker pool is the concurrency;
+/// the transport stays strictly ordered so responses are byte-stable.
+void serveTcp(ServeContext &Ctx, net::Listener &Listener,
+              unsigned ReadTimeoutMs, size_t MaxLineBytes, NetCounters &NC) {
+  bool Shutdown = false;
+  while (!Shutdown && !SigShutdown.load(std::memory_order_relaxed)) {
+    bool Interrupted = false;
+    int Fd = Listener.acceptConn(&Interrupted);
+    if (Fd < 0) {
+      if (Interrupted)
+        continue; // Signal: loop re-checks SigShutdown.
+      break;      // Listener broke; nothing left to accept.
+    }
+    ++NC.Connections;
+    net::Conn Conn(Fd);
+    if (ReadTimeoutMs)
+      Conn.setReadTimeoutMs(ReadTimeoutMs);
+    Conn.setMaxLineBytes(MaxLineBytes);
+    setSink(&Conn);
+    for (;;) {
+      std::string Line;
+      net::Conn::ReadStatus RS = Conn.readLine(&Line);
+      if (RS == net::Conn::ReadStatus::Line) {
+        ++NC.Lines;
+        if (handleLine(Ctx, Line) == LineOutcome::Shutdown) {
+          Shutdown = true;
+          break;
+        }
+        continue;
+      }
+      if (RS == net::Conn::ReadStatus::Timeout) {
+        // Per-connection isolation: a stalled peer loses its
+        // connection, the server keeps accepting.
+        ++NC.Timeouts;
+        printBadRequest("read timeout");
+      } else if (RS == net::Conn::ReadStatus::TooLong) {
+        ++NC.TooLong;
+        ++NC.BadLines;
+        printBadRequest("line exceeds max-line-bytes");
+      } else if (RS == net::Conn::ReadStatus::Interrupted &&
+                 !SigShutdown.load(std::memory_order_relaxed)) {
+        continue; // Spurious signal; keep reading.
+      }
+      break; // Eof, Timeout, TooLong, Error, or signal-driven exit.
+    }
+    // Drain before the sink goes away: every in-flight job's response
+    // belongs to this connection.
+    Ctx.Scheduler->waitIdle();
+    Ctx.Scheduler->takeResults();
+    setSink(nullptr);
+  }
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   uint64_t Workers = 1;
   uint64_t CacheBytes = 64ull << 20;
   uint64_t SlowMs = 0;
+  uint64_t ReadTimeoutMs = 0;
+  uint64_t MaxLineBytes = 32ull << 20;
+  uint64_t PersistBudget = 0;
   bool Telemetry = true;
   std::string TraceOut;
   std::string ExemplarDir;
   std::string EventLogPath;
   std::string MetricsOut;
   std::string MetricsFormat = "json";
+  std::string ListenAddr;
+  std::string PortFile;
+  std::string PersistDir;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -141,6 +338,21 @@ int main(int Argc, char **Argv) {
                      "error: --metrics-format expects 'json' or 'prom'\n");
         return 2;
       }
+    } else if (Arg.rfind("--listen=", 0) == 0) {
+      ListenAddr = Arg.substr(9);
+    } else if (Arg.rfind("--port-file=", 0) == 0) {
+      PortFile = Arg.substr(12);
+    } else if (Arg.rfind("--read-timeout-ms=", 0) == 0) {
+      if (!Number(18, ReadTimeoutMs))
+        return 2;
+    } else if (Arg.rfind("--max-line-bytes=", 0) == 0) {
+      if (!Number(17, MaxLineBytes))
+        return 2;
+    } else if (Arg.rfind("--persist-dir=", 0) == 0) {
+      PersistDir = Arg.substr(14);
+    } else if (Arg.rfind("--persist-budget=", 0) == 0) {
+      if (!Number(17, PersistBudget))
+        return 2;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -150,6 +362,8 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+
+  installSignalHandlers();
 
   SchedulerOptions SO;
   SO.Workers = static_cast<unsigned>(Workers);
@@ -169,71 +383,87 @@ int main(int Argc, char **Argv) {
     obs::EventLog::global().open(&EventLogOut);
   }
 
+  std::shared_ptr<persist::PersistStore> Persist;
+  if (!PersistDir.empty()) {
+    Persist = std::make_shared<persist::PersistStore>(PersistDir,
+                                                      PersistBudget);
+    std::string PersistErr;
+    if (!Persist->open(&PersistErr)) {
+      std::fprintf(stderr, "error: %s\n", PersistErr.c_str());
+      return 2;
+    }
+    SO.Persist = Persist;
+  }
+
+  net::Listener Listener;
+  if (!ListenAddr.empty()) {
+    std::string NetErr;
+    if (!Listener.listenOn(ListenAddr, &NetErr)) {
+      std::fprintf(stderr, "error: %s\n", NetErr.c_str());
+      return 2;
+    }
+    if (!PortFile.empty()) {
+      std::ofstream PF(PortFile);
+      if (!PF) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", PortFile.c_str());
+        return 2;
+      }
+      PF << Listener.port() << "\n";
+    }
+  }
+
+  ServeContext Ctx;
   AnalysisScheduler Scheduler(SO);
-  std::atomic<uint64_t> JobsCompleted{0};
+  Ctx.Scheduler = &Scheduler;
+  Ctx.Persist = Persist;
   Scheduler.onResult([&](const JobResult &R) {
-    JobsCompleted.fetch_add(1, std::memory_order_relaxed);
+    Ctx.JobsCompleted.fetch_add(1, std::memory_order_relaxed);
     printLine(resultToJsonLine(R));
   });
 
-  uint64_t NextId = 0;
-  for (std::string Line; std::getline(std::cin, Line);) {
-    if (Line.find_first_not_of(" \t\r") == std::string::npos)
-      continue;
-    std::string Error;
-    std::optional<Request> Req = parseRequest(Line, NextId, &Error);
-    if (!Req) {
-      printBadRequest(Error);
-      continue;
-    }
-    if (Req->Command == Request::Kind::Shutdown)
-      break;
-    if (Req->Command == Request::Kind::Health) {
-      // Deliberately no drain: a liveness probe must not perturb
-      // scheduling (stats, by contrast, drains for determinism).
-      printLine(healthToJsonLine(Scheduler.numWorkers(),
-                                 Scheduler.queueDepth(),
-                                 Scheduler.jobsFinished(),
-                                 Scheduler.uptimeUs()));
-      continue;
-    }
-    if (Req->Command == Request::Kind::Telemetry) {
-      // No drain either: the hub is mutex-guarded, so a live snapshot is
-      // safe while workers are mid-job.  Wall-clock data only -- this
-      // line is a different channel than the deterministic stats line.
-      printLine(Scheduler.telemetryJsonLine());
-      continue;
-    }
-    if (Req->Command == Request::Kind::Stats) {
-      // Stats describe a quiesced scheduler: drain first so the numbers
-      // are complete (and deterministic for the protocol test).
-      Scheduler.waitIdle();
-      Scheduler.takeResults(); // Already streamed; free the accumulation.
-      printLine(statsToJsonLine(Scheduler.cacheStats(),
-                                Scheduler.snapshotCacheStats(),
-                                Scheduler.incrementalStats(),
-                                Scheduler.numWorkers(),
-                                JobsCompleted.load(std::memory_order_relaxed)));
-      continue;
-    }
-    if (!Req->ProgramFile.empty()) {
-      std::ifstream In(Req->ProgramFile);
-      if (!In) {
-        printBadRequest("cannot open '" + Req->ProgramFile + "'");
-        continue;
+  const char *ShutdownReason = "eof";
+  NetCounters NC;
+  if (Listener.valid()) {
+    serveTcp(Ctx, Listener, static_cast<unsigned>(ReadTimeoutMs),
+             static_cast<size_t>(MaxLineBytes), NC);
+    ShutdownReason = SigShutdown.load(std::memory_order_relaxed)
+                         ? "signal"
+                         : "shutdown-command";
+    Listener.close();
+  } else {
+    for (std::string Line; std::getline(std::cin, Line);) {
+      if (handleLine(Ctx, Line) == LineOutcome::Shutdown) {
+        ShutdownReason = "shutdown-command";
+        break;
       }
-      std::stringstream Buffer;
-      Buffer << In.rdbuf();
-      Req->Spec.ProgramText = Buffer.str();
+      if (SigShutdown.load(std::memory_order_relaxed))
+        break;
     }
-    NextId = Req->Spec.Id + 1;
-    Scheduler.submit(std::move(Req->Spec));
+    if (SigShutdown.load(std::memory_order_relaxed))
+      ShutdownReason = "signal";
   }
 
-  // Shutdown or EOF: drain outstanding jobs, then optionally export the
-  // merged shard trace.
+  // Clean shutdown, whatever the trigger (command, EOF, SIGINT/SIGTERM):
+  // drain in-flight jobs, make the persist log durable, emit the final
+  // shutdown event, then export traces/metrics.
   Scheduler.waitIdle();
   Scheduler.takeResults();
+  bool PersistFlushed = true;
+  if (Persist) {
+    std::string FlushErr;
+    PersistFlushed = Persist->flush(&FlushErr);
+    if (!PersistFlushed)
+      std::fprintf(stderr, "warning: persist flush failed: %s\n",
+                   FlushErr.c_str());
+  }
+  if (obs::EventLog::global().enabled())
+    obs::EventLog::global().emit(
+        obs::Severity::Info, "service", "shutdown",
+        {obs::EventField::str("reason", ShutdownReason),
+         obs::EventField::num("jobs_completed",
+                              Ctx.JobsCompleted.load(
+                                  std::memory_order_relaxed)),
+         obs::EventField::num("persist_flushed", PersistFlushed ? 1 : 0)});
   if (!TraceOut.empty()) {
     std::ofstream TOut(TraceOut);
     if (!TOut) {
@@ -250,6 +480,13 @@ int main(int Argc, char **Argv) {
     }
     obs::MetricsRegistry Merged;
     Scheduler.mergeMetricsInto(Merged);
+    if (!ListenAddr.empty()) {
+      Merged.counter("net.connections").inc(NC.Connections);
+      Merged.counter("net.lines").inc(NC.Lines);
+      Merged.counter("net.bad_lines").inc(NC.BadLines);
+      Merged.counter("net.timeouts").inc(NC.Timeouts);
+      Merged.counter("net.too_long").inc(NC.TooLong);
+    }
     if (MetricsFormat == "prom")
       Merged.writePrometheus(MOut);
     else
